@@ -1,0 +1,45 @@
+//! End-to-end pipeline benchmarks: the discrete-event simulator replay
+//! (cheap, pure scheduling) and the full measured pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tiledec_cluster::sim::PipelineSim;
+use tiledec_cluster::CostModel;
+use tiledec_core::{SimulatedSystem, SystemConfig, ThreadedSystem};
+use tiledec_workload::StreamPreset;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let preset = StreamPreset::tiny_test();
+    let enc = preset.generate_and_encode(6).expect("encode");
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    g.bench_function("measured_pass_1_2_2x2", |b| {
+        let sys = SimulatedSystem::new(SystemConfig::new(2, (2, 2)), CostModel::myrinet_2002());
+        b.iter(|| black_box(sys.run(&enc.bitstream).unwrap().report.fps))
+    });
+
+    // The simulator replay alone, over a captured spec: this is what the
+    // k-sweeps in the paper harness pay per configuration.
+    let run = SimulatedSystem::new(SystemConfig::new(2, (2, 2)), CostModel::myrinet_2002())
+        .run(&enc.bitstream)
+        .unwrap();
+    g.bench_function("event_sim_replay", |b| {
+        b.iter(|| {
+            let mut spec = run.spec.clone();
+            spec.k = 4;
+            black_box(PipelineSim::new(spec, CostModel::myrinet_2002()).run().fps)
+        })
+    });
+
+    g.bench_function("threaded_1_1_2x1", |b| {
+        let sys = ThreadedSystem::new(SystemConfig::new(1, (2, 1)));
+        b.iter(|| black_box(sys.play(&enc.bitstream).unwrap().pictures))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

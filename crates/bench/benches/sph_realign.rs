@@ -1,0 +1,41 @@
+//! The §4.3 design-choice ablation: byte-copying partial slices behind
+//! SPH headers vs re-aligning them with bit shifts. The paper chose
+//! byte-copy because realignment is "costly"; this bench measures by how
+//! much on the real splitter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tiledec_core::splitter::{split_picture_units, MacroblockSplitter};
+use tiledec_core::SystemConfig;
+use tiledec_workload::StreamPreset;
+
+fn bench_sph_realign(c: &mut Criterion) {
+    let mut preset = StreamPreset::tiny_test();
+    preset.width = 512;
+    preset.height = 256;
+    let enc = preset.generate_and_encode(6).expect("encode");
+    let index = split_picture_units(&enc.bitstream).expect("index");
+    let geom = SystemConfig::new(1, (4, 2)).geometry(512, 256).expect("geometry");
+    let byte_copy = MacroblockSplitter::new(geom, enc.seq.clone());
+    let realigned = MacroblockSplitter::new(geom, enc.seq.clone()).with_bit_realignment();
+
+    let mut g = c.benchmark_group("sph");
+    g.bench_function("byte_copy_split", |b| {
+        b.iter(|| {
+            for (p, &(s, e)) in index.units.iter().enumerate() {
+                black_box(byte_copy.split(p as u32, &enc.bitstream[s..e]).unwrap());
+            }
+        })
+    });
+    g.bench_function("bit_realign_split", |b| {
+        b.iter(|| {
+            for (p, &(s, e)) in index.units.iter().enumerate() {
+                black_box(realigned.split(p as u32, &enc.bitstream[s..e]).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sph_realign);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! The paper's central cost asymmetry: `t_s` (macroblock-level split) vs
+//! `t_d` (sub-picture decode) per picture, measured on the real code.
+//! `optimal k = ceil(t_s / t_d)` (§4.6) comes straight from these two
+//! numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tiledec_core::splitter::{split_picture_units, MacroblockSplitter};
+use tiledec_core::{SystemConfig, TileDecoder};
+use tiledec_workload::StreamPreset;
+
+fn bench_split_vs_decode(c: &mut Criterion) {
+    let mut preset = StreamPreset::tiny_test();
+    preset.width = 384;
+    preset.height = 256;
+    let enc = preset.generate_and_encode(6).expect("encode");
+    let index = split_picture_units(&enc.bitstream).expect("index");
+    let cfg = SystemConfig::new(1, (2, 2));
+    let geom = cfg.geometry(preset.width, preset.height).expect("geometry");
+    let splitter = MacroblockSplitter::new(geom, enc.seq.clone());
+
+    let mut g = c.benchmark_group("split_vs_decode");
+    g.bench_function("t_s_split_picture", |b| {
+        b.iter(|| {
+            for (p, &(s, e)) in index.units.iter().enumerate() {
+                black_box(splitter.split(p as u32, &enc.bitstream[s..e]).unwrap());
+            }
+        })
+    });
+    g.bench_function("t_d_decode_subpictures", |b| {
+        // Pre-split once; measure tile decode alone (the I-picture-only
+        // prefix keeps reference handling out of the loop body).
+        let outputs: Vec<_> = index
+            .units
+            .iter()
+            .enumerate()
+            .map(|(p, &(s, e))| splitter.split(p as u32, &enc.bitstream[s..e]).unwrap())
+            .collect();
+        b.iter(|| {
+            let mut decoders: Vec<TileDecoder> = geom
+                .iter_tiles()
+                .map(|t| TileDecoder::new(geom, t, enc.seq.clone(), 64))
+                .collect();
+            for out in &outputs {
+                let kind = out.info.kind;
+                let mut all_blocks = Vec::new();
+                for (d, dec) in decoders.iter().enumerate() {
+                    for (peer, blocks) in
+                        dec.extract_send_blocks(kind, &out.mei[d]).unwrap()
+                    {
+                        all_blocks.push((d, peer, blocks));
+                    }
+                }
+                for (src, peer, blocks) in all_blocks {
+                    decoders[peer]
+                        .apply_recv_blocks(kind, &out.mei[peer], src, &blocks)
+                        .unwrap();
+                }
+                for (d, dec) in decoders.iter_mut().enumerate() {
+                    black_box(dec.decode(&out.subpictures[d]).unwrap());
+                }
+            }
+        })
+    });
+    g.bench_function("root_start_code_scan", |b| {
+        b.iter(|| black_box(split_picture_units(black_box(&enc.bitstream)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_split_vs_decode);
+criterion_main!(benches);

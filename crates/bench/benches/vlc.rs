@@ -1,0 +1,68 @@
+//! Microbenchmark: VLC coefficient-block decode — the dominant cost of the
+//! splitter's parse-only pass (`t_s` is mostly this).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tiledec_bitstream::{BitReader, BitWriter};
+use tiledec_mpeg2::block::{parse_block, write_block};
+
+fn encoded_blocks(count: usize, density: u64) -> (Vec<u8>, usize) {
+    let mut w = BitWriter::new();
+    let mut s = 0x9E3779B9u64;
+    for _ in 0..count {
+        let mut levels = [0i32; 64];
+        for v in levels.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if s % 100 < density {
+                *v = ((s >> 9) % 61) as i32 - 30;
+                if *v == 0 {
+                    *v = 1;
+                }
+            }
+        }
+        if levels.iter().all(|&v| v == 0) {
+            levels[0] = 1;
+        }
+        let mut dc = 0;
+        write_block(&mut w, false, true, false, &mut dc, &levels);
+    }
+    (w.into_bytes(), count)
+}
+
+fn bench_vlc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vlc");
+    for density in [10u64, 40] {
+        let (bytes, count) = encoded_blocks(128, density);
+        g.bench_function(format!("parse_block_density{density}"), |b| {
+            b.iter(|| {
+                let mut r = BitReader::new(&bytes);
+                let mut out = [0i32; 64];
+                for _ in 0..count {
+                    let mut dc = 0;
+                    parse_block(black_box(&mut r), false, true, false, &mut dc, &mut out)
+                        .unwrap();
+                }
+                black_box(out[0]);
+            })
+        });
+    }
+    g.bench_function("mba_increment", |b| {
+        let mut w = BitWriter::new();
+        for i in 1..200u32 {
+            tiledec_mpeg2::tables::mba::encode_increment(&mut w, i % 40 + 1);
+        }
+        let bytes = w.into_bytes();
+        b.iter(|| {
+            let mut r = BitReader::new(&bytes);
+            for _ in 1..200 {
+                black_box(tiledec_mpeg2::tables::mba::decode_increment(&mut r).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_vlc);
+criterion_main!(benches);

@@ -1,0 +1,623 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p tiledec-bench --bin paper -- all
+//! cargo run --release -p tiledec-bench --bin paper -- table1
+//! cargo run --release -p tiledec-bench --bin paper -- table4 [--scale N] [--frames N]
+//! cargo run --release -p tiledec-bench --bin paper -- table5   # + figure 6
+//! cargo run --release -p tiledec-bench --bin paper -- fig7
+//! cargo run --release -p tiledec-bench --bin paper -- table6 [--scale N]  # + figure 8
+//! cargo run --release -p tiledec-bench --bin paper -- fig9 [--scale N]
+//! cargo run --release -p tiledec-bench --bin paper -- ablations
+//! ```
+//!
+//! Absolute numbers are calibrated against a 733 MHz P-III anchor; the
+//! claims under reproduction are the *shapes*: where the one-level
+//! splitter saturates, that k splitters remove it, near-linear pixel-rate
+//! scaling, and low, balanced per-node bandwidth.
+
+use tiledec_bench::{
+    calibrate_cpu_scale, calibrated_model, heading, mbps, prepare_stream, run_config,
+    BENCH_FRAMES, SWEEP_GRIDS,
+};
+use tiledec_cluster::sim::PipelineSim;
+use tiledec_cluster::CostModel;
+use tiledec_core::config::optimal_k;
+use tiledec_core::levels::measure_levels;
+use tiledec_core::SystemConfig;
+use tiledec_workload::{MotionProfile, StreamPreset, PRESETS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let scale = flag_value(&args, "--scale").unwrap_or(1);
+    let frames = flag_value(&args, "--frames").unwrap_or(BENCH_FRAMES as u32) as usize;
+
+    match cmd {
+        "table1" => table1(frames),
+        "table4" => table4(scale, frames),
+        "table5" | "fig6" => table5_fig6(frames),
+        "fig7" => fig7(frames),
+        "table6" | "fig8" => table6_fig8(scale, frames),
+        "fig9" => fig9(scale, frames),
+        "beyond" => beyond(frames),
+        "ablations" => ablations(frames),
+        "all" => {
+            table1(frames);
+            table4(scale.max(2), frames);
+            table5_fig6(frames);
+            fig7(frames);
+            table6_fig8(scale.max(2), frames);
+            fig9(scale.max(2), frames);
+            beyond(frames);
+            ablations(frames);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!(
+            "experiments: table1 table4 table5 fig6 fig7 table6 fig8 fig9 beyond ablations all"
+        );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<u32> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+/// The 720p-class sweep stream: preset 8's character at a resolution every
+/// sweep grid divides (1280 is not divisible by 3; the paper's projectors
+/// cropped, our geometry does not).
+fn sweep_720p_preset() -> StreamPreset {
+    let mut p = *StreamPreset::by_number(8).expect("preset 8");
+    p.width = 1152;
+    p.height = 768;
+    p
+}
+
+// --- Table 1: comparison of parallelisation levels -------------------------
+
+fn table1(frames: usize) {
+    heading("Table 1 — cost comparison of parallelisation levels (measured)");
+    println!("stream: 720p-class analogue on a 4x4 wall");
+    let s = prepare_stream(&sweep_720p_preset(), 1, frames);
+    let geom = SystemConfig::new(1, (4, 4))
+        .geometry(s.preset.width, s.preset.height)
+        .expect("geometry");
+    let rows = measure_levels(&s.bitstream, &geom).expect("measure levels");
+    println!(
+        "{:<12} {:>14} {:>22} {:>22}",
+        "Level", "split ms/pic", "inter-dec KB/pic", "redistrib KB/pic"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>14.3} {:>22.1} {:>22.1}",
+            r.level.name(),
+            r.split_s_per_picture * 1e3,
+            r.inter_decoder_bytes_per_picture / 1e3,
+            r.redistribution_bytes_per_picture / 1e3
+        );
+    }
+    println!("paper: coarse levels split cheaply but redistribute (mn-1)/mn of every frame;");
+    println!("       macroblock level pays to split and moves almost nothing afterwards.");
+
+    // Two of the levels exist as *executed* pipelines, not just estimates.
+    println!();
+    println!("executed baselines (bit-exact with sequential decoding):");
+    {
+        let gop = tiledec_core::gop_level::run_gop_level(&s.bitstream, &geom).expect("gop level");
+        let n = gop.frames.len().max(1);
+        let mut redistribution = 0u64;
+        let tiles = geom.tiles() as usize;
+        for a in 1..=tiles {
+            for b in 1..=tiles {
+                if a != b {
+                    redistribution += gop.traffic.bytes(a, b);
+                }
+            }
+        }
+        println!(
+            "  GOP level   ({} gops): redistribution {:>9.1} KB/pic",
+            gop.gops,
+            redistribution as f64 / n as f64 / 1e3
+        );
+        let bands = geom.n as usize;
+        let sl = tiledec_core::slice_level::run_slice_level(&s.bitstream, bands, geom.m)
+            .expect("slice level");
+        let n = sl.frames.len().max(1);
+        let mut fetches = 0u64;
+        let mut redistribution = 0u64;
+        for a in 1..=bands {
+            for b in 1..=bands {
+                if a != b {
+                    fetches += sl.traffic.bytes(a, b);
+                }
+            }
+            redistribution += sl.traffic.bytes(a, 0);
+        }
+        println!(
+            "  slice level ({bands} bands): demand fetches {:>7.1} KB/pic, redistribution {:>9.1} KB/pic",
+            fetches as f64 / n as f64 / 1e3,
+            redistribution as f64 / n as f64 / 1e3
+        );
+    }
+}
+
+// --- Table 4: stream characteristics ---------------------------------------
+
+fn table4(scale: u32, frames: usize) {
+    heading("Table 4 — characteristics of the synthetic test streams");
+    if scale > 1 {
+        println!("(resolutions scaled down by {scale} for run time; bpp targets unchanged)");
+    }
+    println!(
+        "{:>3} {:<8} {:>11} {:>18} {:>14}",
+        "#", "name", "resolution", "avg frame (bytes)", "bits/pixel"
+    );
+    for preset in &PRESETS {
+        let s = prepare_stream(preset, scale, frames);
+        println!(
+            "{:>3} {:<8} {:>5}x{:<5} {:>18.0} {:>14.2}",
+            s.preset.number,
+            s.preset.name,
+            s.preset.width,
+            s.preset.height,
+            s.avg_picture_bytes,
+            s.achieved_bpp
+        );
+    }
+    println!("paper: streams 1-3 near 1 bpp (DVD), everything else near 0.3 bpp.");
+}
+
+// --- Table 5 + Figure 6: one-level vs two-level frame rate ------------------
+
+fn table5_fig6(frames: usize) {
+    heading("Table 5 / Figure 6 — one-level vs two-level frame rates");
+    let dvd = prepare_stream(StreamPreset::by_number(1).expect("preset 1"), 1, frames);
+    let hd = prepare_stream(&sweep_720p_preset(), 1, frames);
+    let cpu_scale = calibrate_cpu_scale(&dvd);
+    let model = calibrated_model(cpu_scale);
+
+    for (label, stream) in [("stream 1 (DVD)", &dvd), ("stream 8 (720p-class)", &hd)] {
+        println!();
+        println!("--- {label} ---");
+        println!(
+            "{:<10} {:>7} {:>9}   {:<12} {:>7} {:>9}",
+            "one-level", "nodes", "fps", "two-level", "nodes", "fps"
+        );
+        for (m, n) in SWEEP_GRIDS {
+            // One measured pass per grid; k swept on the simulator replay.
+            let run = run_config(stream, SystemConfig::new(1, (m, n)), model);
+            let fps_for_k = |k: usize| {
+                let mut spec = run.spec.clone();
+                spec.k = k;
+                PipelineSim::new(spec, model).run().fps
+            };
+            let one_level = {
+                let mut spec = run.spec.clone();
+                spec.k = 0;
+                PipelineSim::new(spec, model).run().fps
+            };
+            // Paper §5.4: raise k until the frame rate stops improving.
+            let mut k = 1;
+            let mut best = fps_for_k(1);
+            while k < 8 {
+                let next = fps_for_k(k + 1);
+                if next < best * 1.02 {
+                    break;
+                }
+                best = next;
+                k += 1;
+            }
+            println!(
+                "1-({m},{n})    {:>7} {:>9.1}   1-{k}-({m},{n})   {:>7} {:>9.1}",
+                1 + m * n,
+                one_level,
+                1 + k as u32 + m * n,
+                best
+            );
+        }
+    }
+    println!();
+    println!("paper: the one-level splitter saturates beyond ~4 decoders; the two-level");
+    println!("       system keeps scaling (Figure 6's solid vs dashed lines).");
+}
+
+// --- Figure 7: decoder runtime breakdown ------------------------------------
+
+fn fig7(frames: usize) {
+    heading("Figure 7 — decoder runtime breakdown (stream 8 class, 2x2 vs 4x4)");
+    let dvd = prepare_stream(StreamPreset::by_number(1).expect("preset 1"), 1, frames);
+    let hd = prepare_stream(&sweep_720p_preset(), 1, frames);
+    let model = calibrated_model(calibrate_cpu_scale(&dvd));
+
+    for (grid, k) in [((2u32, 2u32), 2usize), ((4, 4), 5)] {
+        let run = run_config(&hd, SystemConfig::new(k, grid), model);
+        println!();
+        println!("--- 1-{k}-({},{}) ---", grid.0, grid.1);
+        println!(
+            "{:<8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+            "decoder", "work%", "serve%", "recv%", "wait%", "ack%", "total s"
+        );
+        let mut avg = [0.0f64; 5];
+        let n_dec = run.report.decoder_breakdown.len();
+        for (d, b) in run.report.decoder_breakdown.iter().enumerate() {
+            let total = run.report.total_s;
+            let parts = [b.work_s, b.serve_s, b.receive_s, b.wait_remote_s, b.ack_s];
+            for (a, p) in avg.iter_mut().zip(parts) {
+                *a += p / n_dec as f64;
+            }
+            println!(
+                "{:<8} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.3}",
+                d,
+                100.0 * b.work_s / total,
+                100.0 * b.serve_s / total,
+                100.0 * b.receive_s / total,
+                100.0 * b.wait_remote_s / total,
+                100.0 * b.ack_s / total,
+                total
+            );
+        }
+        let total = run.report.total_s;
+        println!(
+            "{:<8} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+            "avg",
+            100.0 * avg[0] / total,
+            100.0 * avg[1] / total,
+            100.0 * avg[2] / total,
+            100.0 * avg[3] / total,
+            100.0 * avg[4] / total,
+        );
+    }
+    println!();
+    println!("paper: decode work dominates at 2x2 (~80%); at 4x4 the work share drops");
+    println!("       (~40%) while serving remote blocks and waiting grow.");
+}
+
+// --- Table 6 + Figure 8: resolution scalability ------------------------------
+
+fn table6_fig8(scale: u32, frames: usize) {
+    heading("Table 6 / Figure 8 — resolution scalability across all 16 streams");
+    if scale > 1 {
+        println!("(resolutions scaled down by {scale}; pixel rates scale accordingly)");
+    }
+    let dvd = prepare_stream(StreamPreset::by_number(1).expect("preset 1"), scale, frames);
+    let model = calibrated_model(calibrate_cpu_scale(&dvd));
+    println!(
+        "{:>3} {:<8} {:<12} {:>6} {:>9} {:>12}",
+        "#", "name", "config", "nodes", "fps", "Mpixel/s"
+    );
+    let mut series: Vec<(usize, f64)> = Vec::new();
+    for preset in &PRESETS {
+        let s = prepare_stream(preset, scale, frames);
+        let (m, n) = s.preset.suggested_grid;
+        let run = run_config(&s, SystemConfig::new(1, (m, n)), model);
+        // Keep the decoders at full speed (paper §5.5): k = ceil(ts/td).
+        let k = optimal_k(run.measured.split_s, run.measured.decode_s.max(1e-9)).min(6);
+        let mut spec = run.spec.clone();
+        spec.k = k;
+        let report = PipelineSim::new(spec, model).run();
+        let nodes = 1 + k + (m * n) as usize;
+        let pixel_rate =
+            report.fps * s.preset.width as f64 * s.preset.height as f64 / 1.0e6;
+        println!(
+            "{:>3} {:<8} 1-{:<1}-({},{})    {:>6} {:>9.1} {:>12.1}",
+            s.preset.number, s.preset.name, k, m, n, nodes, report.fps, pixel_rate
+        );
+        series.push((nodes, pixel_rate));
+    }
+    println!();
+    println!("Figure 8 series (nodes, Mpixel/s):");
+    series.sort_by_key(|a| a.0);
+    for (nodes, rate) in &series {
+        println!("  {nodes:>3} {rate:>10.1}");
+    }
+    println!("paper: pixel rate grows near-linearly with nodes; the largest localized-");
+    println!("       detail streams droop slightly (busiest tile becomes the straggler).");
+}
+
+// --- Figure 9: per-node bandwidth --------------------------------------------
+
+fn fig9(scale: u32, frames: usize) {
+    heading("Figure 9 — per-node send/receive bandwidth, 1-4-(4,4), stream 16");
+    let dvd = prepare_stream(StreamPreset::by_number(1).expect("preset 1"), scale, frames);
+    let model = calibrated_model(calibrate_cpu_scale(&dvd));
+    let s = prepare_stream(StreamPreset::by_number(16).expect("preset 16"), scale, frames);
+    let run = run_config(&s, SystemConfig::new(4, (4, 4)), model);
+    let report = &run.report;
+    println!("{:<12} {:>12} {:>12}", "node", "send MB/s", "recv MB/s");
+    let names = |i: usize| -> String {
+        if i == 0 {
+            "root".into()
+        } else if i <= 4 {
+            format!("splitter {}", i - 1)
+        } else {
+            format!("decoder {}", i - 5)
+        }
+    };
+    let nodes = 1 + 4 + 16;
+    for i in 0..nodes {
+        println!(
+            "{:<12} {:>12.2} {:>12.2}",
+            names(i),
+            mbps(report.send_bandwidth(i)),
+            mbps(report.recv_bandwidth(i))
+        );
+    }
+    // The headline checks.
+    let max_dec_send = (5..nodes).map(|i| report.send_bandwidth(i)).fold(0.0, f64::max);
+    let min_dec_send =
+        (5..nodes).map(|i| report.send_bandwidth(i)).fold(f64::INFINITY, f64::min);
+    let sp_send: f64 = (1..5).map(|i| report.send_bandwidth(i)).sum::<f64>() / 4.0;
+    let sp_recv: f64 = (1..5).map(|i| report.recv_bandwidth(i)).sum::<f64>() / 4.0;
+    println!();
+    println!(
+        "decoder send spread: {:.2}-{:.2} MB/s (balance ratio {:.2})",
+        mbps(min_dec_send),
+        mbps(max_dec_send),
+        if min_dec_send > 0.0 { max_dec_send / min_dec_send } else { f64::INFINITY }
+    );
+    println!(
+        "splitter send/recv: {:.2}/{:.2} MB/s (SPH overhead {:+.0}%)",
+        mbps(sp_send),
+        mbps(sp_recv),
+        100.0 * (sp_send - sp_recv) / sp_recv
+    );
+    println!("paper: low, balanced bandwidth well within commodity networks; splitter");
+    println!("       send exceeds receive by ~20% (SPH headers and duplication).");
+}
+
+// --- Beyond the paper's scales -------------------------------------------------
+
+/// The paper's concluding claim: "Because of the low bandwidth requirement,
+/// we expect our system to perform well beyond the scales and resolutions
+/// reported". Test it by extrapolating *measured per-macroblock costs* to
+/// walls and resolutions the 2002 testbed could not hold, and replaying the
+/// schedule on the simulator.
+fn beyond(frames: usize) {
+    heading("Beyond — extrapolating to post-paper scales (paper's closing claim)");
+    let dvd = prepare_stream(StreamPreset::by_number(1).expect("preset 1"), 1, frames);
+    let cpu_scale = calibrate_cpu_scale(&dvd);
+    let model = calibrated_model(cpu_scale);
+    // Measure per-macroblock costs on a mid-size localized-detail stream.
+    let probe_preset = StreamPreset::by_number(13).expect("preset 13").scaled_down(2);
+    let probe = prepare_stream(&probe_preset, 1, frames);
+    let run = run_config(&probe, SystemConfig::new(1, probe.preset.suggested_grid), model);
+    let mbs = (probe.preset.width / 16) as f64 * (probe.preset.height / 16) as f64;
+    let split_per_mb = run.measured.split_s / mbs;
+    let decode_per_mb = run.measured.decode_s * run.spec.decoders as f64 / mbs;
+    let bytes_per_mb = run.measured.unit_bytes / mbs;
+    let subpic_factor = run.measured.subpic_bytes / run.measured.unit_bytes;
+    // MEI volume scales with tile perimeter; estimate blocks/boundary-MB
+    // from the probe.
+    let probe_mei: u64 = run.spec.pictures.iter()
+        .flat_map(|p| p.decoders.iter())
+        .flat_map(|d| d.mei_out.iter().map(|(_, b)| *b))
+        .sum();
+    let (pm, pn) = probe.preset.suggested_grid;
+    let probe_boundary_mbs = ((probe.preset.width / 16) * (pn - 1)
+        + (probe.preset.height / 16) * (pm - 1)) as f64;
+    let mei_per_boundary_mb =
+        probe_mei as f64 / run.spec.pictures.len() as f64 / probe_boundary_mbs.max(1.0);
+
+    println!(
+        "measured: split {:.2} µs/MB, decode {:.2} µs/MB, {:.1} B/MB compressed",
+        split_per_mb * 1e6,
+        decode_per_mb * 1e6,
+        bytes_per_mb
+    );
+    println!();
+    println!(
+        "{:<12} {:<8} {:>6} {:>5} {:>9} {:>14} {:>16}",
+        "resolution", "wall", "nodes", "k*", "fps", "Gpixel/min", "max link MB/s"
+    );
+    for (w, h, m, n) in [
+        (3840u32, 2800u32, 4u32, 4u32), // the paper's ceiling, for reference
+        (5120, 3840, 5, 5),
+        (7680, 4320, 8, 6),             // an 8K wall
+        (10240, 5760, 8, 8),
+    ] {
+        let mbs = (w / 16) as f64 * (h / 16) as f64;
+        let tiles = (m * n) as usize;
+        let t_split = split_per_mb * mbs;
+        let t_decode = decode_per_mb * mbs / tiles as f64;
+        let k = tiledec_core::config::optimal_k(t_split, t_decode).min(12);
+        let boundary_mbs = ((w / 16) * (n - 1) + (h / 16) * (m - 1)) as f64;
+        let mei_bytes = (mei_per_boundary_mb * boundary_mbs) as u64;
+        let unit_bytes = (bytes_per_mb * mbs) as u64;
+        let subpic = ((unit_bytes as f64) * subpic_factor / tiles as f64) as u64;
+        let pics: Vec<tiledec_cluster::sim::PictureCost> = (0..24)
+            .map(|_| tiledec_cluster::sim::PictureCost {
+                copy_s: unit_bytes as f64 / 2.0e9, // memcpy-class
+                unit_bytes,
+                split_s: t_split,
+                decoders: (0..tiles)
+                    .map(|d| tiledec_cluster::sim::DecoderCost {
+                        subpic_bytes: subpic,
+                        decode_s: t_decode,
+                        serve_s: t_decode * 0.03,
+                        mei_out: vec![(
+                            (d + 1) % tiles,
+                            mei_bytes / tiles as u64,
+                        )],
+                    })
+                    .collect(),
+            })
+            .collect();
+        let spec = tiledec_cluster::sim::PipelineSpec {
+            k,
+            decoders: tiles,
+            pictures: pics,
+            dispatch: tiledec_cluster::sim::Dispatch::RoundRobin,
+        };
+        let report = PipelineSim::new(spec, model).run();
+        let max_link = (0..(1 + k + tiles))
+            .map(|i| report.send_bandwidth(i).max(report.recv_bandwidth(i)))
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:>5}x{:<6} {:<8} {:>6} {:>5} {:>9.1} {:>14.2} {:>16.1}",
+            w,
+            h,
+            format!("{m}x{n}"),
+            1 + k + tiles,
+            k,
+            report.fps,
+            report.fps * w as f64 * h as f64 * 60.0 / 1e9,
+            max_link / 1e6
+        );
+    }
+    println!();
+    println!("paper: \"we expect our system to perform well beyond the scales and");
+    println!("       resolutions reported\" — the extrapolation agrees as long as the");
+    println!("       fabric outruns the per-node bandwidth above (Myrinet-class: 160 MB/s).");
+}
+
+// --- Ablations ----------------------------------------------------------------
+
+fn ablations(frames: usize) {
+    heading("Ablations — network fabric, overlap size, MEI pre-calculation");
+    let dvd = prepare_stream(StreamPreset::by_number(1).expect("preset 1"), 1, frames);
+    let cpu_scale = calibrate_cpu_scale(&dvd);
+    let hd = prepare_stream(&sweep_720p_preset(), 1, frames);
+
+    println!();
+    println!("network fabric (1-2-(2,2), 720p-class):");
+    for (name, model) in [
+        ("Myrinet 2002", CostModel::myrinet_2002()),
+        ("Gigabit Ethernet", CostModel::gigabit_ethernet()),
+        ("Fast Ethernet", CostModel::fast_ethernet()),
+    ] {
+        let run = run_config(&hd, SystemConfig::new(2, (2, 2)), model.with_cpu_scale(cpu_scale));
+        println!("  {:<18} {:>7.1} fps", name, run.report.fps);
+    }
+    println!("  (the paper's 'low bandwidth requirement' claim: even commodity fabrics");
+    println!("   should lose little — Fast Ethernet's serialisation finally bites)");
+
+    println!();
+    println!("projector overlap (1-2-(2,2), 720p-class stream, overlap px vs SPH+dup overhead):");
+    let model = calibrated_model(cpu_scale);
+    for overlap in [0u32, 16, 32, 48] {
+        // 1152x768 divides 2x2 for all these overlaps (pitch stays even).
+        let cfg = SystemConfig::new(2, (2, 2)).with_overlap(overlap);
+        let run = run_config(&hd, cfg, model);
+        let sp_bytes = run.measured.subpic_bytes;
+        let unit = run.measured.unit_bytes;
+        println!(
+            "  overlap {overlap:>2}: sub-pictures {:>8.0} B/pic vs unit {:>8.0} B/pic ({:+.1}%), {:>6.1} fps",
+            sp_bytes,
+            unit,
+            100.0 * (sp_bytes - unit) / unit,
+            run.report.fps
+        );
+    }
+
+    println!();
+    println!("MEI pre-calculation vs on-demand fetching (modelled):");
+    let run = run_config(&hd, SystemConfig::new(2, (2, 2)), model);
+    let fps_pre = run.report.fps;
+    // On-demand: every remote fetch becomes a blocking round trip during
+    // decode; model as decode_s inflated by one RTT per exchanged block.
+    let rtt = 2.0 * model.latency_s + 4.0 * model.per_message_s;
+    let mut spec = run.spec.clone();
+    for pic in &mut spec.pictures {
+        for d in &mut pic.decoders {
+            let fetches: u64 = d
+                .mei_out
+                .iter()
+                .map(|(_, b)| b / crate::block_bytes())
+                .sum();
+            d.decode_s += fetches as f64 * rtt;
+            d.serve_s += fetches as f64 * rtt * 0.5; // server-side interruptions
+        }
+    }
+    let fps_demand = PipelineSim::new(spec, model).run().fps;
+    println!("  pre-calculated MEI: {fps_pre:>6.1} fps");
+    println!("  on-demand fetching: {fps_demand:>6.1} fps");
+
+    println!();
+    println!("SPH byte-copy vs bit-realignment (the design §4.3 chose, quantified):");
+    {
+        use std::time::Instant;
+        use tiledec_core::splitter::{split_picture_units, MacroblockSplitter};
+        let index = split_picture_units(&hd.bitstream).expect("index");
+        let geom = SystemConfig::new(1, (4, 4))
+            .geometry(hd.preset.width, hd.preset.height)
+            .expect("geometry");
+        let byte_copy = MacroblockSplitter::new(geom, index.seq.clone());
+        let realigned = MacroblockSplitter::new(geom, index.seq.clone()).with_bit_realignment();
+        let time = |sp: &MacroblockSplitter| {
+            let t0 = Instant::now();
+            for (p, &(s, e)) in index.units.iter().enumerate() {
+                std::hint::black_box(sp.split(p as u32, &hd.bitstream[s..e]).unwrap());
+            }
+            t0.elapsed().as_secs_f64() / index.units.len() as f64
+        };
+        let a = time(&byte_copy).min(time(&byte_copy));
+        let b = time(&realigned).min(time(&realigned));
+        println!("  byte-copy    : {:.2} ms/picture", a * 1e3);
+        println!("  bit-realign  : {:.2} ms/picture ({:+.0}%)", b * 1e3, 100.0 * (b - a) / a);
+    }
+
+    println!();
+    println!("GOP-level baseline (executed, 2x2 wall, 720p-class):");
+    {
+        let geom = SystemConfig::new(1, (2, 2))
+            .geometry(hd.preset.width, hd.preset.height)
+            .expect("geometry");
+        let out = tiledec_core::gop_level::run_gop_level(&hd.bitstream, &geom)
+            .expect("gop baseline");
+        let d = 4;
+        let mut redistribution = 0u64;
+        for a in 1..=d {
+            for b in 1..=d {
+                if a != b {
+                    redistribution += out.traffic.bytes(a, b);
+                }
+            }
+        }
+        let mb = run_config(&hd, SystemConfig::new(1, (2, 2)), model);
+        let mut mei = 0u64;
+        let dec0 = 2; // root + 1 splitter
+        for a in 0..d {
+            for b in 0..d {
+                if a != b {
+                    mei += mb.report.traffic.bytes(dec0 + a, dec0 + b);
+                }
+            }
+        }
+        println!(
+            "  pixel redistribution: {:.1} KB/pic   (macroblock-level MEI: {:.1} KB/pic)",
+            redistribution as f64 / out.frames.len() as f64 / 1e3,
+            mei as f64 / mb.pictures as f64 / 1e3,
+        );
+    }
+
+    println!();
+    println!("dynamic splitter dispatch (paper future work), alternating cheap/expensive pictures:");
+    {
+        use tiledec_cluster::sim::Dispatch;
+        let run = run_config(&hd, SystemConfig::new(2, (2, 2)), model);
+        let mut skew = run.spec.clone();
+        for (i, pic) in skew.pictures.iter_mut().enumerate() {
+            pic.split_s *= if i % 2 == 0 { 2.5 } else { 0.4 };
+        }
+        let mut rr = skew.clone();
+        rr.dispatch = Dispatch::RoundRobin;
+        let mut ll = skew;
+        ll.dispatch = Dispatch::LeastLoaded;
+        println!("  round-robin : {:>6.1} fps", PipelineSim::new(rr, model).run().fps);
+        println!("  least-loaded: {:>6.1} fps", PipelineSim::new(ll, model).run().fps);
+        println!("  finding: the two-buffer ack window serialises picture p behind p-2,");
+        println!("  so dispatch policy barely matters under the paper's own flow control.");
+    }
+    let _ = MotionProfile::Still; // linked for doc purposes
+}
+
+mod helpers {
+    /// Wire bytes of one exchanged macroblock.
+    pub fn block_bytes() -> u64 {
+        tiledec_core::mei::BLOCK_WIRE_BYTES as u64
+    }
+}
+use helpers::block_bytes;

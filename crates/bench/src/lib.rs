@@ -1,0 +1,140 @@
+//! Shared harness code for the paper-reproduction benchmarks.
+//!
+//! Every table and figure of the paper's evaluation section has a
+//! regenerator in the `paper` binary (`cargo run --release -p
+//! tiledec-bench --bin paper -- <experiment>`). The harness:
+//!
+//! 1. generates and encodes the synthetic analogue of the requested
+//!    streams ([`tiledec_workload::StreamPreset`]);
+//! 2. runs the real splitter/decoder code once per configuration through
+//!    [`tiledec_core::SimulatedSystem`], measuring actual CPU costs;
+//! 3. replays the paper's message schedule on the event-driven cluster
+//!    simulator under a Myrinet-class cost model, **calibrated** so a
+//!    single simulated decoder reproduces the paper's anchor throughput
+//!    for DVD material on a 733 MHz Pentium III (≈ 26 fps);
+//! 4. prints the table/figure series next to the paper's qualitative
+//!    expectations.
+
+use std::time::Instant;
+
+use tiledec_cluster::CostModel;
+use tiledec_core::{SimulatedSystem, SystemConfig};
+use tiledec_workload::StreamPreset;
+
+/// Frame count used for measured runs (one full GOP plus change; the
+/// paper used 240 frames of commercial footage — costs per picture are
+/// what matters, and they stabilise after one GOP).
+pub const BENCH_FRAMES: usize = 12;
+
+/// The paper's anchor: a single 733 MHz P-III decodes DVD material at
+/// roughly this rate (Table 5's 1-(1,1) row for stream 1).
+pub const ANCHOR_DVD_FPS: f64 = 26.0;
+
+/// An encoded stream plus its provenance.
+pub struct BenchStream {
+    /// Preset that produced it.
+    pub preset: StreamPreset,
+    /// Elementary stream bytes.
+    pub bitstream: Vec<u8>,
+    /// Achieved bits per pixel.
+    pub achieved_bpp: f64,
+    /// Average picture size in bytes.
+    pub avg_picture_bytes: f64,
+}
+
+/// Generates and encodes a preset (optionally resolution-scaled by
+/// `scale_div`), printing progress since large streams take a while.
+pub fn prepare_stream(preset: &StreamPreset, scale_div: u32, frames: usize) -> BenchStream {
+    let p = if scale_div > 1 { preset.scaled_down(scale_div) } else { *preset };
+    let t0 = Instant::now();
+    let enc = p.generate_and_encode(frames).expect("encode failed");
+    eprintln!(
+        "  [prep] stream {:>2} {:<7} {:>4}x{:<4} {} frames, {:.2} bpp, {:.1}s",
+        p.number,
+        p.name,
+        p.width,
+        p.height,
+        frames,
+        enc.achieved_bpp,
+        t0.elapsed().as_secs_f64()
+    );
+    BenchStream {
+        preset: p,
+        bitstream: enc.bitstream,
+        achieved_bpp: enc.achieved_bpp,
+        avg_picture_bytes: enc.avg_picture_bytes,
+    }
+}
+
+/// Measures the CPU scale that maps this host to the paper's hardware:
+/// run the DVD-class stream on a single simulated decoder and scale so it
+/// hits [`ANCHOR_DVD_FPS`].
+pub fn calibrate_cpu_scale(dvd_stream: &BenchStream) -> f64 {
+    let cfg = SystemConfig::new(0, (1, 1));
+    let run = SimulatedSystem::new(cfg, CostModel::myrinet_2002())
+        .with_repeats(3)
+        .run(&dvd_stream.bitstream)
+        .expect("calibration run failed");
+    let host_fps = run.report.fps;
+    let scale = host_fps / ANCHOR_DVD_FPS;
+    eprintln!(
+        "  [calibrate] host single-decoder: {:.1} fps -> cpu_scale {:.3} (anchor {:.1} fps)",
+        host_fps, scale, ANCHOR_DVD_FPS
+    );
+    scale
+}
+
+/// The calibrated Myrinet cost model.
+pub fn calibrated_model(cpu_scale: f64) -> CostModel {
+    CostModel::myrinet_2002().with_cpu_scale(cpu_scale)
+}
+
+/// Runs one configuration on one stream and returns the simulation run.
+pub fn run_config(
+    stream: &BenchStream,
+    cfg: SystemConfig,
+    model: CostModel,
+) -> tiledec_core::simulated::SimulatedRun {
+    SimulatedSystem::new(cfg, model)
+        .with_repeats(2)
+        .run(&stream.bitstream)
+        .expect("simulated run failed")
+}
+
+/// The screen configurations swept by Table 5 / Figure 6.
+pub const SWEEP_GRIDS: [(u32, u32); 7] =
+    [(1, 1), (2, 1), (2, 2), (3, 2), (3, 3), (4, 3), (4, 4)];
+
+/// Formats bytes/s as MB/s.
+pub fn mbps(bytes_per_s: f64) -> f64 {
+    bytes_per_s / 1.0e6
+}
+
+/// Prints a horizontal rule + title.
+pub fn heading(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_paper_order() {
+        assert_eq!(SWEEP_GRIDS[0], (1, 1));
+        assert_eq!(SWEEP_GRIDS[6], (4, 4));
+        // Node counts grow monotonically.
+        let counts: Vec<u32> = SWEEP_GRIDS.iter().map(|(m, n)| m * n).collect();
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn prepare_and_calibrate_tiny() {
+        let preset = StreamPreset::tiny_test();
+        let s = prepare_stream(&preset, 1, 4);
+        assert!(!s.bitstream.is_empty());
+        let scale = calibrate_cpu_scale(&s);
+        assert!(scale.is_finite() && scale > 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Bit-level I/O and MPEG start-code scanning.
+//!
+//! MPEG-2 video is a bit-oriented format: headers carry fixed- and
+//! variable-length fields that are not byte aligned, and macroblocks inside a
+//! slice have no start codes at all. The parallel decoder of the paper leans
+//! on two properties of this layer:
+//!
+//! * The **root splitter** only ever looks for byte-aligned 32-bit start codes
+//!   (`00 00 01 xx`), which makes picture-level splitting nearly free
+//!   ([`StartCodeScanner`]).
+//! * The **second-level splitters** must know the *exact bit offset* of every
+//!   macroblock so partial slices can be byte-copied into sub-pictures with a
+//!   0–7 bit skip recorded in the SPH header ([`BitReader::bit_position`]).
+//!
+//! All reads and writes are MSB-first, matching ISO/IEC 13818-2.
+
+#![warn(missing_docs)]
+
+mod reader;
+mod scanner;
+mod writer;
+
+pub use reader::{BitReader, BitstreamError};
+pub use scanner::{find_start_code, StartCode, StartCodeScanner};
+pub use writer::BitWriter;
+
+/// Result alias for bitstream operations.
+pub type Result<T> = std::result::Result<T, BitstreamError>;

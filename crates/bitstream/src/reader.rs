@@ -1,0 +1,304 @@
+use std::fmt;
+
+/// Error produced by bit-level reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitstreamError {
+    /// A read ran past the end of the buffer.
+    UnexpectedEnd {
+        /// Bit position at which the read was attempted.
+        bit_pos: usize,
+    },
+    /// A variable-length code did not match any table entry.
+    InvalidCode {
+        /// Bit position of the first bit of the failed code.
+        bit_pos: usize,
+        /// Name of the VLC table.
+        table: &'static str,
+    },
+    /// A syntax element held a forbidden value (e.g. a zero marker bit).
+    Syntax {
+        /// Bit position of the offending element.
+        bit_pos: usize,
+        /// What was violated.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitstreamError::UnexpectedEnd { bit_pos } => {
+                write!(f, "unexpected end of bitstream at bit {bit_pos}")
+            }
+            BitstreamError::InvalidCode { bit_pos, table } => {
+                write!(f, "invalid VLC for table {table} at bit {bit_pos}")
+            }
+            BitstreamError::Syntax { bit_pos, what } => {
+                write!(f, "syntax error at bit {bit_pos}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BitstreamError {}
+
+/// MSB-first bit reader over a byte slice.
+///
+/// Tracks its position in **bits** so callers (notably the macroblock-level
+/// splitter) can record the exact span of a syntax element and later byte-copy
+/// it into a sub-picture.
+#[derive(Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next bit to read, counted from the start of `data`.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at the first bit of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Creates a reader positioned at `bit_pos` bits into `data`.
+    pub fn at(data: &'a [u8], bit_pos: usize) -> Self {
+        BitReader { data, pos: bit_pos }
+    }
+
+    /// The underlying byte slice.
+    pub fn data(&self) -> &'a [u8] {
+        self.data
+    }
+
+    /// Current position in bits from the start of the buffer.
+    pub fn bit_position(&self) -> usize {
+        self.pos
+    }
+
+    /// Remaining unread bits.
+    pub fn bits_remaining(&self) -> usize {
+        (self.data.len() * 8).saturating_sub(self.pos)
+    }
+
+    /// True when positioned on a byte boundary.
+    pub fn is_byte_aligned(&self) -> bool {
+        self.pos.is_multiple_of(8)
+    }
+
+    /// Advances to the next byte boundary (no-op if already aligned).
+    pub fn align_to_byte(&mut self) {
+        self.pos = (self.pos + 7) & !7;
+    }
+
+    /// Repositions the reader to an absolute bit offset.
+    pub fn seek_to(&mut self, bit_pos: usize) {
+        self.pos = bit_pos;
+    }
+
+    /// Skips `n` bits without reading them.
+    pub fn skip(&mut self, n: usize) -> super::Result<()> {
+        if self.pos + n > self.data.len() * 8 {
+            return Err(BitstreamError::UnexpectedEnd { bit_pos: self.pos });
+        }
+        self.pos += n;
+        Ok(())
+    }
+
+    /// Reads a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> super::Result<u32> {
+        let byte = self
+            .data
+            .get(self.pos >> 3)
+            .copied()
+            .ok_or(BitstreamError::UnexpectedEnd { bit_pos: self.pos })?;
+        let bit = (byte >> (7 - (self.pos & 7))) & 1;
+        self.pos += 1;
+        Ok(bit as u32)
+    }
+
+    /// Reads `n` bits (0 ≤ n ≤ 32) MSB-first.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> super::Result<u32> {
+        debug_assert!(n <= 32);
+        if self.pos + n as usize > self.data.len() * 8 {
+            return Err(BitstreamError::UnexpectedEnd { bit_pos: self.pos });
+        }
+        let mut v: u32 = 0;
+        let mut remaining = n;
+        while remaining > 0 {
+            let byte = self.data[self.pos >> 3];
+            let bit_in_byte = self.pos & 7;
+            let avail = 8 - bit_in_byte as u32;
+            let take = remaining.min(avail);
+            let shifted = (byte as u32) >> (avail - take);
+            let mask = if take == 32 { u32::MAX } else { (1u32 << take) - 1 };
+            v = if take == 32 { shifted } else { (v << take) | (shifted & mask) };
+            self.pos += take as usize;
+            remaining -= take;
+        }
+        Ok(v)
+    }
+
+    /// Reads `n` bits (0 ≤ n ≤ 64) MSB-first into a `u64`.
+    pub fn read_bits64(&mut self, n: u32) -> super::Result<u64> {
+        debug_assert!(n <= 64);
+        if n <= 32 {
+            return Ok(self.read_bits(n)? as u64);
+        }
+        let hi = self.read_bits(n - 32)? as u64;
+        let lo = self.read_bits(32)? as u64;
+        Ok((hi << 32) | lo)
+    }
+
+    /// Peeks at the next `n` bits (0 ≤ n ≤ 32) without consuming them.
+    ///
+    /// Bits past the end of the buffer read as zero; this is what VLC lookup
+    /// wants (a truncated code will then simply fail to match).
+    #[inline]
+    pub fn peek_bits(&self, n: u32) -> u32 {
+        debug_assert!(n <= 32);
+        let mut v: u32 = 0;
+        let mut pos = self.pos;
+        let mut remaining = n;
+        while remaining > 0 {
+            let byte = self.data.get(pos >> 3).copied().unwrap_or(0);
+            let bit_in_byte = pos & 7;
+            let avail = 8 - bit_in_byte as u32;
+            let take = remaining.min(avail);
+            let shifted = (byte as u32) >> (avail - take);
+            let mask = (1u32 << take) - 1;
+            v = (v << take) | (shifted & mask);
+            pos += take as usize;
+            remaining -= take;
+        }
+        v
+    }
+
+    /// Reads a marker bit that must be `1`.
+    pub fn marker_bit(&mut self) -> super::Result<()> {
+        let pos = self.pos;
+        if self.read_bit()? != 1 {
+            return Err(BitstreamError::Syntax { bit_pos: pos, what: "marker bit was 0" });
+        }
+        Ok(())
+    }
+
+    /// True if at least `n` more bits can be read.
+    pub fn has_bits(&self, n: usize) -> bool {
+        self.pos + n <= self.data.len() * 8
+    }
+
+    /// Helper for VLC decode failure at the current position.
+    pub fn invalid_code(&self, table: &'static str) -> BitstreamError {
+        BitstreamError::InvalidCode { bit_pos: self.pos, table }
+    }
+
+    /// True when the next bits are a byte-aligned start-code prefix
+    /// (`0x000001`) at or after the current (aligned) position. Used by the
+    /// slice decoder to detect end-of-slice.
+    pub fn next_is_start_code(&self) -> bool {
+        let byte = (self.pos + 7) >> 3;
+        byte + 3 <= self.data.len()
+            && self.data[byte] == 0
+            && self.data[byte + 1] == 0
+            && self.data[byte + 2] == 1
+    }
+}
+
+impl fmt::Debug for BitReader<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BitReader")
+            .field("pos_bits", &self.pos)
+            .field("len_bytes", &self.data.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_single_bits_msb_first() {
+        let mut r = BitReader::new(&[0b1010_0001]);
+        assert_eq!(r.read_bit().unwrap(), 1);
+        assert_eq!(r.read_bit().unwrap(), 0);
+        assert_eq!(r.read_bit().unwrap(), 1);
+        assert_eq!(r.read_bit().unwrap(), 0);
+        assert_eq!(r.read_bits(4).unwrap(), 0b0001);
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn reads_multi_byte_fields() {
+        let mut r = BitReader::new(&[0xAB, 0xCD, 0xEF, 0x12]);
+        assert_eq!(r.read_bits(12).unwrap(), 0xABC);
+        assert_eq!(r.read_bits(12).unwrap(), 0xDEF);
+        assert_eq!(r.read_bits(8).unwrap(), 0x12);
+    }
+
+    #[test]
+    fn read_bits_32_across_boundary() {
+        let mut r = BitReader::new(&[0xFF, 0x00, 0xFF, 0x00, 0xAA]);
+        r.skip(4).unwrap();
+        assert_eq!(r.read_bits(32).unwrap(), 0xF00F_F00A);
+    }
+
+    #[test]
+    fn read_bits64_full_width() {
+        let data = [0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.read_bits64(64).unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn peek_does_not_advance_and_pads_with_zero() {
+        let r = BitReader::new(&[0b1100_0000]);
+        assert_eq!(r.peek_bits(2), 0b11);
+        assert_eq!(r.peek_bits(2), 0b11);
+        assert_eq!(r.peek_bits(16), 0b1100_0000 << 8);
+        assert_eq!(r.bit_position(), 0);
+    }
+
+    #[test]
+    fn alignment() {
+        let mut r = BitReader::new(&[0xFF, 0x0F]);
+        assert!(r.is_byte_aligned());
+        r.read_bits(3).unwrap();
+        assert!(!r.is_byte_aligned());
+        r.align_to_byte();
+        assert_eq!(r.bit_position(), 8);
+        r.align_to_byte();
+        assert_eq!(r.bit_position(), 8);
+        assert_eq!(r.read_bits(8).unwrap(), 0x0F);
+    }
+
+    #[test]
+    fn marker_bit_enforced() {
+        let mut r = BitReader::new(&[0b1000_0000]);
+        assert!(r.marker_bit().is_ok());
+        assert!(matches!(r.marker_bit(), Err(BitstreamError::Syntax { .. })));
+    }
+
+    #[test]
+    fn next_is_start_code_detects_prefix() {
+        let data = [0xFF, 0x00, 0x00, 0x01, 0xB3];
+        let mut r = BitReader::new(&data);
+        assert!(!r.next_is_start_code());
+        r.read_bits(3).unwrap();
+        // After partial byte, alignment rounds up to byte 1 where 000001 begins.
+        assert!(r.next_is_start_code());
+        r.align_to_byte();
+        assert!(r.next_is_start_code());
+    }
+
+    #[test]
+    fn seek_and_bit_position_round_trip() {
+        let data = [0u8; 16];
+        let mut r = BitReader::new(&data);
+        r.seek_to(37);
+        assert_eq!(r.bit_position(), 37);
+        assert_eq!(r.bits_remaining(), 128 - 37);
+    }
+}

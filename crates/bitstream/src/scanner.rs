@@ -1,0 +1,172 @@
+/// A byte-aligned MPEG start code found in a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartCode {
+    /// Byte offset of the first `0x00` of the `00 00 01 xx` pattern.
+    pub offset: usize,
+    /// The code byte `xx`.
+    pub code: u8,
+}
+
+impl StartCode {
+    /// Picture start code (`00`).
+    pub const PICTURE: u8 = 0x00;
+    /// First slice start code (`01`); slices run through `0xAF`.
+    pub const SLICE_MIN: u8 = 0x01;
+    /// Last slice start code.
+    pub const SLICE_MAX: u8 = 0xAF;
+    /// User data start code.
+    pub const USER_DATA: u8 = 0xB2;
+    /// Sequence header code.
+    pub const SEQUENCE_HEADER: u8 = 0xB3;
+    /// Extension start code.
+    pub const EXTENSION: u8 = 0xB5;
+    /// Sequence end code.
+    pub const SEQUENCE_END: u8 = 0xB7;
+    /// Group-of-pictures start code.
+    pub const GROUP: u8 = 0xB8;
+
+    /// True when this is a slice start code.
+    pub fn is_slice(&self) -> bool {
+        (Self::SLICE_MIN..=Self::SLICE_MAX).contains(&self.code)
+    }
+}
+
+/// Iterator over byte-aligned `00 00 01 xx` start codes.
+///
+/// This is the root splitter's entire parsing workload: locating sequence,
+/// GOP, and picture start codes so the stream can be cut into per-picture
+/// work units without touching macroblock data — the paper's "very low"
+/// splitting cost for picture-level parallelism (Table 1).
+pub struct StartCodeScanner<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StartCodeScanner<'a> {
+    /// Creates a scanner over `data` starting at byte 0.
+    pub fn new(data: &'a [u8]) -> Self {
+        StartCodeScanner { data, pos: 0 }
+    }
+
+    /// Creates a scanner starting at `offset` bytes.
+    pub fn from_offset(data: &'a [u8], offset: usize) -> Self {
+        StartCodeScanner { data, pos: offset }
+    }
+
+    /// Current scan position in bytes.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Finds the next start code at or after the current position, consuming
+    /// it (the scanner moves past the 4-byte pattern).
+    pub fn next_code(&mut self) -> Option<StartCode> {
+        let found = find_start_code(self.data, self.pos)?;
+        self.pos = found.offset + 4;
+        Some(found)
+    }
+}
+
+impl Iterator for StartCodeScanner<'_> {
+    type Item = StartCode;
+
+    fn next(&mut self) -> Option<StartCode> {
+        self.next_code()
+    }
+}
+
+/// Finds the first `00 00 01 xx` pattern at or after `from`.
+///
+/// Skips ahead two bytes at a time on non-zero bytes, the classic
+/// start-code-search trick: if `data[i+2] != 0` no code can start at `i` or
+/// `i+1`.
+pub fn find_start_code(data: &[u8], from: usize) -> Option<StartCode> {
+    let mut i = from;
+    while i + 4 <= data.len() {
+        let w = &data[i..i + 4];
+        if w[2] > 1 {
+            i += 3;
+        } else if w[2] == 1 {
+            if w[0] == 0 && w[1] == 0 {
+                return Some(StartCode { offset: i, code: w[3] });
+            }
+            i += 3;
+        } else {
+            // w[2] == 0: could be the first or second zero of a code one byte later.
+            i += 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference implementation for cross-checking.
+    fn naive_find(data: &[u8], from: usize) -> Option<StartCode> {
+        (from..data.len().saturating_sub(3)).find_map(|i| {
+            (data[i] == 0 && data[i + 1] == 0 && data[i + 2] == 1)
+                .then(|| StartCode { offset: i, code: data[i + 3] })
+        })
+    }
+
+    #[test]
+    fn finds_simple_code() {
+        let data = [0xFF, 0x00, 0x00, 0x01, 0xB3, 0x12];
+        assert_eq!(find_start_code(&data, 0), Some(StartCode { offset: 1, code: 0xB3 }));
+    }
+
+    #[test]
+    fn none_when_absent() {
+        assert_eq!(find_start_code(&[0xFF; 64], 0), None);
+        assert_eq!(find_start_code(&[0x00; 64], 0), None);
+        assert_eq!(find_start_code(&[], 0), None);
+    }
+
+    #[test]
+    fn respects_from_offset() {
+        let data = [0x00, 0x00, 0x01, 0xB3, 0x00, 0x00, 0x01, 0x00];
+        assert_eq!(find_start_code(&data, 1), Some(StartCode { offset: 4, code: 0x00 }));
+    }
+
+    #[test]
+    fn handles_overlapping_zeros() {
+        // Three zeros then 01: the code starts at offset 1.
+        let data = [0x00, 0x00, 0x00, 0x01, 0xB8];
+        assert_eq!(find_start_code(&data, 0), Some(StartCode { offset: 1, code: 0xB8 }));
+    }
+
+    #[test]
+    fn iterator_yields_all_codes() {
+        let mut data = vec![0x55u8; 7];
+        data.extend_from_slice(&[0x00, 0x00, 0x01, 0xB3]);
+        data.extend_from_slice(&[0x42; 5]);
+        data.extend_from_slice(&[0x00, 0x00, 0x01, 0x00]);
+        data.extend_from_slice(&[0x00, 0x00, 0x01, 0x01]);
+        let codes: Vec<_> = StartCodeScanner::new(&data).collect();
+        assert_eq!(codes.len(), 3);
+        assert_eq!(codes[0].code, 0xB3);
+        assert_eq!(codes[1].code, 0x00);
+        assert_eq!(codes[2].code, 0x01);
+        assert!(codes[2].is_slice());
+        assert!(!codes[0].is_slice());
+    }
+
+    #[test]
+    fn matches_naive_on_adversarial_patterns() {
+        // Dense zero/one patterns exercise every branch of the skip logic.
+        let patterns: Vec<Vec<u8>> = vec![
+            vec![0, 0, 1, 0, 0, 1, 0, 0, 0, 1, 5],
+            vec![0, 1, 0, 0, 1, 0],
+            vec![1, 0, 0, 1, 0, 0, 1, 9],
+            vec![0, 0, 0, 0, 0, 1, 7, 0, 0, 1],
+            vec![2, 0, 0, 2, 0, 0, 1, 0xAF],
+        ];
+        for p in &patterns {
+            for from in 0..p.len() {
+                assert_eq!(find_start_code(p, from), naive_find(p, from), "pattern {p:?} from {from}");
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+/// MSB-first bit writer producing a `Vec<u8>`.
+///
+/// Used by the MPEG-2 encoder and by the sub-picture assembler (which must
+/// emit byte-aligned copies of partial slices preceded by SPH headers).
+#[derive(Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the final byte of `buf` (0 means byte aligned).
+    bit_fill: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with `bytes` of pre-reserved capacity.
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter { buf: Vec::with_capacity(bytes), bit_fill: 0 }
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_fill == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.bit_fill as usize
+        }
+    }
+
+    /// True when on a byte boundary.
+    pub fn is_byte_aligned(&self) -> bool {
+        self.bit_fill == 0
+    }
+
+    /// Writes the low `n` bits of `v` (0 ≤ n ≤ 32), MSB-first.
+    #[inline]
+    pub fn put_bits(&mut self, v: u32, n: u32) {
+        debug_assert!(n <= 32);
+        debug_assert!(n == 32 || v < (1u64 << n) as u32, "value {v} wider than {n} bits");
+        let mut remaining = n;
+        while remaining > 0 {
+            if self.bit_fill == 0 {
+                self.buf.push(0);
+            }
+            let avail = 8 - self.bit_fill;
+            let take = remaining.min(avail);
+            let chunk = (v >> (remaining - take)) & ((1u32 << take) - 1);
+            let last = self.buf.last_mut().expect("pushed above");
+            *last |= (chunk as u8) << (avail - take);
+            self.bit_fill = (self.bit_fill + take) % 8;
+            remaining -= take;
+        }
+    }
+
+    /// Writes a single bit.
+    #[inline]
+    pub fn put_bit(&mut self, bit: u32) {
+        self.put_bits(bit & 1, 1);
+    }
+
+    /// Writes a marker bit (always `1`).
+    pub fn put_marker(&mut self) {
+        self.put_bit(1);
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        if self.bit_fill != 0 {
+            self.bit_fill = 0;
+        }
+    }
+
+    /// Pads to the next byte boundary MPEG-style: a `0` bit would be ambiguous
+    /// inside VLC data, so slices are padded with zero bits (the standard's
+    /// `next_start_code()` uses zero stuffing). Identical to
+    /// [`BitWriter::align_to_byte`]; kept separate for call-site clarity.
+    pub fn pad_to_start_code(&mut self) {
+        self.align_to_byte();
+    }
+
+    /// Writes a 32-bit start code `00 00 01 xx`, aligning first.
+    pub fn put_start_code(&mut self, code: u8) {
+        self.align_to_byte();
+        self.buf.extend_from_slice(&[0x00, 0x00, 0x01, code]);
+    }
+
+    /// Appends whole bytes. Must be byte-aligned.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        assert!(self.is_byte_aligned(), "put_bytes requires byte alignment");
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Finishes writing, zero-padding the final partial byte, and returns the
+    /// buffer.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.buf
+    }
+
+    /// Borrow the bytes written so far (final partial byte zero-padded
+    /// in place already by construction).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitReader;
+
+    #[test]
+    fn writes_msb_first() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        w.put_bits(0b00001, 5);
+        assert_eq!(w.into_bytes(), vec![0b1010_0001]);
+    }
+
+    #[test]
+    fn crosses_byte_boundaries() {
+        let mut w = BitWriter::new();
+        w.put_bits(0xABC, 12);
+        w.put_bits(0xDEF, 12);
+        assert_eq!(w.into_bytes(), vec![0xAB, 0xCD, 0xEF]);
+    }
+
+    #[test]
+    fn full_32_bit_write() {
+        let mut w = BitWriter::new();
+        w.put_bits(0xDEAD_BEEF, 32);
+        assert_eq!(w.into_bytes(), vec![0xDE, 0xAD, 0xBE, 0xEF]);
+    }
+
+    #[test]
+    fn start_code_alignment() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1, 1);
+        w.put_start_code(0xB3);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x80, 0x00, 0x00, 0x01, 0xB3]);
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.put_bits(0b11, 2);
+        assert_eq!(w.bit_len(), 2);
+        w.put_bits(0x3F, 6);
+        assert_eq!(w.bit_len(), 8);
+        assert!(w.is_byte_aligned());
+    }
+
+    #[test]
+    fn round_trip_with_reader() {
+        let fields: [(u32, u32); 7] =
+            [(1, 1), (0x3, 2), (0x15, 5), (0xFF, 8), (0xABC, 12), (0, 3), (0x1FFFF, 17)];
+        let mut w = BitWriter::new();
+        for &(v, n) in &fields {
+            w.put_bits(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the bitstream layer.
+
+use proptest::prelude::*;
+use tiledec_bitstream::{find_start_code, BitReader, BitWriter, StartCode};
+
+/// Naive start-code search used as the oracle.
+fn naive_find(data: &[u8], from: usize) -> Option<StartCode> {
+    (from..data.len().saturating_sub(3)).find_map(|i| {
+        (data[i] == 0 && data[i + 1] == 0 && data[i + 2] == 1)
+            .then(|| StartCode { offset: i, code: data[i + 3] })
+    })
+}
+
+/// A field is (value, width) with value < 2^width.
+fn field_strategy() -> impl Strategy<Value = (u32, u32)> {
+    (1u32..=32).prop_flat_map(|n| {
+        let max = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        (0..=max, Just(n))
+    })
+}
+
+proptest! {
+    #[test]
+    fn writer_reader_round_trip(fields in prop::collection::vec(field_strategy(), 0..64)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &fields {
+            w.put_bits(v, n);
+        }
+        let total_bits: usize = fields.iter().map(|&(_, n)| n as usize).sum();
+        prop_assert_eq!(w.bit_len(), total_bits);
+        let bytes = w.into_bytes();
+        prop_assert_eq!(bytes.len(), total_bits.div_ceil(8));
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            prop_assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn peek_equals_read(data in prop::collection::vec(any::<u8>(), 1..64),
+                        skip in 0usize..64, n in 0u32..=32) {
+        let mut r = BitReader::new(&data);
+        let skip = skip % (data.len() * 8);
+        r.skip(skip).unwrap();
+        let peeked = r.peek_bits(n);
+        if r.has_bits(n as usize) {
+            prop_assert_eq!(r.read_bits(n).unwrap(), peeked);
+        }
+    }
+
+    #[test]
+    fn scanner_matches_naive(data in prop::collection::vec(0u8..4, 0..256), from in 0usize..64) {
+        // Bytes restricted to 0..4 so start codes are dense.
+        prop_assert_eq!(find_start_code(&data, from), naive_find(&data, from));
+    }
+
+    #[test]
+    fn read_bits_equals_bit_by_bit(data in prop::collection::vec(any::<u8>(), 1..32), n in 1u32..=32) {
+        if (n as usize) <= data.len() * 8 {
+            let mut r1 = BitReader::new(&data);
+            let v = r1.read_bits(n).unwrap();
+            let mut r2 = BitReader::new(&data);
+            let mut acc = 0u32;
+            for _ in 0..n {
+                acc = (acc << 1) | r2.read_bits(1).unwrap();
+            }
+            prop_assert_eq!(v, acc);
+            prop_assert_eq!(r1.bit_position(), r2.bit_position());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Cost model for the discrete-event simulator.
+//!
+//! Time in the simulator flows from three sources: CPU work (split,
+//! decode, serve), per-message software overhead (GM's user-level send
+//! path), and wire time (latency + size/bandwidth). The defaults mirror
+//! the paper's platform: Myrinet (≈ 1.28 Gbit/s links, ~10 µs one-way)
+//! between Pentium-III class machines.
+//!
+//! CPU costs are supplied by the caller — the benchmark harness measures
+//! real per-picture split/decode times of this crate's actual code on the
+//! host and multiplies by [`CostModel::cpu_scale`], calibrated so a single
+//! decoder reproduces the paper's anchor point (25.7 fps for the DVD
+//! stream on one node, Table 5).
+
+/// Network and overhead parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Multiplier applied to measured CPU times before simulation.
+    pub cpu_scale: f64,
+    /// Link bandwidth in bytes per second (per NIC, full duplex).
+    pub bandwidth_bps: f64,
+    /// One-way message latency in seconds.
+    pub latency_s: f64,
+    /// Per-message CPU overhead at sender and receiver (user-level GM
+    /// send/receive path).
+    pub per_message_s: f64,
+}
+
+impl CostModel {
+    /// Myrinet as deployed on the Princeton display wall (~160 MB/s
+    /// usable, ~10 µs latency, very low per-message cost).
+    pub fn myrinet_2002() -> Self {
+        CostModel {
+            cpu_scale: 1.0,
+            bandwidth_bps: 160.0e6,
+            latency_s: 10.0e-6,
+            per_message_s: 3.0e-6,
+        }
+    }
+
+    /// 100 Mbit switched Ethernet with a kernel UDP/TCP stack, for the
+    /// "would an off-the-shelf network do?" ablation.
+    pub fn fast_ethernet() -> Self {
+        CostModel {
+            cpu_scale: 1.0,
+            bandwidth_bps: 12.5e6,
+            latency_s: 80.0e-6,
+            per_message_s: 30.0e-6,
+        }
+    }
+
+    /// Gigabit Ethernet (a plausible modern commodity fabric).
+    pub fn gigabit_ethernet() -> Self {
+        CostModel {
+            cpu_scale: 1.0,
+            bandwidth_bps: 125.0e6,
+            latency_s: 30.0e-6,
+            per_message_s: 10.0e-6,
+        }
+    }
+
+    /// Replaces the CPU scale.
+    pub fn with_cpu_scale(mut self, scale: f64) -> Self {
+        self.cpu_scale = scale;
+        self
+    }
+
+    /// Wire time of a message of `bytes` (excluding per-message CPU).
+    pub fn wire_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+
+    /// Serialisation (NIC occupancy) time of a message at the sender.
+    pub fn tx_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_scales_with_size() {
+        let m = CostModel::myrinet_2002();
+        let small = m.wire_time(1_000);
+        let large = m.wire_time(1_000_000);
+        assert!(large > small);
+        assert!((large - small - 999_000.0 / m.bandwidth_bps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ethernet_is_slower_than_myrinet() {
+        let myri = CostModel::myrinet_2002();
+        let eth = CostModel::fast_ethernet();
+        assert!(eth.wire_time(100_000) > myri.wire_time(100_000));
+        assert!(eth.latency_s > myri.latency_s);
+    }
+
+    #[test]
+    fn cpu_scale_builder() {
+        let m = CostModel::myrinet_2002().with_cpu_scale(2.5);
+        assert_eq!(m.cpu_scale, 2.5);
+    }
+}

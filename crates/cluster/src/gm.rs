@@ -1,0 +1,265 @@
+//! GM/Myrinet-style message passing over threads.
+//!
+//! Semantics modelled on the paper's §4.4:
+//!
+//! * **Pre-posted receive buffers**: each directed link holds at most
+//!   `credits` (default 2) in-flight messages. A sender blocks when the
+//!   receiver has not recycled a buffer — exactly the "wait for
+//!   ack/go-ahead" behaviour the paper builds its flow control from.
+//! * **Zero copy**: payloads are [`Bytes`], so forwarding a sub-picture
+//!   from splitter to decoder never copies pixel data.
+//! * **No cross-sender ordering**: like GM, messages from *different*
+//!   senders arrive in arbitrary interleaving (a single mailbox per node,
+//!   fed concurrently). Messages from one sender stay in order. The
+//!   ANID protocol in `tiledec-core` exists precisely because of this.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::stats::TrafficMatrix;
+
+/// Identifies a node in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A delivered message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending node.
+    pub from: NodeId,
+    /// Application tag (the core crate defines the values).
+    pub tag: u32,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+/// Per-link credit counter: models the receiver's posted buffers.
+struct Credits {
+    state: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Credits {
+    fn new(n: usize) -> Self {
+        Credits { state: Mutex::new(n), cv: Condvar::new() }
+    }
+
+    fn acquire(&self) {
+        let mut avail = self.state.lock();
+        while *avail == 0 {
+            self.cv.wait(&mut avail);
+        }
+        *avail -= 1;
+    }
+
+    fn release(&self) {
+        let mut avail = self.state.lock();
+        *avail += 1;
+        self.cv.notify_one();
+    }
+}
+
+struct Shared {
+    n: usize,
+    mailboxes: Vec<Sender<Message>>,
+    /// `credits[from * n + to]`.
+    credits: Vec<Credits>,
+    traffic: TrafficMatrix,
+}
+
+/// A cluster of `n` nodes with all-to-all links.
+pub struct ThreadCluster {
+    shared: Arc<Shared>,
+    endpoints: Vec<Option<Endpoint>>,
+}
+
+impl ThreadCluster {
+    /// Builds a cluster with the GM-standard two pre-posted buffers per
+    /// link.
+    pub fn new(n: usize) -> Self {
+        Self::with_credits(n, 2)
+    }
+
+    /// Builds a cluster with a custom number of posted buffers per link.
+    pub fn with_credits(n: usize, credits: usize) -> Self {
+        assert!(credits >= 1);
+        let mut mailboxes = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Message>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            mailboxes.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            n,
+            mailboxes,
+            credits: (0..n * n).map(|_| Credits::new(credits)).collect(),
+            traffic: TrafficMatrix::new(n),
+        });
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, rx)| Some(Endpoint { id: NodeId(id), rx, shared: Arc::clone(&shared) }))
+            .collect();
+        ThreadCluster { shared, endpoints }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Takes ownership of a node's endpoint (each can be taken once,
+    /// typically by the thread that will run that node).
+    pub fn take_endpoint(&mut self, id: usize) -> Endpoint {
+        self.endpoints[id].take().expect("endpoint already taken")
+    }
+
+    /// The shared traffic accounting.
+    pub fn traffic(&self) -> &TrafficMatrix {
+        &self.shared.traffic
+    }
+}
+
+/// One node's handle: send to any peer, receive from the node's mailbox.
+pub struct Endpoint {
+    id: NodeId,
+    rx: Receiver<Message>,
+    shared: Arc<Shared>,
+}
+
+impl Endpoint {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sends a message, blocking while the receiver has no posted buffer
+    /// for this link.
+    pub fn send(&self, to: NodeId, tag: u32, payload: Bytes) {
+        assert!(to.0 < self.shared.n, "unknown destination {to:?}");
+        let link = &self.shared.credits[self.id.0 * self.shared.n + to.0];
+        link.acquire();
+        self.shared.traffic.record(self.id.0, to.0, payload.len() as u64);
+        self.shared.mailboxes[to.0]
+            .send(Message { from: self.id, tag, payload })
+            .expect("receiver endpoint dropped");
+    }
+
+    /// Receives the next message, blocking until one arrives. The caller
+    /// must [`Endpoint::recycle`] the message once consumed, or the sender
+    /// will eventually stall — mirroring GM's explicit buffer recycling.
+    pub fn recv(&self) -> Message {
+        self.rx.recv().expect("cluster torn down while receiving")
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Returns a receive buffer to the link it arrived on.
+    pub fn recycle(&self, msg: &Message) {
+        self.shared.credits[msg.from.0 * self.shared.n + self.id.0].release();
+    }
+
+    /// The cluster's traffic matrix.
+    pub fn traffic(&self) -> &TrafficMatrix {
+        &self.shared.traffic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn round_trip_two_nodes() {
+        let mut cluster = ThreadCluster::new(2);
+        let a = cluster.take_endpoint(0);
+        let b = cluster.take_endpoint(1);
+        let t = std::thread::spawn(move || {
+            let m = b.recv();
+            b.recycle(&m);
+            assert_eq!(m.from, NodeId(0));
+            assert_eq!(m.tag, 7);
+            b.send(NodeId(0), 8, Bytes::from_static(b"pong"));
+        });
+        a.send(NodeId(1), 7, Bytes::from_static(b"ping"));
+        let m = a.recv();
+        a.recycle(&m);
+        assert_eq!(m.payload.as_ref(), b"pong");
+        t.join().unwrap();
+        assert_eq!(cluster.traffic().bytes(0, 1), 4);
+        assert_eq!(cluster.traffic().bytes(1, 0), 4);
+    }
+
+    #[test]
+    fn per_sender_ordering_is_preserved() {
+        let mut cluster = ThreadCluster::with_credits(2, 64);
+        let a = cluster.take_endpoint(0);
+        let b = cluster.take_endpoint(1);
+        for i in 0..50u32 {
+            a.send(NodeId(1), i, Bytes::new());
+        }
+        for i in 0..50u32 {
+            let m = b.recv();
+            b.recycle(&m);
+            assert_eq!(m.tag, i);
+        }
+    }
+
+    #[test]
+    fn sender_blocks_without_credits() {
+        let mut cluster = ThreadCluster::with_credits(2, 2);
+        let a = cluster.take_endpoint(0);
+        let b = cluster.take_endpoint(1);
+        // Two sends fit in the posted buffers; the third must block until
+        // the receiver recycles.
+        a.send(NodeId(1), 0, Bytes::new());
+        a.send(NodeId(1), 1, Bytes::new());
+        let blocked = std::thread::spawn(move || {
+            a.send(NodeId(1), 2, Bytes::new());
+            a
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!blocked.is_finished(), "third send should block on credits");
+        let m = b.recv();
+        b.recycle(&m);
+        let a = blocked.join().unwrap();
+        drop(a);
+        let m1 = b.recv();
+        b.recycle(&m1);
+        let m2 = b.recv();
+        b.recycle(&m2);
+        assert_eq!((m1.tag, m2.tag), (1, 2));
+    }
+
+    #[test]
+    fn traffic_accounts_all_links() {
+        let mut cluster = ThreadCluster::new(3);
+        let a = cluster.take_endpoint(0);
+        let b = cluster.take_endpoint(1);
+        let c = cluster.take_endpoint(2);
+        a.send(NodeId(1), 0, Bytes::from(vec![0u8; 10]));
+        a.send(NodeId(2), 0, Bytes::from(vec![0u8; 20]));
+        let m = b.recv();
+        b.recycle(&m);
+        let m = c.recv();
+        c.recycle(&m);
+        assert_eq!(cluster.traffic().sent_by(0), 30);
+        assert_eq!(cluster.traffic().received_by(2), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint already taken")]
+    fn endpoints_are_single_owner() {
+        let mut cluster = ThreadCluster::new(1);
+        let _a = cluster.take_endpoint(0);
+        let _b = cluster.take_endpoint(0);
+    }
+}

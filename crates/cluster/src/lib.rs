@@ -1,0 +1,31 @@
+//! A simulated PC cluster.
+//!
+//! The paper ran on 25 Pentium-III PCs connected by Myrinet, using the GM
+//! user-level messaging library. This crate substitutes that hardware with
+//! two complementary back-ends:
+//!
+//! * [`gm`] — a **real multi-threaded message-passing runtime** with
+//!   GM-style semantics: pre-posted receive buffers per link (a sender
+//!   blocks once two messages are outstanding, exactly the two-buffer
+//!   flow control of the paper's §4.4), zero-copy [`bytes::Bytes`]
+//!   payloads, and per-link traffic accounting. Used to prove functional
+//!   correctness: the parallel decoder's output is bit-exact with the
+//!   sequential decoder.
+//! * [`sim`] — a **discrete-event simulator** that executes the exact
+//!   message schedule of the paper's refined algorithms (Table 3 /
+//!   Figure 5) under a calibrated [`cost::CostModel`]. Used by the
+//!   benchmark harness to regenerate the paper's performance tables and
+//!   figures: this host has a single CPU core, so wall-clock threading
+//!   cannot exhibit 21-node speedups, but virtual time can.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod gm;
+pub mod sim;
+pub mod stats;
+
+pub use cost::CostModel;
+pub use gm::{Endpoint, Message, NodeId, ThreadCluster};
+pub use sim::{DecoderCost, PictureCost, PipelineSim, PipelineSpec, SimReport};
+pub use stats::TrafficMatrix;

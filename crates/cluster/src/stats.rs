@@ -1,0 +1,107 @@
+//! Per-link traffic accounting (the measurement behind the paper's
+//! Figure 9: send/receive bandwidth of every node).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bytes and message counts per directed (from, to) pair, updated
+/// concurrently by the threaded runtime or sequentially by the simulator.
+#[derive(Debug)]
+pub struct TrafficMatrix {
+    n: usize,
+    bytes: Vec<AtomicU64>,
+    messages: Vec<AtomicU64>,
+}
+
+impl TrafficMatrix {
+    /// Creates an all-zero matrix for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        TrafficMatrix {
+            n,
+            bytes: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            messages: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Records one message of `bytes` from `from` to `to`.
+    pub fn record(&self, from: usize, to: usize, bytes: u64) {
+        let i = from * self.n + to;
+        self.bytes[i].fetch_add(bytes, Ordering::Relaxed);
+        self.messages[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bytes sent from `from` to `to`.
+    pub fn bytes(&self, from: usize, to: usize) -> u64 {
+        self.bytes[from * self.n + to].load(Ordering::Relaxed)
+    }
+
+    /// Messages sent from `from` to `to`.
+    pub fn messages(&self, from: usize, to: usize) -> u64 {
+        self.messages[from * self.n + to].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes sent by a node.
+    pub fn sent_by(&self, node: usize) -> u64 {
+        (0..self.n).map(|to| self.bytes(node, to)).sum()
+    }
+
+    /// Total bytes received by a node.
+    pub fn received_by(&self, node: usize) -> u64 {
+        (0..self.n).map(|from| self.bytes(from, node)).sum()
+    }
+
+    /// Total bytes moved across the cluster.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Plain snapshot of the byte matrix (row = sender).
+    pub fn snapshot(&self) -> Vec<Vec<u64>> {
+        (0..self.n).map(|f| (0..self.n).map(|t| self.bytes(f, t)).collect()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sums() {
+        let m = TrafficMatrix::new(3);
+        m.record(0, 1, 100);
+        m.record(0, 2, 50);
+        m.record(2, 1, 7);
+        m.record(0, 1, 1);
+        assert_eq!(m.bytes(0, 1), 101);
+        assert_eq!(m.messages(0, 1), 2);
+        assert_eq!(m.sent_by(0), 151);
+        assert_eq!(m.received_by(1), 108);
+        assert_eq!(m.total_bytes(), 158);
+        assert_eq!(m.snapshot()[2][1], 7);
+    }
+
+    #[test]
+    fn concurrent_updates_are_consistent() {
+        use std::sync::Arc;
+        let m = Arc::new(TrafficMatrix::new(2));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record(0, 1, 3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.bytes(0, 1), 12_000);
+        assert_eq!(m.messages(0, 1), 4_000);
+    }
+}

@@ -1,0 +1,139 @@
+//! System configuration and the paper's throughput model (§4.6).
+//!
+//! The overall frame rate of a `1-k-(m,n)` system is
+//! `F = min(k / t_s, 1 / t_d)` where `t_s` is the time to split one
+//! picture at macroblock level and `t_d` the time to decode and display a
+//! sub-picture. The optimum number of second-level splitters is
+//! `⌈t_s / t_d⌉`; when that is 1, the second level can be dropped
+//! entirely (`1-(m,n)`).
+
+use tiledec_wall::WallGeometry;
+
+use crate::{CoreError, Result};
+
+/// Configuration of a parallel decoding system.
+///
+/// ```
+/// use tiledec_core::config::{optimal_k, predicted_fps, SystemConfig};
+/// // The paper's headline setup: 1 console + 4 splitters + 16 decoders.
+/// let cfg = SystemConfig::new(4, (4, 4));
+/// assert_eq!(cfg.nodes(), 21);
+/// // §4.6: with t_s = 40 ms and t_d = 12 ms, four splitters keep the
+/// // decoders saturated.
+/// assert_eq!(optimal_k(0.040, 0.012), 4);
+/// assert!((predicted_fps(4, 0.040, 0.012) - 1.0 / 0.012).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Second-level splitters. `0` = one-level system (the console node
+    /// splits at macroblock level itself).
+    pub k: usize,
+    /// Decoder grid `(m, n)`: m columns × n rows of tiles.
+    pub grid: (u32, u32),
+    /// Projector overlap in pixels (even).
+    pub overlap: u32,
+    /// Halo margin around each tile's reference storage, in pixels
+    /// (bounds the longest motion vector the system can serve remotely).
+    pub halo_margin: u32,
+}
+
+impl SystemConfig {
+    /// A `1-k-(m,n)` system with no projector overlap and a default halo.
+    pub fn new(k: usize, grid: (u32, u32)) -> Self {
+        SystemConfig { k, grid, overlap: 0, halo_margin: 64 }
+    }
+
+    /// Sets the projector overlap.
+    pub fn with_overlap(mut self, overlap: u32) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Sets the halo margin.
+    pub fn with_halo_margin(mut self, margin: u32) -> Self {
+        self.halo_margin = margin;
+        self
+    }
+
+    /// Number of decoders.
+    pub fn decoders(&self) -> usize {
+        (self.grid.0 * self.grid.1) as usize
+    }
+
+    /// Total PC count: console + splitters + decoders (the paper's
+    /// "number of nodes": `1 + k + m·n`).
+    pub fn nodes(&self) -> usize {
+        1 + self.k + self.decoders()
+    }
+
+    /// Builds the wall geometry for a video of the given size.
+    pub fn geometry(&self, width: u32, height: u32) -> Result<WallGeometry> {
+        WallGeometry::for_video(width, height, self.grid.0, self.grid.1, self.overlap)
+            .map_err(CoreError::Config)
+    }
+}
+
+/// Predicted frame rate `F = min(k / t_s, 1 / t_d)` (§4.6). `k = 0` is
+/// treated as the one-level system (`k = 1` in the formula).
+pub fn predicted_fps(k: usize, t_split_s: f64, t_decode_s: f64) -> f64 {
+    let k = k.max(1) as f64;
+    (k / t_split_s).min(1.0 / t_decode_s)
+}
+
+/// The optimum number of second-level splitters `⌈t_s / t_d⌉` (§4.6).
+pub fn optimal_k(t_split_s: f64, t_decode_s: f64) -> usize {
+    (t_split_s / t_decode_s).ceil().max(1.0) as usize
+}
+
+/// The paper's future-work item: given a target frame rate, choose the
+/// smallest `k` that reaches it, or `None` when the decoders themselves
+/// cannot keep up (the target exceeds `1 / t_d`).
+pub fn k_for_target_fps(target_fps: f64, t_split_s: f64, t_decode_s: f64) -> Option<usize> {
+    if target_fps > 1.0 / t_decode_s + 1e-9 {
+        return None;
+    }
+    let k = (target_fps * t_split_s).ceil().max(1.0) as usize;
+    Some(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_counts_match_paper() {
+        // 1-4-(4,4): 1 console + 4 splitters + 16 decoders = 21 PCs.
+        let cfg = SystemConfig::new(4, (4, 4));
+        assert_eq!(cfg.nodes(), 21);
+        assert_eq!(cfg.decoders(), 16);
+        // 1-(2,2): one-level system, console does the splitting.
+        let cfg = SystemConfig::new(0, (2, 2));
+        assert_eq!(cfg.nodes(), 5);
+    }
+
+    #[test]
+    fn throughput_formula() {
+        // t_s = 40 ms, t_d = 10 ms.
+        assert!((predicted_fps(1, 0.040, 0.010) - 25.0).abs() < 1e-9);
+        assert!((predicted_fps(4, 0.040, 0.010) - 100.0).abs() < 1e-9);
+        assert!((predicted_fps(8, 0.040, 0.010) - 100.0).abs() < 1e-9); // decoder-bound
+        assert_eq!(optimal_k(0.040, 0.010), 4);
+        assert_eq!(optimal_k(0.010, 0.040), 1);
+        assert_eq!(optimal_k(0.041, 0.010), 5);
+    }
+
+    #[test]
+    fn auto_configuration() {
+        assert_eq!(k_for_target_fps(30.0, 0.040, 0.010), Some(2));
+        assert_eq!(k_for_target_fps(100.0, 0.040, 0.010), Some(4));
+        assert_eq!(k_for_target_fps(101.0, 0.040, 0.010), None);
+        assert_eq!(k_for_target_fps(5.0, 0.040, 0.010), Some(1));
+    }
+
+    #[test]
+    fn geometry_validation_propagates() {
+        let cfg = SystemConfig::new(1, (3, 1));
+        assert!(cfg.geometry(100, 64).is_err());
+        assert!(cfg.geometry(96, 64).is_ok());
+    }
+}

@@ -1,0 +1,214 @@
+//! The coarse-grained parallelisation baselines behind the paper's
+//! Table 1: sequence-, GOP-, picture-, slice- and macroblock-level
+//! splitting, compared on measured splitting cost, inter-decoder
+//! communication and pixel-redistribution volume.
+//!
+//! The coarse levels are not full execution pipelines (the paper dismisses
+//! them analytically); what this module *measures* on a real stream is
+//! exactly what Table 1 tabulates: how expensive splitting is, and how
+//! many bytes have to move between nodes afterwards.
+
+use std::time::Instant;
+
+use tiledec_bitstream::StartCodeScanner;
+use tiledec_mpeg2::parser::parse_picture;
+use tiledec_mpeg2::slice::MbMotion;
+use tiledec_mpeg2::types::PictureKind;
+use tiledec_wall::WallGeometry;
+
+use crate::splitter::{split_picture_units, MacroblockSplitter};
+use crate::Result;
+
+/// Parallelisation granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Whole sequences per decoder.
+    Sequence,
+    /// Whole GOPs per decoder.
+    Gop,
+    /// Whole pictures per decoder.
+    Picture,
+    /// Horizontal slice bands per decoder.
+    Slice,
+    /// Macroblocks routed to their display tile (the paper's choice).
+    Macroblock,
+}
+
+impl Level {
+    /// All levels in Table 1 order.
+    pub const ALL: [Level; 5] =
+        [Level::Sequence, Level::Gop, Level::Picture, Level::Slice, Level::Macroblock];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Level::Sequence => "Sequence",
+            Level::Gop => "GOP",
+            Level::Picture => "Picture",
+            Level::Slice => "Slice",
+            Level::Macroblock => "Macroblock",
+        }
+    }
+}
+
+/// One measured row of Table 1.
+#[derive(Debug, Clone)]
+pub struct LevelCosts {
+    /// Granularity.
+    pub level: Level,
+    /// Splitter CPU seconds per picture (measured on this host).
+    pub split_s_per_picture: f64,
+    /// Inter-decoder communication, bytes per picture (references fetched
+    /// from peers, or MEI blocks at macroblock level).
+    pub inter_decoder_bytes_per_picture: f64,
+    /// Pixel redistribution, bytes per picture (decoded pixels that must
+    /// move to the node that displays them).
+    pub redistribution_bytes_per_picture: f64,
+}
+
+/// Measures all five levels on a stream for an `m × n` wall.
+pub fn measure_levels(stream: &[u8], geom: &WallGeometry) -> Result<Vec<LevelCosts>> {
+    let index = split_picture_units(stream)?;
+    let n_pics = index.units.len().max(1);
+    let seq = &index.seq;
+    let frame_bytes = (seq.width as f64 * seq.height as f64) * 1.5; // 4:2:0
+    let tiles = geom.tiles() as f64;
+
+    // --- Split costs ------------------------------------------------------
+    // Coarse levels only scan for start codes.
+    let t0 = Instant::now();
+    let mut code_count = 0usize;
+    for c in StartCodeScanner::new(stream) {
+        std::hint::black_box(c);
+        code_count += 1;
+    }
+    let scan_total = t0.elapsed().as_secs_f64();
+    std::hint::black_box(code_count);
+    let scan_per_picture = scan_total / n_pics as f64;
+
+    // Macroblock level runs the real second-level splitter.
+    let splitter = MacroblockSplitter::new(*geom, seq.clone());
+    let t0 = Instant::now();
+    let mut mei_bytes_total = 0f64;
+    let mut mb_count = 0usize;
+    for (p, &(start, end)) in index.units.iter().enumerate() {
+        let out = splitter.split(p as u32, &stream[start..end])?;
+        for mei in &out.mei {
+            mei_bytes_total +=
+                (mei.sends().count() * crate::mei::BLOCK_WIRE_BYTES) as f64;
+        }
+        mb_count += out.stats.coded_mbs + out.stats.skipped_mbs;
+    }
+    let mb_split_per_picture = t0.elapsed().as_secs_f64() / n_pics as f64;
+    std::hint::black_box(mb_count);
+
+    // --- Inter-decoder communication ---------------------------------------
+    // Picture level: every P picture fetches one reference picture from a
+    // peer, every B picture two (the paper's worst-case statement; actual
+    // transfers would be demand-paged but bounded by this).
+    let mut picture_level_fetch = 0f64;
+    // Slice level: decoders own horizontal bands; count macroblocks whose
+    // motion footprint leaves the band.
+    let bands = geom.n.max(1);
+    let mbh = seq.mb_height();
+    let band_rows = mbh.div_ceil(bands);
+    let mut slice_level_blocks = 0f64;
+    for &(start, end) in &index.units {
+        let parsed = parse_picture(&stream[start..end], seq)?;
+        match parsed.info.kind {
+            PictureKind::P => picture_level_fetch += frame_bytes,
+            PictureKind::B => picture_level_fetch += 2.0 * frame_bytes,
+            PictureKind::I => {}
+        }
+        for slice in &parsed.slices {
+            let band = slice.row / band_rows;
+            let band_lo = band * band_rows;
+            let band_hi = ((band + 1) * band_rows).min(mbh);
+            let mut count_motion = |mb_x: u32, mb_y: u32, motion: &MbMotion| {
+                let vecs: &[tiledec_mpeg2::types::MotionVector] = match motion {
+                    MbMotion::Intra => &[],
+                    MbMotion::Forward(f) => &[*f],
+                    MbMotion::Backward(b) => &[*b],
+                    MbMotion::Bi(f, b) => &[*f, *b],
+                };
+                for mv in vecs {
+                    let (_, y0, _, h) = tiledec_mpeg2::motion::luma_footprint(mb_x, mb_y, *mv);
+                    let row_lo = (y0.max(0) as u32) / 16;
+                    let row_hi = ((y0 + h as i32).max(1) as u32).div_ceil(16).min(mbh);
+                    for r in row_lo..row_hi {
+                        if r < band_lo || r >= band_hi {
+                            slice_level_blocks += 1.0;
+                        }
+                    }
+                }
+            };
+            for mb in &slice.mbs {
+                count_motion(mb.x, mb.y, &mb.motion);
+            }
+            let mbw = seq.mb_width();
+            for sk in &slice.skips {
+                for addr in sk.start_addr..sk.start_addr + sk.count {
+                    count_motion(addr % mbw, addr / mbw, &sk.motion);
+                }
+            }
+        }
+    }
+    let slice_fetch_per_picture =
+        slice_level_blocks * crate::mei::BLOCK_WIRE_BYTES as f64 / n_pics as f64;
+
+    // --- Pixel redistribution ----------------------------------------------
+    // Coarse levels decode whole pictures on one node but display 1/(m·n)
+    // locally: the rest must move.
+    let coarse_redistribution = frame_bytes * (tiles - 1.0) / tiles;
+    // Slice level: a band is decoded across the full picture width but
+    // displayed by m tiles: (m-1)/m of it moves (the paper's estimate).
+    let slice_redistribution = frame_bytes * (geom.m as f64 - 1.0) / geom.m as f64;
+
+    Ok(vec![
+        LevelCosts {
+            level: Level::Sequence,
+            split_s_per_picture: scan_per_picture,
+            inter_decoder_bytes_per_picture: 0.0,
+            redistribution_bytes_per_picture: coarse_redistribution,
+        },
+        LevelCosts {
+            level: Level::Gop,
+            split_s_per_picture: scan_per_picture,
+            inter_decoder_bytes_per_picture: 0.0,
+            redistribution_bytes_per_picture: coarse_redistribution,
+        },
+        LevelCosts {
+            level: Level::Picture,
+            split_s_per_picture: scan_per_picture,
+            inter_decoder_bytes_per_picture: picture_level_fetch / n_pics as f64,
+            redistribution_bytes_per_picture: coarse_redistribution,
+        },
+        LevelCosts {
+            level: Level::Slice,
+            split_s_per_picture: scan_per_picture,
+            inter_decoder_bytes_per_picture: slice_fetch_per_picture,
+            redistribution_bytes_per_picture: slice_redistribution,
+        },
+        LevelCosts {
+            level: Level::Macroblock,
+            split_s_per_picture: mb_split_per_picture,
+            inter_decoder_bytes_per_picture: mei_bytes_total / n_pics as f64,
+            redistribution_bytes_per_picture: 0.0,
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_names_and_order() {
+        assert_eq!(Level::ALL.len(), 5);
+        assert_eq!(Level::ALL[0].name(), "Sequence");
+        assert_eq!(Level::ALL[4].name(), "Macroblock");
+    }
+
+    // measure_levels is exercised end-to-end in tests/parallel.rs and the
+    // table1 bench binary with encoder-produced streams.
+}

@@ -1,0 +1,260 @@
+//! MEI — the Macroblock Exchange Instruction buffers (§4.2 of the paper).
+//!
+//! A second-level splitter parses every macroblock of a picture and
+//! therefore knows in advance which decoder will need which reference
+//! macroblocks from which peer. Instead of decoders fetching remote blocks
+//! on demand (blocking, server threads, context switches), the splitter
+//! appends `SEND(x, y, ref, dst)` to the serving decoder's MEI and
+//! `RECV(x, y, ref, src)` to the needing decoder's MEI. A decoder executes
+//! all its SENDs *before* decoding (the blocks live in already-decoded
+//! reference pictures), so every remote reference is local by the time it
+//! is read. The message exchange also keeps decoders within one frame of
+//! each other.
+
+use std::collections::HashSet;
+
+use crate::wire::{WireReader, WireWriter};
+use crate::Result;
+
+/// Which reference frame a block belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefSlot {
+    /// The past I/P reference.
+    Forward,
+    /// The future I/P reference.
+    Backward,
+}
+
+impl RefSlot {
+    fn code(self) -> u8 {
+        match self {
+            RefSlot::Forward => 0,
+            RefSlot::Backward => 1,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self> {
+        match c {
+            0 => Ok(RefSlot::Forward),
+            1 => Ok(RefSlot::Backward),
+            other => Err(crate::CoreError::Wire(format!("bad RefSlot code {other}"))),
+        }
+    }
+}
+
+/// One exchange instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeiInstruction {
+    /// Ship reference macroblock (`mb_x`, `mb_y`) of `slot` to decoder
+    /// `peer`.
+    Send {
+        /// Macroblock column in the picture.
+        mb_x: u16,
+        /// Macroblock row in the picture.
+        mb_y: u16,
+        /// Which reference frame.
+        slot: RefSlot,
+        /// Destination decoder (tile index).
+        peer: u16,
+    },
+    /// Expect reference macroblock (`mb_x`, `mb_y`) of `slot` from decoder
+    /// `peer`.
+    Recv {
+        /// Macroblock column in the picture.
+        mb_x: u16,
+        /// Macroblock row in the picture.
+        mb_y: u16,
+        /// Which reference frame.
+        slot: RefSlot,
+        /// Source decoder (tile index).
+        peer: u16,
+    },
+}
+
+/// The instruction buffer attached to one decoder's sub-picture.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MeiBuffer {
+    /// Instructions in splitter-emission order (SENDs and RECVs may
+    /// interleave; decoders execute all SENDs first).
+    pub instructions: Vec<MeiInstruction>,
+}
+
+impl MeiBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All SEND instructions.
+    pub fn sends(&self) -> impl Iterator<Item = &MeiInstruction> {
+        self.instructions.iter().filter(|i| matches!(i, MeiInstruction::Send { .. }))
+    }
+
+    /// All RECV instructions.
+    pub fn recvs(&self) -> impl Iterator<Item = &MeiInstruction> {
+        self.instructions.iter().filter(|i| matches!(i, MeiInstruction::Recv { .. }))
+    }
+
+    /// Bytes of reference data this decoder will ship to each peer, as
+    /// `(peer, bytes)` pairs (one 4:2:0 macroblock = 384 pixel bytes plus
+    /// a small header).
+    pub fn send_bytes_by_peer(&self) -> Vec<(usize, u64)> {
+        let mut acc: std::collections::BTreeMap<usize, u64> = Default::default();
+        for i in self.sends() {
+            if let MeiInstruction::Send { peer, .. } = i {
+                *acc.entry(*peer as usize).or_default() += BLOCK_WIRE_BYTES as u64;
+            }
+        }
+        acc.into_iter().collect()
+    }
+
+    /// Serialises the buffer.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.u32(self.instructions.len() as u32);
+        for i in &self.instructions {
+            match *i {
+                MeiInstruction::Send { mb_x, mb_y, slot, peer } => {
+                    w.u8(0);
+                    w.u16(mb_x);
+                    w.u16(mb_y);
+                    w.u8(slot.code());
+                    w.u16(peer);
+                }
+                MeiInstruction::Recv { mb_x, mb_y, slot, peer } => {
+                    w.u8(1);
+                    w.u16(mb_x);
+                    w.u16(mb_y);
+                    w.u8(slot.code());
+                    w.u16(peer);
+                }
+            }
+        }
+    }
+
+    /// Parses a buffer.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let n = r.u32()? as usize;
+        let mut instructions = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let kind = r.u8()?;
+            let mb_x = r.u16()?;
+            let mb_y = r.u16()?;
+            let slot = RefSlot::from_code(r.u8()?)?;
+            let peer = r.u16()?;
+            instructions.push(match kind {
+                0 => MeiInstruction::Send { mb_x, mb_y, slot, peer },
+                1 => MeiInstruction::Recv { mb_x, mb_y, slot, peer },
+                other => {
+                    return Err(crate::CoreError::Wire(format!("bad MEI opcode {other}")))
+                }
+            });
+        }
+        Ok(MeiBuffer { instructions })
+    }
+}
+
+/// Wire size of one exchanged reference macroblock: 16×16 luma + two 8×8
+/// chroma blocks + (x, y, slot) header.
+pub const BLOCK_WIRE_BYTES: usize = 256 + 64 + 64 + 8;
+
+/// Builds the MEI buffers of one picture from per-tile needs.
+///
+/// `needs` lists, per tile, the remote reference macroblocks it requires
+/// as `(mb_x, mb_y, slot, owner_tile)`. Duplicates are tolerated and
+/// deduplicated here.
+pub fn build_mei(
+    tiles: usize,
+    needs: &[Vec<(u16, u16, RefSlot, u16)>],
+) -> Vec<MeiBuffer> {
+    assert_eq!(needs.len(), tiles);
+    let mut buffers = vec![MeiBuffer::new(); tiles];
+    let mut seen: HashSet<(u16, u16, u16, RefSlot, u16)> = HashSet::new();
+    for (tile, list) in needs.iter().enumerate() {
+        for &(mb_x, mb_y, slot, owner) in list {
+            debug_assert_ne!(owner as usize, tile, "tile cannot need a block from itself");
+            if !seen.insert((tile as u16, mb_x, mb_y, slot, owner)) {
+                continue;
+            }
+            buffers[owner as usize].instructions.push(MeiInstruction::Send {
+                mb_x,
+                mb_y,
+                slot,
+                peer: tile as u16,
+            });
+            buffers[tile].instructions.push(MeiInstruction::Recv {
+                mb_x,
+                mb_y,
+                slot,
+                peer: owner,
+            });
+        }
+    }
+    buffers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let buf = MeiBuffer {
+            instructions: vec![
+                MeiInstruction::Send { mb_x: 3, mb_y: 4, slot: RefSlot::Forward, peer: 2 },
+                MeiInstruction::Recv { mb_x: 9, mb_y: 1, slot: RefSlot::Backward, peer: 0 },
+            ],
+        };
+        let mut w = WireWriter::new();
+        buf.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(MeiBuffer::decode(&mut r).unwrap(), buf);
+    }
+
+    #[test]
+    fn build_pairs_sends_with_recvs() {
+        // Tile 1 needs (5,2,Fwd) from tile 0; tile 0 needs (8,3,Bwd) from 1.
+        let needs = vec![
+            vec![(8, 3, RefSlot::Backward, 1)],
+            vec![(5, 2, RefSlot::Forward, 0), (5, 2, RefSlot::Forward, 0)], // dup
+        ];
+        let bufs = build_mei(2, &needs);
+        assert_eq!(bufs[0].sends().count(), 1);
+        assert_eq!(bufs[0].recvs().count(), 1);
+        assert_eq!(bufs[1].sends().count(), 1);
+        assert_eq!(bufs[1].recvs().count(), 1);
+        assert_eq!(
+            bufs[0].sends().next().unwrap(),
+            &MeiInstruction::Send { mb_x: 5, mb_y: 2, slot: RefSlot::Forward, peer: 1 }
+        );
+        assert_eq!(bufs[0].send_bytes_by_peer(), vec![(1, BLOCK_WIRE_BYTES as u64)]);
+    }
+
+    #[test]
+    fn every_recv_has_a_matching_send() {
+        let needs = vec![
+            vec![(1, 1, RefSlot::Forward, 2), (2, 2, RefSlot::Backward, 1)],
+            vec![(0, 0, RefSlot::Forward, 0)],
+            vec![(7, 7, RefSlot::Forward, 0)],
+        ];
+        let bufs = build_mei(3, &needs);
+        let mut sends: HashSet<(u16, u16, u16, RefSlot, u16)> = HashSet::new();
+        for (tile, b) in bufs.iter().enumerate() {
+            for i in b.sends() {
+                if let MeiInstruction::Send { mb_x, mb_y, slot, peer } = i {
+                    sends.insert((*peer, *mb_x, *mb_y, *slot, tile as u16));
+                }
+            }
+        }
+        for (tile, b) in bufs.iter().enumerate() {
+            for i in b.recvs() {
+                if let MeiInstruction::Recv { mb_x, mb_y, slot, peer } = i {
+                    assert!(
+                        sends.contains(&(tile as u16, *mb_x, *mb_y, *slot, *peer)),
+                        "unmatched RECV {i:?} at tile {tile}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Sub-pictures and SPH — State Propagation Headers (§4.3 of the paper).
+//!
+//! A sub-picture carries the macroblocks of one picture that fall inside
+//! one tile. Within a slice, the tile's macroblocks form one contiguous
+//! run (tile rectangles are column intervals); the run's coded bits are
+//! **byte-copied verbatim** from the original stream, and an SPH header in
+//! front of the run carries everything the decoder cannot recover from
+//! the copied bits alone:
+//!
+//! * how many bits (0–7) to skip at the start of the first copied byte;
+//! * the absolute address of the first coded macroblock (its in-stream
+//!   address increment is decoded and discarded);
+//! * the predictor state at entry: quantiser scale code, DC predictors
+//!   and motion-vector predictors;
+//! * skipped macroblocks at the run boundaries whose anchors live in
+//!   neighbouring tiles, with the prediction needed to reconstruct them.
+
+use tiledec_mpeg2::slice::MbMotion;
+use tiledec_mpeg2::slice::PredictorState;
+use tiledec_mpeg2::types::{MotionVector, PictureInfo, PictureKind, SequenceInfo};
+
+use crate::wire::{WireReader, WireWriter};
+use crate::{CoreError, Result};
+
+/// Sentinel column for runs with no coded macroblocks.
+pub const NO_CODED: u16 = u16::MAX;
+
+/// One partial-slice run inside a sub-picture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialSlice {
+    /// Macroblock row (slice row).
+    pub row: u16,
+    /// Skipped macroblocks to reconstruct before the first coded one.
+    pub skipped_before: u16,
+    /// Column of the first skipped macroblock (meaningful when
+    /// `skipped_before > 0`).
+    pub skip_start_col: u16,
+    /// Prediction used for the `skipped_before` reconstruction (zero
+    /// forward vector in P pictures; the preceding macroblock's prediction
+    /// in B pictures, which may live in another tile).
+    pub skip_motion: Option<MbMotion>,
+    /// Coded macroblocks in the copied payload.
+    pub coded_count: u16,
+    /// Column of the first coded macroblock, or [`NO_CODED`].
+    pub first_coded_col: u16,
+    /// Skipped macroblocks to reconstruct after the last coded one (their
+    /// prediction derives from the run's last coded macroblock).
+    pub skipped_after: u16,
+    /// Bits to skip at the start of the payload (0–7).
+    pub skip_bits: u8,
+    /// Predictor state at the first bit of the first coded macroblock.
+    pub entry: PredictorState,
+    /// Byte-copied slice data covering the coded macroblocks.
+    pub payload: Vec<u8>,
+}
+
+impl PartialSlice {
+    /// Total macroblocks this run reconstructs, counting skips decoded
+    /// from the payload's own increments is not possible here; this is
+    /// the boundary-skip plus coded count only.
+    pub fn boundary_mb_count(&self) -> u32 {
+        self.skipped_before as u32 + self.coded_count as u32 + self.skipped_after as u32
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        w.u16(self.row);
+        w.u16(self.skipped_before);
+        w.u16(self.skip_start_col);
+        encode_motion(w, &self.skip_motion);
+        w.u16(self.coded_count);
+        w.u16(self.first_coded_col);
+        w.u16(self.skipped_after);
+        w.u8(self.skip_bits);
+        encode_state(w, &self.entry);
+        w.u32(self.payload.len() as u32);
+        w.bytes(&self.payload);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let row = r.u16()?;
+        let skipped_before = r.u16()?;
+        let skip_start_col = r.u16()?;
+        let skip_motion = decode_motion(r)?;
+        let coded_count = r.u16()?;
+        let first_coded_col = r.u16()?;
+        let skipped_after = r.u16()?;
+        let skip_bits = r.u8()?;
+        if skip_bits > 7 {
+            return Err(CoreError::Wire(format!("skip_bits {skip_bits} out of range")));
+        }
+        let entry = decode_state(r)?;
+        let len = r.u32()? as usize;
+        let payload = r.bytes(len)?.to_vec();
+        Ok(PartialSlice {
+            row,
+            skipped_before,
+            skip_start_col,
+            skip_motion,
+            coded_count,
+            first_coded_col,
+            skipped_after,
+            skip_bits,
+            entry,
+            payload,
+        })
+    }
+}
+
+/// The macroblocks of one picture destined for one tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubPicture {
+    /// Picture index in coding order.
+    pub picture_id: u32,
+    /// Picture-level parameters the decoder needs.
+    pub info: PictureInfo,
+    /// Partial-slice runs, in slice order.
+    pub runs: Vec<PartialSlice>,
+}
+
+impl SubPicture {
+    /// Serialised size estimate (exact after encoding).
+    pub fn wire_len(&self) -> usize {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        w.len()
+    }
+
+    /// Serialises the sub-picture.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.u32(self.picture_id);
+        encode_picture_info(w, &self.info);
+        w.u32(self.runs.len() as u32);
+        for run in &self.runs {
+            run.encode(w);
+        }
+    }
+
+    /// Parses a sub-picture.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let picture_id = r.u32()?;
+        let info = decode_picture_info(r)?;
+        let n = r.u32()? as usize;
+        let mut runs = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            runs.push(PartialSlice::decode(r)?);
+        }
+        Ok(SubPicture { picture_id, info, runs })
+    }
+}
+
+// --- field codecs ---------------------------------------------------------
+
+fn encode_motion(w: &mut WireWriter, m: &Option<MbMotion>) {
+    match m {
+        None => w.u8(0),
+        Some(MbMotion::Intra) => w.u8(1),
+        Some(MbMotion::Forward(f)) => {
+            w.u8(2);
+            w.i16(f.x);
+            w.i16(f.y);
+        }
+        Some(MbMotion::Backward(b)) => {
+            w.u8(3);
+            w.i16(b.x);
+            w.i16(b.y);
+        }
+        Some(MbMotion::Bi(f, b)) => {
+            w.u8(4);
+            w.i16(f.x);
+            w.i16(f.y);
+            w.i16(b.x);
+            w.i16(b.y);
+        }
+    }
+}
+
+fn decode_motion(r: &mut WireReader<'_>) -> Result<Option<MbMotion>> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(MbMotion::Intra),
+        2 => Some(MbMotion::Forward(MotionVector::new(r.i16()?, r.i16()?))),
+        3 => Some(MbMotion::Backward(MotionVector::new(r.i16()?, r.i16()?))),
+        4 => Some(MbMotion::Bi(
+            MotionVector::new(r.i16()?, r.i16()?),
+            MotionVector::new(r.i16()?, r.i16()?),
+        )),
+        other => return Err(CoreError::Wire(format!("bad motion tag {other}"))),
+    })
+}
+
+#[allow(clippy::needless_range_loop)] // PMV[r][s][t] layout mirrors the standard
+fn encode_state(w: &mut WireWriter, s: &PredictorState) {
+    w.u8(s.qscale_code);
+    for v in s.dc_pred {
+        w.i32(v);
+    }
+    // Frame prediction keeps both PMV rows equal; four components suffice.
+    for sdir in 0..2 {
+        for t in 0..2 {
+            w.i32(s.pmv[0][sdir][t]);
+        }
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // PMV[r][s][t] layout mirrors the standard
+fn decode_state(r: &mut WireReader<'_>) -> Result<PredictorState> {
+    let qscale_code = r.u8()?;
+    let mut dc_pred = [0i32; 3];
+    for v in &mut dc_pred {
+        *v = r.i32()?;
+    }
+    let mut pmv = [[[0i32; 2]; 2]; 2];
+    for sdir in 0..2 {
+        for t in 0..2 {
+            let v = r.i32()?;
+            pmv[0][sdir][t] = v;
+            pmv[1][sdir][t] = v;
+        }
+    }
+    Ok(PredictorState { qscale_code, dc_pred, pmv })
+}
+
+/// Serialises [`PictureInfo`].
+pub fn encode_picture_info(w: &mut WireWriter, pi: &PictureInfo) {
+    w.u16(pi.temporal_reference);
+    w.u8(pi.kind.code() as u8);
+    for s in 0..2 {
+        for t in 0..2 {
+            w.u8(pi.f_code[s][t]);
+        }
+    }
+    w.u8(pi.intra_dc_precision);
+    w.u8((pi.q_scale_type as u8) | (pi.alternate_scan as u8) << 1);
+    w.u16(pi.vbv_delay);
+}
+
+/// Parses [`PictureInfo`].
+pub fn decode_picture_info(r: &mut WireReader<'_>) -> Result<PictureInfo> {
+    let temporal_reference = r.u16()?;
+    let kind = PictureKind::from_code(r.u8()? as u32)
+        .ok_or_else(|| CoreError::Wire("bad picture kind".into()))?;
+    let mut f_code = [[0u8; 2]; 2];
+    for row in &mut f_code {
+        for v in row.iter_mut() {
+            *v = r.u8()?;
+        }
+    }
+    let mut pi = PictureInfo::new(kind, temporal_reference, f_code);
+    pi.intra_dc_precision = r.u8()?;
+    let flags = r.u8()?;
+    pi.q_scale_type = flags & 1 != 0;
+    pi.alternate_scan = flags & 2 != 0;
+    pi.vbv_delay = r.u16()?;
+    Ok(pi)
+}
+
+/// Serialises [`SequenceInfo`] (the stream-initialisation broadcast).
+pub fn encode_sequence_info(w: &mut WireWriter, si: &SequenceInfo) {
+    w.u32(si.width);
+    w.u32(si.height);
+    w.u8(si.frame_rate_code);
+    w.u32(si.bit_rate_400);
+    w.bytes(&si.intra_quant_matrix);
+    w.bytes(&si.non_intra_quant_matrix);
+}
+
+/// Parses [`SequenceInfo`].
+pub fn decode_sequence_info(r: &mut WireReader<'_>) -> Result<SequenceInfo> {
+    let width = r.u32()?;
+    let height = r.u32()?;
+    let frame_rate_code = r.u8()?;
+    let bit_rate_400 = r.u32()?;
+    let intra: [u8; 64] = r.bytes(64)?.try_into().unwrap();
+    let non_intra: [u8; 64] = r.bytes(64)?.try_into().unwrap();
+    Ok(SequenceInfo {
+        width,
+        height,
+        frame_rate_code,
+        bit_rate_400,
+        intra_quant_matrix: intra,
+        non_intra_quant_matrix: non_intra,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_state() -> PredictorState {
+        let mut s = PredictorState::slice_start(0, 12);
+        s.dc_pred = [100, -5, 7];
+        s.pmv[0][0] = [4, -6];
+        s.pmv[1][0] = [4, -6];
+        s.pmv[0][1] = [-2, 30];
+        s.pmv[1][1] = [-2, 30];
+        s
+    }
+
+    #[test]
+    fn partial_slice_round_trip() {
+        let run = PartialSlice {
+            row: 3,
+            skipped_before: 2,
+            skip_start_col: 9,
+            skip_motion: Some(MbMotion::Bi(MotionVector::new(1, -1), MotionVector::new(0, 8))),
+            coded_count: 5,
+            first_coded_col: 11,
+            skipped_after: 1,
+            skip_bits: 6,
+            entry: demo_state(),
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let sp = SubPicture {
+            picture_id: 42,
+            info: PictureInfo::new(PictureKind::B, 5, [[2, 3], [3, 2]]),
+            runs: vec![run],
+        };
+        let mut w = WireWriter::new();
+        sp.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(SubPicture::decode(&mut r).unwrap(), sp);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn empty_run_round_trip() {
+        let run = PartialSlice {
+            row: 0,
+            skipped_before: 4,
+            skip_start_col: 2,
+            skip_motion: Some(MbMotion::Forward(MotionVector::ZERO)),
+            coded_count: 0,
+            first_coded_col: NO_CODED,
+            skipped_after: 0,
+            skip_bits: 0,
+            entry: PredictorState::slice_start(0, 1),
+            payload: vec![],
+        };
+        let sp = SubPicture {
+            picture_id: 0,
+            info: PictureInfo::new(PictureKind::P, 0, [[1, 1], [15, 15]]),
+            runs: vec![run.clone(), run],
+        };
+        let mut w = WireWriter::new();
+        sp.encode(&mut w);
+        let bytes = w.into_bytes();
+        let got = SubPicture::decode(&mut WireReader::new(&bytes)).unwrap();
+        assert_eq!(got, sp);
+    }
+
+    #[test]
+    fn sequence_info_round_trip() {
+        let mut si = SequenceInfo {
+            width: 3840,
+            height: 2800,
+            frame_rate_code: 5,
+            bit_rate_400: 123_456,
+            intra_quant_matrix: [9; 64],
+            non_intra_quant_matrix: [17; 64],
+        };
+        si.intra_quant_matrix[5] = 44;
+        let mut w = WireWriter::new();
+        encode_sequence_info(&mut w, &si);
+        let bytes = w.into_bytes();
+        assert_eq!(decode_sequence_info(&mut WireReader::new(&bytes)).unwrap(), si);
+    }
+
+    #[test]
+    fn bad_skip_bits_rejected() {
+        let run = PartialSlice {
+            row: 0,
+            skipped_before: 0,
+            skip_start_col: 0,
+            skip_motion: None,
+            coded_count: 1,
+            first_coded_col: 0,
+            skipped_after: 0,
+            skip_bits: 0,
+            entry: PredictorState::slice_start(0, 1),
+            payload: vec![0xFF],
+        };
+        let mut w = WireWriter::new();
+        run.encode(&mut w);
+        let mut bytes = w.into_bytes();
+        // Corrupt skip_bits (offset: row 2 + skipped 2 + skipcol 2 + motion 1
+        // + coded 2 + firstcol 2 + after 2 = 13).
+        bytes[13] = 9;
+        assert!(PartialSlice::decode(&mut WireReader::new(&bytes)).is_err());
+    }
+}

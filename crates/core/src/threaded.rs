@@ -1,0 +1,424 @@
+//! The threaded execution back-end: every cluster node is a real thread
+//! exchanging messages over the GM-style runtime.
+//!
+//! This back-end exists to prove **functional correctness**: the
+//! reassembled wall output is bit-exact with the sequential reference
+//! decoder for any configuration. (Performance numbers come from the
+//! [`crate::simulated`] back-end — this host cannot exhibit 21-node
+//! speedups in wall-clock time.)
+//!
+//! Protocol fidelity notes:
+//!
+//! * the root waits for one splitter ack before every picture send after
+//!   the first (Table 3);
+//! * splitters wait for all decoder acks of the *previous* picture before
+//!   shipping sub-pictures — those acks were addressed to them by the
+//!   **ANID** (ack-node-id) carried in the previous picture's work units,
+//!   which is what keeps pictures ordered at the decoders without reorder
+//!   queues despite GM's lack of cross-sender ordering;
+//! * decoders execute MEI SENDs before decoding and verify every received
+//!   block against their RECV instructions.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::mpsc;
+
+use bytes::Bytes;
+use tiledec_cluster::gm::{Endpoint, Message, NodeId, ThreadCluster};
+use tiledec_mpeg2::frame::Frame;
+use tiledec_mpeg2::types::SequenceInfo;
+use tiledec_wall::{Wall, WallGeometry};
+
+use crate::config::SystemConfig;
+use crate::protocol::{
+    decode_ack, decode_blocks, decode_unit, encode_ack, encode_blocks, encode_unit, WorkUnit,
+    TAG_ACK_ROOT, TAG_ACK_SPLIT, TAG_BLOCKS, TAG_END, TAG_UNIT, TAG_WORK,
+};
+use crate::splitter::{split_picture_units, MacroblockSplitter};
+use crate::tile_decoder::{DisplayTile, TileDecoder};
+use crate::{CoreError, Result};
+
+/// Output of a threaded playback.
+pub struct PlaybackResult {
+    /// Reassembled full frames in display order (verified bit-identical
+    /// across tile overlaps).
+    pub frames: Vec<Frame>,
+    /// Bytes moved per directed link (node layout: root, splitters,
+    /// decoders).
+    pub traffic: Vec<Vec<u64>>,
+    /// Pictures decoded.
+    pub pictures: usize,
+    /// The wall geometry used.
+    pub geometry: WallGeometry,
+}
+
+/// The `1-k-(m,n)` system running on real threads.
+pub struct ThreadedSystem {
+    cfg: SystemConfig,
+}
+
+impl ThreadedSystem {
+    /// Creates a system for a configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        ThreadedSystem { cfg }
+    }
+
+    /// Plays back a whole elementary stream, returning the assembled
+    /// frames.
+    pub fn play(&self, stream: &[u8]) -> Result<PlaybackResult> {
+        let index = split_picture_units(stream)?;
+        let seq = index.seq.clone();
+        if seq.width % 16 != 0 || seq.height % 16 != 0 {
+            return Err(CoreError::Config(format!(
+                "video {}x{} is not macroblock aligned",
+                seq.width, seq.height
+            )));
+        }
+        let geom = self.cfg.geometry(seq.width, seq.height)?;
+        let k = self.cfg.k;
+        let d_count = self.cfg.decoders();
+        let n = index.units.len();
+        let n_nodes = 1 + k + d_count;
+        let mut cluster = ThreadCluster::new(n_nodes);
+        let (tile_tx, tile_rx) = mpsc::channel::<(usize, DisplayTile)>();
+
+        let halo = self.cfg.halo_margin;
+        std::thread::scope(|scope| -> Result<()> {
+            let mut handles = Vec::new();
+            for s in 0..k {
+                let ep = cluster.take_endpoint(1 + s);
+                let seq = seq.clone();
+                handles.push(
+                    scope.spawn(move || splitter_thread(ep, s, k, n, d_count, seq, geom)),
+                );
+            }
+            for d in 0..d_count {
+                let ep = cluster.take_endpoint(1 + k + d);
+                let seq = seq.clone();
+                let tx = tile_tx.clone();
+                handles.push(scope.spawn(move || decoder_thread(ep, d, k, n, seq, geom, halo, tx)));
+            }
+            drop(tile_tx);
+            let root_ep = cluster.take_endpoint(0);
+            let root_result = if k == 0 {
+                one_level_root(&root_ep, stream, &index, d_count, &seq, geom)
+            } else {
+                two_level_root(&root_ep, stream, &index, k)
+            };
+            let mut first_err = root_result.err();
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                    Err(_) => {
+                        if first_err.is_none() {
+                            first_err = Some(CoreError::Protocol("node thread panicked".into()));
+                        }
+                    }
+                }
+            }
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        })?;
+
+        // Assemble the displayed frames from the collected tiles.
+        let mut walls: HashMap<u32, (Wall, usize)> = HashMap::new();
+        while let Ok((tile_idx, dt)) = tile_rx.recv() {
+            let entry = walls
+                .entry(dt.display_index)
+                .or_insert_with(|| (Wall::new(geom), 0));
+            entry
+                .0
+                .set_tile(geom.tile_at(tile_idx), dt.frame)
+                .map_err(|e| CoreError::Protocol(e.to_string()))?;
+            entry.1 += 1;
+        }
+        let mut frames = Vec::with_capacity(n);
+        for display in 0..n as u32 {
+            let (wall, count) = walls
+                .remove(&display)
+                .ok_or_else(|| CoreError::Protocol(format!("no tiles for frame {display}")))?;
+            if count != geom.tiles() as usize {
+                return Err(CoreError::Protocol(format!(
+                    "frame {display} received {count}/{} tiles",
+                    geom.tiles()
+                )));
+            }
+            frames.push(wall.assemble(true).map_err(|e| CoreError::Protocol(e.to_string()))?);
+        }
+        Ok(PlaybackResult {
+            frames,
+            traffic: cluster.traffic().snapshot(),
+            pictures: n,
+            geometry: geom,
+        })
+    }
+}
+
+/// Receive with reordering buffer: messages are consumed by predicate and
+/// recycled immediately, so link credits never dam up behind a busy node.
+struct Inbox {
+    ep: Endpoint,
+    buffered: VecDeque<Message>,
+}
+
+impl Inbox {
+    fn new(ep: Endpoint) -> Self {
+        Inbox { ep, buffered: VecDeque::new() }
+    }
+
+    fn await_where(&mut self, pred: impl Fn(&Message) -> bool) -> Message {
+        if let Some(pos) = self.buffered.iter().position(&pred) {
+            return self.buffered.remove(pos).expect("position valid");
+        }
+        loop {
+            let m = self.ep.recv();
+            self.ep.recycle(&m);
+            if pred(&m) {
+                return m;
+            }
+            self.buffered.push_back(m);
+        }
+    }
+
+    fn send(&self, to: usize, tag: u32, payload: Vec<u8>) {
+        self.ep.send(NodeId(to), tag, Bytes::from(payload));
+    }
+}
+
+fn is_ack(tag: u32, id: u32) -> impl Fn(&Message) -> bool {
+    move |m| m.tag == tag && decode_ack(&m.payload).is_ok_and(|got| got == id)
+}
+
+/// Root logic of a two-level system (picture-level splitting only).
+fn two_level_root(
+    ep: &Endpoint,
+    stream: &[u8],
+    index: &crate::splitter::StreamIndex,
+    k: usize,
+) -> Result<()> {
+    let mut inbox_buf: VecDeque<Message> = VecDeque::new();
+    let mut await_any_ack = |ep: &Endpoint| {
+        if let Some(pos) = inbox_buf.iter().position(|m| m.tag == TAG_ACK_ROOT) {
+            inbox_buf.remove(pos);
+            return;
+        }
+        loop {
+            let m = ep.recv();
+            ep.recycle(&m);
+            if m.tag == TAG_ACK_ROOT {
+                return;
+            }
+            inbox_buf.push_back(m);
+        }
+    };
+    let n = index.units.len();
+    for (p, &(start, end)) in index.units.iter().enumerate() {
+        // "Copy the current picture P into an output buffer."
+        let payload = encode_unit(p as u32, ((p + 1) % k) as u16, &stream[start..end]);
+        // "Wait for ACK from any splitter, except for the first picture."
+        if p >= 1 {
+            await_any_ack(ep);
+        }
+        ep.send(NodeId(1 + p % k), TAG_UNIT, Bytes::from(payload));
+    }
+    if n >= 1 {
+        await_any_ack(ep); // the final picture's ack
+    }
+    for s in 0..k {
+        ep.send(NodeId(1 + s), TAG_END, Bytes::new());
+    }
+    Ok(())
+}
+
+/// Root logic of a one-level system: the console node is the macroblock
+/// splitter.
+fn one_level_root(
+    ep: &Endpoint,
+    stream: &[u8],
+    index: &crate::splitter::StreamIndex,
+    d_count: usize,
+    seq: &SequenceInfo,
+    geom: WallGeometry,
+) -> Result<()> {
+    let splitter = MacroblockSplitter::new(geom, seq.clone());
+    let mut inbox = InboxRef { ep, buffered: VecDeque::new() };
+    let n = index.units.len();
+    for (p, &(start, end)) in index.units.iter().enumerate() {
+        let out = splitter.split(p as u32, &stream[start..end])?;
+        if p >= 1 {
+            for _ in 0..d_count {
+                inbox.await_where(is_ack(TAG_ACK_SPLIT, p as u32 - 1));
+            }
+        }
+        for d in 0..d_count {
+            let wu = WorkUnit {
+                picture_id: p as u32,
+                anid_node: 0,
+                mei: out.mei[d].clone(),
+                subpicture: out.subpictures[d].clone(),
+            };
+            ep.send(NodeId(1 + d), TAG_WORK, Bytes::from(wu.encode()));
+        }
+    }
+    if n >= 1 {
+        for _ in 0..d_count {
+            inbox.await_where(is_ack(TAG_ACK_SPLIT, n as u32 - 1));
+        }
+    }
+    for d in 0..d_count {
+        ep.send(NodeId(1 + d), TAG_END, Bytes::new());
+    }
+    Ok(())
+}
+
+/// Inbox over a borrowed endpoint (root runs on the caller's thread).
+struct InboxRef<'a> {
+    ep: &'a Endpoint,
+    buffered: VecDeque<Message>,
+}
+
+impl InboxRef<'_> {
+    fn await_where(&mut self, pred: impl Fn(&Message) -> bool) -> Message {
+        if let Some(pos) = self.buffered.iter().position(&pred) {
+            return self.buffered.remove(pos).expect("position valid");
+        }
+        loop {
+            let m = self.ep.recv();
+            self.ep.recycle(&m);
+            if pred(&m) {
+                return m;
+            }
+            self.buffered.push_back(m);
+        }
+    }
+}
+
+/// A second-level splitter node.
+fn splitter_thread(
+    ep: Endpoint,
+    s: usize,
+    k: usize,
+    n: usize,
+    d_count: usize,
+    seq: SequenceInfo,
+    geom: WallGeometry,
+) -> Result<()> {
+    let splitter = MacroblockSplitter::new(geom, seq);
+    let mut inbox = Inbox::new(ep);
+    let mut p = s;
+    while p < n {
+        let m = inbox.await_where(|m| m.tag == TAG_UNIT);
+        let (pid, _nsid, unit) = decode_unit(&m.payload)?;
+        if pid != p as u32 {
+            return Err(CoreError::Protocol(format!(
+                "splitter {s} expected picture {p}, got {pid}"
+            )));
+        }
+        inbox.send(0, TAG_ACK_ROOT, encode_ack(pid));
+        let out = splitter.split(pid, unit)?;
+        // ANID: the decoder acks for the previous picture were addressed
+        // to this splitter.
+        if p >= 1 {
+            for _ in 0..d_count {
+                inbox.await_where(is_ack(TAG_ACK_SPLIT, p as u32 - 1));
+            }
+        }
+        let anid_node = 1 + ((p + 1) % k);
+        for d in 0..d_count {
+            let wu = WorkUnit {
+                picture_id: pid,
+                anid_node: anid_node as u16,
+                mei: out.mei[d].clone(),
+                subpicture: out.subpictures[d].clone(),
+            };
+            inbox.send(1 + k + d, TAG_WORK, wu.encode());
+        }
+        p += k;
+    }
+    inbox.await_where(|m| m.tag == TAG_END);
+    for d in 0..d_count {
+        inbox.send(1 + k + d, TAG_END, Vec::new());
+    }
+    // Drain the acks of the final picture if they were addressed here.
+    if n >= 1 && n % k == s {
+        for _ in 0..d_count {
+            inbox.await_where(is_ack(TAG_ACK_SPLIT, n as u32 - 1));
+        }
+    }
+    Ok(())
+}
+
+/// A decoder node.
+#[allow(clippy::too_many_arguments)]
+fn decoder_thread(
+    ep: Endpoint,
+    d: usize,
+    k: usize,
+    n: usize,
+    seq: SequenceInfo,
+    geom: WallGeometry,
+    halo: u32,
+    tx: mpsc::Sender<(usize, DisplayTile)>,
+) -> Result<()> {
+    let tile = geom.tile_at(d);
+    let mut dec = TileDecoder::new(geom, tile, seq, halo);
+    let mut inbox = Inbox::new(ep);
+    for p in 0..n as u32 {
+        let m = inbox.await_where(|m| m.tag == TAG_WORK);
+        let wu = WorkUnit::decode(&m.payload)?;
+        if wu.picture_id != p {
+            return Err(CoreError::Protocol(format!(
+                "decoder {d} expected picture {p}, got {} — ANID ordering violated",
+                wu.picture_id
+            )));
+        }
+        inbox.send(wu.anid_node as usize, TAG_ACK_SPLIT, encode_ack(p));
+        let kind = wu.subpicture.info.kind;
+
+        // Execute SEND instructions before decoding (§4.2).
+        for (peer, blocks) in dec.extract_send_blocks(kind, &wu.mei)? {
+            inbox.send(1 + k + peer, TAG_BLOCKS, encode_blocks(p, d as u16, &blocks));
+        }
+
+        // Gather the blocks our RECV instructions announce.
+        let mut expected: BTreeSet<u16> = wu
+            .mei
+            .recvs()
+            .map(|i| match i {
+                crate::mei::MeiInstruction::Recv { peer, .. } => *peer,
+                _ => unreachable!(),
+            })
+            .collect();
+        while !expected.is_empty() {
+            let m = inbox.await_where(|m| {
+                m.tag == TAG_BLOCKS
+                    && decode_blocks(&m.payload)
+                        .map(|(pid, src, _)| pid == p && expected.contains(&src))
+                        .unwrap_or(false)
+            });
+            let (_, src, blocks) = decode_blocks(&m.payload)?;
+            dec.apply_recv_blocks(kind, &wu.mei, src as usize, &blocks)?;
+            expected.remove(&src);
+        }
+
+        for dt in dec.decode(&wu.subpicture)? {
+            let _ = tx.send((d, dt));
+        }
+    }
+    let mut ends = 0;
+    let want = k.max(1);
+    while ends < want {
+        inbox.await_where(|m| m.tag == TAG_END);
+        ends += 1;
+    }
+    if let Some(dt) = dec.flush() {
+        let _ = tx.send((d, dt));
+    }
+    Ok(())
+}

@@ -1,0 +1,489 @@
+//! The tile decoder (the paper's "D" nodes).
+//!
+//! A tile decoder owns one tile's macroblock-aligned rectangle plus a
+//! halo margin of reference storage. Per picture it:
+//!
+//! 1. executes its MEI SEND instructions, extracting reference
+//!    macroblocks from its decoded tiles and shipping them to peers —
+//!    possible *before* decoding because reference blocks always live in
+//!    previously decoded pictures (§4.2);
+//! 2. blits the blocks received from peers into the halo margins of its
+//!    reference frames, checking them off against its RECV instructions;
+//! 3. decodes its sub-picture one partial slice at a time, re-entering
+//!    mid-slice from SPH state, with motion compensation reading from the
+//!    halo-extended reference planes;
+//! 4. emits the finished tile in display order (B pictures immediately,
+//!    reference pictures deferred one step, exactly like the sequential
+//!    decoder).
+
+use tiledec_bitstream::BitReader;
+use tiledec_mpeg2::frame::Frame;
+use tiledec_mpeg2::motion::{PlanePick, RefPick, ReferenceFetcher};
+use tiledec_mpeg2::recon::{MbSink, Reconstructor};
+use tiledec_mpeg2::slice::{
+    parse_one_macroblock, skip_motion, AddrMode, SliceContext, SliceVisitor, WalkState,
+};
+use tiledec_mpeg2::types::{PictureKind, SequenceInfo};
+use tiledec_wall::{PixelRect, TileId, WallGeometry};
+
+use crate::mei::{MeiBuffer, MeiInstruction, RefSlot};
+use crate::subpicture::{SubPicture, NO_CODED};
+use crate::{CoreError, Result};
+
+/// One exchanged reference macroblock (pixels of all three planes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockData {
+    /// Macroblock column.
+    pub mb_x: u16,
+    /// Macroblock row.
+    pub mb_y: u16,
+    /// Which reference frame the block belongs to.
+    pub slot: RefSlot,
+    /// 16×16 luma samples.
+    pub y: Vec<u8>,
+    /// 8×8 Cb samples.
+    pub cb: Vec<u8>,
+    /// 8×8 Cr samples.
+    pub cr: Vec<u8>,
+}
+
+/// A tile frame ready for display.
+#[derive(Debug)]
+pub struct DisplayTile {
+    /// Display-order index of the picture.
+    pub display_index: u32,
+    /// Reconstructed pixels of the tile's macroblock-aligned rectangle.
+    pub frame: Frame,
+}
+
+/// The tile decoder.
+#[derive(Clone)]
+pub struct TileDecoder {
+    geom: WallGeometry,
+    tile: TileId,
+    seq: SequenceInfo,
+    /// Macroblock-aligned display rectangle (what this decoder owns).
+    own_rect: PixelRect,
+    /// Own rectangle expanded by the halo margin (reference storage).
+    ext_rect: PixelRect,
+    fwd: Option<Frame>,
+    bwd: Option<Frame>,
+    /// Held reference tile awaiting display-order release.
+    held: Option<Frame>,
+    emitted: u32,
+}
+
+impl TileDecoder {
+    /// Creates a decoder for one tile. `halo_margin` is rounded up to a
+    /// macroblock multiple.
+    pub fn new(geom: WallGeometry, tile: TileId, seq: SequenceInfo, halo_margin: u32) -> Self {
+        let own_rect = geom.tile_mb_rect(tile);
+        let margin = halo_margin.div_ceil(16) * 16;
+        let x0 = own_rect.x0.saturating_sub(margin);
+        let y0 = own_rect.y0.saturating_sub(margin);
+        let x1 = (own_rect.x1() + margin).min(seq.mb_width() * 16);
+        let y1 = (own_rect.y1() + margin).min(seq.mb_height() * 16);
+        let ext_rect = PixelRect { x0, y0, w: x1 - x0, h: y1 - y0 };
+        TileDecoder { geom, tile, seq, own_rect, ext_rect, fwd: None, bwd: None, held: None, emitted: 0 }
+    }
+
+    /// The tile this decoder drives.
+    pub fn tile(&self) -> TileId {
+        self.tile
+    }
+
+    /// The macroblock-aligned rectangle this decoder reconstructs.
+    pub fn own_rect(&self) -> PixelRect {
+        self.own_rect
+    }
+
+    /// Extracts the reference macroblocks this decoder must serve
+    /// according to its MEI buffer, grouped by destination tile index.
+    pub fn extract_send_blocks(
+        &self,
+        kind: PictureKind,
+        mei: &MeiBuffer,
+    ) -> Result<Vec<(usize, Vec<BlockData>)>> {
+        let mut by_peer: std::collections::BTreeMap<usize, Vec<BlockData>> = Default::default();
+        for i in mei.sends() {
+            let MeiInstruction::Send { mb_x, mb_y, slot, peer } = *i else { unreachable!() };
+            let frame = self.reference(kind, slot)?;
+            let (px, py) = (mb_x as u32 * 16, mb_y as u32 * 16);
+            if !self.own_rect.contains(px, py) {
+                return Err(CoreError::Protocol(format!(
+                    "tile {:?} asked to serve mb ({mb_x},{mb_y}) outside its rectangle",
+                    self.tile
+                )));
+            }
+            let lx = (px - self.ext_rect.x0) as usize;
+            let ly = (py - self.ext_rect.y0) as usize;
+            let block = BlockData {
+                mb_x,
+                mb_y,
+                slot,
+                y: frame.y.extract(lx, ly, 16, 16),
+                cb: frame.cb.extract(lx / 2, ly / 2, 8, 8),
+                cr: frame.cr.extract(lx / 2, ly / 2, 8, 8),
+            };
+            by_peer.entry(peer as usize).or_default().push(block);
+        }
+        Ok(by_peer.into_iter().collect())
+    }
+
+    /// Blits received reference blocks into the halo of the appropriate
+    /// reference frame, and verifies each was announced by a RECV
+    /// instruction.
+    pub fn apply_recv_blocks(
+        &mut self,
+        kind: PictureKind,
+        mei: &MeiBuffer,
+        from_tile: usize,
+        blocks: &[BlockData],
+    ) -> Result<()> {
+        for b in blocks {
+            let announced = mei.recvs().any(|i| {
+                matches!(i, MeiInstruction::Recv { mb_x, mb_y, slot, peer }
+                    if *mb_x == b.mb_x && *mb_y == b.mb_y && *slot == b.slot
+                        && *peer as usize == from_tile)
+            });
+            if !announced {
+                return Err(CoreError::Protocol(format!(
+                    "tile {:?} received unannounced block ({},{}) from {from_tile}",
+                    self.tile, b.mb_x, b.mb_y
+                )));
+            }
+            let (px, py) = (b.mb_x as u32 * 16, b.mb_y as u32 * 16);
+            if !self.ext_rect.contains(px, py)
+                || px + 16 > self.ext_rect.x1()
+                || py + 16 > self.ext_rect.y1()
+            {
+                return Err(CoreError::Protocol(format!(
+                    "block ({},{}) outside tile {:?} halo; raise SystemConfig::halo_margin",
+                    b.mb_x, b.mb_y, self.tile
+                )));
+            }
+            let lx = (px - self.ext_rect.x0) as usize;
+            let ly = (py - self.ext_rect.y0) as usize;
+            let ext_rect = self.ext_rect;
+            let frame = self.reference_mut(kind, b.slot)?;
+            let _ = ext_rect;
+            frame.y.insert(lx, ly, 16, 16, &b.y);
+            frame.cb.insert(lx / 2, ly / 2, 8, 8, &b.cb);
+            frame.cr.insert(lx / 2, ly / 2, 8, 8, &b.cr);
+        }
+        Ok(())
+    }
+
+    /// Which stored frame a (picture kind, slot) pair refers to.
+    fn reference(&self, kind: PictureKind, slot: RefSlot) -> Result<&Frame> {
+        let missing = || CoreError::Protocol("reference frame not yet decoded".into());
+        match (kind, slot) {
+            (PictureKind::P, RefSlot::Forward) => self.bwd.as_ref().ok_or_else(missing),
+            (PictureKind::B, RefSlot::Forward) => self.fwd.as_ref().ok_or_else(missing),
+            (PictureKind::B, RefSlot::Backward) => self.bwd.as_ref().ok_or_else(missing),
+            _ => Err(CoreError::Protocol(format!("no {slot:?} reference in {kind:?} pictures"))),
+        }
+    }
+
+    fn reference_mut(&mut self, kind: PictureKind, slot: RefSlot) -> Result<&mut Frame> {
+        let missing = || CoreError::Protocol("reference frame not yet decoded".into());
+        match (kind, slot) {
+            (PictureKind::P, RefSlot::Forward) => self.bwd.as_mut().ok_or_else(missing),
+            (PictureKind::B, RefSlot::Forward) => self.fwd.as_mut().ok_or_else(missing),
+            (PictureKind::B, RefSlot::Backward) => self.bwd.as_mut().ok_or_else(missing),
+            _ => Err(CoreError::Protocol(format!("no {slot:?} reference in {kind:?} pictures"))),
+        }
+    }
+
+    /// Decodes a sub-picture. Any blocks required from peers must have
+    /// been applied first. Returns tiles that become displayable, in
+    /// display order.
+    pub fn decode(&mut self, sp: &SubPicture) -> Result<Vec<DisplayTile>> {
+        let kind = sp.info.kind;
+        match kind {
+            PictureKind::I => {}
+            PictureKind::P => {
+                if self.bwd.is_none() {
+                    return Err(CoreError::Protocol("P sub-picture without reference".into()));
+                }
+            }
+            PictureKind::B => {
+                if self.bwd.is_none() || self.fwd.is_none() {
+                    return Err(CoreError::Protocol("B sub-picture without references".into()));
+                }
+            }
+        }
+        let mut current =
+            Frame::zeroed(self.ext_rect.w as usize, self.ext_rect.h as usize);
+        {
+            let placeholder = Frame::zeroed(16, 16);
+            let (fwd, bwd): (&Frame, &Frame) = match kind {
+                PictureKind::I => (&placeholder, &placeholder),
+                PictureKind::P => {
+                    let f = self.bwd.as_ref().unwrap();
+                    (f, f)
+                }
+                PictureKind::B => (self.fwd.as_ref().unwrap(), self.bwd.as_ref().unwrap()),
+            };
+            let refs = TileRefs { fwd, bwd, ext_rect: self.ext_rect };
+            let mut sink = TileSink { frame: &mut current, ext_rect: self.ext_rect };
+            let mut recon = Reconstructor { refs: &refs, sink: &mut sink };
+            let ctx = SliceContext { seq: &self.seq, pic: &sp.info };
+            for run in &sp.runs {
+                decode_run(run, &ctx, &mut recon)?;
+            }
+        }
+
+        // Display-order emission, mirroring the sequential decoder.
+        let mut out = Vec::new();
+        match kind {
+            PictureKind::B => {
+                out.push(DisplayTile { display_index: self.emitted, frame: self.crop_own(&current) });
+                self.emitted += 1;
+            }
+            _ => {
+                if let Some(prev) = self.held.take() {
+                    out.push(DisplayTile {
+                        display_index: self.emitted,
+                        frame: prev,
+                    });
+                    self.emitted += 1;
+                }
+                self.held = Some(self.crop_own(&current));
+                self.fwd = self.bwd.replace(current);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Flushes the last held reference tile at end of stream.
+    pub fn flush(&mut self) -> Option<DisplayTile> {
+        self.held.take().map(|frame| {
+            let t = DisplayTile { display_index: self.emitted, frame };
+            self.emitted += 1;
+            t
+        })
+    }
+
+    fn crop_own(&self, ext: &Frame) -> Frame {
+        let dx = (self.own_rect.x0 - self.ext_rect.x0) as usize;
+        let dy = (self.own_rect.y0 - self.ext_rect.y0) as usize;
+        let (w, h) = (self.own_rect.w as usize, self.own_rect.h as usize);
+        let mut f = Frame::zeroed(w, h);
+        f.y.blit_from(&ext.y, dx, dy, 0, 0, w, h);
+        f.cb.blit_from(&ext.cb, dx / 2, dy / 2, 0, 0, w / 2, h / 2);
+        f.cr.blit_from(&ext.cr, dx / 2, dy / 2, 0, 0, w / 2, h / 2);
+        f
+    }
+
+    /// The wall geometry (for callers wiring decoders together).
+    pub fn geometry(&self) -> &WallGeometry {
+        &self.geom
+    }
+}
+
+/// Decodes one partial-slice run through a visitor.
+fn decode_run(
+    run: &crate::subpicture::PartialSlice,
+    ctx: &SliceContext<'_>,
+    visitor: &mut impl SliceVisitor,
+) -> Result<()> {
+    let mbw = ctx.mb_width();
+    // Boundary skips before the coded payload.
+    if run.skipped_before > 0 {
+        let motion = run
+            .skip_motion
+            .ok_or_else(|| CoreError::Protocol("skipped_before without skip_motion".into()))?;
+        let motion = match motion {
+            tiledec_mpeg2::slice::MbMotion::Intra => {
+                return Err(CoreError::Protocol("intra skip motion".into()))
+            }
+            m => m,
+        };
+        visitor.skipped(
+            ctx,
+            run.row as u32 * mbw + run.skip_start_col as u32,
+            run.skipped_before as u32,
+            &motion,
+        )?;
+    }
+    if run.coded_count == 0 {
+        if run.skipped_after > 0 || run.first_coded_col != NO_CODED {
+            return Err(CoreError::Protocol("malformed empty run".into()));
+        }
+        return Ok(());
+    }
+
+    // Re-enter the slice mid-stream from SPH state.
+    let mut st = WalkState {
+        pred: run.entry.clone(),
+        prev_motion: run.skip_motion.unwrap_or(tiledec_mpeg2::slice::MbMotion::Intra),
+        prev_addr: 0, // overridden by the forced address
+    };
+    let mut r = BitReader::new(&run.payload);
+    r.skip(run.skip_bits as usize).map_err(tiledec_mpeg2::Error::from)?;
+    let first_addr = run.row as u32 * mbw + run.first_coded_col as u32;
+    let mut blocks = Box::new([[0i32; 64]; 6]);
+    for i in 0..run.coded_count {
+        let mode = if i == 0 { AddrMode::Forced(first_addr) } else { AddrMode::Continuation };
+        let meta = parse_one_macroblock(&mut r, ctx, &mut st, mode, &mut blocks)
+            .map_err(CoreError::Codec)?;
+        if meta.skipped_before > 0 {
+            let m = skip_motion(ctx.pic.kind, &meta.entry_prev_motion)?;
+            visitor.skipped(ctx, meta.addr - meta.skipped_before, meta.skipped_before, &m)?;
+        }
+        visitor.macroblock(ctx, &meta, &blocks)?;
+    }
+    // Boundary skips after the payload use the last coded macroblock's
+    // prediction, which the walker tracked.
+    if run.skipped_after > 0 {
+        let m = skip_motion(ctx.pic.kind, &st.prev_motion)?;
+        let after_start = (st.prev_addr + 1) as u32;
+        visitor.skipped(ctx, after_start, run.skipped_after as u32, &m)?;
+    }
+    Ok(())
+}
+
+/// Reference fetcher over halo-extended tile frames: translates global
+/// picture coordinates into the extended rectangle.
+struct TileRefs<'a> {
+    fwd: &'a Frame,
+    bwd: &'a Frame,
+    ext_rect: PixelRect,
+}
+
+impl ReferenceFetcher for TileRefs<'_> {
+    fn fetch(
+        &self,
+        which: RefPick,
+        plane: PlanePick,
+        x0: i32,
+        y0: i32,
+        w: usize,
+        h: usize,
+        out: &mut [u8],
+    ) {
+        let frame = match which {
+            RefPick::Forward => self.fwd,
+            RefPick::Backward => self.bwd,
+        };
+        let (ex, ey) = match plane {
+            PlanePick::Y => (self.ext_rect.x0 as i32, self.ext_rect.y0 as i32),
+            _ => (self.ext_rect.x0 as i32 / 2, self.ext_rect.y0 as i32 / 2),
+        };
+        let lx = x0 - ex;
+        let ly = y0 - ey;
+        let p = match plane {
+            PlanePick::Y => &frame.y,
+            PlanePick::Cb => &frame.cb,
+            PlanePick::Cr => &frame.cr,
+        };
+        // MEI pre-calculation guarantees coverage for conforming streams;
+        // clamp (deterministically) rather than panic on corrupt input.
+        let cx = (lx.max(0) as usize).min(p.width() - w);
+        let cy = (ly.max(0) as usize).min(p.height() - h);
+        for row in 0..h {
+            let src = &p.row(cy + row)[cx..cx + w];
+            out[row * w..(row + 1) * w].copy_from_slice(src);
+        }
+    }
+}
+
+/// Sink writing macroblocks at global coordinates into a tile-local frame.
+struct TileSink<'a> {
+    frame: &'a mut Frame,
+    ext_rect: PixelRect,
+}
+
+impl MbSink for TileSink<'_> {
+    fn write_mb(&mut self, mb_x: u32, mb_y: u32, y: &[u8; 256], cb: &[u8; 64], cr: &[u8; 64]) {
+        let px = mb_x * 16;
+        let py = mb_y * 16;
+        assert!(
+            self.ext_rect.contains(px, py),
+            "macroblock ({mb_x},{mb_y}) outside this tile's rectangle"
+        );
+        let lx = (px - self.ext_rect.x0) as usize;
+        let ly = (py - self.ext_rect.y0) as usize;
+        self.frame.y.insert(lx, ly, 16, 16, y);
+        self.frame.cb.insert(lx / 2, ly / 2, 8, 8, cb);
+        self.frame.cr.insert(lx / 2, ly / 2, 8, 8, cr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiledec_mpeg2::types::PictureInfo;
+
+    fn seq(w: u32, h: u32) -> SequenceInfo {
+        SequenceInfo {
+            width: w,
+            height: h,
+            frame_rate_code: 5,
+            bit_rate_400: 0,
+            intra_quant_matrix: [16; 64],
+            non_intra_quant_matrix: [16; 64],
+        }
+    }
+
+    #[test]
+    fn halo_rect_is_clamped_to_picture() {
+        let geom = WallGeometry::for_video(128, 64, 2, 2, 0).unwrap();
+        let d = TileDecoder::new(geom, TileId { col: 0, row: 0 }, seq(128, 64), 64);
+        assert_eq!(d.ext_rect.x0, 0);
+        assert_eq!(d.ext_rect.y0, 0);
+        assert_eq!(d.ext_rect.x1(), 128); // 64 + 64 margin hits the edge
+        assert_eq!(d.ext_rect.y1(), 64);
+        let d = TileDecoder::new(geom, TileId { col: 1, row: 1 }, seq(128, 64), 16);
+        assert_eq!(d.ext_rect, PixelRect { x0: 48, y0: 16, w: 80, h: 48 });
+    }
+
+    #[test]
+    fn serving_outside_own_rect_is_rejected() {
+        let geom = WallGeometry::for_video(128, 64, 2, 1, 0).unwrap();
+        let mut d = TileDecoder::new(geom, TileId { col: 0, row: 0 }, seq(128, 64), 16);
+        d.bwd = Some(Frame::zeroed(d.ext_rect.w as usize, d.ext_rect.h as usize));
+        let mei = MeiBuffer {
+            instructions: vec![MeiInstruction::Send {
+                mb_x: 7, // column 7 belongs to tile 1
+                mb_y: 0,
+                slot: RefSlot::Forward,
+                peer: 1,
+            }],
+        };
+        assert!(d.extract_send_blocks(PictureKind::P, &mei).is_err());
+    }
+
+    #[test]
+    fn unannounced_blocks_are_rejected() {
+        let geom = WallGeometry::for_video(128, 64, 2, 1, 0).unwrap();
+        let mut d = TileDecoder::new(geom, TileId { col: 0, row: 0 }, seq(128, 64), 16);
+        d.bwd = Some(Frame::zeroed(d.ext_rect.w as usize, d.ext_rect.h as usize));
+        let block = BlockData {
+            mb_x: 4,
+            mb_y: 0,
+            slot: RefSlot::Forward,
+            y: vec![0; 256],
+            cb: vec![0; 64],
+            cr: vec![0; 64],
+        };
+        let empty = MeiBuffer::new();
+        assert!(d.apply_recv_blocks(PictureKind::P, &empty, 1, &[block]).is_err());
+    }
+
+    #[test]
+    fn p_subpicture_without_reference_fails() {
+        let geom = WallGeometry::for_video(64, 32, 2, 1, 0).unwrap();
+        let mut d = TileDecoder::new(geom, TileId { col: 0, row: 0 }, seq(64, 32), 16);
+        let sp = SubPicture {
+            picture_id: 0,
+            info: PictureInfo::new(PictureKind::P, 0, [[1, 1], [15, 15]]),
+            runs: vec![],
+        };
+        assert!(d.decode(&sp).is_err());
+    }
+
+    // Full decode behaviour is proven in tests/parallel.rs against the
+    // sequential decoder.
+}

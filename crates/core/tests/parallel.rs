@@ -1,0 +1,309 @@
+//! The reproduction's central correctness property: for any stream and any
+//! `1-k-(m,n)` configuration, the reassembled wall output of the parallel
+//! system is **bit-exact** with the sequential reference decoder.
+
+use tiledec_core::{SimulatedSystem, SystemConfig, ThreadedSystem};
+use tiledec_mpeg2::encoder::{Encoder, EncoderConfig};
+use tiledec_mpeg2::frame::Frame;
+use tiledec_mpeg2::decode_all;
+
+/// Deterministic clip with global pan, a bouncing bright square (motion
+/// vectors crossing tile boundaries) and textured chroma.
+fn clip(w: usize, h: usize, frames: usize) -> Vec<Frame> {
+    (0..frames)
+        .map(|t| {
+            let mut f = Frame::black(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    let mut v = (((x + 3 * t) * 5 + y * 7) % 199) as u8 + 20;
+                    let sq_x = (5 * t + 12) % (w - 24);
+                    let sq_y = (3 * t + 4) % (h - 24);
+                    if x >= sq_x && x < sq_x + 24 && y >= sq_y && y < sq_y + 24 {
+                        v = 230;
+                    }
+                    f.y.set(x, y, v);
+                }
+            }
+            for y in 0..h / 2 {
+                for x in 0..w / 2 {
+                    f.cb.set(x, y, (((x + 2 * t) * 3 + y) % 120) as u8 + 60);
+                    f.cr.set(x, y, ((x + (y + t) * 3) % 120) as u8 + 60);
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+fn encode_clip(w: u32, h: u32, n: usize, gop: u32, b: u32, q: u8) -> Vec<u8> {
+    let mut cfg = EncoderConfig::for_size(w, h);
+    cfg.gop_size = gop;
+    cfg.b_frames = b;
+    cfg.qscale = q;
+    cfg.search_range = 15;
+    let enc = Encoder::new(cfg).unwrap();
+    enc.encode(&clip(w as usize, h as usize, n)).unwrap()
+}
+
+fn assert_bit_exact(parallel: &[Frame], reference: &[Frame], label: &str) {
+    assert_eq!(parallel.len(), reference.len(), "{label}: frame count");
+    for (i, (a, b)) in parallel.iter().zip(reference).enumerate() {
+        assert!(a == b, "{label}: frame {i} differs from the sequential decode");
+    }
+}
+
+#[test]
+fn one_level_2x1_matches_sequential() {
+    let stream = encode_clip(128, 64, 6, 6, 0, 6);
+    let reference = decode_all(&stream).unwrap();
+    let sys = ThreadedSystem::new(SystemConfig::new(0, (2, 1)));
+    let out = sys.play(&stream).unwrap();
+    assert_bit_exact(&out.frames, &reference, "1-(2,1)");
+}
+
+#[test]
+fn two_level_2x2_with_b_frames_matches_sequential() {
+    let stream = encode_clip(128, 96, 9, 9, 2, 5);
+    let reference = decode_all(&stream).unwrap();
+    let sys = ThreadedSystem::new(SystemConfig::new(2, (2, 2)));
+    let out = sys.play(&stream).unwrap();
+    assert_bit_exact(&out.frames, &reference, "1-2-(2,2)");
+    // Decoder-to-decoder traffic must exist (motion crosses tiles).
+    let d0 = 1 + 2; // first decoder node
+    let total_dd: u64 = (0..4)
+        .flat_map(|a| (0..4).map(move |b| (a, b)))
+        .filter(|(a, b)| a != b)
+        .map(|(a, b)| out.traffic[d0 + a][d0 + b])
+        .sum();
+    assert!(total_dd > 0, "expected MEI block traffic between decoders");
+}
+
+#[test]
+fn three_splitters_4x2_matches_sequential() {
+    let stream = encode_clip(192, 96, 8, 8, 1, 7);
+    let reference = decode_all(&stream).unwrap();
+    let sys = ThreadedSystem::new(SystemConfig::new(3, (4, 2)));
+    let out = sys.play(&stream).unwrap();
+    assert_bit_exact(&out.frames, &reference, "1-3-(4,2)");
+}
+
+#[test]
+fn overlap_configuration_matches_sequential() {
+    // 160 px wide over 2 tiles with 16 px overlap: seam macroblocks go to
+    // both decoders and their pixels must agree bit-exactly.
+    let stream = encode_clip(160, 64, 6, 6, 1, 6);
+    let reference = decode_all(&stream).unwrap();
+    let sys = ThreadedSystem::new(SystemConfig::new(1, (2, 1)).with_overlap(16));
+    let out = sys.play(&stream).unwrap();
+    assert_bit_exact(&out.frames, &reference, "1-1-(2,1)+overlap");
+}
+
+#[test]
+fn single_tile_degenerate_case() {
+    let stream = encode_clip(64, 64, 4, 4, 1, 8);
+    let reference = decode_all(&stream).unwrap();
+    let sys = ThreadedSystem::new(SystemConfig::new(1, (1, 1)));
+    let out = sys.play(&stream).unwrap();
+    assert_bit_exact(&out.frames, &reference, "1-1-(1,1)");
+}
+
+#[test]
+fn more_splitters_than_pictures() {
+    let stream = encode_clip(64, 64, 2, 2, 0, 8);
+    let reference = decode_all(&stream).unwrap();
+    let sys = ThreadedSystem::new(SystemConfig::new(4, (2, 1)));
+    let out = sys.play(&stream).unwrap();
+    assert_bit_exact(&out.frames, &reference, "1-4-(2,1), 2 pictures");
+}
+
+#[test]
+fn intra_only_stream_has_no_decoder_traffic() {
+    let mut cfg = EncoderConfig::for_size(128, 64);
+    cfg.gop_size = 1;
+    cfg.qscale = 8;
+    let enc = Encoder::new(cfg).unwrap();
+    let stream = enc.encode(&clip(128, 64, 3)).unwrap();
+    let reference = decode_all(&stream).unwrap();
+    let sys = ThreadedSystem::new(SystemConfig::new(1, (2, 2)));
+    let out = sys.play(&stream).unwrap();
+    assert_bit_exact(&out.frames, &reference, "intra-only");
+    let d0 = 2;
+    for a in 0..4 {
+        for b in 0..4 {
+            if a != b {
+                assert_eq!(out.traffic[d0 + a][d0 + b], 0, "I-only stream moved blocks");
+            }
+        }
+    }
+}
+
+#[test]
+fn simulated_backend_produces_identical_frames_and_sane_fps() {
+    let stream = encode_clip(128, 96, 6, 6, 2, 6);
+    let reference = decode_all(&stream).unwrap();
+    let sys = SimulatedSystem::new(
+        SystemConfig::new(2, (2, 2)),
+        tiledec_cluster::CostModel::myrinet_2002(),
+    )
+    .with_verification();
+    let run = sys.run(&stream).unwrap();
+    assert_bit_exact(&run.frames, &reference, "simulated 1-2-(2,2)");
+    assert!(run.report.fps > 0.0);
+    assert!(run.measured.split_s > 0.0);
+    assert!(run.measured.decode_s > 0.0);
+    // Splitter send traffic (SPH overhead) exceeds what it receives.
+    let splitter_sent: u64 = run.report.traffic.sent_by(1) + run.report.traffic.sent_by(2);
+    let splitter_recv: u64 =
+        run.report.traffic.received_by(1) + run.report.traffic.received_by(2);
+    assert!(
+        splitter_sent > splitter_recv,
+        "SPH headers should make splitters send more than they receive"
+    );
+}
+
+#[test]
+fn alternate_scan_and_nonlinear_quant_through_the_pipeline() {
+    let mut cfg = EncoderConfig::for_size(96, 64);
+    cfg.gop_size = 5;
+    cfg.b_frames = 1;
+    cfg.qscale = 6;
+    cfg.alternate_scan = true;
+    cfg.q_scale_type = true;
+    let enc = Encoder::new(cfg).unwrap();
+    let stream = enc.encode(&clip(96, 64, 5)).unwrap();
+    let reference = decode_all(&stream).unwrap();
+    let sys = ThreadedSystem::new(SystemConfig::new(2, (3, 2)));
+    let out = sys.play(&stream).unwrap();
+    assert_bit_exact(&out.frames, &reference, "alt-scan nonlinear-q 1-2-(3,2)");
+}
+
+#[test]
+fn bit_realigned_subpictures_decode_identically() {
+    // The §4.3 ablation: re-aligning partial slices to byte boundaries
+    // must be semantically identical to byte-copying (just slower to
+    // produce). Run the realigned splitter through tile decoders directly.
+    use tiledec_core::splitter::MacroblockSplitter;
+    use tiledec_core::TileDecoder;
+
+    let stream = encode_clip(128, 96, 7, 7, 2, 5);
+    let reference = decode_all(&stream).unwrap();
+    let index = tiledec_core::split_picture_units(&stream).unwrap();
+    let cfg = SystemConfig::new(1, (2, 2));
+    let geom = cfg.geometry(128, 96).unwrap();
+    let splitter = MacroblockSplitter::new(geom, index.seq.clone()).with_bit_realignment();
+
+    let mut decoders: Vec<TileDecoder> = geom
+        .iter_tiles()
+        .map(|t| TileDecoder::new(geom, t, index.seq.clone(), 64))
+        .collect();
+    let mut walls: std::collections::HashMap<u32, tiledec_wall::Wall> = Default::default();
+    let place = |d: usize, dt: tiledec_core::tile_decoder::DisplayTile,
+                     walls: &mut std::collections::HashMap<u32, tiledec_wall::Wall>| {
+        walls
+            .entry(dt.display_index)
+            .or_insert_with(|| tiledec_wall::Wall::new(geom))
+            .set_tile(geom.tile_at(d), dt.frame)
+            .unwrap();
+    };
+    for (p, &(s, e)) in index.units.iter().enumerate() {
+        let out = splitter.split(p as u32, &stream[s..e]).unwrap();
+        // Every realigned run starts at bit 0.
+        for sp in &out.subpictures {
+            for run in &sp.runs {
+                assert_eq!(run.skip_bits, 0, "realigned runs must be byte aligned");
+            }
+        }
+        let kind = out.info.kind;
+        let mut deliveries = Vec::new();
+        for (d, dec) in decoders.iter().enumerate() {
+            for (peer, blocks) in dec.extract_send_blocks(kind, &out.mei[d]).unwrap() {
+                deliveries.push((d, peer, blocks));
+            }
+        }
+        for (src, peer, blocks) in deliveries {
+            decoders[peer].apply_recv_blocks(kind, &out.mei[peer], src, &blocks).unwrap();
+        }
+        for (d, dec) in decoders.iter_mut().enumerate() {
+            for dt in dec.decode(&out.subpictures[d]).unwrap() {
+                place(d, dt, &mut walls);
+            }
+        }
+    }
+    for (d, dec) in decoders.iter_mut().enumerate() {
+        if let Some(dt) = dec.flush() {
+            place(d, dt, &mut walls);
+        }
+    }
+    for (i, frame) in reference.iter().enumerate() {
+        let wall = walls.remove(&(i as u32)).unwrap();
+        let got = wall.assemble(true).unwrap();
+        assert!(&got == frame, "frame {i} differs under bit realignment");
+    }
+}
+
+#[test]
+fn gop_level_baseline_is_correct_but_redistributes_heavily() {
+    use tiledec_core::gop_level::run_gop_level;
+    // Three GOPs of four pictures each. The frame must be large enough
+    // that tiles have interior: MEI traffic scales with tile *perimeter*
+    // while redistribution scales with tile *area*, so the macroblock
+    // system's advantage grows with resolution (tiny frames are nearly
+    // all boundary).
+    let stream = encode_clip(384, 256, 12, 4, 1, 6);
+    let reference = decode_all(&stream).unwrap();
+    let geom = SystemConfig::new(1, (2, 2)).geometry(384, 256).unwrap();
+    let out = run_gop_level(&stream, &geom).unwrap();
+    assert_eq!(out.gops, 3);
+    assert_bit_exact(&out.frames, &reference, "GOP-level baseline");
+
+    // The defining cost: (mn-1)/mn of every frame's pixels move between
+    // nodes — compare against what the macroblock-level system moved.
+    let frame_bytes = 384 * 256 * 3 / 2;
+    let expected_redistribution = frame_bytes as u64 * 3 / 4 * reference.len() as u64;
+    let mut dd = 0u64;
+    for a in 1..5 {
+        for b in 1..5 {
+            if a != b {
+                dd += out.traffic.bytes(a, b);
+            }
+        }
+    }
+    assert_eq!(dd, expected_redistribution);
+
+    let mb_system = ThreadedSystem::new(SystemConfig::new(1, (2, 2))).play(&stream).unwrap();
+    let mb_dd: u64 = (2..6)
+        .flat_map(|a| (2..6).map(move |b| (a, b)))
+        .filter(|(a, b)| a != b)
+        .map(|(a, b)| mb_system.traffic[a][b])
+        .sum();
+    assert!(
+        mb_dd * 3 < dd,
+        "macroblock-level inter-decoder traffic ({mb_dd} B) should be far below \
+         GOP-level redistribution ({dd} B)"
+    );
+}
+
+#[test]
+fn slice_level_baseline_is_correct_with_demand_fetch_traffic() {
+    use tiledec_core::slice_level::run_slice_level;
+    let stream = encode_clip(192, 128, 8, 8, 2, 6);
+    let reference = decode_all(&stream).unwrap();
+    // Two horizontal bands on a 2-column wall.
+    let out = run_slice_level(&stream, 2, 2).unwrap();
+    assert_eq!(out.bands, 2);
+    assert_bit_exact(&out.frames, &reference, "slice-level baseline");
+
+    // Motion crosses the band boundary, so demand-fetch traffic between
+    // the two band decoders must exist in both directions.
+    assert!(out.traffic.bytes(1, 2) > 0, "band 0 should serve band 1");
+    assert!(out.traffic.bytes(2, 1) > 0, "band 1 should serve band 0");
+    // And every band pays display redistribution (charged toward node 0).
+    assert!(out.traffic.bytes(1, 0) > 0);
+    assert!(out.traffic.bytes(2, 0) > 0);
+
+    // Single band degenerates to sequential decoding: no remote fetches.
+    let solo = run_slice_level(&stream, 1, 1).unwrap();
+    assert_bit_exact(&solo.frames, &reference, "1-band slice level");
+    assert_eq!(solo.traffic.bytes(1, 1), 0);
+    assert_eq!(solo.traffic.bytes(1, 0), 0, "m=1 display moves nothing");
+}

@@ -1,0 +1,228 @@
+//! Coefficient block parsing and writing (§7.2).
+//!
+//! Blocks move through the system as **quantised levels in raster order**
+//! (the scan is undone at parse time and re-applied at write time). For
+//! intra blocks the DC level at index 0 already includes the predictor, so
+//! dequantisation is purely local.
+
+use tiledec_bitstream::{BitReader, BitWriter};
+
+use crate::tables::dc_size::{decode_dc_differential, encode_dc_differential};
+use crate::tables::dct_coeff::{decode_coeff, encode_coeff, encode_eob, Coeff};
+use crate::tables::scan;
+use crate::{Error, Result};
+
+/// Parses one coded block into `levels` (raster order). `dc_pred` is the
+/// running DC predictor for this component and is updated in place (only
+/// for intra blocks).
+pub fn parse_block(
+    r: &mut BitReader<'_>,
+    intra: bool,
+    is_luma: bool,
+    alternate_scan: bool,
+    dc_pred: &mut i32,
+    levels: &mut [i32; 64],
+) -> Result<()> {
+    levels.fill(0);
+    let scan_table = scan::scan(alternate_scan);
+    let mut pos: usize;
+    if intra {
+        let diff = decode_dc_differential(r, is_luma)?;
+        *dc_pred += diff;
+        levels[0] = *dc_pred;
+        pos = 1;
+    } else {
+        // First coefficient cannot be EOB and uses the short run-0/±1 code.
+        match decode_coeff(r, true)? {
+            Coeff::Eob => return Err(Error::Syntax("EOB as first coefficient".into())),
+            Coeff::Run { run, level } => {
+                pos = run as usize;
+                if pos >= 64 {
+                    return Err(Error::Syntax("coefficient run past end of block".into()));
+                }
+                levels[scan_table[pos] as usize] = level;
+                pos += 1;
+            }
+        }
+    }
+    loop {
+        match decode_coeff(r, false)? {
+            Coeff::Eob => return Ok(()),
+            Coeff::Run { run, level } => {
+                pos += run as usize;
+                if pos >= 64 {
+                    return Err(Error::Syntax("coefficient run past end of block".into()));
+                }
+                levels[scan_table[pos] as usize] = level;
+                pos += 1;
+            }
+        }
+    }
+}
+
+/// Writes one coded block from raster-order quantised levels. Returns
+/// `false` (writing nothing) when a non-intra block has no non-zero
+/// coefficients — the caller then clears its CBP bit. Intra blocks are
+/// always written (the DC code is mandatory).
+pub fn write_block(
+    w: &mut BitWriter,
+    intra: bool,
+    is_luma: bool,
+    alternate_scan: bool,
+    dc_pred: &mut i32,
+    levels: &[i32; 64],
+) -> bool {
+    let scan_table = scan::scan(alternate_scan);
+    if intra {
+        let diff = levels[0] - *dc_pred;
+        *dc_pred = levels[0];
+        encode_dc_differential(w, is_luma, diff);
+        let mut run = 0u8;
+        for pos in 1..64 {
+            let v = levels[scan_table[pos] as usize];
+            if v == 0 {
+                run += 1;
+            } else {
+                encode_coeff(w, false, run, v);
+                run = 0;
+            }
+        }
+        encode_eob(w);
+        true
+    } else {
+        let mut any = false;
+        let mut run = 0u8;
+        let mut first = true;
+        for pos in 0..64 {
+            let v = levels[scan_table[pos] as usize];
+            if v == 0 {
+                run += 1;
+            } else {
+                encode_coeff(w, first, run, v);
+                first = false;
+                any = true;
+                run = 0;
+            }
+        }
+        if any {
+            encode_eob(w);
+        }
+        any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_levels(seed: u64, density: u64) -> [i32; 64] {
+        let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+        let mut l = [0i32; 64];
+        for v in l.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if s % 100 < density {
+                *v = ((s >> 8) % 401) as i32 - 200;
+                if *v == 0 {
+                    *v = 1;
+                }
+            }
+        }
+        l
+    }
+
+    #[test]
+    fn non_intra_blocks_round_trip() {
+        for seed in 1..60u64 {
+            for density in [5, 20, 60, 95] {
+                let mut levels = sparse_levels(seed * 131 + density, density);
+                // Non-intra parse requires at least one coefficient.
+                if levels.iter().all(|&v| v == 0) {
+                    levels[10] = -3;
+                }
+                for alt in [false, true] {
+                    let mut w = BitWriter::new();
+                    let mut dc = 0;
+                    assert!(write_block(&mut w, false, true, alt, &mut dc, &levels));
+                    let bytes = w.into_bytes();
+                    let mut r = BitReader::new(&bytes);
+                    let mut out = [0i32; 64];
+                    let mut dc = 0;
+                    parse_block(&mut r, false, true, alt, &mut dc, &mut out).unwrap();
+                    assert_eq!(out, levels, "seed={seed} density={density} alt={alt}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intra_blocks_round_trip_with_dc_prediction() {
+        let mut enc_pred = 128i32;
+        let mut dec_pred = 128i32;
+        for seed in 1..40u64 {
+            let mut levels = sparse_levels(seed, 30);
+            levels[0] = 100 + (seed as i32 % 300); // DC is absolute
+            let mut w = BitWriter::new();
+            write_block(&mut w, true, seed % 2 == 0, false, &mut enc_pred, &levels);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            let mut out = [0i32; 64];
+            parse_block(&mut r, true, seed % 2 == 0, false, &mut dec_pred, &mut out).unwrap();
+            assert_eq!(out, levels, "seed={seed}");
+            assert_eq!(enc_pred, dec_pred);
+        }
+    }
+
+    #[test]
+    fn empty_non_intra_block_reports_uncoded() {
+        let levels = [0i32; 64];
+        let mut w = BitWriter::new();
+        let mut dc = 0;
+        assert!(!write_block(&mut w, false, true, false, &mut dc, &levels));
+        assert_eq!(w.bit_len(), 0);
+    }
+
+    #[test]
+    fn intra_block_with_only_dc() {
+        let mut levels = [0i32; 64];
+        levels[0] = 64;
+        let mut w = BitWriter::new();
+        let mut pred = 128;
+        write_block(&mut w, true, true, false, &mut pred, &levels);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut out = [0i32; 64];
+        let mut pred = 128;
+        parse_block(&mut r, true, true, false, &mut pred, &mut out).unwrap();
+        assert_eq!(out[0], 64);
+        assert!(out[1..].iter().all(|&v| v == 0));
+        assert_eq!(pred, 64);
+    }
+
+    #[test]
+    fn run_past_end_is_rejected() {
+        // Escape with run 63 after position 10 runs off the block.
+        let mut w = BitWriter::new();
+        encode_coeff(&mut w, true, 10, 5);
+        encode_coeff(&mut w, false, 60, 5);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut out = [0i32; 64];
+        let mut dc = 0;
+        assert!(parse_block(&mut r, false, true, false, &mut dc, &mut out).is_err());
+    }
+
+    #[test]
+    fn alternate_scan_changes_bit_layout_not_values() {
+        let mut levels = [0i32; 64];
+        levels[8] = 7; // raster position favoured by the alternate scan
+        levels[1] = -2;
+        let mut w_zig = BitWriter::new();
+        let mut w_alt = BitWriter::new();
+        let mut dc = 0;
+        write_block(&mut w_zig, false, true, false, &mut dc, &levels);
+        write_block(&mut w_alt, false, true, true, &mut dc, &levels);
+        assert_ne!(w_zig.into_bytes(), w_alt.into_bytes());
+    }
+}

@@ -1,0 +1,301 @@
+//! 8×8 forward and inverse DCT.
+//!
+//! The inverse transform is a 32-bit fixed-point separable IDCT in the style
+//! of the MPEG Software Simulation Group reference decoder. **Every decoder
+//! in the workspace uses this same integer IDCT**, which is what makes
+//! tile-parallel output bit-exact with the sequential reference decoder.
+//! The encoder also reconstructs its reference frames through it, so there
+//! is no encoder/decoder drift.
+//!
+//! A double-precision reference IDCT and a forward DCT live here too; the
+//! test suite checks the integer IDCT against the reference within
+//! IEEE-1180-style tolerances.
+
+const W1: i64 = 2841; // 2048*sqrt(2)*cos(1*pi/16)
+const W2: i64 = 2676; // 2048*sqrt(2)*cos(2*pi/16)
+const W3: i64 = 2408; // 2048*sqrt(2)*cos(3*pi/16)
+const W5: i64 = 1609; // 2048*sqrt(2)*cos(5*pi/16)
+const W6: i64 = 1108; // 2048*sqrt(2)*cos(6*pi/16)
+const W7: i64 = 565; //  2048*sqrt(2)*cos(7*pi/16)
+
+/// In-place fixed-point inverse DCT of an 8×8 block in raster order.
+/// Output values are clamped to `[-256, 255]`.
+pub fn idct(block: &mut [i32; 64]) {
+    for row in 0..8 {
+        idct_row(&mut block[row * 8..row * 8 + 8]);
+    }
+    for col in 0..8 {
+        idct_col(block, col);
+    }
+}
+
+fn idct_row(blk: &mut [i32]) {
+    let mut x1 = (blk[4] as i64) << 11;
+    let mut x2 = blk[6] as i64;
+    let mut x3 = blk[2] as i64;
+    let mut x4 = blk[1] as i64;
+    let mut x5 = blk[7] as i64;
+    let mut x6 = blk[5] as i64;
+    let mut x7 = blk[3] as i64;
+
+    if x1 | x2 | x3 | x4 | x5 | x6 | x7 == 0 {
+        let v = blk[0] << 3;
+        blk.iter_mut().for_each(|b| *b = v);
+        return;
+    }
+
+    let mut x0 = ((blk[0] as i64) << 11) + 128;
+
+    // first stage
+    let mut x8 = W7 * (x4 + x5);
+    x4 = x8 + (W1 - W7) * x4;
+    x5 = x8 - (W1 + W7) * x5;
+    x8 = W3 * (x6 + x7);
+    x6 = x8 - (W3 - W5) * x6;
+    x7 = x8 - (W3 + W5) * x7;
+
+    // second stage
+    x8 = x0 + x1;
+    x0 -= x1;
+    x1 = W6 * (x3 + x2);
+    x2 = x1 - (W2 + W6) * x2;
+    x3 = x1 + (W2 - W6) * x3;
+    x1 = x4 + x6;
+    x4 -= x6;
+    x6 = x5 + x7;
+    x5 -= x7;
+
+    // third stage
+    x7 = x8 + x3;
+    x8 -= x3;
+    x3 = x0 + x2;
+    x0 -= x2;
+    x2 = (181 * (x4 + x5) + 128) >> 8;
+    x4 = (181 * (x4 - x5) + 128) >> 8;
+
+    // fourth stage
+    blk[0] = ((x7 + x1) >> 8) as i32;
+    blk[1] = ((x3 + x2) >> 8) as i32;
+    blk[2] = ((x0 + x4) >> 8) as i32;
+    blk[3] = ((x8 + x6) >> 8) as i32;
+    blk[4] = ((x8 - x6) >> 8) as i32;
+    blk[5] = ((x0 - x4) >> 8) as i32;
+    blk[6] = ((x3 - x2) >> 8) as i32;
+    blk[7] = ((x7 - x1) >> 8) as i32;
+}
+
+#[inline]
+fn clamp256(v: i64) -> i32 {
+    v.clamp(-256, 255) as i32
+}
+
+fn idct_col(block: &mut [i32; 64], col: usize) {
+    let b = |i: usize| block[i * 8 + col] as i64;
+
+    let mut x1 = b(4) << 8;
+    let mut x2 = b(6);
+    let mut x3 = b(2);
+    let mut x4 = b(1);
+    let mut x5 = b(7);
+    let mut x6 = b(5);
+    let mut x7 = b(3);
+
+    if x1 | x2 | x3 | x4 | x5 | x6 | x7 == 0 {
+        let v = clamp256((b(0) + 32) >> 6);
+        for i in 0..8 {
+            block[i * 8 + col] = v;
+        }
+        return;
+    }
+
+    let mut x0 = (b(0) << 8) + 8192;
+
+    // first stage
+    let mut x8 = W7 * (x4 + x5) + 4;
+    x4 = (x8 + (W1 - W7) * x4) >> 3;
+    x5 = (x8 - (W1 + W7) * x5) >> 3;
+    x8 = W3 * (x6 + x7) + 4;
+    x6 = (x8 - (W3 - W5) * x6) >> 3;
+    x7 = (x8 - (W3 + W5) * x7) >> 3;
+
+    // second stage
+    x8 = x0 + x1;
+    x0 -= x1;
+    x1 = W6 * (x3 + x2) + 4;
+    x2 = (x1 - (W2 + W6) * x2) >> 3;
+    x3 = (x1 + (W2 - W6) * x3) >> 3;
+    x1 = x4 + x6;
+    x4 -= x6;
+    x6 = x5 + x7;
+    x5 -= x7;
+
+    // third stage
+    x7 = x8 + x3;
+    x8 -= x3;
+    x3 = x0 + x2;
+    x0 -= x2;
+    x2 = (181 * (x4 + x5) + 128) >> 8;
+    x4 = (181 * (x4 - x5) + 128) >> 8;
+
+    // fourth stage
+    block[col] = clamp256((x7 + x1) >> 14);
+    block[8 + col] = clamp256((x3 + x2) >> 14);
+    block[16 + col] = clamp256((x0 + x4) >> 14);
+    block[24 + col] = clamp256((x8 + x6) >> 14);
+    block[32 + col] = clamp256((x8 - x6) >> 14);
+    block[40 + col] = clamp256((x0 - x4) >> 14);
+    block[48 + col] = clamp256((x3 - x2) >> 14);
+    block[56 + col] = clamp256((x7 - x1) >> 14);
+}
+
+/// Double-precision reference inverse DCT (raster order input and output,
+/// no clamping).
+pub fn idct_reference(coeffs: &[i32; 64]) -> [f64; 64] {
+    let mut out = [0.0f64; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0f64;
+            for v in 0..8 {
+                for u in 0..8 {
+                    let cu = if u == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
+                    let cv = if v == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
+                    acc += cu
+                        * cv
+                        * coeffs[v * 8 + u] as f64
+                        * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos()
+                        * ((2 * y + 1) as f64 * v as f64 * std::f64::consts::PI / 16.0).cos();
+                }
+            }
+            out[y * 8 + x] = acc / 4.0;
+        }
+    }
+    out
+}
+
+/// Double-precision forward DCT of spatial samples in raster order,
+/// rounded to the nearest integer coefficient.
+pub fn fdct(samples: &[i32; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    // Separable: rows then columns, with the C(u)/2 normalisation applied
+    // per pass (each pass contributes C/2 so the product matches the 2-D
+    // definition with C(u)C(v)/4).
+    let mut tmp = [0.0f64; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let cu = if u == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
+            let mut acc = 0.0;
+            for x in 0..8 {
+                acc += samples[y * 8 + x] as f64
+                    * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos();
+            }
+            tmp[y * 8 + u] = acc * cu / 2.0;
+        }
+    }
+    for u in 0..8 {
+        for v in 0..8 {
+            let cv = if v == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
+            let mut acc = 0.0;
+            for y in 0..8 {
+                acc += tmp[y * 8 + u]
+                    * ((2 * y + 1) as f64 * v as f64 * std::f64::consts::PI / 16.0).cos();
+            }
+            out[v * 8 + u] = (acc * cv / 2.0).round() as i32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_block(seed: u64, range: i32) -> [i32; 64] {
+        // xorshift so the test needs no external RNG.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut b = [0i32; 64];
+        for v in &mut b {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *v = (s % (2 * range as u64 + 1)) as i32 - range;
+        }
+        b
+    }
+
+    #[test]
+    fn dc_only_block_is_flat() {
+        let mut b = [0i32; 64];
+        b[0] = 64; // DC of 64 -> spatial value 64/8 = 8 everywhere
+        idct(&mut b);
+        assert!(b.iter().all(|&v| v == 8), "{b:?}");
+    }
+
+    #[test]
+    fn zero_block_stays_zero() {
+        let mut b = [0i32; 64];
+        idct(&mut b);
+        assert_eq!(b, [0i32; 64]);
+    }
+
+    #[test]
+    fn integer_idct_tracks_reference() {
+        // IEEE-1180-style check: peak error <= 1, mean error small.
+        let mut peak = 0i32;
+        let mut total_err = 0i64;
+        let mut count = 0i64;
+        for seed in 1..200u64 {
+            let coeffs = random_block(seed, 300);
+            let reference = idct_reference(&coeffs);
+            let mut fast = coeffs;
+            idct(&mut fast);
+            for i in 0..64 {
+                let r = reference[i].round().clamp(-256.0, 255.0) as i32;
+                let e = (fast[i] - r).abs();
+                peak = peak.max(e);
+                total_err += e as i64;
+                count += 1;
+            }
+        }
+        assert!(peak <= 2, "peak IDCT error {peak}");
+        let mean = total_err as f64 / count as f64;
+        assert!(mean < 0.05, "mean IDCT error {mean}");
+    }
+
+    #[test]
+    fn fdct_then_idct_recovers_samples() {
+        for seed in 1..50u64 {
+            let samples = random_block(seed, 200);
+            let coeffs = fdct(&samples);
+            let mut rec = coeffs;
+            idct(&mut rec);
+            for i in 0..64 {
+                assert!(
+                    (rec[i] - samples[i]).abs() <= 2,
+                    "seed {seed} idx {i}: {} vs {}",
+                    rec[i],
+                    samples[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fdct_of_flat_block_is_dc_only() {
+        let samples = [32i32; 64];
+        let coeffs = fdct(&samples);
+        assert_eq!(coeffs[0], 32 * 8);
+        assert!(coeffs[1..].iter().all(|&c| c == 0), "{coeffs:?}");
+    }
+
+    #[test]
+    fn idct_output_is_clamped() {
+        let mut b = [0i32; 64];
+        b[0] = 30000; // way past the clamp
+        idct(&mut b);
+        assert!(b.iter().all(|&v| v == 255));
+        let mut b = [0i32; 64];
+        b[0] = -30000;
+        idct(&mut b);
+        assert!(b.iter().all(|&v| v == -256));
+    }
+}

@@ -1,0 +1,231 @@
+//! The sequential reference decoder.
+//!
+//! This is the correctness oracle for the whole workspace: every parallel
+//! configuration must reproduce its output *bit exactly* (all decoders
+//! share the same integer IDCT and reconstruction path).
+
+use tiledec_bitstream::{BitReader, StartCode, StartCodeScanner};
+
+use crate::frame::Frame;
+use crate::headers;
+use crate::motion::FrameRefs;
+use crate::recon::{FrameSink, Reconstructor};
+use crate::slice::{parse_slice, SliceContext};
+use crate::types::{PictureInfo, PictureKind, SequenceInfo};
+use crate::{Error, Result};
+
+/// Summary of a decoded stream.
+#[derive(Debug, Clone)]
+pub struct StreamSummary {
+    /// Sequence parameters.
+    pub seq: SequenceInfo,
+    /// Number of pictures decoded.
+    pub pictures: usize,
+}
+
+/// Streaming decoder state. Frames are delivered in **display order**
+/// through the sink callback; reference frames are the only pictures kept
+/// in memory.
+pub struct Decoder {
+    seq: Option<SequenceInfo>,
+    prev_ref: Option<Frame>,
+    next_ref: Option<Frame>,
+    /// (info, frame, coding-extension parsed, any slice decoded)
+    current: Option<(PictureInfo, Frame, bool, bool)>,
+    pictures: usize,
+}
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Decoder {
+    /// Creates a fresh decoder.
+    pub fn new() -> Self {
+        Decoder { seq: None, prev_ref: None, next_ref: None, current: None, pictures: 0 }
+    }
+
+    /// Decodes a whole elementary stream, invoking `on_frame` for every
+    /// picture in display order.
+    pub fn decode_stream(
+        &mut self,
+        data: &[u8],
+        mut on_frame: impl FnMut(&Frame, &PictureInfo),
+    ) -> Result<StreamSummary> {
+        let mut scanner = StartCodeScanner::new(data);
+        while let Some(code) = scanner.next_code() {
+            let mut r = BitReader::at(data, (code.offset + 4) * 8);
+            match code.code {
+                StartCode::SEQUENCE_HEADER => {
+                    self.finish_picture(&mut on_frame)?;
+                    self.seq = Some(headers::parse_sequence_header(&mut r)?);
+                }
+                StartCode::EXTENSION => {
+                    let id = r.read_bits(4)?;
+                    if id == headers::EXT_ID_SEQUENCE {
+                        let seq = self
+                            .seq
+                            .as_mut()
+                            .ok_or(Error::Syntax("sequence extension before header".into()))?;
+                        headers::parse_sequence_extension(&mut r, seq)?;
+                    } else if id == headers::EXT_ID_PICTURE_CODING {
+                        let (info, _, ext, _) = self
+                            .current
+                            .as_mut()
+                            .ok_or(Error::Syntax("picture coding extension without picture".into()))?;
+                        headers::parse_picture_coding_extension(&mut r, info)?;
+                        *ext = true;
+                    }
+                    // Other extensions (display, quant matrix, …) are skipped.
+                }
+                StartCode::GROUP => {
+                    self.finish_picture(&mut on_frame)?;
+                    let _gop = headers::parse_gop_header(&mut r)?;
+                }
+                StartCode::PICTURE => {
+                    self.finish_picture(&mut on_frame)?;
+                    let seq = self
+                        .seq
+                        .as_ref()
+                        .ok_or(Error::Syntax("picture before sequence header".into()))?;
+                    let info = headers::parse_picture_header(&mut r)?;
+                    let frame =
+                        Frame::zeroed(seq.mb_width() as usize * 16, seq.mb_height() as usize * 16);
+                    self.current = Some((info, frame, false, false));
+                }
+                StartCode::SEQUENCE_END => {
+                    self.finish_picture(&mut on_frame)?;
+                }
+                StartCode::USER_DATA => {}
+                c if StartCode { offset: 0, code: c }.is_slice() => {
+                    self.decode_slice_code(&mut r, c)?;
+                }
+                other => {
+                    return Err(Error::Syntax(format!("unexpected start code {other:#04x}")));
+                }
+            }
+        }
+        self.finish_picture(&mut on_frame)?;
+        // Flush the last held reference frame.
+        if let Some(last) = self.next_ref.take() {
+            // Its PictureInfo is gone; synthesise a minimal one for the sink.
+            let info = PictureInfo::new(PictureKind::P, 0, [[15, 15], [15, 15]]);
+            on_frame(&last, &info);
+        }
+        let seq = self.seq.clone().ok_or(Error::Syntax("no sequence header in stream".into()))?;
+        Ok(StreamSummary { seq, pictures: self.pictures })
+    }
+
+    fn decode_slice_code(&mut self, r: &mut BitReader<'_>, code: u8) -> Result<()> {
+        let seq = self.seq.as_ref().ok_or(Error::Syntax("slice before sequence header".into()))?;
+        // Take the picture out of `self` so reference borrows stay disjoint.
+        let mut cur = self
+            .current
+            .take()
+            .ok_or(Error::Syntax("slice before picture header".into()))?;
+        let result = (|| {
+            let (info, frame, ext, any_slice) = (&cur.0, &mut cur.1, cur.2, &mut cur.3);
+            if !ext {
+                return Err(Error::Syntax("slice before picture coding extension".into()));
+            }
+        match info.kind {
+            PictureKind::I => {}
+            PictureKind::P => {
+                if self.next_ref.is_none() {
+                    return Err(Error::Syntax("P picture without a reference".into()));
+                }
+            }
+            PictureKind::B => {
+                if self.next_ref.is_none() || self.prev_ref.is_none() {
+                    return Err(Error::Syntax("B picture without two references".into()));
+                }
+            }
+        }
+        let placeholder = Frame::zeroed(16, 16);
+        let (fwd, bwd) = match info.kind {
+            PictureKind::B => {
+                (self.prev_ref.as_ref().unwrap(), self.next_ref.as_ref().unwrap())
+            }
+            PictureKind::P => {
+                let f = self.next_ref.as_ref().unwrap();
+                (f, f)
+            }
+            PictureKind::I => (&placeholder, &placeholder),
+        };
+        let refs = FrameRefs { fwd, bwd };
+        let mut sink = FrameSink { frame };
+        let mut recon = Reconstructor { refs: &refs, sink: &mut sink };
+        let ctx = SliceContext { seq, pic: info };
+        parse_slice(r, &ctx, (code - 1) as u32, &mut recon)?;
+        *any_slice = true;
+        Ok(())
+        })();
+        self.current = Some(cur);
+        result
+    }
+
+    /// Completes the picture being decoded (if any) and emits frames that
+    /// become displayable.
+    fn finish_picture(&mut self, on_frame: &mut impl FnMut(&Frame, &PictureInfo)) -> Result<()> {
+        let Some((info, frame, _, any_slice)) = self.current.take() else {
+            return Ok(());
+        };
+        if !any_slice {
+            return Err(Error::Syntax("picture contained no slices".into()));
+        }
+        self.pictures += 1;
+        match info.kind {
+            PictureKind::B => {
+                on_frame(&frame, &info);
+            }
+            _ => {
+                // A new reference releases the previously held one for
+                // display; the released frame stays around as the forward
+                // reference for upcoming B pictures.
+                if let Some(released) = self.next_ref.take() {
+                    on_frame(&released, &info);
+                    self.prev_ref = Some(released);
+                }
+                self.next_ref = Some(frame);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Decodes a whole stream into display-order frames. Convenience wrapper
+/// for tests and examples; large streams should prefer
+/// [`Decoder::decode_stream`] which never holds more than the reference
+/// frames.
+pub fn decode_all(data: &[u8]) -> Result<Vec<Frame>> {
+    let mut frames = Vec::new();
+    Decoder::new().decode_stream(data, |f, _| frames.push(f.clone()))?;
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        assert!(decode_all(&[]).is_err());
+    }
+
+    #[test]
+    fn garbage_stream_is_an_error() {
+        let data = vec![0x12u8, 0x34, 0x56, 0x78];
+        assert!(decode_all(&data).is_err());
+    }
+
+    #[test]
+    fn slice_before_sequence_rejected() {
+        let data = [0x00, 0x00, 0x01, 0x01, 0xFF, 0xFF];
+        assert!(matches!(decode_all(&data), Err(Error::Syntax(_))));
+    }
+
+    // Full round-trip coverage lives in the encoder tests and the
+    // integration suite, where streams are produced by the encoder.
+}

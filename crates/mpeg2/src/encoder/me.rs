@@ -1,0 +1,256 @@
+//! Motion estimation: diamond search with half-pel refinement.
+//!
+//! Search runs on the *reconstructed* reference frames (the same pixels the
+//! decoder will predict from), on 16×16 luma SAD. Vectors are clamped so
+//! the half-pel footprint never leaves the picture, as MPEG-2 requires.
+
+use crate::frame::{Frame, Plane};
+use crate::types::MotionVector;
+
+/// Result of a block search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotionSearch {
+    /// Best vector in half-pel units.
+    pub mv: MotionVector,
+    /// Sum of absolute differences at the best vector.
+    pub sad: u32,
+}
+
+/// Sum of absolute differences between a 16×16 block of `src` at
+/// (`sx`, `sy`) and a prediction buffer (stride 16).
+pub fn sad_block(src: &Plane, sx: usize, sy: usize, pred: &[u8]) -> u32 {
+    let mut sad = 0u32;
+    for y in 0..16 {
+        let row = &src.row(sy + y)[sx..sx + 16];
+        let prow = &pred[y * 16..y * 16 + 16];
+        for (a, b) in row.iter().zip(prow) {
+            sad += (*a as i32 - *b as i32).unsigned_abs();
+        }
+    }
+    sad
+}
+
+/// SAD against a full-pel position in the reference luma plane.
+fn sad_fullpel(src: &Plane, sx: usize, sy: usize, reference: &Plane, rx: i32, ry: i32) -> u32 {
+    let mut sad = 0u32;
+    for y in 0..16 {
+        let row = &src.row(sy + y)[sx..sx + 16];
+        let rrow = &reference.row((ry + y as i32) as usize)
+            [rx as usize..rx as usize + 16];
+        for (a, b) in row.iter().zip(rrow) {
+            sad += (*a as i32 - *b as i32).unsigned_abs();
+        }
+    }
+    sad
+}
+
+/// Activity proxy used for the intra/inter decision: sum of absolute
+/// deviations from the block mean.
+pub fn block_activity(src: &Plane, sx: usize, sy: usize) -> u32 {
+    let mut sum = 0u32;
+    for y in 0..16 {
+        for &p in &src.row(sy + y)[sx..sx + 16] {
+            sum += p as u32;
+        }
+    }
+    let mean = (sum / 256) as i32;
+    let mut act = 0u32;
+    for y in 0..16 {
+        for &p in &src.row(sy + y)[sx..sx + 16] {
+            act += (p as i32 - mean).unsigned_abs();
+        }
+    }
+    act
+}
+
+/// Clamps a full-pel displacement so the 16×16 (plus one half-pel) window
+/// stays inside the reference plane.
+fn clamp_fullpel(reference: &Plane, sx: usize, sy: usize, dx: i32, dy: i32) -> (i32, i32) {
+    let max_x = reference.width() as i32 - 16 - sx as i32;
+    let max_y = reference.height() as i32 - 16 - sy as i32;
+    (dx.clamp(-(sx as i32), max_x), dy.clamp(-(sy as i32), max_y))
+}
+
+/// Diamond search around (0,0) and `hint`, full-pel, then half-pel
+/// refinement. `range` bounds the full-pel displacement. Returns the best
+/// vector in **half-pel** units.
+pub fn search(
+    src: &Plane,
+    reference: &Frame,
+    sx: usize,
+    sy: usize,
+    hint: MotionVector,
+    range: i32,
+) -> MotionSearch {
+    let rp = &reference.y;
+    let mut best_dx;
+    let mut best_dy;
+    let mut best_sad;
+
+    // Seed with (0,0) and the hint (previous block's vector).
+    {
+        let (dx, dy) = clamp_fullpel(rp, sx, sy, 0, 0);
+        best_dx = dx;
+        best_dy = dy;
+        best_sad = sad_fullpel(src, sx, sy, rp, sx as i32 + dx, sy as i32 + dy);
+    }
+    let (hx, hy) = clamp_fullpel(
+        rp,
+        sx,
+        sy,
+        ((hint.x >> 1) as i32).clamp(-range, range),
+        ((hint.y >> 1) as i32).clamp(-range, range),
+    );
+    if (hx, hy) != (best_dx, best_dy) {
+        let s = sad_fullpel(src, sx, sy, rp, sx as i32 + hx, sy as i32 + hy);
+        if s < best_sad {
+            best_sad = s;
+            best_dx = hx;
+            best_dy = hy;
+        }
+    }
+
+    // Large diamond, shrinking step.
+    let mut step = range.clamp(1, 8);
+    while step >= 1 {
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for (ox, oy) in [(step, 0), (-step, 0), (0, step), (0, -step)] {
+                let cand = (best_dx + ox, best_dy + oy);
+                if cand.0.abs() > range || cand.1.abs() > range {
+                    continue;
+                }
+                let (cx, cy) = clamp_fullpel(rp, sx, sy, cand.0, cand.1);
+                if (cx, cy) != cand {
+                    continue;
+                }
+                let s = sad_fullpel(src, sx, sy, rp, sx as i32 + cx, sy as i32 + cy);
+                if s < best_sad {
+                    best_sad = s;
+                    best_dx = cx;
+                    best_dy = cy;
+                    improved = true;
+                }
+            }
+        }
+        step /= 2;
+    }
+
+    // Half-pel refinement around the (fixed) full-pel winner.
+    let center = MotionVector::new((best_dx * 2) as i16, (best_dy * 2) as i16);
+    let mut best_mv = center;
+    let mut pred = [0u8; 256];
+    for hy in -1i16..=1 {
+        for hx in -1i16..=1 {
+            if hx == 0 && hy == 0 {
+                continue;
+            }
+            let mv = MotionVector::new(center.x + hx, center.y + hy);
+            if !footprint_ok(rp, sx, sy, mv) {
+                continue;
+            }
+            crate::motion::predict(
+                &crate::motion::FrameRefs { fwd: reference, bwd: reference },
+                crate::motion::RefPick::Forward,
+                crate::motion::PlanePick::Y,
+                sx,
+                sy,
+                16,
+                mv,
+                &mut pred,
+            );
+            let s = sad_block(src, sx, sy, &pred);
+            if s < best_sad {
+                best_sad = s;
+                best_mv = mv;
+            }
+        }
+    }
+    // best_mv may still be the full-pel winner.
+    debug_assert!(
+        (best_mv.x.abs() as i32) <= 2 * range + 1 && (best_mv.y.abs() as i32) <= 2 * range + 1,
+        "search produced {best_mv:?} beyond range {range}"
+    );
+    MotionSearch { mv: best_mv, sad: best_sad }
+}
+
+/// True when a half-pel vector's fetch window stays inside the plane, for
+/// both luma and the derived chroma vector.
+pub fn footprint_ok(luma: &Plane, sx: usize, sy: usize, mv: MotionVector) -> bool {
+    let x0 = sx as i32 + (mv.x >> 1) as i32;
+    let y0 = sy as i32 + (mv.y >> 1) as i32;
+    let w = 16 + (mv.x & 1) as i32;
+    let h = 16 + (mv.y & 1) as i32;
+    if x0 < 0 || y0 < 0 || x0 + w > luma.width() as i32 || y0 + h > luma.height() as i32 {
+        return false;
+    }
+    // Chroma window (half resolution).
+    let c = mv.chroma_420();
+    let cx0 = (sx as i32) / 2 + (c.x >> 1) as i32;
+    let cy0 = (sy as i32) / 2 + (c.y >> 1) as i32;
+    let cw = 8 + (c.x & 1) as i32;
+    let ch = 8 + (c.y & 1) as i32;
+    cx0 >= 0
+        && cy0 >= 0
+        && cx0 + cw <= luma.width() as i32 / 2
+        && cy0 + ch <= luma.height() as i32 / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured_frame(w: usize, h: usize, phase: usize) -> Frame {
+        let mut f = Frame::black(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let v = (((x + phase) / 3) * 31 + (y / 2) * 17) % 223;
+                f.y.set(x, y, v as u8 + 16);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn finds_pure_translation() {
+        let reference = textured_frame(128, 64, 0);
+        let shifted = textured_frame(128, 64, 5); // content moved 5 px left
+        let m = search(&shifted.y, &reference, 48, 16, MotionVector::ZERO, 15);
+        assert_eq!(m.sad, 0);
+        assert_eq!(m.mv, MotionVector::new(10, 0)); // +5 full-pel = +10 half-pel
+    }
+
+    #[test]
+    fn zero_motion_for_identical_frames() {
+        let f = textured_frame(64, 64, 0);
+        let m = search(&f.y, &f, 16, 16, MotionVector::ZERO, 15);
+        assert_eq!(m.sad, 0);
+        assert_eq!(m.mv, MotionVector::ZERO);
+    }
+
+    #[test]
+    fn respects_range_limit() {
+        let reference = textured_frame(256, 64, 0);
+        let shifted = textured_frame(256, 64, 40);
+        let m = search(&shifted.y, &reference, 96, 16, MotionVector::ZERO, 4);
+        assert!((m.mv.x / 2).abs() <= 4 && (m.mv.y / 2).abs() <= 4, "{:?}", m.mv);
+    }
+
+    #[test]
+    fn footprint_check_blocks_edges() {
+        let f = Frame::black(64, 64);
+        assert!(footprint_ok(&f.y, 0, 0, MotionVector::ZERO));
+        assert!(!footprint_ok(&f.y, 0, 0, MotionVector::new(-1, 0)));
+        assert!(!footprint_ok(&f.y, 48, 0, MotionVector::new(1, 0)));
+        assert!(footprint_ok(&f.y, 32, 32, MotionVector::new(1, 1)));
+    }
+
+    #[test]
+    fn activity_is_zero_for_flat_blocks() {
+        let f = Frame::black(32, 32);
+        assert_eq!(block_activity(&f.y, 0, 0), 0);
+        let t = textured_frame(32, 32, 0);
+        assert!(block_activity(&t.y, 0, 0) > 0);
+    }
+}

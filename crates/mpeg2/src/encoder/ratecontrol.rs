@@ -1,0 +1,86 @@
+//! Minimal feedback rate control.
+//!
+//! A proportional controller nudges per-picture-type quantiser scales so
+//! the average picture size approaches the configured target. This is all
+//! the reproduction needs: the paper's streams are characterised only by
+//! resolution and bits-per-pixel (Table 4).
+
+use crate::types::PictureKind;
+
+/// Per-picture-type quantiser adaptation toward a bit budget.
+#[derive(Debug, Clone)]
+pub struct RateController {
+    target_bits: f64,
+    q: [f64; 3],
+}
+
+impl RateController {
+    /// Creates a controller aiming at `target_bits` per picture, starting
+    /// from `base_q` (with B pictures biased coarser and I pictures finer,
+    /// the usual practice).
+    pub fn new(target_bits: f64, base_q: u8) -> Self {
+        let q = base_q as f64;
+        RateController { target_bits, q: [(q * 0.8).max(1.0), q, (q * 1.3).min(31.0)] }
+    }
+
+    fn idx(kind: PictureKind) -> usize {
+        match kind {
+            PictureKind::I => 0,
+            PictureKind::P => 1,
+            PictureKind::B => 2,
+        }
+    }
+
+    /// Quantiser scale code to use for the next picture of `kind`.
+    pub fn picture_q(&self, kind: PictureKind) -> u8 {
+        self.q[Self::idx(kind)].round().clamp(1.0, 31.0) as u8
+    }
+
+    /// Feeds back the actual size of an encoded picture.
+    pub fn update(&mut self, kind: PictureKind, bits_used: usize) {
+        let ratio = bits_used as f64 / self.target_bits;
+        // Gentle proportional step, clamped to avoid oscillation.
+        let factor = ratio.sqrt().clamp(0.8, 1.25);
+        let q = &mut self.q[Self::idx(kind)];
+        *q = (*q * factor).clamp(1.0, 31.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oversized_pictures_raise_q() {
+        let mut rc = RateController::new(10_000.0, 8);
+        let q0 = rc.picture_q(PictureKind::P);
+        for _ in 0..10 {
+            rc.update(PictureKind::P, 40_000);
+        }
+        assert!(rc.picture_q(PictureKind::P) > q0);
+    }
+
+    #[test]
+    fn undersized_pictures_lower_q() {
+        let mut rc = RateController::new(10_000.0, 16);
+        let q0 = rc.picture_q(PictureKind::B);
+        for _ in 0..10 {
+            rc.update(PictureKind::B, 1_000);
+        }
+        assert!(rc.picture_q(PictureKind::B) < q0);
+    }
+
+    #[test]
+    fn q_stays_in_legal_range() {
+        let mut rc = RateController::new(1.0, 31);
+        for _ in 0..50 {
+            rc.update(PictureKind::I, usize::MAX / 2);
+        }
+        assert!(rc.picture_q(PictureKind::I) <= 31);
+        let mut rc = RateController::new(1e12, 1);
+        for _ in 0..50 {
+            rc.update(PictureKind::I, 1);
+        }
+        assert!(rc.picture_q(PictureKind::I) >= 1);
+    }
+}

@@ -1,0 +1,45 @@
+use std::fmt;
+
+use tiledec_bitstream::BitstreamError;
+
+/// Errors produced by the MPEG-2 codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Bit-level read failure (truncated stream or bad VLC).
+    Bitstream(BitstreamError),
+    /// The stream uses a feature outside the supported subset.
+    Unsupported(&'static str),
+    /// The stream violates MPEG-2 syntax.
+    Syntax(String),
+    /// Encoder was asked to do something impossible (bad dimensions, etc.).
+    InvalidInput(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Bitstream(e) => write!(f, "bitstream error: {e}"),
+            Error::Unsupported(s) => write!(f, "unsupported MPEG-2 feature: {s}"),
+            Error::Syntax(s) => write!(f, "MPEG-2 syntax error: {s}"),
+            Error::InvalidInput(s) => write!(f, "invalid input: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Bitstream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BitstreamError> for Error {
+    fn from(e: BitstreamError) -> Self {
+        Error::Bitstream(e)
+    }
+}
+
+/// Result alias for codec operations.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,276 @@
+//! Planar image buffers (4:2:0).
+
+/// A single 8-bit image plane with an explicit stride.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Plane {
+    width: usize,
+    height: usize,
+    stride: usize,
+    data: Vec<u8>,
+}
+
+impl Plane {
+    /// Creates a zero-filled plane with `stride == width`.
+    pub fn new(width: usize, height: usize) -> Self {
+        Plane { width, height, stride: width, data: vec![0; width * height] }
+    }
+
+    /// Creates a plane filled with `value`.
+    pub fn filled(width: usize, height: usize, value: u8) -> Self {
+        Plane { width, height, stride: width, data: vec![value; width * height] }
+    }
+
+    /// Plane width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Plane height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Row stride in bytes.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Raw pixel data, `height` rows of `stride` bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw pixel data.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// One pixel row.
+    pub fn row(&self, y: usize) -> &[u8] {
+        &self.data[y * self.stride..y * self.stride + self.width]
+    }
+
+    /// One mutable pixel row.
+    pub fn row_mut(&mut self, y: usize) -> &mut [u8] {
+        let s = self.stride;
+        let w = self.width;
+        &mut self.data[y * s..y * s + w]
+    }
+
+    /// Pixel accessor (debug/test convenience; not for hot paths).
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        self.data[y * self.stride + x]
+    }
+
+    /// Pixel setter (debug/test convenience; not for hot paths).
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        self.data[y * self.stride + x] = v;
+    }
+
+    /// Copies a `w × h` rectangle from `src` at (`sx`, `sy`) to (`dx`, `dy`)
+    /// in `self`. Panics if either rectangle is out of bounds.
+    #[allow(clippy::too_many_arguments)] // two rects are clearer unpacked
+    pub fn blit_from(&mut self, src: &Plane, sx: usize, sy: usize, dx: usize, dy: usize, w: usize, h: usize) {
+        assert!(sx + w <= src.width && sy + h <= src.height, "source rect out of bounds");
+        assert!(dx + w <= self.width && dy + h <= self.height, "dest rect out of bounds");
+        for row in 0..h {
+            let s0 = (sy + row) * src.stride + sx;
+            let d0 = (dy + row) * self.stride + dx;
+            self.data[d0..d0 + w].copy_from_slice(&src.data[s0..s0 + w]);
+        }
+    }
+
+    /// Copies a `w × h` rectangle out of the plane into a tightly packed
+    /// buffer (`w` stride).
+    pub fn extract(&self, x: usize, y: usize, w: usize, h: usize) -> Vec<u8> {
+        assert!(x + w <= self.width && y + h <= self.height, "rect out of bounds");
+        let mut out = Vec::with_capacity(w * h);
+        for row in 0..h {
+            let s0 = (y + row) * self.stride + x;
+            out.extend_from_slice(&self.data[s0..s0 + w]);
+        }
+        out
+    }
+
+    /// Writes a tightly packed `w × h` buffer into the plane at (`x`, `y`).
+    pub fn insert(&mut self, x: usize, y: usize, w: usize, h: usize, pixels: &[u8]) {
+        assert!(x + w <= self.width && y + h <= self.height, "rect out of bounds");
+        assert_eq!(pixels.len(), w * h);
+        for row in 0..h {
+            let d0 = (y + row) * self.stride + x;
+            self.data[d0..d0 + w].copy_from_slice(&pixels[row * w..(row + 1) * w]);
+        }
+    }
+}
+
+impl std::fmt::Debug for Plane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Plane({}x{})", self.width, self.height)
+    }
+}
+
+/// A planar 4:2:0 YCbCr frame. Luma dimensions must be even.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Luma plane, full resolution.
+    pub y: Plane,
+    /// Blue-difference chroma, half resolution in both dimensions.
+    pub cb: Plane,
+    /// Red-difference chroma, half resolution in both dimensions.
+    pub cr: Plane,
+}
+
+impl Frame {
+    /// Creates a black (Y=16 equivalent 0, chroma neutral 128) frame.
+    pub fn black(width: usize, height: usize) -> Self {
+        assert!(width.is_multiple_of(2) && height.is_multiple_of(2), "4:2:0 needs even dimensions");
+        Frame {
+            y: Plane::new(width, height),
+            cb: Plane::filled(width / 2, height / 2, 128),
+            cr: Plane::filled(width / 2, height / 2, 128),
+        }
+    }
+
+    /// Creates an all-zero frame (used for reference slots before the first
+    /// I picture).
+    pub fn zeroed(width: usize, height: usize) -> Self {
+        assert!(width.is_multiple_of(2) && height.is_multiple_of(2), "4:2:0 needs even dimensions");
+        Frame {
+            y: Plane::new(width, height),
+            cb: Plane::new(width / 2, height / 2),
+            cr: Plane::new(width / 2, height / 2),
+        }
+    }
+
+    /// Luma width in pixels.
+    pub fn width(&self) -> usize {
+        self.y.width()
+    }
+
+    /// Luma height in pixels.
+    pub fn height(&self) -> usize {
+        self.y.height()
+    }
+
+    /// Peak signal-to-noise ratio of the luma plane against `other`, in dB.
+    /// Returns `f64::INFINITY` for identical planes.
+    pub fn psnr_luma(&self, other: &Frame) -> f64 {
+        assert_eq!(self.width(), other.width());
+        assert_eq!(self.height(), other.height());
+        plane_psnr(&self.y, &other.y)
+    }
+
+    /// PSNR of all three planes combined (weighted by sample count), in dB.
+    pub fn psnr(&self, other: &Frame) -> f64 {
+        assert_eq!(self.width(), other.width());
+        assert_eq!(self.height(), other.height());
+        let (se_y, n_y) = plane_sse(&self.y, &other.y);
+        let (se_cb, n_cb) = plane_sse(&self.cb, &other.cb);
+        let (se_cr, n_cr) = plane_sse(&self.cr, &other.cr);
+        let sse = se_y + se_cb + se_cr;
+        if sse == 0 {
+            return f64::INFINITY;
+        }
+        let mse = sse as f64 / (n_y + n_cb + n_cr) as f64;
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+fn plane_sse(a: &Plane, b: &Plane) -> (u64, u64) {
+    let mut sse = 0u64;
+    for y in 0..a.height() {
+        for (&pa, &pb) in a.row(y).iter().zip(b.row(y)) {
+            let d = pa as i64 - pb as i64;
+            sse += (d * d) as u64;
+        }
+    }
+    (sse, (a.width() * a.height()) as u64)
+}
+
+fn plane_psnr(a: &Plane, b: &Plane) -> f64 {
+    let (sse, n) = plane_sse(a, b);
+    if sse == 0 {
+        return f64::INFINITY;
+    }
+    let mse = sse as f64 / n as f64;
+    10.0 * (255.0f64 * 255.0 / mse).log10()
+}
+
+impl std::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Frame({}x{})", self.width(), self.height())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_round_trips_rects() {
+        let mut p = Plane::new(32, 16);
+        let patch: Vec<u8> = (0..64).collect();
+        p.insert(8, 4, 8, 8, &patch);
+        assert_eq!(p.extract(8, 4, 8, 8), patch);
+        assert_eq!(p.get(8, 4), 0);
+        assert_eq!(p.get(15, 11), 63);
+    }
+
+    #[test]
+    fn blit_copies_between_planes() {
+        let mut src = Plane::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                src.set(x, y, (x + y * 16) as u8);
+            }
+        }
+        let mut dst = Plane::new(8, 8);
+        dst.blit_from(&src, 4, 4, 0, 0, 8, 8);
+        assert_eq!(dst.get(0, 0), src.get(4, 4));
+        assert_eq!(dst.get(7, 7), src.get(11, 11));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn blit_panics_out_of_bounds() {
+        let src = Plane::new(8, 8);
+        let mut dst = Plane::new(8, 8);
+        dst.blit_from(&src, 4, 4, 4, 4, 8, 8);
+    }
+
+    #[test]
+    fn psnr_identical_is_infinite() {
+        let f = Frame::black(32, 32);
+        assert_eq!(f.psnr_luma(&f.clone()), f64::INFINITY);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let a = Frame::black(32, 32);
+        let mut b = a.clone();
+        b.y.set(0, 0, 10);
+        let mut c = a.clone();
+        for x in 0..32 {
+            c.y.set(x, 0, 50);
+        }
+        assert!(a.psnr_luma(&b) > a.psnr_luma(&c));
+    }
+
+    #[test]
+    fn combined_psnr_includes_chroma() {
+        let a = Frame::black(32, 32);
+        let mut b = a.clone();
+        // Luma identical; chroma differs -> psnr_luma infinite, psnr finite.
+        b.cb.set(0, 0, 0);
+        assert_eq!(a.psnr_luma(&b), f64::INFINITY);
+        assert!(a.psnr(&b).is_finite());
+    }
+
+    #[test]
+    fn black_frame_has_neutral_chroma() {
+        let f = Frame::black(16, 16);
+        assert_eq!(f.cb.get(3, 3), 128);
+        assert_eq!(f.cr.get(7, 7), 128);
+        assert_eq!(f.cb.width(), 8);
+    }
+}

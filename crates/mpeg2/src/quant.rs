@@ -1,0 +1,180 @@
+//! Inverse quantisation (§7.4) and the encoder's forward quantisation.
+
+/// Intra-DC multiplier for an `intra_dc_precision` of 0–3 (8–11 bits).
+pub fn intra_dc_mult(precision: u8) -> i32 {
+    match precision {
+        0 => 8,
+        1 => 4,
+        2 => 2,
+        3 => 1,
+        _ => panic!("intra_dc_precision out of range"),
+    }
+}
+
+/// Inverse-quantises an intra block. `levels` holds quantised values in
+/// raster order (DC at index 0 already includes the predictor). Applies
+/// saturation and mismatch control (§7.4.3, §7.4.4).
+pub fn dequant_intra(
+    levels: &[i32; 64],
+    matrix: &[u8; 64],
+    scale: u16,
+    dc_precision: u8,
+) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    out[0] = (levels[0] * intra_dc_mult(dc_precision)).clamp(-2048, 2047);
+    let mut sum = out[0];
+    for i in 1..64 {
+        let f = (2 * levels[i]) * matrix[i] as i32 * scale as i32 / 32;
+        let f = f.clamp(-2048, 2047);
+        out[i] = f;
+        sum += f;
+    }
+    mismatch_control(&mut out, sum);
+    out
+}
+
+/// Inverse-quantises a non-intra block.
+pub fn dequant_non_intra(levels: &[i32; 64], matrix: &[u8; 64], scale: u16) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    let mut sum = 0i32;
+    for i in 0..64 {
+        let q = levels[i];
+        if q == 0 {
+            continue;
+        }
+        let k = if q > 0 { 1 } else { -1 };
+        let f = (2 * q + k) * matrix[i] as i32 * scale as i32 / 32;
+        let f = f.clamp(-2048, 2047);
+        out[i] = f;
+        sum += f;
+    }
+    mismatch_control(&mut out, sum);
+    out
+}
+
+/// §7.4.4: if the coefficient sum is even, toggle the LSB of F\[7\]\[7\].
+fn mismatch_control(out: &mut [i32; 64], sum: i32) {
+    if sum % 2 == 0 {
+        if out[63] % 2 == 0 {
+            out[63] += 1;
+        } else {
+            out[63] -= 1;
+        }
+    }
+}
+
+/// Forward-quantises an intra block of DCT coefficients. The DC coefficient
+/// is divided by the intra-DC multiplier with rounding; AC coefficients use
+/// rounding division by `W·scale/16`.
+pub fn quant_intra(
+    coeffs: &[i32; 64],
+    matrix: &[u8; 64],
+    scale: u16,
+    dc_precision: u8,
+) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    let dc_m = intra_dc_mult(dc_precision);
+    out[0] = div_round(coeffs[0], dc_m).clamp(-(1 << (8 + dc_precision)), (1 << (8 + dc_precision)) - 1);
+    for i in 1..64 {
+        let denom = matrix[i] as i32 * scale as i32;
+        // QF = round(16*F / (W*scale)); dequant reconstructs QF*W*scale/16.
+        out[i] = div_round(16 * coeffs[i], denom).clamp(-2047, 2047);
+    }
+    out
+}
+
+/// Forward-quantises a non-intra block. Truncating division creates the
+/// usual dead zone around zero.
+pub fn quant_non_intra(coeffs: &[i32; 64], matrix: &[u8; 64], scale: u16) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for i in 0..64 {
+        let denom = 2 * matrix[i] as i32 * scale as i32;
+        // QF = 32*F / (2*W*scale), truncation toward zero.
+        out[i] = (32 * coeffs[i] / denom).clamp(-2047, 2047);
+    }
+    out
+}
+
+/// Rounding integer division (ties away from zero).
+fn div_round(n: i32, d: i32) -> i32 {
+    debug_assert!(d > 0);
+    if n >= 0 {
+        (n + d / 2) / d
+    } else {
+        -((-n + d / 2) / d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::quant::{DEFAULT_INTRA_MATRIX, DEFAULT_NON_INTRA_MATRIX};
+
+    #[test]
+    fn dc_mult_table() {
+        assert_eq!(intra_dc_mult(0), 8);
+        assert_eq!(intra_dc_mult(3), 1);
+    }
+
+    #[test]
+    fn intra_round_trip_is_lossless_for_reachable_values() {
+        // Any value of the form QF*W*scale/16 (exactly divisible) must
+        // survive quant -> dequant unchanged (up to mismatch control on 63).
+        let scale = 16u16;
+        let mut coeffs = [0i32; 64];
+        for i in 1..63 {
+            let w = DEFAULT_INTRA_MATRIX[i] as i32;
+            coeffs[i] = ((i as i32 % 9) - 4) * w * scale as i32 / 16;
+        }
+        coeffs[0] = 1024;
+        let q = quant_intra(&coeffs, &DEFAULT_INTRA_MATRIX, scale, 0);
+        let dq = dequant_intra(&q, &DEFAULT_INTRA_MATRIX, scale, 0);
+        for i in 0..63 {
+            assert_eq!(dq[i], coeffs[i], "i={i}");
+        }
+    }
+
+    #[test]
+    fn non_intra_dead_zone() {
+        let mut coeffs = [0i32; 64];
+        coeffs[5] = 15; // below one quant step at scale 2, matrix 16: step=2*16*2/32=2... 32*15/(2*16*2)=7
+        let q = quant_non_intra(&coeffs, &DEFAULT_NON_INTRA_MATRIX, 2);
+        assert_eq!(q[5], 7);
+        let dq = dequant_non_intra(&q, &DEFAULT_NON_INTRA_MATRIX, 2);
+        // (2*7+1)*16*2/32 = 15
+        assert_eq!(dq[5], 15);
+    }
+
+    #[test]
+    fn mismatch_control_makes_sum_odd() {
+        for levels in [[0i32; 64], {
+            let mut l = [0i32; 64];
+            l[0] = 2;
+            l[10] = 4;
+            l
+        }] {
+            let dq = dequant_non_intra(&levels, &DEFAULT_NON_INTRA_MATRIX, 4);
+            let sum: i32 = dq.iter().sum();
+            assert_eq!(sum.rem_euclid(2), 1, "sum must be odd after mismatch control");
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_to_signed_12_bits() {
+        let mut levels = [0i32; 64];
+        levels[3] = 2047;
+        let dq = dequant_intra(&levels, &DEFAULT_INTRA_MATRIX, 62, 0);
+        assert_eq!(dq[3], 2047);
+        levels[3] = -2047;
+        let dq = dequant_intra(&levels, &DEFAULT_INTRA_MATRIX, 62, 0);
+        assert_eq!(dq[3], -2048);
+    }
+
+    #[test]
+    fn div_round_ties_away_from_zero() {
+        assert_eq!(div_round(3, 2), 2);
+        assert_eq!(div_round(-3, 2), -2);
+        assert_eq!(div_round(5, 4), 1);
+        assert_eq!(div_round(7, 4), 2);
+    }
+}

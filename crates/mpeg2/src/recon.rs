@@ -1,0 +1,251 @@
+//! Macroblock reconstruction: dequantisation, IDCT, motion compensation
+//! and pixel assembly.
+//!
+//! [`Reconstructor`] implements [`SliceVisitor`] generically over a
+//! [`ReferenceFetcher`] (where reference pixels come from) and an
+//! [`MbSink`] (where reconstructed pixels go), so the same code drives the
+//! sequential decoder (whole frames on both sides) and the tile decoder in
+//! `tiledec-core` (tile-plus-halo in, tile out).
+
+use crate::frame::Frame;
+use crate::motion::{average_into, predict, PlanePick, RefPick, ReferenceFetcher};
+use crate::slice::{MbMeta, MbMotion, SliceContext, SliceVisitor};
+use crate::types::{MotionVector, PictureKind};
+use crate::{dct, quant, Result};
+
+/// Receives reconstructed macroblock pixels.
+pub trait MbSink {
+    /// Stores a reconstructed macroblock at macroblock coordinates
+    /// (`mb_x`, `mb_y`): a 16×16 luma block and two 8×8 chroma blocks.
+    fn write_mb(&mut self, mb_x: u32, mb_y: u32, y: &[u8; 256], cb: &[u8; 64], cr: &[u8; 64]);
+}
+
+/// [`MbSink`] writing into a whole frame.
+pub struct FrameSink<'a> {
+    /// Destination frame (picture-sized).
+    pub frame: &'a mut Frame,
+}
+
+impl MbSink for FrameSink<'_> {
+    fn write_mb(&mut self, mb_x: u32, mb_y: u32, y: &[u8; 256], cb: &[u8; 64], cr: &[u8; 64]) {
+        let (px, py) = (mb_x as usize * 16, mb_y as usize * 16);
+        self.frame.y.insert(px, py, 16, 16, y);
+        self.frame.cb.insert(px / 2, py / 2, 8, 8, cb);
+        self.frame.cr.insert(px / 2, py / 2, 8, 8, cr);
+    }
+}
+
+/// Slice visitor that reconstructs pixels.
+pub struct Reconstructor<'a, R: ReferenceFetcher, S: MbSink> {
+    /// Reference pixel source.
+    pub refs: &'a R,
+    /// Reconstructed pixel destination.
+    pub sink: &'a mut S,
+}
+
+impl<R: ReferenceFetcher, S: MbSink> Reconstructor<'_, R, S> {
+    #[allow(clippy::too_many_arguments)] // three output planes, one call site
+    fn predict_mb(
+        &self,
+        ctx: &SliceContext<'_>,
+        mb_x: u32,
+        mb_y: u32,
+        motion: &MbMotion,
+        y: &mut [u8; 256],
+        cb: &mut [u8; 64],
+        cr: &mut [u8; 64],
+    ) {
+        let preds: &[(RefPick, MotionVector)] = match motion {
+            MbMotion::Intra => unreachable!("intra macroblocks are not predicted"),
+            MbMotion::Forward(f) => &[(RefPick::Forward, *f)],
+            MbMotion::Backward(b) => &[(RefPick::Backward, *b)],
+            MbMotion::Bi(f, b) => &[(RefPick::Forward, *f), (RefPick::Backward, *b)],
+        };
+        let _ = ctx;
+        let (px, py) = (mb_x as usize * 16, mb_y as usize * 16);
+        let mut second_y = [0u8; 256];
+        let mut second_c = [0u8; 64];
+        for (i, (which, mv)) in preds.iter().enumerate() {
+            let cmv = mv.chroma_420();
+            if i == 0 {
+                predict(self.refs, *which, PlanePick::Y, px, py, 16, *mv, y);
+                predict(self.refs, *which, PlanePick::Cb, px / 2, py / 2, 8, cmv, cb);
+                predict(self.refs, *which, PlanePick::Cr, px / 2, py / 2, 8, cmv, cr);
+            } else {
+                predict(self.refs, *which, PlanePick::Y, px, py, 16, *mv, &mut second_y);
+                average_into(y, &second_y);
+                predict(self.refs, *which, PlanePick::Cb, px / 2, py / 2, 8, cmv, &mut second_c);
+                average_into(cb, &second_c);
+                predict(self.refs, *which, PlanePick::Cr, px / 2, py / 2, 8, cmv, &mut second_c);
+                average_into(cr, &second_c);
+            }
+        }
+    }
+
+    /// Dequantises and inverse-transforms block `i` of a macroblock into
+    /// `out` (raster 8×8 spatial values, clamped to ±255 range by the IDCT).
+    fn residual(
+        &self,
+        ctx: &SliceContext<'_>,
+        meta: &MbMeta,
+        levels: &[i32; 64],
+        intra: bool,
+        out: &mut [i32; 64],
+    ) {
+        let scale = crate::tables::quant::quantiser_scale(ctx.pic.q_scale_type, meta.qscale_code);
+        *out = if intra {
+            quant::dequant_intra(
+                levels,
+                &ctx.seq.intra_quant_matrix,
+                scale,
+                ctx.pic.intra_dc_precision,
+            )
+        } else {
+            quant::dequant_non_intra(levels, &ctx.seq.non_intra_quant_matrix, scale)
+        };
+        dct::idct(out);
+    }
+}
+
+/// Adds an 8×8 residual onto a prediction sub-block inside a macroblock
+/// pixel buffer of width `stride`.
+fn add_residual(dst: &mut [u8], stride: usize, bx: usize, by: usize, residual: &[i32; 64]) {
+    for y in 0..8 {
+        for x in 0..8 {
+            let d = &mut dst[(by + y) * stride + bx + x];
+            *d = (*d as i32 + residual[y * 8 + x]).clamp(0, 255) as u8;
+        }
+    }
+}
+
+/// Writes an 8×8 intra block (no prediction) into a macroblock buffer.
+fn set_block(dst: &mut [u8], stride: usize, bx: usize, by: usize, samples: &[i32; 64]) {
+    for y in 0..8 {
+        for x in 0..8 {
+            dst[(by + y) * stride + bx + x] = samples[y * 8 + x].clamp(0, 255) as u8;
+        }
+    }
+}
+
+/// Offsets of the four luma blocks within a macroblock.
+const LUMA_BLOCK_OFFSETS: [(usize, usize); 4] = [(0, 0), (8, 0), (0, 8), (8, 8)];
+
+impl<R: ReferenceFetcher, S: MbSink> SliceVisitor for Reconstructor<'_, R, S> {
+    fn skipped(
+        &mut self,
+        ctx: &SliceContext<'_>,
+        start_addr: u32,
+        count: u32,
+        motion: &MbMotion,
+    ) -> Result<()> {
+        let mbw = ctx.mb_width();
+        for addr in start_addr..start_addr + count {
+            let (mb_x, mb_y) = (addr % mbw, addr / mbw);
+            let mut y = [0u8; 256];
+            let mut cb = [0u8; 64];
+            let mut cr = [0u8; 64];
+            self.predict_mb(ctx, mb_x, mb_y, motion, &mut y, &mut cb, &mut cr);
+            self.sink.write_mb(mb_x, mb_y, &y, &cb, &cr);
+        }
+        Ok(())
+    }
+
+    fn macroblock(
+        &mut self,
+        ctx: &SliceContext<'_>,
+        meta: &MbMeta,
+        blocks: &[[i32; 64]; 6],
+    ) -> Result<()> {
+        let mut y = [0u8; 256];
+        let mut cb = [0u8; 64];
+        let mut cr = [0u8; 64];
+        let intra = meta.flags.intra;
+        if !intra {
+            self.predict_mb(ctx, meta.x, meta.y, &meta.motion, &mut y, &mut cb, &mut cr);
+        }
+        let mut spatial = [0i32; 64];
+        for i in 0..6 {
+            if meta.cbp & (1 << (5 - i)) == 0 {
+                continue;
+            }
+            self.residual(ctx, meta, &blocks[i], intra, &mut spatial);
+            match i {
+                0..=3 => {
+                    let (bx, by) = LUMA_BLOCK_OFFSETS[i];
+                    if intra {
+                        set_block(&mut y, 16, bx, by, &spatial);
+                    } else {
+                        add_residual(&mut y, 16, bx, by, &spatial);
+                    }
+                }
+                4 => {
+                    if intra {
+                        set_block(&mut cb, 8, 0, 0, &spatial);
+                    } else {
+                        add_residual(&mut cb, 8, 0, 0, &spatial);
+                    }
+                }
+                _ => {
+                    if intra {
+                        set_block(&mut cr, 8, 0, 0, &spatial);
+                    } else {
+                        add_residual(&mut cr, 8, 0, 0, &spatial);
+                    }
+                }
+            }
+        }
+        self.sink.write_mb(meta.x, meta.y, &y, &cb, &cr);
+        Ok(())
+    }
+}
+
+/// Convenience: true when a picture kind needs a backward reference.
+pub fn needs_backward_ref(kind: PictureKind) -> bool {
+    kind == PictureKind::B
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_sink_places_macroblocks() {
+        let mut frame = Frame::black(32, 32);
+        let mut sink = FrameSink { frame: &mut frame };
+        let y = [200u8; 256];
+        let cb = [90u8; 64];
+        let cr = [30u8; 64];
+        sink.write_mb(1, 1, &y, &cb, &cr);
+        assert_eq!(frame.y.get(16, 16), 200);
+        assert_eq!(frame.y.get(31, 31), 200);
+        assert_eq!(frame.y.get(15, 15), 0);
+        assert_eq!(frame.cb.get(8, 8), 90);
+        assert_eq!(frame.cr.get(15, 15), 30);
+        assert_eq!(frame.cb.get(7, 7), 128);
+    }
+
+    #[test]
+    fn add_residual_saturates() {
+        let mut buf = [250u8; 256];
+        let mut res = [0i32; 64];
+        res[0] = 100;
+        res[1] = -255;
+        add_residual(&mut buf, 16, 0, 0, &res);
+        assert_eq!(buf[0], 255);
+        assert_eq!(buf[1], 0);
+        assert_eq!(buf[2], 250);
+    }
+
+    #[test]
+    fn set_block_clamps() {
+        let mut buf = [0u8; 256];
+        let mut s = [0i32; 64];
+        s[0] = 300;
+        s[1] = -4;
+        s[2] = 128;
+        set_block(&mut buf, 16, 8, 8, &s);
+        assert_eq!(buf[8 * 16 + 8], 255);
+        assert_eq!(buf[8 * 16 + 9], 0);
+        assert_eq!(buf[8 * 16 + 10], 128);
+    }
+}

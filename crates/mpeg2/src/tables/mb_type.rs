@@ -1,0 +1,143 @@
+//! Tables B-2, B-3, B-4: `macroblock_type` for I, P and B pictures.
+
+use std::sync::OnceLock;
+
+use tiledec_bitstream::{BitReader, BitWriter};
+
+use crate::types::{MbFlags, PictureKind};
+
+use super::vlc::{spec, VlcSpec, VlcTable};
+
+/// Flags encoded as a compact bitmask for table keys:
+/// bit0 quant, bit1 fwd, bit2 bwd, bit3 pattern, bit4 intra.
+fn key(f: &MbFlags) -> usize {
+    (f.quant as usize)
+        | (f.motion_forward as usize) << 1
+        | (f.motion_backward as usize) << 2
+        | (f.pattern as usize) << 3
+        | (f.intra as usize) << 4
+}
+
+const fn flags(quant: bool, fwd: bool, bwd: bool, pattern: bool, intra: bool) -> MbFlags {
+    MbFlags { quant, motion_forward: fwd, motion_backward: bwd, pattern, intra }
+}
+
+/// Table B-2 (I pictures).
+const I_SPECS: [VlcSpec<MbFlags>; 2] = [
+    spec(flags(false, false, false, false, true), 0b1, 1),
+    spec(flags(true, false, false, false, true), 0b01, 2),
+];
+
+/// Table B-3 (P pictures).
+const P_SPECS: [VlcSpec<MbFlags>; 7] = [
+    spec(flags(false, true, false, true, false), 0b1, 1),
+    spec(flags(false, false, false, true, false), 0b01, 2),
+    spec(flags(false, true, false, false, false), 0b001, 3),
+    spec(flags(false, false, false, false, true), 0b0001_1, 5),
+    spec(flags(true, true, false, true, false), 0b0001_0, 5),
+    spec(flags(true, false, false, true, false), 0b0000_1, 5),
+    spec(flags(true, false, false, false, true), 0b0000_01, 6),
+];
+
+/// Table B-4 (B pictures).
+const B_SPECS: [VlcSpec<MbFlags>; 11] = [
+    spec(flags(false, true, true, false, false), 0b10, 2),
+    spec(flags(false, true, true, true, false), 0b11, 2),
+    spec(flags(false, false, true, false, false), 0b010, 3),
+    spec(flags(false, false, true, true, false), 0b011, 3),
+    spec(flags(false, true, false, false, false), 0b0010, 4),
+    spec(flags(false, true, false, true, false), 0b0011, 4),
+    spec(flags(false, false, false, false, true), 0b0001_1, 5),
+    spec(flags(true, true, true, true, false), 0b0001_0, 5),
+    spec(flags(true, true, false, true, false), 0b0000_11, 6),
+    spec(flags(true, false, true, true, false), 0b0000_10, 6),
+    spec(flags(true, false, false, false, true), 0b0000_01, 6),
+];
+
+fn table(kind: PictureKind) -> &'static VlcTable<MbFlags> {
+    static I: OnceLock<VlcTable<MbFlags>> = OnceLock::new();
+    static P: OnceLock<VlcTable<MbFlags>> = OnceLock::new();
+    static B: OnceLock<VlcTable<MbFlags>> = OnceLock::new();
+    let default = flags(false, false, false, false, false);
+    match kind {
+        PictureKind::I => {
+            I.get_or_init(|| VlcTable::build("B-2 mb_type(I)", &I_SPECS, default, 32, key))
+        }
+        PictureKind::P => {
+            P.get_or_init(|| VlcTable::build("B-3 mb_type(P)", &P_SPECS, default, 32, key))
+        }
+        PictureKind::B => {
+            B.get_or_init(|| VlcTable::build("B-4 mb_type(B)", &B_SPECS, default, 32, key))
+        }
+    }
+}
+
+/// Decodes `macroblock_type` for the given picture kind.
+pub fn decode_mb_type(r: &mut BitReader<'_>, kind: PictureKind) -> crate::Result<MbFlags> {
+    table(kind).decode(r)
+}
+
+/// Encodes `macroblock_type`. Panics if the flag combination is not legal
+/// for the picture kind.
+pub fn encode_mb_type(w: &mut BitWriter, kind: PictureKind, f: MbFlags) {
+    let (code, len) = table(kind).encode_key_unwrap(key(&f));
+    w.put_bits(code, len as u32);
+}
+
+/// All legal flag combinations for a picture kind (used by tests and the
+/// encoder's mode decision).
+pub fn legal_types(kind: PictureKind) -> &'static [VlcSpec<MbFlags>] {
+    match kind {
+        PictureKind::I => &I_SPECS,
+        PictureKind::P => &P_SPECS,
+        PictureKind::B => &B_SPECS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_types_round_trip() {
+        for kind in [PictureKind::I, PictureKind::P, PictureKind::B] {
+            for s in legal_types(kind) {
+                let mut w = BitWriter::new();
+                encode_mb_type(&mut w, kind, s.value);
+                let bytes = w.into_bytes();
+                let mut r = BitReader::new(&bytes);
+                assert_eq!(decode_mb_type(&mut r, kind).unwrap(), s.value, "{kind:?}");
+                assert_eq!(r.bit_position(), s.len as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn intra_in_p_is_5_bits() {
+        let mut w = BitWriter::new();
+        encode_mb_type(&mut w, PictureKind::P, flags(false, false, false, false, true));
+        assert_eq!(w.bit_len(), 5);
+    }
+
+    #[test]
+    fn mc_coded_in_p_is_1_bit() {
+        let mut w = BitWriter::new();
+        encode_mb_type(&mut w, PictureKind::P, flags(false, true, false, true, false));
+        assert_eq!(w.bit_len(), 1);
+    }
+
+    #[test]
+    fn interp_coded_in_b_is_2_bits() {
+        let mut w = BitWriter::new();
+        encode_mb_type(&mut w, PictureKind::B, flags(false, true, true, true, false));
+        assert_eq!(w.bit_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no code")]
+    fn illegal_combo_panics() {
+        let mut w = BitWriter::new();
+        // Backward motion in a P picture is illegal.
+        encode_mb_type(&mut w, PictureKind::P, flags(false, false, true, false, false));
+    }
+}

@@ -1,0 +1,19 @@
+//! The variable-length code tables of ISO/IEC 13818-2 Annex B, plus scan
+//! orders and quantiser tables.
+//!
+//! Every VLC table is defined **once** as a list of `(value, code, length)`
+//! entries; both the decoder lookup table and the encoder lookup are built
+//! from that single list, so encode/decode consistency is structural. Tests
+//! additionally verify that every table is prefix-free.
+
+pub mod cbp;
+pub mod dc_size;
+pub mod dct_coeff;
+pub mod mb_type;
+pub mod mba;
+pub mod motion;
+pub mod quant;
+pub mod scan;
+pub mod vlc;
+
+pub use vlc::VlcTable;

@@ -1,0 +1,67 @@
+//! Default quantiser matrices (§6.3.11) and the quantiser-scale mapping
+//! (Table 7-6).
+
+/// Default intra quantiser matrix, raster order.
+#[rustfmt::skip]
+pub const DEFAULT_INTRA_MATRIX: [u8; 64] = [
+     8, 16, 19, 22, 26, 27, 29, 34,
+    16, 16, 22, 24, 27, 29, 34, 37,
+    19, 22, 26, 27, 29, 34, 34, 38,
+    22, 22, 26, 27, 29, 34, 37, 40,
+    22, 26, 27, 29, 32, 35, 40, 48,
+    26, 27, 29, 32, 35, 40, 48, 58,
+    26, 27, 29, 34, 38, 46, 56, 69,
+    27, 29, 35, 38, 46, 56, 69, 83,
+];
+
+/// Default non-intra quantiser matrix: flat 16.
+pub const DEFAULT_NON_INTRA_MATRIX: [u8; 64] = [16; 64];
+
+/// Non-linear quantiser scale (Table 7-6, `q_scale_type = 1`), indexed by
+/// `quantiser_scale_code` (1–31; index 0 is forbidden and kept as 0).
+#[rustfmt::skip]
+pub const NON_LINEAR_SCALE: [u16; 32] = [
+     0,  1,  2,  3,  4,  5,  6,  7,
+     8, 10, 12, 14, 16, 18, 20, 22,
+    24, 28, 32, 36, 40, 44, 48, 52,
+    56, 64, 72, 80, 88, 96, 104, 112,
+];
+
+/// Maps a 5-bit `quantiser_scale_code` (1–31) to the quantiser scale.
+pub fn quantiser_scale(q_scale_type: bool, code: u8) -> u16 {
+    debug_assert!((1..=31).contains(&code), "quantiser_scale_code must be 1-31");
+    if q_scale_type {
+        NON_LINEAR_SCALE[code as usize]
+    } else {
+        2 * code as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_scale_doubles_code() {
+        assert_eq!(quantiser_scale(false, 1), 2);
+        assert_eq!(quantiser_scale(false, 16), 32);
+        assert_eq!(quantiser_scale(false, 31), 62);
+    }
+
+    #[test]
+    fn non_linear_scale_monotonic() {
+        for code in 2u8..=31 {
+            assert!(
+                quantiser_scale(true, code) > quantiser_scale(true, code - 1),
+                "code {code}"
+            );
+        }
+        assert_eq!(quantiser_scale(true, 31), 112);
+    }
+
+    #[test]
+    fn default_intra_matrix_dc_is_8() {
+        assert_eq!(DEFAULT_INTRA_MATRIX[0], 8);
+        assert_eq!(DEFAULT_INTRA_MATRIX[63], 83);
+    }
+}

@@ -1,0 +1,91 @@
+//! Coefficient scan orders (§7.3, Figure 7-2/7-3).
+
+/// Zigzag scan: `ZIGZAG[i]` is the raster index of the `i`-th scanned
+/// coefficient.
+#[rustfmt::skip]
+pub const ZIGZAG: [u8; 64] = [
+     0,  1,  8, 16,  9,  2,  3, 10,
+    17, 24, 32, 25, 18, 11,  4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13,  6,  7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Alternate scan (MPEG-2 only), used when `alternate_scan = 1`.
+#[rustfmt::skip]
+pub const ALTERNATE: [u8; 64] = [
+     0,  8, 16, 24,  1,  9,  2, 10,
+    17, 25, 32, 40, 48, 56, 57, 49,
+    41, 33, 26, 18,  3, 11,  4, 12,
+    19, 27, 34, 42, 50, 58, 35, 43,
+    51, 59, 20, 28,  5, 13,  6, 14,
+    21, 29, 36, 44, 52, 60, 37, 45,
+    53, 61, 22, 30,  7, 15, 23, 31,
+    38, 46, 54, 62, 39, 47, 55, 63,
+];
+
+/// Returns the scan table selected by `alternate_scan`.
+pub fn scan(alternate: bool) -> &'static [u8; 64] {
+    if alternate {
+        &ALTERNATE
+    } else {
+        &ZIGZAG
+    }
+}
+
+/// Inverse of a scan: `inv[raster] = scan position`.
+pub fn inverse(scan: &[u8; 64]) -> [u8; 64] {
+    let mut inv = [0u8; 64];
+    for (pos, &raster) in scan.iter().enumerate() {
+        inv[raster as usize] = pos as u8;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(t: &[u8; 64]) -> bool {
+        let mut seen = [false; 64];
+        for &v in t {
+            if seen[v as usize] {
+                return false;
+            }
+            seen[v as usize] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn both_scans_are_permutations() {
+        assert!(is_permutation(&ZIGZAG));
+        assert!(is_permutation(&ALTERNATE));
+    }
+
+    #[test]
+    fn zigzag_walks_antidiagonals() {
+        // The first few entries of the classic zigzag.
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for table in [&ZIGZAG, &ALTERNATE] {
+            let inv = inverse(table);
+            for pos in 0..64 {
+                assert_eq!(inv[table[pos] as usize] as usize, pos);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_selector() {
+        assert_eq!(scan(false)[1], 1);
+        assert_eq!(scan(true)[1], 8);
+    }
+}

@@ -1,0 +1,173 @@
+//! Generic prefix-code machinery: a table is built once from its entry list
+//! and provides both decode (via a flat lookup table indexed by the next
+//! `max_len` bits) and encode (via a value-indexed map).
+
+use tiledec_bitstream::BitReader;
+
+/// One code of a VLC table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VlcSpec<V> {
+    /// Decoded value.
+    pub value: V,
+    /// Code bits, right-aligned.
+    pub code: u32,
+    /// Code length in bits (1–16).
+    pub len: u8,
+}
+
+/// Convenience constructor used by the table definitions.
+pub const fn spec<V>(value: V, code: u32, len: u8) -> VlcSpec<V> {
+    VlcSpec { value, code, len }
+}
+
+/// A built VLC table supporting decode and encode.
+///
+/// Decode uses a flat `2^max_len` lookup: every slot whose index starts with
+/// a code's bits maps to that code. Encode walks a dense `Vec` indexed by a
+/// caller-supplied key function.
+pub struct VlcTable<V: Copy> {
+    max_len: u8,
+    /// `lut[bits] = (value, len)`; `len == 0` marks an invalid prefix.
+    lut: Vec<(V, u8)>,
+    /// Keyed encode entries: `enc[key(value)] = (code, len)`.
+    enc: Vec<Option<(u32, u8)>>,
+    name: &'static str,
+}
+
+impl<V: Copy + PartialEq + std::fmt::Debug> VlcTable<V> {
+    /// Builds a table from its specs. `key` maps a value to a dense index
+    /// for encoding; `key_space` is the exclusive upper bound of the keys.
+    ///
+    /// Panics when two codes collide (one is a prefix of the other), which
+    /// turns table typos into immediate test failures.
+    pub fn build(
+        name: &'static str,
+        specs: &[VlcSpec<V>],
+        default: V,
+        key_space: usize,
+        key: impl Fn(&V) -> usize,
+    ) -> Self {
+        let max_len = specs.iter().map(|s| s.len).max().expect("empty VLC table");
+        assert!(max_len <= 16, "VLC codes longer than 16 bits are not used by MPEG-2");
+        let mut lut = vec![(default, 0u8); 1 << max_len];
+        for s in specs {
+            assert!(s.len >= 1 && s.len <= max_len);
+            assert!(
+                s.len == 32 || (s.code as u64) < (1u64 << s.len),
+                "{name}: code {:#b} wider than {} bits",
+                s.code,
+                s.len
+            );
+            let shift = max_len - s.len;
+            let base = (s.code as usize) << shift;
+            for slot in lut.iter_mut().skip(base).take(1usize << shift) {
+                assert!(
+                    slot.1 == 0,
+                    "{name}: code {:#0width$b}/{} collides with an earlier entry",
+                    s.code,
+                    s.len,
+                    width = s.len as usize
+                );
+                *slot = (s.value, s.len);
+            }
+        }
+        let mut enc = vec![None; key_space];
+        for s in specs {
+            let k = key(&s.value);
+            assert!(k < key_space, "{name}: key {k} out of range");
+            assert!(enc[k].is_none(), "{name}: duplicate encode key {k} for {:?}", s.value);
+            enc[k] = Some((s.code, s.len));
+        }
+        VlcTable { max_len, lut, enc, name }
+    }
+
+    /// Longest code length in the table.
+    pub fn max_len(&self) -> u8 {
+        self.max_len
+    }
+
+    /// Decodes the next code from `r`, consuming its bits.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> crate::Result<V> {
+        let peek = r.peek_bits(self.max_len as u32);
+        let (value, len) = self.lut[peek as usize];
+        if len == 0 {
+            return Err(r.invalid_code(self.name).into());
+        }
+        r.skip(len as usize).map_err(crate::Error::from)?;
+        Ok(value)
+    }
+
+    /// Looks up the `(code, len)` pair for a value key, if the table encodes
+    /// it.
+    #[inline]
+    pub fn encode_key(&self, k: usize) -> Option<(u32, u8)> {
+        self.enc.get(k).copied().flatten()
+    }
+
+    /// Like [`VlcTable::encode_key`] but panics on a missing entry; for
+    /// callers that know the key is always present.
+    #[inline]
+    pub fn encode_key_unwrap(&self, k: usize) -> (u32, u8) {
+        self.encode_key(k)
+            .unwrap_or_else(|| panic!("{}: no code for key {k}", self.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiledec_bitstream::BitWriter;
+
+    fn demo_table() -> VlcTable<u8> {
+        VlcTable::build(
+            "demo",
+            &[spec(0u8, 0b1, 1), spec(1, 0b01, 2), spec(2, 0b001, 3), spec(3, 0b000, 3)],
+            0,
+            4,
+            |v| *v as usize,
+        )
+    }
+
+    #[test]
+    fn decode_reads_exact_lengths() {
+        // Bits: 1 | 01 | 001 | 000 = 1 01 001 000 -> 0b1010_0100 0b0...
+        let mut w = BitWriter::new();
+        for (code, len) in [(1u32, 1u32), (1, 2), (1, 3), (0, 3)] {
+            w.put_bits(code, len);
+        }
+        let bytes = w.into_bytes();
+        let t = demo_table();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(t.decode(&mut r).unwrap(), 0);
+        assert_eq!(t.decode(&mut r).unwrap(), 1);
+        assert_eq!(t.decode(&mut r).unwrap(), 2);
+        assert_eq!(t.decode(&mut r).unwrap(), 3);
+        assert_eq!(r.bit_position(), 9);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = demo_table();
+        for v in 0u8..4 {
+            let (code, len) = t.encode_key_unwrap(v as usize);
+            let mut w = BitWriter::new();
+            w.put_bits(code, len as u32);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(t.decode(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn prefix_collision_panics() {
+        VlcTable::build(
+            "bad",
+            &[spec(0u8, 0b1, 1), spec(1, 0b10, 2)],
+            0,
+            2,
+            |v| *v as usize,
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Core value types shared across the codec.
+
+/// Picture coding type (ISO/IEC 13818-2 §6.3.9, `picture_coding_type`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PictureKind {
+    /// Intra-coded: no motion compensation.
+    I,
+    /// Predicted from the previous I/P picture.
+    P,
+    /// Bidirectionally predicted from the surrounding I/P pictures.
+    B,
+}
+
+impl PictureKind {
+    /// The 3-bit `picture_coding_type` field value.
+    pub fn code(self) -> u32 {
+        match self {
+            PictureKind::I => 1,
+            PictureKind::P => 2,
+            PictureKind::B => 3,
+        }
+    }
+
+    /// Parses the 3-bit field. D pictures (code 4) are not supported.
+    pub fn from_code(code: u32) -> Option<Self> {
+        match code {
+            1 => Some(PictureKind::I),
+            2 => Some(PictureKind::P),
+            3 => Some(PictureKind::B),
+            _ => None,
+        }
+    }
+
+    /// True for I and P pictures, which become reference frames.
+    pub fn is_reference(self) -> bool {
+        !matches!(self, PictureKind::B)
+    }
+}
+
+/// A motion vector in half-pel units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct MotionVector {
+    /// Horizontal component, half-pel units.
+    pub x: i16,
+    /// Vertical component, half-pel units.
+    pub y: i16,
+}
+
+impl MotionVector {
+    /// The zero vector.
+    pub const ZERO: MotionVector = MotionVector { x: 0, y: 0 };
+
+    /// Creates a vector from half-pel components.
+    pub fn new(x: i16, y: i16) -> Self {
+        MotionVector { x, y }
+    }
+
+    /// Chroma vector for 4:2:0: each component halved with truncation
+    /// toward zero (ISO 13818-2 §7.6.3.7).
+    pub fn chroma_420(self) -> MotionVector {
+        MotionVector { x: self.x / 2, y: self.y / 2 }
+    }
+}
+
+/// Which prediction directions a macroblock uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MbFlags {
+    /// `macroblock_quant`: a new quantiser scale code follows.
+    pub quant: bool,
+    /// `macroblock_motion_forward`.
+    pub motion_forward: bool,
+    /// `macroblock_motion_backward`.
+    pub motion_backward: bool,
+    /// `macroblock_pattern`: a coded block pattern follows.
+    pub pattern: bool,
+    /// `macroblock_intra`.
+    pub intra: bool,
+}
+
+/// Stream-level parameters every decoder of the stream needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceInfo {
+    /// Luma width in pixels (as coded; always a multiple of 16 here).
+    pub width: u32,
+    /// Luma height in pixels (multiple of 16).
+    pub height: u32,
+    /// Frame rate code (1 = 23.976 … 8 = 60). Informational.
+    pub frame_rate_code: u8,
+    /// Declared bit rate in units of 400 bit/s. Informational.
+    pub bit_rate_400: u32,
+    /// Intra quantiser matrix in raster order.
+    pub intra_quant_matrix: [u8; 64],
+    /// Non-intra quantiser matrix in raster order.
+    pub non_intra_quant_matrix: [u8; 64],
+}
+
+impl SequenceInfo {
+    /// Picture width in macroblocks.
+    pub fn mb_width(&self) -> u32 {
+        self.width.div_ceil(16)
+    }
+
+    /// Picture height in macroblocks.
+    pub fn mb_height(&self) -> u32 {
+        self.height.div_ceil(16)
+    }
+
+    /// Frames per second corresponding to `frame_rate_code`.
+    pub fn frame_rate(&self) -> f64 {
+        match self.frame_rate_code {
+            1 => 24000.0 / 1001.0,
+            2 => 24.0,
+            3 => 25.0,
+            4 => 30000.0 / 1001.0,
+            5 => 30.0,
+            6 => 50.0,
+            7 => 60000.0 / 1001.0,
+            8 => 60.0,
+            _ => 30.0,
+        }
+    }
+}
+
+/// Per-picture coding parameters gathered from the picture header and the
+/// picture coding extension — everything slice decoding needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PictureInfo {
+    /// Display order index within the GOP (`temporal_reference`).
+    pub temporal_reference: u16,
+    /// I, P or B.
+    pub kind: PictureKind,
+    /// `f_code[s][t]`: \[forward/backward\]\[horizontal/vertical\], values 1–9
+    /// or 15 (unused).
+    pub f_code: [[u8; 2]; 2],
+    /// `intra_dc_precision`: 0–3 meaning 8–11 bits.
+    pub intra_dc_precision: u8,
+    /// `q_scale_type`: false = linear (scale = 2 × code), true = non-linear.
+    pub q_scale_type: bool,
+    /// `alternate_scan`: false = zigzag, true = alternate.
+    pub alternate_scan: bool,
+    /// `full_pel_*_vector` flags are always 0 in MPEG-2; kept for syntax.
+    pub vbv_delay: u16,
+}
+
+impl PictureInfo {
+    /// Creates picture info with the values the encoder uses by default.
+    pub fn new(kind: PictureKind, temporal_reference: u16, f_code: [[u8; 2]; 2]) -> Self {
+        PictureInfo {
+            temporal_reference,
+            kind,
+            f_code,
+            intra_dc_precision: 0,
+            q_scale_type: false,
+            alternate_scan: false,
+            vbv_delay: 0xFFFF,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picture_kind_codes_round_trip() {
+        for k in [PictureKind::I, PictureKind::P, PictureKind::B] {
+            assert_eq!(PictureKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(PictureKind::from_code(0), None);
+        assert_eq!(PictureKind::from_code(4), None);
+    }
+
+    #[test]
+    fn chroma_vector_truncates_toward_zero() {
+        assert_eq!(MotionVector::new(3, -3).chroma_420(), MotionVector::new(1, -1));
+        assert_eq!(MotionVector::new(-1, 1).chroma_420(), MotionVector::new(0, 0));
+        assert_eq!(MotionVector::new(-4, 5).chroma_420(), MotionVector::new(-2, 2));
+    }
+
+    #[test]
+    fn mb_dimensions_round_up() {
+        let si = SequenceInfo {
+            width: 1280,
+            height: 720,
+            frame_rate_code: 5,
+            bit_rate_400: 0,
+            intra_quant_matrix: [16; 64],
+            non_intra_quant_matrix: [16; 64],
+        };
+        assert_eq!(si.mb_width(), 80);
+        assert_eq!(si.mb_height(), 45);
+    }
+
+    #[test]
+    fn reference_kinds() {
+        assert!(PictureKind::I.is_reference());
+        assert!(PictureKind::P.is_reference());
+        assert!(!PictureKind::B.is_reference());
+    }
+}

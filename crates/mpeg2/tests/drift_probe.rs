@@ -1,0 +1,85 @@
+//! Diagnostic: the decoder must be bit-exact with the encoder's own
+//! reconstruction path (no drift).
+
+use tiledec_mpeg2::encoder::{Encoder, EncoderConfig};
+use tiledec_mpeg2::frame::Frame;
+use tiledec_mpeg2::Decoder;
+
+fn clip(w: usize, h: usize, n: usize) -> Vec<Frame> {
+    (0..n)
+        .map(|t| {
+            let mut f = Frame::black(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    let mut v = (((x + 2 * t) * 5 + y * 3) % 200) as u8 + 20;
+                    let sq_x = (3 * t + 10) % (w - 16);
+                    let sq_y = (2 * t + 6) % (h - 16);
+                    if x >= sq_x && x < sq_x + 16 && y >= sq_y && y < sq_y + 16 {
+                        v = 235;
+                    }
+                    f.y.set(x, y, v);
+                }
+            }
+            for y in 0..h / 2 {
+                for x in 0..w / 2 {
+                    f.cb.set(x, y, (((x + t) * 2 + y) % 100) as u8 + 78);
+                    f.cr.set(x, y, ((x + (y + t) * 2) % 100) as u8 + 78);
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+fn first_mismatch(a: &Frame, b: &Frame) -> Option<(usize, usize, u8, u8)> {
+    for y in 0..a.height() {
+        for x in 0..a.width() {
+            if a.y.get(x, y) != b.y.get(x, y) {
+                return Some((x, y, a.y.get(x, y), b.y.get(x, y)));
+            }
+        }
+    }
+    for y in 0..a.height() / 2 {
+        for x in 0..a.width() / 2 {
+            if a.cb.get(x, y) != b.cb.get(x, y) {
+                return Some((x + 10000, y, a.cb.get(x, y), b.cb.get(x, y)));
+            }
+            if a.cr.get(x, y) != b.cr.get(x, y) {
+                return Some((x + 20000, y, a.cr.get(x, y), b.cr.get(x, y)));
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn decoder_matches_encoder_reconstruction_exactly() {
+    for (b_frames, gop) in [(0u32, 4u32), (2, 8), (1, 5), (2, 10)] {
+        let frames = clip(96, 64, if gop == 10 { 10 } else { 8 });
+        let mut cfg = EncoderConfig::for_size(96, 64);
+        cfg.gop_size = gop;
+        cfg.b_frames = b_frames;
+        cfg.qscale = if gop == 10 { 4 } else { 6 };
+        let enc = Encoder::new(cfg).unwrap();
+        let (stream, recons) = enc.encode_with_recon(&frames).unwrap();
+
+        let mut decoded: Vec<(usize, Frame)> = Vec::new();
+        let mut idx = 0usize;
+        Decoder::new()
+            .decode_stream(&stream, |f, _| {
+                decoded.push((idx, f.clone()));
+                idx += 1;
+            })
+            .unwrap();
+        // decoded is display order: display index == position.
+        for (display, recon) in &recons {
+            let dec = &decoded[*display].1;
+            if let Some((x, y, a, b)) = first_mismatch(recon, dec) {
+                panic!(
+                    "b_frames={b_frames} display={display}: first mismatch at ({x},{y}): enc {a} vs dec {b} (mb {},{})",
+                    x % 10000 / 16, y / 16
+                );
+            }
+        }
+    }
+}

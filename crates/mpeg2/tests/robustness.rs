@@ -1,0 +1,99 @@
+//! Failure injection: corrupted, truncated and garbage streams must yield
+//! `Err` (or a successful-but-different decode) — never a panic. A decoder
+//! that crashes on bad input is not production software.
+
+use tiledec_mpeg2::decode_all;
+use tiledec_mpeg2::encoder::{Encoder, EncoderConfig};
+use tiledec_mpeg2::frame::Frame;
+
+fn valid_stream() -> Vec<u8> {
+    let frames: Vec<Frame> = (0..5)
+        .map(|t| {
+            let mut f = Frame::black(64, 48);
+            for y in 0..48 {
+                for x in 0..64 {
+                    f.y.set(x, y, (((x + 2 * t) * 5 + y * 3) % 200) as u8 + 20);
+                }
+            }
+            f
+        })
+        .collect();
+    let mut cfg = EncoderConfig::for_size(64, 48);
+    cfg.gop_size = 5;
+    cfg.b_frames = 1;
+    cfg.qscale = 6;
+    Encoder::new(cfg).unwrap().encode(&frames).unwrap()
+}
+
+#[test]
+fn truncation_never_panics() {
+    let stream = valid_stream();
+    for cut in (0..stream.len()).step_by(7) {
+        let truncated = &stream[..cut];
+        // Any outcome but a panic is acceptable; most cuts error.
+        let _ = decode_all(truncated);
+    }
+}
+
+#[test]
+fn single_byte_flips_never_panic() {
+    let stream = valid_stream();
+    // Flip every 3rd byte through a few XOR patterns.
+    for &mask in &[0xFFu8, 0x01, 0x80, 0x55] {
+        for pos in (0..stream.len()).step_by(3) {
+            let mut corrupt = stream.clone();
+            corrupt[pos] ^= mask;
+            let _ = decode_all(&corrupt);
+        }
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut s = 0xABCDEFu64;
+    for len in [0usize, 1, 3, 4, 16, 100, 4096] {
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            data.push(s as u8);
+        }
+        let _ = decode_all(&data);
+    }
+    // Garbage behind a valid sequence header prefix.
+    let stream = valid_stream();
+    let mut hybrid = stream[..stream.len().min(140)].to_vec();
+    hybrid.extend(std::iter::repeat_n(0xA5u8, 500));
+    let _ = decode_all(&hybrid);
+}
+
+#[test]
+fn spliced_streams_never_panic() {
+    // Concatenating stream fragments at start-code-ish boundaries.
+    let stream = valid_stream();
+    let third = stream.len() / 3;
+    let mut spliced = stream[third..2 * third].to_vec();
+    spliced.extend_from_slice(&stream[..third]);
+    let _ = decode_all(&spliced);
+}
+
+#[test]
+fn parser_survives_the_same_corruptions() {
+    use tiledec_mpeg2::parser::parse_picture;
+    use tiledec_mpeg2::types::SequenceInfo;
+    let seq = SequenceInfo {
+        width: 64,
+        height: 48,
+        frame_rate_code: 5,
+        bit_rate_400: 0,
+        intra_quant_matrix: [16; 64],
+        non_intra_quant_matrix: [16; 64],
+    };
+    let stream = valid_stream();
+    // Feed arbitrary windows of the stream as "picture units".
+    for start in (0..stream.len()).step_by(11) {
+        let end = (start + 97).min(stream.len());
+        let _ = parse_picture(&stream[start..end], &seq);
+    }
+}

@@ -1,0 +1,185 @@
+//! Program-stream demultiplexing: recover the video elementary stream and
+//! its timestamps.
+
+use tiledec_bitstream::BitReader;
+
+use crate::mux::{END_CODE, PACK_CODE, SYSTEM_CODE};
+use crate::pes::{expect_marker, parse_pes_header, ClockStamp};
+use crate::{PsError, Result};
+
+/// Demultiplexer output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DemuxOutput {
+    /// The concatenated video elementary stream.
+    pub video_es: Vec<u8>,
+    /// `(byte offset into video_es, PTS)` for every stamped PES packet.
+    pub pts: Vec<(usize, ClockStamp)>,
+    /// SCR values from the pack headers, in order.
+    pub scr: Vec<ClockStamp>,
+}
+
+/// Extracts the single video elementary stream from a program stream.
+pub fn demux_video(ps: &[u8]) -> Result<DemuxOutput> {
+    let mut pos = 0usize;
+    let mut out = DemuxOutput { video_es: Vec::new(), pts: Vec::new(), scr: Vec::new() };
+    let mut saw_pack = false;
+    while pos + 4 <= ps.len() {
+        if ps[pos] != 0 || ps[pos + 1] != 0 || ps[pos + 2] != 1 {
+            return Err(PsError::Syntax(format!(
+                "expected start code at byte {pos}, found {:02x}{:02x}{:02x}",
+                ps[pos],
+                ps[pos + 1],
+                ps[pos + 2]
+            )));
+        }
+        let code = ps[pos + 3];
+        match code {
+            PACK_CODE => {
+                let (scr, next) = parse_pack_header(ps, pos)?;
+                out.scr.push(scr);
+                saw_pack = true;
+                pos = next;
+            }
+            SYSTEM_CODE => {
+                if pos + 6 > ps.len() {
+                    return Err(PsError::Syntax("truncated system header".into()));
+                }
+                let len = u16::from_be_bytes([ps[pos + 4], ps[pos + 5]]) as usize;
+                pos += 6 + len;
+            }
+            END_CODE => {
+                break;
+            }
+            0xE0..=0xEF => {
+                let (h, next) = parse_pes_header(ps, pos)?;
+                let body = &ps[pos + 6..pos + 6 + h.body_len];
+                if let Some(p) = h.pts {
+                    out.pts.push((out.video_es.len(), p));
+                }
+                out.video_es.extend_from_slice(&body[h.payload_offset..]);
+                pos = next;
+            }
+            0xC0..=0xDF => return Err(PsError::Unsupported("audio elementary streams")),
+            0xBC..=0xBF | 0xF0..=0xFF => {
+                // Other PES-framed system streams: skip by their length.
+                if pos + 6 > ps.len() {
+                    return Err(PsError::Syntax("truncated system PES packet".into()));
+                }
+                let len = u16::from_be_bytes([ps[pos + 4], ps[pos + 5]]) as usize;
+                pos += 6 + len;
+            }
+            other => {
+                return Err(PsError::NotAProgramStream(format!(
+                    "unexpected start code {other:#04x} at top level (elementary video stream?)"
+                )));
+            }
+        }
+    }
+    if !saw_pack {
+        return Err(PsError::NotAProgramStream("no pack header found".into()));
+    }
+    Ok(out)
+}
+
+/// True when the buffer looks like a program stream (starts with a pack).
+pub fn looks_like_program_stream(data: &[u8]) -> bool {
+    data.len() >= 4 && data[0] == 0 && data[1] == 0 && data[2] == 1 && data[3] == PACK_CODE
+}
+
+fn parse_pack_header(ps: &[u8], pos: usize) -> Result<(ClockStamp, usize)> {
+    if pos + 14 > ps.len() {
+        return Err(PsError::Syntax("truncated pack header".into()));
+    }
+    let mut r = BitReader::at(ps, (pos + 4) * 8);
+    let e = |_| PsError::Syntax("truncated pack header".into());
+    let marker = r.read_bits(2).map_err(e)?;
+    if marker != 0b01 {
+        return Err(PsError::Unsupported("MPEG-1 system streams"));
+    }
+    let hi = r.read_bits(3).map_err(e)? as u64;
+    expect_marker(&mut r)?;
+    let mid = r.read_bits(15).map_err(e)? as u64;
+    expect_marker(&mut r)?;
+    let lo = r.read_bits(15).map_err(e)? as u64;
+    expect_marker(&mut r)?;
+    let _scr_ext = r.read_bits(9).map_err(e)?;
+    expect_marker(&mut r)?;
+    let _mux_rate = r.read_bits(22).map_err(e)?;
+    expect_marker(&mut r)?;
+    expect_marker(&mut r)?;
+    r.skip(5).map_err(e)?;
+    let stuffing = r.read_bits(3).map_err(e)? as usize;
+    Ok((ClockStamp((hi << 30) | (mid << 15) | lo), pos + 14 + stuffing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mux::{mux_video, MuxConfig};
+
+    #[test]
+    fn mux_demux_round_trip() {
+        // A fake elementary stream with recognisable unit boundaries.
+        let mut es = Vec::new();
+        es.extend_from_slice(&[0, 0, 1, 0xB3, 1, 2, 3]); // "sequence header"
+        let u0 = es.len();
+        es.extend_from_slice(&[0, 0, 1, 0x00, 10, 11, 12, 13]);
+        let u1 = es.len();
+        es.extend_from_slice(&[0, 0, 1, 0x00, 20, 21]);
+        let u2 = es.len();
+        es.extend_from_slice(&[0, 0, 1, 0xB7]); // sequence end
+
+        let units = vec![(u0, u1, 0u64), (u1, u2, 1u64)];
+        let ps = mux_video(&es, &units, &MuxConfig::default());
+        assert!(looks_like_program_stream(&ps));
+        let out = demux_video(&ps).unwrap();
+        assert_eq!(out.video_es, es, "demuxed ES must be byte-identical");
+        assert_eq!(out.pts.len(), 2);
+        assert_eq!(out.scr.len(), 3); // one per access unit + trailing pack
+        // PTS increase with display order.
+        assert!(out.pts[0].1 < out.pts[1].1);
+    }
+
+    #[test]
+    fn large_units_split_across_pes_packets() {
+        let mut es = vec![0u8; 0];
+        es.extend_from_slice(&[0, 0, 1, 0xB3]);
+        let u0 = es.len();
+        es.extend(std::iter::repeat_n(0x5A, 150_000));
+        let units = vec![(u0, es.len(), 0u64)];
+        let ps = mux_video(&es, &units, &MuxConfig::default());
+        let out = demux_video(&ps).unwrap();
+        assert_eq!(out.video_es, es);
+    }
+
+    #[test]
+    fn elementary_streams_are_rejected_with_a_clear_error() {
+        let es = [0u8, 0, 1, 0xB3, 0x12, 0x34];
+        assert!(matches!(demux_video(&es), Err(PsError::NotAProgramStream(_))));
+        assert!(!looks_like_program_stream(&es));
+    }
+
+    #[test]
+    fn audio_streams_are_unsupported() {
+        let mut ps = Vec::new();
+        crate::mux::write_pack_header(&mut ps, ClockStamp(0), 1000);
+        ps.extend_from_slice(&[0, 0, 1, 0xC0, 0, 3, 0x80, 0, 0]);
+        assert!(matches!(demux_video(&ps), Err(PsError::Unsupported(_))));
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        let mut s = 1u64;
+        for len in [0usize, 3, 4, 20, 200] {
+            let data: Vec<u8> = (0..len)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    s as u8
+                })
+                .collect();
+            let _ = demux_video(&data);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! A subset of the MPEG-2 *systems* layer (ISO/IEC 13818-1): Program
+//! Stream multiplexing and demultiplexing for a single video elementary
+//! stream.
+//!
+//! The paper decodes elementary video streams; real deliverables arrive
+//! wrapped in the systems layer ("MPEG-2 is a set of ISO standards,
+//! consisting of a video standard, an audio standard, and a system layer
+//! standard for multiplexing" — §2). This crate lets the tooling ingest
+//! and produce `.mpg` program streams: pack headers with SCR timestamps,
+//! one system header, PES packets with PTS/DTS, and the program end code.
+//!
+//! Out of scope (rejected with clear errors, not silently mangled):
+//! multiple elementary streams, scrambling, trick modes, MPEG-1 system
+//! streams.
+
+#![warn(missing_docs)]
+
+mod demux;
+mod mux;
+mod pes;
+
+pub use demux::{demux_video, looks_like_program_stream, DemuxOutput};
+pub use mux::{mux_video, MuxConfig};
+pub use pes::{ClockStamp, VIDEO_STREAM_ID};
+
+use std::fmt;
+
+/// Errors of the systems layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PsError {
+    /// The stream is not an MPEG-2 program stream.
+    NotAProgramStream(String),
+    /// A header field violated the standard.
+    Syntax(String),
+    /// The stream uses a systems feature outside the supported subset.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for PsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PsError::NotAProgramStream(s) => write!(f, "not an MPEG-2 program stream: {s}"),
+            PsError::Syntax(s) => write!(f, "program stream syntax error: {s}"),
+            PsError::Unsupported(s) => write!(f, "unsupported systems feature: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PsError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, PsError>;

@@ -1,0 +1,151 @@
+//! Program-stream multiplexing: one video elementary stream into packs of
+//! PES packets (§2.5 of 13818-1).
+
+use tiledec_bitstream::BitWriter;
+
+use crate::pes::{write_pes_packet, ClockStamp};
+
+/// Pack start code byte.
+pub const PACK_CODE: u8 = 0xBA;
+/// System header start code byte.
+pub const SYSTEM_CODE: u8 = 0xBB;
+/// Program end code byte.
+pub const END_CODE: u8 = 0xB9;
+
+/// Multiplexer parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MuxConfig {
+    /// Frame rate used to derive SCR/PTS (numerator).
+    pub fps_num: u32,
+    /// Frame rate denominator.
+    pub fps_den: u32,
+    /// Declared program mux rate in units of 50 bytes/s.
+    pub mux_rate_50: u32,
+}
+
+impl Default for MuxConfig {
+    fn default() -> Self {
+        MuxConfig { fps_num: 30, fps_den: 1, mux_rate_50: 20_000 /* 8 Mbit/s */ }
+    }
+}
+
+/// Multiplexes one video elementary stream into a program stream: one pack
+/// per access unit (`units` gives each picture's byte range within `es`,
+/// in coding order, with its display-order index for PTS generation).
+///
+/// The leading sequence/GOP headers of the elementary stream travel with
+/// the first access unit, as real muxers do.
+pub fn mux_video(es: &[u8], units: &[(usize, usize, u64)], cfg: &MuxConfig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(es.len() + units.len() * 64 + 64);
+    let mut emitted_system_header = false;
+    let mut prev_end = 0usize;
+    for (i, &(start, end, display_index)) in units.iter().enumerate() {
+        // Everything between the previous unit and this one (sequence, GOP
+        // headers) is prepended to this access unit's payload.
+        let lead = &es[prev_end..start];
+        let unit = &es[start..end];
+        prev_end = end;
+
+        let scr = ClockStamp::for_frame(i as u64, cfg.fps_num, cfg.fps_den);
+        write_pack_header(&mut out, scr, cfg.mux_rate_50);
+        if !emitted_system_header {
+            write_system_header(&mut out, cfg.mux_rate_50);
+            emitted_system_header = true;
+        }
+        // PTS: display time of the picture, offset by one frame period so
+        // reordering never presents before decoding.
+        let pts = ClockStamp::for_frame(display_index + 1, cfg.fps_num, cfg.fps_den);
+        let dts = ClockStamp::for_frame(i as u64, cfg.fps_num, cfg.fps_den);
+        let mut payload = Vec::with_capacity(lead.len() + unit.len());
+        payload.extend_from_slice(lead);
+        payload.extend_from_slice(unit);
+        write_pes_packet(&mut out, Some(pts), Some(dts), &payload);
+    }
+    // Trailing elementary-stream bytes (sequence end code).
+    if prev_end < es.len() {
+        let scr = ClockStamp::for_frame(units.len() as u64, cfg.fps_num, cfg.fps_den);
+        write_pack_header(&mut out, scr, cfg.mux_rate_50);
+        write_pes_packet(&mut out, None, None, &es[prev_end..]);
+    }
+    out.extend_from_slice(&[0x00, 0x00, 0x01, END_CODE]);
+    out
+}
+
+/// Writes an MPEG-2 pack header (14 bytes, no stuffing).
+pub fn write_pack_header(out: &mut Vec<u8>, scr: ClockStamp, mux_rate_50: u32) {
+    out.extend_from_slice(&[0x00, 0x00, 0x01, PACK_CODE]);
+    let mut w = BitWriter::new();
+    let base = scr.0 & 0x1_FFFF_FFFF;
+    w.put_bits(0b01, 2);
+    w.put_bits(((base >> 30) & 0x7) as u32, 3);
+    w.put_marker();
+    w.put_bits(((base >> 15) & 0x7FFF) as u32, 15);
+    w.put_marker();
+    w.put_bits((base & 0x7FFF) as u32, 15);
+    w.put_marker();
+    w.put_bits(0, 9); // SCR extension
+    w.put_marker();
+    w.put_bits(mux_rate_50 & 0x3F_FFFF, 22);
+    w.put_marker();
+    w.put_marker();
+    w.put_bits(0b11111, 5); // reserved
+    w.put_bits(0, 3); // pack_stuffing_length
+    out.extend_from_slice(&w.into_bytes());
+}
+
+/// Writes a minimal system header declaring one video stream.
+pub fn write_system_header(out: &mut Vec<u8>, rate_bound_50: u32) {
+    out.extend_from_slice(&[0x00, 0x00, 0x01, SYSTEM_CODE]);
+    let mut w = BitWriter::new();
+    w.put_marker();
+    w.put_bits(rate_bound_50 & 0x3F_FFFF, 22);
+    w.put_marker();
+    w.put_bits(0, 6); // audio_bound
+    w.put_bit(0); // fixed_flag
+    w.put_bit(0); // CSPS_flag
+    w.put_bit(1); // system_audio_lock
+    w.put_bit(1); // system_video_lock
+    w.put_marker();
+    w.put_bits(1, 5); // video_bound
+    w.put_bit(0); // packet_rate_restriction
+    w.put_bits(0x7F, 7); // reserved
+    // Stream bound entry for video stream 0xE0.
+    w.put_bits(crate::pes::VIDEO_STREAM_ID as u32, 8);
+    w.put_bits(0b11, 2);
+    w.put_bit(1); // buffer_bound_scale (video: 1024-byte units)
+    w.put_bits(224, 13); // P-STD_buffer_size_bound (224 KiB, ~MP@ML VBV)
+    let body = w.into_bytes();
+    out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+    out.extend_from_slice(&body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_header_is_14_bytes() {
+        let mut out = Vec::new();
+        write_pack_header(&mut out, ClockStamp(0x1_2345_6789), 20_000);
+        assert_eq!(out.len(), 14);
+        assert_eq!(&out[..4], &[0, 0, 1, PACK_CODE]);
+        assert_eq!(out[4] >> 6, 0b01, "MPEG-2 pack marker");
+    }
+
+    #[test]
+    fn system_header_declares_video() {
+        let mut out = Vec::new();
+        write_system_header(&mut out, 20_000);
+        assert_eq!(&out[..4], &[0, 0, 1, SYSTEM_CODE]);
+        let len = u16::from_be_bytes([out[4], out[5]]) as usize;
+        assert_eq!(out.len(), 6 + len);
+        assert_eq!(out[6 + len - 3], crate::pes::VIDEO_STREAM_ID);
+    }
+
+    #[test]
+    fn mux_emits_end_code() {
+        let es = vec![0u8; 100];
+        let ps = mux_video(&es, &[(10, 60, 0)], &MuxConfig::default());
+        assert_eq!(&ps[ps.len() - 4..], &[0, 0, 1, END_CODE]);
+    }
+}

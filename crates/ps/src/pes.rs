@@ -1,0 +1,277 @@
+//! PES packets and 90 kHz clock stamps (§2.4.3.6/2.4.3.7 of 13818-1).
+
+use tiledec_bitstream::{BitReader, BitWriter};
+
+use crate::{PsError, Result};
+
+/// Stream id of the first MPEG video elementary stream.
+pub const VIDEO_STREAM_ID: u8 = 0xE0;
+
+/// A 33-bit 90 kHz timestamp (PTS/DTS/SCR base).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ClockStamp(pub u64);
+
+impl ClockStamp {
+    /// The 90 kHz tick count for a frame index at a frame rate.
+    pub fn for_frame(index: u64, fps_num: u32, fps_den: u32) -> ClockStamp {
+        ClockStamp(index * 90_000 * fps_den as u64 / fps_num.max(1) as u64)
+    }
+
+    /// Seconds represented by this stamp.
+    pub fn seconds(&self) -> f64 {
+        self.0 as f64 / 90_000.0
+    }
+}
+
+/// Writes the 36-bit `'xxxx' + 33-bit + markers` timestamp pattern used by
+/// PTS/DTS (5 bytes).
+pub fn put_timestamp(w: &mut BitWriter, prefix: u32, t: ClockStamp) {
+    let v = t.0 & 0x1_FFFF_FFFF;
+    w.put_bits(prefix, 4);
+    w.put_bits(((v >> 30) & 0x7) as u32, 3);
+    w.put_marker();
+    w.put_bits(((v >> 15) & 0x7FFF) as u32, 15);
+    w.put_marker();
+    w.put_bits((v & 0x7FFF) as u32, 15);
+    w.put_marker();
+}
+
+/// Reads a 5-byte PTS/DTS pattern, returning `(prefix, stamp)`.
+pub fn read_timestamp(r: &mut BitReader<'_>) -> Result<(u32, ClockStamp)> {
+    let err = |_| PsError::Syntax("truncated timestamp".into());
+    let prefix = r.read_bits(4).map_err(err)?;
+    let hi = r.read_bits(3).map_err(err)? as u64;
+    expect_marker(r)?;
+    let mid = r.read_bits(15).map_err(err)? as u64;
+    expect_marker(r)?;
+    let lo = r.read_bits(15).map_err(err)? as u64;
+    expect_marker(r)?;
+    Ok((prefix, ClockStamp((hi << 30) | (mid << 15) | lo)))
+}
+
+pub(crate) fn expect_marker(r: &mut BitReader<'_>) -> Result<()> {
+    match r.read_bit() {
+        Ok(1) => Ok(()),
+        Ok(_) => Err(PsError::Syntax("marker bit was zero".into())),
+        Err(_) => Err(PsError::Syntax("truncated header".into())),
+    }
+}
+
+/// One parsed PES packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PesHeader {
+    /// Stream id byte (0xE0–0xEF video).
+    pub stream_id: u8,
+    /// Presentation timestamp, if present.
+    pub pts: Option<ClockStamp>,
+    /// Decoding timestamp, if present.
+    pub dts: Option<ClockStamp>,
+    /// Offset of the payload within the packet body.
+    pub payload_offset: usize,
+    /// Total packet body length (after the 6-byte start/length prefix).
+    pub body_len: usize,
+}
+
+/// Serialises one video PES packet with an optional PTS (and DTS).
+pub fn write_pes_packet(
+    out: &mut Vec<u8>,
+    pts: Option<ClockStamp>,
+    dts: Option<ClockStamp>,
+    payload: &[u8],
+) {
+    assert!(dts.is_none() || pts.is_some(), "DTS without PTS is illegal");
+    let mut header = BitWriter::new();
+    header.put_bits(0b10, 2); // '10'
+    header.put_bits(0, 2); // PES_scrambling_control
+    header.put_bit(0); // PES_priority
+    header.put_bit(1); // data_alignment_indicator (payload starts a picture)
+    header.put_bit(0); // copyright
+    header.put_bit(0); // original_or_copy
+    let flags = match (pts, dts) {
+        (Some(_), Some(_)) => 0b11,
+        (Some(_), None) => 0b10,
+        _ => 0b00,
+    };
+    header.put_bits(flags, 2); // PTS_DTS_flags
+    header.put_bits(0, 6); // ESCR, ES_rate, DSM, additional copy, CRC, ext
+    let data_len: u8 = match flags {
+        0b11 => 10,
+        0b10 => 5,
+        _ => 0,
+    };
+    header.put_bits(data_len as u32, 8);
+    match (pts, dts) {
+        (Some(p), Some(d)) => {
+            put_timestamp(&mut header, 0b0011, p);
+            put_timestamp(&mut header, 0b0001, d);
+        }
+        (Some(p), None) => put_timestamp(&mut header, 0b0010, p),
+        _ => {}
+    }
+    let header = header.into_bytes();
+
+    // PES packets cap at 65535 body bytes; long payloads are split. For
+    // video streams a zero length field is legal but we stay explicit.
+    let first_capacity = 0xFFFF - header.len();
+    let mut chunks = Vec::new();
+    if payload.len() <= first_capacity {
+        chunks.push((true, payload));
+    } else {
+        chunks.push((true, &payload[..first_capacity]));
+        for c in payload[first_capacity..].chunks(0xFFFF - 3) {
+            chunks.push((false, c));
+        }
+    }
+    for (with_header, chunk) in chunks {
+        out.extend_from_slice(&[0x00, 0x00, 0x01, VIDEO_STREAM_ID]);
+        if with_header {
+            let body = header.len() + chunk.len();
+            out.extend_from_slice(&(body as u16).to_be_bytes());
+            out.extend_from_slice(&header);
+        } else {
+            // Continuation packet: minimal header, no stamps.
+            let body = 3 + chunk.len();
+            out.extend_from_slice(&(body as u16).to_be_bytes());
+            out.extend_from_slice(&[0b1000_0000, 0x00, 0x00]);
+        }
+        out.extend_from_slice(chunk);
+    }
+}
+
+/// Parses the PES header at `data[offset..]` (offset points at the
+/// `00 00 01 sid` start). Returns the header and the offset just past the
+/// packet.
+pub fn parse_pes_header(data: &[u8], offset: usize) -> Result<(PesHeader, usize)> {
+    if data.len() < offset + 6 {
+        return Err(PsError::Syntax("truncated PES packet".into()));
+    }
+    let stream_id = data[offset + 3];
+    let body_len = u16::from_be_bytes([data[offset + 4], data[offset + 5]]) as usize;
+    let body_start = offset + 6;
+    if body_len == 0 {
+        return Err(PsError::Unsupported("unbounded video PES packets"));
+    }
+    if data.len() < body_start + body_len {
+        return Err(PsError::Syntax("PES packet runs past end of stream".into()));
+    }
+    let body = &data[body_start..body_start + body_len];
+    let mut r = BitReader::new(body);
+    let e = |_| PsError::Syntax("truncated PES header".into());
+    let marker = r.read_bits(2).map_err(e)?;
+    if marker != 0b10 {
+        return Err(PsError::Syntax(format!("bad PES marker bits {marker:#b}")));
+    }
+    let scrambling = r.read_bits(2).map_err(e)?;
+    if scrambling != 0 {
+        return Err(PsError::Unsupported("scrambled PES packets"));
+    }
+    r.skip(4).map_err(e)?; // priority, alignment, copyright, original
+    let pts_dts = r.read_bits(2).map_err(e)?;
+    r.skip(6).map_err(e)?; // remaining flags
+    let header_data_len = r.read_bits(8).map_err(e)? as usize;
+    let stamps_start = r.bit_position();
+    let (mut pts, mut dts) = (None, None);
+    if pts_dts == 0b10 || pts_dts == 0b11 {
+        let (prefix, p) = read_timestamp(&mut r)?;
+        if prefix != pts_dts {
+            return Err(PsError::Syntax("PTS prefix mismatch".into()));
+        }
+        pts = Some(p);
+    }
+    if pts_dts == 0b11 {
+        let (prefix, d) = read_timestamp(&mut r)?;
+        if prefix != 0b0001 {
+            return Err(PsError::Syntax("DTS prefix mismatch".into()));
+        }
+        dts = Some(d);
+    }
+    let consumed = (r.bit_position() - stamps_start) / 8;
+    if consumed > header_data_len {
+        return Err(PsError::Syntax("PES header data overruns its length".into()));
+    }
+    let payload_offset = 3 + header_data_len;
+    if payload_offset > body_len {
+        return Err(PsError::Syntax("PES header longer than packet".into()));
+    }
+    Ok((
+        PesHeader { stream_id, pts, dts, payload_offset, body_len },
+        body_start + body_len,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_stamps() {
+        let t = ClockStamp::for_frame(30, 30, 1);
+        assert_eq!(t.0, 90_000);
+        assert!((t.seconds() - 1.0).abs() < 1e-12);
+        let t = ClockStamp::for_frame(1, 30_000, 1001);
+        assert_eq!(t.0, 90_000 * 1001 / 30_000);
+    }
+
+    #[test]
+    fn timestamp_round_trip() {
+        for v in [0u64, 1, 90_000, 0x1_FFFF_FFFF, 0x0_ABCD_1234] {
+            let mut w = BitWriter::new();
+            put_timestamp(&mut w, 0b0010, ClockStamp(v));
+            let bytes = w.into_bytes();
+            assert_eq!(bytes.len(), 5);
+            let mut r = BitReader::new(&bytes);
+            let (prefix, t) = read_timestamp(&mut r).unwrap();
+            assert_eq!(prefix, 0b0010);
+            assert_eq!(t.0, v & 0x1_FFFF_FFFF);
+        }
+    }
+
+    #[test]
+    fn pes_round_trip_with_stamps() {
+        let payload: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+        let mut out = Vec::new();
+        write_pes_packet(
+            &mut out,
+            Some(ClockStamp(12345)),
+            Some(ClockStamp(12000)),
+            &payload,
+        );
+        let (h, end) = parse_pes_header(&out, 0).unwrap();
+        assert_eq!(h.stream_id, VIDEO_STREAM_ID);
+        assert_eq!(h.pts, Some(ClockStamp(12345)));
+        assert_eq!(h.dts, Some(ClockStamp(12000)));
+        assert_eq!(end, out.len());
+        let body = &out[6..6 + h.body_len];
+        assert_eq!(&body[h.payload_offset..], &payload[..]);
+    }
+
+    #[test]
+    fn pes_splits_long_payloads() {
+        let payload = vec![0x42u8; 200_000];
+        let mut out = Vec::new();
+        write_pes_packet(&mut out, Some(ClockStamp(7)), None, &payload);
+        // Walk all packets and reassemble.
+        let mut pos = 0;
+        let mut got = Vec::new();
+        let mut first = true;
+        while pos < out.len() {
+            let (h, end) = parse_pes_header(&out, pos).unwrap();
+            if first {
+                assert_eq!(h.pts, Some(ClockStamp(7)));
+                first = false;
+            }
+            let body = &out[pos + 6..pos + 6 + h.body_len];
+            got.extend_from_slice(&body[h.payload_offset..]);
+            pos = end;
+        }
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn scrambled_packets_rejected() {
+        let mut out = Vec::new();
+        write_pes_packet(&mut out, None, None, &[1, 2, 3]);
+        out[6] |= 0b0011_0000; // set scrambling control
+        assert!(matches!(parse_pes_header(&out, 0), Err(PsError::Unsupported(_))));
+    }
+}

@@ -1,0 +1,327 @@
+//! Per-tile framebuffers and full-frame reassembly.
+
+use tiledec_mpeg2::frame::Frame;
+
+use crate::geometry::{TileId, WallGeometry};
+
+/// Errors from wall assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WallError {
+    /// A tile frame has the wrong dimensions.
+    BadTileSize {
+        /// Offending tile.
+        tile: TileId,
+        /// What the tile supplied, luma pixels.
+        got: (usize, usize),
+        /// What the geometry requires.
+        want: (usize, usize),
+    },
+    /// Two tiles disagree about a pixel they both display.
+    OverlapMismatch {
+        /// First tile.
+        a: TileId,
+        /// Second tile.
+        b: TileId,
+        /// Global pixel coordinate of the first disagreement.
+        at: (u32, u32),
+    },
+}
+
+impl std::fmt::Display for WallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WallError::BadTileSize { tile, got, want } => {
+                write!(f, "tile {tile:?} framebuffer is {got:?}, geometry needs {want:?}")
+            }
+            WallError::OverlapMismatch { a, b, at } => {
+                write!(f, "tiles {a:?} and {b:?} disagree at pixel {at:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WallError {}
+
+/// A set of tile framebuffers for one displayed picture.
+///
+/// Each tile's frame covers the tile's **macroblock-aligned** rectangle
+/// (what a tile decoder reconstructs), not just its display rectangle.
+pub struct Wall {
+    geometry: WallGeometry,
+    tiles: Vec<Frame>,
+}
+
+impl Wall {
+    /// Creates black tile framebuffers for a geometry.
+    pub fn new(geometry: WallGeometry) -> Self {
+        let tiles = geometry
+            .iter_tiles()
+            .map(|t| {
+                let r = geometry.tile_mb_rect(t);
+                Frame::black(r.w as usize, r.h as usize)
+            })
+            .collect();
+        Wall { geometry, tiles }
+    }
+
+    /// The wall's geometry.
+    pub fn geometry(&self) -> &WallGeometry {
+        &self.geometry
+    }
+
+    /// Immutable access to a tile framebuffer.
+    pub fn tile(&self, t: TileId) -> &Frame {
+        &self.tiles[self.geometry.index_of(t)]
+    }
+
+    /// Mutable access to a tile framebuffer.
+    pub fn tile_mut(&mut self, t: TileId) -> &mut Frame {
+        let i = self.geometry.index_of(t);
+        &mut self.tiles[i]
+    }
+
+    /// Replaces a tile framebuffer, validating dimensions.
+    pub fn set_tile(&mut self, t: TileId, frame: Frame) -> Result<(), WallError> {
+        let r = self.geometry.tile_mb_rect(t);
+        let want = (r.w as usize, r.h as usize);
+        let got = (frame.width(), frame.height());
+        if got != want {
+            return Err(WallError::BadTileSize { tile: t, got, want });
+        }
+        let i = self.geometry.index_of(t);
+        self.tiles[i] = frame;
+        Ok(())
+    }
+
+    /// Reassembles the full video frame, reading each pixel from its
+    /// owner tile. With `verify_overlap`, every overlap pixel is
+    /// cross-checked between all tiles that display it — decoders that
+    /// received the same macroblocks must have produced identical pixels.
+    pub fn assemble(&self, verify_overlap: bool) -> Result<Frame, WallError> {
+        let g = &self.geometry;
+        let mut out = Frame::black(g.width as usize, g.height as usize);
+        // Luma and chroma copied tile by tile; owner writes last via
+        // owner-ordered iteration (all tiles agree anyway when verified).
+        for t in g.iter_tiles() {
+            let r = g.tile_mb_rect(t);
+            let f = &self.tiles[g.index_of(t)];
+            out.y.blit_from(&f.y, 0, 0, r.x0 as usize, r.y0 as usize, r.w as usize, r.h as usize);
+            out.cb.blit_from(
+                &f.cb,
+                0,
+                0,
+                r.x0 as usize / 2,
+                r.y0 as usize / 2,
+                r.w as usize / 2,
+                r.h as usize / 2,
+            );
+            out.cr.blit_from(
+                &f.cr,
+                0,
+                0,
+                r.x0 as usize / 2,
+                r.y0 as usize / 2,
+                r.w as usize / 2,
+                r.h as usize / 2,
+            );
+        }
+        if verify_overlap {
+            self.verify_overlaps(&out)?;
+        }
+        Ok(out)
+    }
+
+    /// Checks that every tile agrees with the assembled frame on its
+    /// whole rectangle (hence with every other tile on shared pixels).
+    fn verify_overlaps(&self, assembled: &Frame) -> Result<(), WallError> {
+        let g = &self.geometry;
+        for t in g.iter_tiles() {
+            let r = g.tile_mb_rect(t);
+            let f = &self.tiles[g.index_of(t)];
+            for y in 0..r.h as usize {
+                let tile_row = &f.y.row(y)[..r.w as usize];
+                let global_row =
+                    &assembled.y.row(r.y0 as usize + y)[r.x0 as usize..(r.x0 + r.w) as usize];
+                if tile_row != global_row {
+                    let x = tile_row
+                        .iter()
+                        .zip(global_row)
+                        .position(|(a, b)| a != b)
+                        .unwrap_or(0) as u32;
+                    // Identify the other holder for the error message.
+                    let gx = r.x0 + x;
+                    let gy = r.y0 + y as u32;
+                    let other = g
+                        .iter_tiles()
+                        .find(|&o| o != t && g.tile_mb_rect(o).contains(gx, gy))
+                        .unwrap_or(t);
+                    return Err(WallError::OverlapMismatch { a: t, b: other, at: (gx, gy) });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a linear edge-blending ramp across overlap regions
+    /// (projector output simulation): each overlap pixel is attenuated so
+    /// the summed intensity from both projectors is constant. Returns the
+    /// per-tile frames as they would be sent to the projectors.
+    pub fn blended_tiles(&self) -> Vec<Frame> {
+        let g = &self.geometry;
+        let ov = g.overlap as usize;
+        g.iter_tiles()
+            .map(|t| {
+                let r = g.tile_mb_rect(t);
+                let disp = g.tile_rect(t);
+                let mut f = self.tiles[g.index_of(t)].clone();
+                if ov == 0 {
+                    return f;
+                }
+                let (w, h) = (f.width(), f.height());
+                for y in 0..h {
+                    for x in 0..w {
+                        let gx = r.x0 as usize + x;
+                        let gy = r.y0 as usize + y;
+                        let mut gain = 1.0f32;
+                        // Left/right ramps relative to the display rect.
+                        // Pixels of the macroblock-aligned frame that fall
+                        // outside the display rect are never projected
+                        // (gain 0).
+                        if t.col > 0 && gx < (disp.x0 as usize + ov) {
+                            gain *= gx.saturating_sub(disp.x0 as usize) as f32 / ov as f32;
+                        }
+                        if t.col + 1 < g.m && gx >= disp.x1() as usize - ov {
+                            gain *= (disp.x1() as usize).saturating_sub(gx) as f32 / ov as f32;
+                        }
+                        if t.row > 0 && gy < (disp.y0 as usize + ov) {
+                            gain *= gy.saturating_sub(disp.y0 as usize) as f32 / ov as f32;
+                        }
+                        if t.row + 1 < g.n && gy >= disp.y1() as usize - ov {
+                            gain *= (disp.y1() as usize).saturating_sub(gy) as f32 / ov as f32;
+                        }
+                        let gain = gain.min(1.0);
+                        if gain < 1.0 {
+                            let gain = gain.max(0.0);
+                            let v = f.y.get(x, y) as f32 * gain;
+                            f.y.set(x, y, v.round() as u8);
+                        }
+                    }
+                }
+                f
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern_frame(w: usize, h: usize) -> Frame {
+        let mut f = Frame::black(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                f.y.set(x, y, ((x * 7 + y * 13) % 251) as u8);
+            }
+        }
+        for y in 0..h / 2 {
+            for x in 0..w / 2 {
+                f.cb.set(x, y, ((x + y * 3) % 251) as u8);
+                f.cr.set(x, y, ((x * 3 + y) % 251) as u8);
+            }
+        }
+        f
+    }
+
+    fn fill_from_global(wall: &mut Wall, global: &Frame) {
+        let g = *wall.geometry();
+        for t in g.iter_tiles() {
+            let r = g.tile_mb_rect(t);
+            let mut tile = Frame::black(r.w as usize, r.h as usize);
+            tile.y.blit_from(&global.y, r.x0 as usize, r.y0 as usize, 0, 0, r.w as usize, r.h as usize);
+            tile.cb.blit_from(
+                &global.cb,
+                r.x0 as usize / 2,
+                r.y0 as usize / 2,
+                0,
+                0,
+                r.w as usize / 2,
+                r.h as usize / 2,
+            );
+            tile.cr.blit_from(
+                &global.cr,
+                r.x0 as usize / 2,
+                r.y0 as usize / 2,
+                0,
+                0,
+                r.w as usize / 2,
+                r.h as usize / 2,
+            );
+            wall.set_tile(t, tile).unwrap();
+        }
+    }
+
+    #[test]
+    fn assemble_reconstructs_the_global_frame() {
+        for (w, h, m, n, ov) in [(128, 64, 2, 2, 0), (160, 96, 2, 2, 16), (320, 192, 4, 2, 32)] {
+            let g = WallGeometry::for_video(w, h, m, n, ov).unwrap();
+            let global = pattern_frame(w as usize, h as usize);
+            let mut wall = Wall::new(g);
+            fill_from_global(&mut wall, &global);
+            let out = wall.assemble(true).unwrap();
+            assert_eq!(out, global, "{w}x{h} {m}x{n} ov {ov}");
+        }
+    }
+
+    #[test]
+    fn overlap_mismatch_is_detected() {
+        let g = WallGeometry::for_video(160, 96, 2, 1, 16).unwrap();
+        let global = pattern_frame(160, 96);
+        let mut wall = Wall::new(g);
+        fill_from_global(&mut wall, &global);
+        // Corrupt one pixel inside the overlap region of tile 1.
+        let t1 = TileId { col: 1, row: 0 };
+        let r1 = g.tile_mb_rect(t1);
+        assert!(r1.x0 < 88); // overlap exists
+        let f = wall.tile_mut(t1);
+        let v = f.y.get(0, 0);
+        f.y.set(0, 0, v.wrapping_add(1));
+        let err = wall.assemble(true).unwrap_err();
+        assert!(matches!(err, WallError::OverlapMismatch { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn set_tile_validates_dimensions() {
+        let g = WallGeometry::for_video(128, 64, 2, 2, 0).unwrap();
+        let mut wall = Wall::new(g);
+        let err = wall.set_tile(TileId { col: 0, row: 0 }, Frame::black(16, 16)).unwrap_err();
+        assert!(matches!(err, WallError::BadTileSize { .. }));
+    }
+
+    #[test]
+    fn blending_attenuates_overlap_only() {
+        let g = WallGeometry::for_video(160, 96, 2, 1, 16).unwrap();
+        let mut global = Frame::black(160, 96);
+        for y in 0..96 {
+            for x in 0..160 {
+                global.y.set(x, y, 200);
+            }
+        }
+        let mut wall = Wall::new(g);
+        fill_from_global(&mut wall, &global);
+        let blended = wall.blended_tiles();
+        // Tile 0's right edge ramps down; its interior stays at 200.
+        let t0 = &blended[0];
+        assert_eq!(t0.y.get(10, 10), 200);
+        let w0 = t0.width();
+        assert!(t0.y.get(w0 - 1, 10) < 50, "edge should be attenuated");
+        // Summed contributions in the overlap centre stay near 200.
+        let g0 = g.tile_mb_rect(TileId { col: 0, row: 0 });
+        let g1 = g.tile_mb_rect(TileId { col: 1, row: 0 });
+        let disp0 = g.tile_rect(TileId { col: 0, row: 0 });
+        let mid = disp0.x1() - g.overlap / 2; // centre of blend ramp
+        let a = blended[0].y.get((mid - g0.x0) as usize, 20) as u32;
+        let b = blended[1].y.get((mid - g1.x0) as usize, 20) as u32;
+        assert!((a + b) as i32 - 200 <= 2 && 200 - (a + b) as i32 <= 2, "a={a} b={b}");
+    }
+}

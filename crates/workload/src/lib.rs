@@ -1,0 +1,27 @@
+//! Synthetic video workloads mirroring the paper's Table 4.
+//!
+//! The original evaluation used 16 commercial clips (DVD movies, HDTV
+//! camera footage, broadcast recordings, and fly-through visualisations of
+//! the Orion Nebula) that we cannot redistribute. What the parallel
+//! decoder's costs actually depend on is captured by four knobs —
+//! resolution, bits per pixel, GOP structure and motion statistics — so
+//! each stream is replaced by a [`StreamPreset`] that pins those knobs and
+//! a [`Scene`] generator that produces deterministic frames with the right
+//! character:
+//!
+//! * streams 1–3 (DVD movies): full-frame motion at DVD bit rates
+//!   (~1 bpp, the paper notes these are coded much hotter than the rest);
+//! * streams 4–12 (animation, fish tank, broadcast): textured scenes with
+//!   global pans and moving objects at ~0.3 bpp;
+//! * streams 13–16 (Orion fly-by): **localised detail** — most of the
+//!   screen is smooth while one region holds the complexity, which is
+//!   exactly what makes the paper's Figure 8 droop for the largest
+//!   streams (the busiest tile's decoder becomes the straggler).
+
+#![warn(missing_docs)]
+
+mod presets;
+mod scenes;
+
+pub use presets::{EncodedStream, StreamPreset, PRESETS};
+pub use scenes::{MotionProfile, Scene};

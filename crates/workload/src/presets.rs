@@ -1,0 +1,205 @@
+//! The sixteen stream presets of Table 4.
+
+use tiledec_mpeg2::encoder::{Encoder, EncoderConfig};
+use tiledec_mpeg2::frame::Frame;
+use tiledec_mpeg2::types::SequenceInfo;
+
+use crate::scenes::{MotionProfile, Scene};
+
+/// A stream recipe: resolution, target rate and scene character.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamPreset {
+    /// Table 4 stream number (1–16), or 0 for ad-hoc presets.
+    pub number: u32,
+    /// Short name matching the paper's table.
+    pub name: &'static str,
+    /// Luma width (multiple of 16).
+    pub width: u32,
+    /// Luma height (multiple of 16).
+    pub height: u32,
+    /// Target bits per pixel (Table 4's `Bit Per Pixel` column).
+    pub bits_per_pixel: f64,
+    /// Scene character.
+    pub profile: MotionProfile,
+    /// The wall grid the paper paired this stream with (Table 6).
+    pub suggested_grid: (u32, u32),
+    /// Texture seed.
+    pub seed: u32,
+}
+
+/// The sixteen presets. Resolutions are reconstructed where the paper's
+/// table is ambiguous, keeping each stream divisible into its Table 6
+/// grid and the documented resolution class (DVD → 720p → 1080i → up to
+/// the 3840×2800 Orion fly-by).
+pub const PRESETS: [StreamPreset; 16] = [
+    StreamPreset { number: 1, name: "spr", width: 720, height: 480, bits_per_pixel: 1.10, profile: MotionProfile::PanAndObjects { pan: 3, objects: 3 }, suggested_grid: (1, 1), seed: 11 },
+    StreamPreset { number: 2, name: "matrix", width: 720, height: 480, bits_per_pixel: 0.93, profile: MotionProfile::PanAndObjects { pan: 5, objects: 4 }, suggested_grid: (1, 1), seed: 22 },
+    StreamPreset { number: 3, name: "t2", width: 720, height: 480, bits_per_pixel: 1.21, profile: MotionProfile::PanAndObjects { pan: 4, objects: 2 }, suggested_grid: (1, 1), seed: 33 },
+    StreamPreset { number: 4, name: "anim1", width: 960, height: 640, bits_per_pixel: 0.30, profile: MotionProfile::PanAndObjects { pan: 2, objects: 5 }, suggested_grid: (2, 1), seed: 44 },
+    StreamPreset { number: 5, name: "fish1", width: 1280, height: 720, bits_per_pixel: 0.30, profile: MotionProfile::LayeredDrift, suggested_grid: (2, 1), seed: 55 },
+    StreamPreset { number: 6, name: "fish2", width: 1280, height: 720, bits_per_pixel: 0.30, profile: MotionProfile::LayeredDrift, suggested_grid: (2, 1), seed: 66 },
+    StreamPreset { number: 7, name: "fish3", width: 1280, height: 720, bits_per_pixel: 0.30, profile: MotionProfile::LayeredDrift, suggested_grid: (2, 1), seed: 77 },
+    StreamPreset { number: 8, name: "fish4", width: 1280, height: 720, bits_per_pixel: 0.30, profile: MotionProfile::LayeredDrift, suggested_grid: (2, 1), seed: 88 },
+    StreamPreset { number: 9, name: "fox", width: 1280, height: 720, bits_per_pixel: 0.30, profile: MotionProfile::PanAndObjects { pan: 6, objects: 3 }, suggested_grid: (2, 1), seed: 99 },
+    StreamPreset { number: 10, name: "nbc", width: 1920, height: 1088, bits_per_pixel: 0.30, profile: MotionProfile::PanAndObjects { pan: 4, objects: 4 }, suggested_grid: (2, 2), seed: 110 },
+    StreamPreset { number: 11, name: "cbs", width: 1920, height: 1088, bits_per_pixel: 0.30, profile: MotionProfile::PanAndObjects { pan: 3, objects: 5 }, suggested_grid: (2, 2), seed: 121 },
+    StreamPreset { number: 12, name: "anim4", width: 1920, height: 1280, bits_per_pixel: 0.30, profile: MotionProfile::PanAndObjects { pan: 2, objects: 5 }, suggested_grid: (3, 2), seed: 44 },
+    StreamPreset { number: 13, name: "orion1", width: 2304, height: 1728, bits_per_pixel: 0.30, profile: MotionProfile::LocalizedDetail { coverage: 0.20 }, suggested_grid: (3, 3), seed: 131 },
+    StreamPreset { number: 14, name: "orion2", width: 2560, height: 1920, bits_per_pixel: 0.30, profile: MotionProfile::LocalizedDetail { coverage: 0.18 }, suggested_grid: (4, 3), seed: 141 },
+    StreamPreset { number: 15, name: "orion3", width: 3200, height: 2400, bits_per_pixel: 0.30, profile: MotionProfile::LocalizedDetail { coverage: 0.15 }, suggested_grid: (4, 4), seed: 151 },
+    StreamPreset { number: 16, name: "orion4", width: 3840, height: 2800, bits_per_pixel: 0.30, profile: MotionProfile::LocalizedDetail { coverage: 0.12 }, suggested_grid: (4, 4), seed: 161 },
+];
+
+/// An encoded synthetic stream.
+pub struct EncodedStream {
+    /// The MPEG-2 elementary stream.
+    pub bitstream: Vec<u8>,
+    /// Sequence parameters.
+    pub seq: SequenceInfo,
+    /// Achieved bits per pixel.
+    pub achieved_bpp: f64,
+    /// Average picture size in bytes.
+    pub avg_picture_bytes: f64,
+    /// Frame count.
+    pub frames: usize,
+}
+
+impl StreamPreset {
+    /// Looks up a Table 4 preset by stream number (1–16).
+    pub fn by_number(n: u32) -> Option<&'static StreamPreset> {
+        PRESETS.iter().find(|p| p.number == n)
+    }
+
+    /// A tiny fast preset for tests, examples and doctests.
+    pub fn tiny_test() -> StreamPreset {
+        StreamPreset {
+            number: 0,
+            name: "tiny",
+            width: 128,
+            height: 96,
+            bits_per_pixel: 0.6,
+            profile: MotionProfile::PanAndObjects { pan: 3, objects: 2 },
+            suggested_grid: (2, 2),
+            seed: 7,
+        }
+    }
+
+    /// A downscaled copy of this preset (same character, `1/div` the
+    /// linear resolution, clamped to multiples of 32 so every wall grid up
+    /// to 4×4 still divides it). Used by the benchmark harness to keep
+    /// encode times sane while preserving per-macroblock statistics.
+    pub fn scaled_down(&self, div: u32) -> StreamPreset {
+        let mut p = *self;
+        p.width = (self.width / div / 32).max(2) * 32;
+        p.height = (self.height / div / 32).max(2) * 32;
+        p
+    }
+
+    /// The scene generator for this preset.
+    pub fn scene(&self) -> Scene {
+        Scene {
+            width: self.width as usize,
+            height: self.height as usize,
+            profile: self.profile,
+            seed: self.seed,
+        }
+    }
+
+    /// Renders `n` frames.
+    pub fn generate(&self, n: usize) -> Vec<Frame> {
+        let scene = self.scene();
+        (0..n).map(|t| scene.render(t)).collect()
+    }
+
+    /// Encoder configuration targeting this preset's bit rate.
+    pub fn encoder_config(&self) -> EncoderConfig {
+        let mut cfg = EncoderConfig::for_size(self.width, self.height);
+        cfg.gop_size = 12;
+        cfg.b_frames = 2;
+        cfg.search_range = 15;
+        let target_bits = self.bits_per_pixel * self.width as f64 * self.height as f64;
+        cfg.target_bits_per_picture = Some(target_bits as u32);
+        cfg.qscale = 8;
+        cfg
+    }
+
+    /// Renders and encodes `n` frames.
+    pub fn generate_and_encode(&self, n: usize) -> tiledec_mpeg2::Result<EncodedStream> {
+        let frames = self.generate(n);
+        let enc = Encoder::new(self.encoder_config())?;
+        let (bitstream, stats) = enc.encode_with_stats(&frames)?;
+        let avg = stats.average_picture_bytes();
+        let achieved_bpp = avg * 8.0 / (self.width as f64 * self.height as f64);
+        Ok(EncodedStream {
+            bitstream,
+            seq: enc.sequence_info().clone(),
+            achieved_bpp,
+            avg_picture_bytes: avg,
+            frames: n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_macroblock_aligned_and_grid_divisible() {
+        for p in &PRESETS {
+            assert_eq!(p.width % 16, 0, "{}", p.name);
+            assert_eq!(p.height % 16, 0, "{}", p.name);
+            assert!(p.height <= 2800, "{}: taller than the slice-code limit", p.name);
+            let (m, n) = p.suggested_grid;
+            assert_eq!(p.width % m, 0, "{} does not divide into {m} columns", p.name);
+            assert_eq!(p.height % n, 0, "{} does not divide into {n} rows", p.name);
+        }
+    }
+
+    #[test]
+    fn resolutions_increase_toward_orion() {
+        let px = |p: &StreamPreset| (p.width * p.height) as u64;
+        assert!(px(&PRESETS[0]) < px(&PRESETS[7]));
+        assert!(px(&PRESETS[7]) < px(&PRESETS[10]));
+        assert!(px(&PRESETS[10]) < px(&PRESETS[15]));
+        assert_eq!(PRESETS[15].width, 3840);
+        assert_eq!(PRESETS[15].height, 2800);
+    }
+
+    #[test]
+    fn dvd_streams_run_hotter() {
+        for p in &PRESETS[..3] {
+            assert!(p.bits_per_pixel > 0.8, "{}", p.name);
+        }
+        for p in &PRESETS[3..] {
+            assert!((p.bits_per_pixel - 0.3).abs() < 1e-9, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn tiny_preset_encodes_and_hits_a_sane_rate() {
+        let s = StreamPreset::tiny_test().generate_and_encode(8).unwrap();
+        assert_eq!(s.frames, 8);
+        assert!(s.bitstream.len() > 500);
+        assert!(s.achieved_bpp > 0.02, "bpp {}", s.achieved_bpp);
+        // Decodes cleanly.
+        let frames = tiledec_mpeg2::decode_all(&s.bitstream).unwrap();
+        assert_eq!(frames.len(), 8);
+    }
+
+    #[test]
+    fn scaled_down_preserves_divisibility() {
+        for p in &PRESETS {
+            let s = p.scaled_down(4);
+            assert_eq!(s.width % 32, 0);
+            assert_eq!(s.height % 32, 0);
+            assert!(s.width >= 64);
+        }
+    }
+
+    #[test]
+    fn by_number_lookup() {
+        assert_eq!(StreamPreset::by_number(16).unwrap().name, "orion4");
+        assert!(StreamPreset::by_number(17).is_none());
+    }
+}

@@ -1,0 +1,87 @@
+//! Display-wall playback: run an HDTV-class stream on a virtual
+//! `1-k-(m,n)` cluster, report the virtual frame rate, the per-decoder
+//! runtime breakdown and per-node bandwidth — the full measurement
+//! pipeline behind the paper's evaluation, on one screenful.
+//!
+//! ```text
+//! cargo run --release --example display_wall [-- <k> <m> <n> [overlap]]
+//! ```
+
+use tiledec::cluster::CostModel;
+use tiledec::core::{SimulatedSystem, SystemConfig};
+use tiledec::workload::{MotionProfile, StreamPreset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).filter(|a| a != "--").collect();
+    let k: usize = args.first().and_then(|v| v.parse().ok()).unwrap_or(2);
+    let m: u32 = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(2);
+    let n: u32 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(2);
+    let overlap: u32 = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(0);
+
+    // An HDTV-class scene divisible by every small grid.
+    let preset = StreamPreset {
+        number: 0,
+        name: "demo720p",
+        width: 1152,
+        height: 768,
+        bits_per_pixel: 0.3,
+        profile: MotionProfile::LayeredDrift,
+        suggested_grid: (m, n),
+        seed: 42,
+    };
+    eprintln!("encoding {}x{} demo stream...", preset.width, preset.height);
+    let video = preset.generate_and_encode(12).expect("encode");
+
+    let cfg = SystemConfig::new(k, (m, n)).with_overlap(overlap);
+    println!(
+        "running 1-{k}-({m},{n}) (overlap {overlap}px) = {} PCs on a Myrinet-class fabric",
+        cfg.nodes()
+    );
+    let run = SimulatedSystem::new(cfg, CostModel::myrinet_2002())
+        .run(&video.bitstream)
+        .expect("simulated run");
+
+    println!("\nvirtual frame rate : {:.1} fps", run.report.fps);
+    println!("host split cost    : {:.2} ms/picture", run.measured.split_s * 1e3);
+    println!("host decode cost   : {:.2} ms/picture/tile", run.measured.decode_s * 1e3);
+    println!(
+        "optimal k (ceil ts/td): {}",
+        tiledec::core::config::optimal_k(run.measured.split_s, run.measured.decode_s)
+    );
+    println!(
+        "SPH + duplication overhead: {:+.1}% over the raw picture units",
+        100.0 * (run.measured.subpic_bytes - run.measured.unit_bytes) / run.measured.unit_bytes
+    );
+
+    println!("\nper-decoder runtime breakdown:");
+    println!("  {:<8} {:>7} {:>7} {:>7} {:>7} {:>7}", "tile", "work%", "serve%", "recv%", "wait%", "ack%");
+    let total = run.report.total_s;
+    for (d, b) in run.report.decoder_breakdown.iter().enumerate() {
+        println!(
+            "  {:<8} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            d,
+            100.0 * b.work_s / total,
+            100.0 * b.serve_s / total,
+            100.0 * b.receive_s / total,
+            100.0 * b.wait_remote_s / total,
+            100.0 * b.ack_s / total,
+        );
+    }
+
+    println!("\nper-node bandwidth (MB/s):");
+    for node in 0..cfg.nodes() {
+        let name = if node == 0 {
+            "root".to_string()
+        } else if node <= k {
+            format!("splitter{}", node - 1)
+        } else {
+            format!("decoder{}", node - 1 - k)
+        };
+        println!(
+            "  {:<10} send {:>7.2}  recv {:>7.2}",
+            name,
+            run.report.send_bandwidth(node) / 1e6,
+            run.report.recv_bandwidth(node) / 1e6
+        );
+    }
+}

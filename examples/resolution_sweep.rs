@@ -1,0 +1,79 @@
+//! Resolution scalability sweep: play progressively larger streams on
+//! progressively larger walls, letting the system pick `k` automatically
+//! from its measured split/decode costs — the paper's §4.6 configuration
+//! rule plus its "automatic configuration" future-work item.
+//!
+//! ```text
+//! cargo run --release --example resolution_sweep [-- <target_fps>]
+//! ```
+
+use tiledec::cluster::sim::PipelineSim;
+use tiledec::cluster::CostModel;
+use tiledec::core::config::{k_for_target_fps, optimal_k, predicted_fps};
+use tiledec::core::{SimulatedSystem, SystemConfig};
+use tiledec::workload::{MotionProfile, StreamPreset};
+
+fn main() {
+    let target_fps: f64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30.0);
+
+    let ladder: [(u32, u32, (u32, u32)); 4] =
+        [(384, 256, (1, 1)), (768, 512, (2, 1)), (1152, 768, (2, 2)), (1536, 1024, (4, 2))];
+
+    println!(
+        "{:<12} {:<7} {:>4} {:>10} {:>10} {:>10} {:>12}",
+        "resolution", "grid", "k*", "ts ms", "td ms", "fps", "F=min(k/ts,1/td)"
+    );
+    for (w, h, grid) in ladder {
+        let preset = StreamPreset {
+            number: 0,
+            name: "sweep",
+            width: w,
+            height: h,
+            bits_per_pixel: 0.3,
+            profile: MotionProfile::PanAndObjects { pan: 3, objects: 4 },
+            suggested_grid: grid,
+            seed: 9,
+        };
+        let video = preset.generate_and_encode(9).expect("encode");
+        let model = CostModel::myrinet_2002();
+        // Measure once with k = 1, then choose k from the measured costs
+        // and replay the schedule.
+        let probe = SimulatedSystem::new(SystemConfig::new(1, grid), model)
+            .run(&video.bitstream)
+            .expect("probe");
+        let ts = probe.measured.split_s;
+        let td = probe.measured.decode_s;
+        let k = optimal_k(ts, td);
+        let mut spec = probe.spec.clone();
+        spec.k = k;
+        let report = PipelineSim::new(spec, model).run();
+        println!(
+            "{:>5}x{:<6} ({},{})   {:>4} {:>10.2} {:>10.2} {:>10.1} {:>12.1}",
+            w,
+            h,
+            grid.0,
+            grid.1,
+            k,
+            ts * 1e3,
+            td * 1e3,
+            report.fps,
+            predicted_fps(k, ts, td)
+        );
+        // The future-work auto-configurator: smallest k for a target rate.
+        match k_for_target_fps(target_fps, ts, td) {
+            Some(k_needed) => println!(
+                "{:>12}   -> {target_fps:.0} fps needs k = {k_needed} ({} PCs total)",
+                "",
+                1 + k_needed + (grid.0 * grid.1) as usize
+            ),
+            None => println!(
+                "{:>12}   -> {target_fps:.0} fps unreachable: decoders cap at {:.1} fps",
+                "",
+                1.0 / td
+            ),
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Why macroblock-level splitting wins (the paper's Table 1 argument),
+//! measured live: splitting cost, inter-decoder communication and pixel
+//! redistribution per parallelisation granularity.
+//!
+//! ```text
+//! cargo run --release --example splitter_levels
+//! ```
+
+use tiledec::core::levels::measure_levels;
+use tiledec::core::SystemConfig;
+use tiledec::workload::{MotionProfile, StreamPreset};
+
+fn main() {
+    let preset = StreamPreset {
+        number: 0,
+        name: "levels",
+        width: 1152,
+        height: 768,
+        bits_per_pixel: 0.3,
+        profile: MotionProfile::PanAndObjects { pan: 4, objects: 4 },
+        suggested_grid: (4, 4),
+        seed: 3,
+    };
+    eprintln!("encoding {}x{} test stream...", preset.width, preset.height);
+    let video = preset.generate_and_encode(12).expect("encode");
+    let geom = SystemConfig::new(1, (4, 4))
+        .geometry(preset.width, preset.height)
+        .expect("geometry");
+
+    let rows = measure_levels(&video.bitstream, &geom).expect("measure");
+    println!(
+        "\n{:<12} {:>14} {:>20} {:>20}",
+        "level", "split ms/pic", "inter-dec KB/pic", "redistribute KB/pic"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>14.3} {:>20.1} {:>20.1}",
+            r.level.name(),
+            r.split_s_per_picture * 1e3,
+            r.inter_decoder_bytes_per_picture / 1e3,
+            r.redistribution_bytes_per_picture / 1e3,
+        );
+    }
+
+    // The trade the paper's hierarchy resolves: macroblock splitting moves
+    // almost no pixels afterwards but costs real CPU to split — which one
+    // splitter cannot sustain for many decoders, hence the second level.
+    let mb = rows.last().expect("macroblock row");
+    let coarse = &rows[2];
+    println!(
+        "\nmacroblock split is {:.0}x more expensive to split than picture level,",
+        mb.split_s_per_picture / coarse.split_s_per_picture.max(1e-12)
+    );
+    println!(
+        "but moves {:.0}x fewer bytes afterwards ({:.0} KB vs {:.0} KB per picture).",
+        (coarse.inter_decoder_bytes_per_picture + coarse.redistribution_bytes_per_picture)
+            / (mb.inter_decoder_bytes_per_picture + mb.redistribution_bytes_per_picture).max(1.0),
+        (mb.inter_decoder_bytes_per_picture + mb.redistribution_bytes_per_picture) / 1e3,
+        (coarse.inter_decoder_bytes_per_picture + coarse.redistribution_bytes_per_picture) / 1e3,
+    );
+}

@@ -1,0 +1,175 @@
+//! `tiledec-analyze` — structural analysis of an MPEG-2 stream through the
+//! splitter's parse-only pass: per-picture sizes and types, macroblock
+//! statistics, motion-vector reach, and what a given wall configuration
+//! would exchange.
+//!
+//! ```text
+//! tiledec-analyze input.m2v|input.mpg [--grid MxN]
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use tiledec::core::splitter::MacroblockSplitter;
+use tiledec::core::{split_picture_units, SystemConfig};
+use tiledec::mpeg2::parser::parse_picture;
+use tiledec::mpeg2::slice::MbMotion;
+use tiledec::mpeg2::types::PictureKind;
+use tiledec::ps::looks_like_program_stream;
+
+
+/// Splits args into positionals and flag lookups. `bool_flags` take no
+/// value; every other `--flag` consumes the next argument.
+fn parse_args<'a>(
+    args: &'a [String],
+    bool_flags: &[&str],
+) -> (Vec<String>, impl Fn(&str) -> bool + 'a, impl Fn(&str) -> Option<String> + 'a) {
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            if bool_flags.contains(&a.as_str()) {
+                i += 1;
+            } else {
+                i += 2;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    let args1 = args;
+    let args2 = args;
+    (
+        positional,
+        move |name: &str| args1.iter().any(|a| a == name),
+        move |name: &str| {
+            args2.iter().position(|a| a == name).and_then(|i| args2.get(i + 1)).cloned()
+        },
+    )
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tiledec-analyze: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (positional, _flag, value) = parse_args(&args, &[]);
+    let input = positional.first().ok_or("usage: tiledec-analyze <input> [--grid MxN]")?;
+    let grid = value("--grid")
+        .map(|g| -> Result<(u32, u32), String> {
+            let (m, n) = g.split_once('x').ok_or("bad --grid")?;
+            Ok((m.parse().map_err(|_| "bad --grid")?, n.parse().map_err(|_| "bad --grid")?))
+        })
+        .transpose()?;
+
+    let data = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+    let es = if looks_like_program_stream(&data) {
+        let out = tiledec::ps::demux_video(&data).map_err(|e| e.to_string())?;
+        println!(
+            "program stream: {} packs, {} stamped PES packets, first SCR {:.3}s",
+            out.scr.len(),
+            out.pts.len(),
+            out.scr.first().map(|s| s.seconds()).unwrap_or(0.0)
+        );
+        out.video_es
+    } else {
+        data
+    };
+
+    let index = split_picture_units(&es).map_err(|e| e.to_string())?;
+    let seq = &index.seq;
+    println!(
+        "sequence: {}x{} @ {:.2} fps, {} pictures, {} bytes",
+        seq.width,
+        seq.height,
+        seq.frame_rate(),
+        index.units.len(),
+        es.len()
+    );
+
+    let mut kind_sizes: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+    let mut coded = 0usize;
+    let mut skipped = 0usize;
+    let mut intra_mbs = 0usize;
+    let mut max_mv = 0i32;
+    let mut mv_histogram = [0usize; 5]; // |mv| in full pel: 0, 1-4, 5-8, 9-16, 17+
+    for &(start, end) in &index.units {
+        let p = parse_picture(&es[start..end], seq).map_err(|e| e.to_string())?;
+        let name = match p.info.kind {
+            PictureKind::I => "I",
+            PictureKind::P => "P",
+            PictureKind::B => "B",
+        };
+        let e = kind_sizes.entry(name).or_default();
+        e.0 += 1;
+        e.1 += end - start;
+        coded += p.coded_mb_count();
+        skipped += p.skipped_mb_count() as usize;
+        for slice in &p.slices {
+            for mb in &slice.mbs {
+                if mb.flags.intra {
+                    intra_mbs += 1;
+                }
+                let vecs: &[tiledec::mpeg2::types::MotionVector] = match &mb.motion {
+                    MbMotion::Intra => &[],
+                    MbMotion::Forward(f) => std::slice::from_ref(f),
+                    MbMotion::Backward(b) => std::slice::from_ref(b),
+                    MbMotion::Bi(f, b) => &[*f, *b],
+                };
+                for mv in vecs {
+                    let mag = (mv.x.abs().max(mv.y.abs()) / 2) as i32;
+                    max_mv = max_mv.max(mag);
+                    let bucket = match mag {
+                        0 => 0,
+                        1..=4 => 1,
+                        5..=8 => 2,
+                        9..=16 => 3,
+                        _ => 4,
+                    };
+                    mv_histogram[bucket] += 1;
+                }
+            }
+        }
+    }
+    println!("\npicture mix:");
+    for (kind, (count, bytes)) in &kind_sizes {
+        println!("  {kind}: {count:>4} pictures, avg {:>8.0} bytes", *bytes as f64 / *count as f64);
+    }
+    println!("\nmacroblocks: {coded} coded ({intra_mbs} intra), {skipped} skipped");
+    println!("motion reach: max {max_mv} px; |mv| histogram (full-pel buckets 0, 1-4, 5-8, 9-16, 17+):");
+    println!("  {:?}", mv_histogram);
+
+    if let Some((m, n)) = grid {
+        let geom = SystemConfig::new(1, (m, n))
+            .geometry(seq.width, seq.height)
+            .map_err(|e| e.to_string())?;
+        let splitter = MacroblockSplitter::new(geom, seq.clone());
+        let mut mei = 0usize;
+        let mut dup = 0usize;
+        let mut sp_bytes = 0usize;
+        for (p, &(start, end)) in index.units.iter().enumerate() {
+            let out = splitter.split(p as u32, &es[start..end]).map_err(|e| e.to_string())?;
+            mei += out.stats.mei_instructions;
+            dup += out.stats.duplicated_assignments;
+            sp_bytes += out.stats.subpicture_bytes;
+        }
+        let n_pics = index.units.len().max(1);
+        println!("\non a {m}x{n} wall:");
+        println!("  MEI instructions/pic : {:.1}", mei as f64 / n_pics as f64);
+        println!("  duplicated MBs/pic   : {:.1}", dup as f64 / n_pics as f64);
+        println!(
+            "  sub-picture overhead : {:+.1}% vs raw picture units",
+            100.0 * (sp_bytes as f64 - es.len() as f64) / es.len() as f64
+        );
+    }
+    Ok(())
+}

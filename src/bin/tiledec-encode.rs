@@ -1,0 +1,198 @@
+//! `tiledec-encode` — encode a YUV4MPEG2 file to MPEG-2.
+//!
+//! ```text
+//! tiledec-encode input.y4m output.m2v [--q N] [--gop N] [--bframes N]
+//!                [--bpp X] [--ps] [--alt-scan] [--nonlinear-q]
+//! ```
+//!
+//! `--ps` wraps the elementary stream in an MPEG-2 program stream
+//! (`.mpg`-style) with SCR/PTS timestamps.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use tiledec::mpeg2::encoder::{Encoder, EncoderConfig};
+use tiledec::mpeg2::y4m::Y4mReader;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(msg) => {
+            eprintln!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tiledec-encode: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (positional, flag, value) =
+        parse_args(&args, &["--ps", "--alt-scan", "--nonlinear-q"]);
+    let [input, output] = &positional[..] else {
+        return Err(
+            "usage: tiledec-encode <input.y4m> <output.m2v> [--q N] [--gop N] [--bframes N] \
+             [--bpp X] [--ps] [--alt-scan] [--nonlinear-q]"
+                .into(),
+        );
+    };
+
+    let file = File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+    let mut reader = Y4mReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let header = reader.header();
+    let frames = reader.read_all().map_err(|e| e.to_string())?;
+    if frames.is_empty() {
+        return Err("input holds no frames".into());
+    }
+    if header.width % 16 != 0 || header.height % 16 != 0 {
+        return Err(format!(
+            "input is {}x{}; dimensions must be multiples of 16",
+            header.width, header.height
+        ));
+    }
+
+    let mut cfg = EncoderConfig::for_size(header.width as u32, header.height as u32);
+    if let Some(q) = value("--q") {
+        cfg.qscale = q.parse().map_err(|_| "bad --q")?;
+    }
+    if let Some(g) = value("--gop") {
+        cfg.gop_size = g.parse().map_err(|_| "bad --gop")?;
+    }
+    if let Some(b) = value("--bframes") {
+        cfg.b_frames = b.parse().map_err(|_| "bad --bframes")?;
+    }
+    if let Some(bpp) = value("--bpp") {
+        let bpp: f64 = bpp.parse().map_err(|_| "bad --bpp")?;
+        cfg.target_bits_per_picture =
+            Some((bpp * header.width as f64 * header.height as f64) as u32);
+    }
+    cfg.alternate_scan = flag("--alt-scan");
+    cfg.q_scale_type = flag("--nonlinear-q");
+    cfg.frame_rate_code = frame_rate_code(header.fps());
+
+    let enc = Encoder::new(cfg).map_err(|e| e.to_string())?;
+    let (es, stats) = enc.encode_with_stats(&frames).map_err(|e| e.to_string())?;
+
+    let bytes = if flag("--ps") {
+        let index =
+            tiledec::core::split_picture_units(&es).map_err(|e| e.to_string())?;
+        let mut display = compute_display_indices(&es, &index);
+        let units: Vec<(usize, usize, u64)> = index
+            .units
+            .iter()
+            .zip(display.drain(..))
+            .map(|(&(s, e), d)| (s, e, d))
+            .collect();
+        let mux = tiledec_ps_config(header.fps_num, header.fps_den);
+        tiledec::ps::mux_video(&es, &units, &mux)
+    } else {
+        es
+    };
+
+    let mut out = BufWriter::new(File::create(output).map_err(|e| format!("create {output}: {e}"))?);
+    out.write_all(&bytes).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{} frames -> {} bytes ({:.2} bits/pixel, {:.1} KB/picture avg)",
+        frames.len(),
+        bytes.len(),
+        stats.average_picture_bytes() * 8.0 / (header.width * header.height) as f64,
+        stats.average_picture_bytes() / 1e3,
+    ))
+}
+
+
+/// Splits args into positionals and flag lookups. `bool_flags` take no
+/// value; every other `--flag` consumes the next argument.
+fn parse_args<'a>(
+    args: &'a [String],
+    bool_flags: &[&str],
+) -> (Vec<String>, impl Fn(&str) -> bool + 'a, impl Fn(&str) -> Option<String> + 'a) {
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            if bool_flags.contains(&a.as_str()) {
+                i += 1;
+            } else {
+                i += 2;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    let args1 = args;
+    let args2 = args;
+    (
+        positional,
+        move |name: &str| args1.iter().any(|a| a == name),
+        move |name: &str| {
+            args2.iter().position(|a| a == name).and_then(|i| args2.get(i + 1)).cloned()
+        },
+    )
+}
+
+fn tiledec_ps_config(fps_num: u32, fps_den: u32) -> tiledec::ps::MuxConfig {
+    tiledec::ps::MuxConfig { fps_num, fps_den, ..Default::default() }
+}
+
+/// Recover display-order indices. `temporal_reference` is GOP-relative;
+/// GOP boundaries show up as GOP start codes in the bytes between
+/// consecutive picture units.
+fn compute_display_indices(
+    es: &[u8],
+    index: &tiledec::core::splitter::StreamIndex,
+) -> Vec<u64> {
+    let mut out = Vec::with_capacity(index.units.len());
+    let mut gop_base = 0u64;
+    let mut max_in_gop = 0u64;
+    let mut prev_end = 0usize;
+    for &(start, end) in &index.units {
+        let gap = &es[prev_end..start];
+        let new_gop = tiledec_bitstream_scan_gop(gap);
+        if new_gop && !out.is_empty() {
+            gop_base += max_in_gop + 1;
+            max_in_gop = 0;
+        }
+        prev_end = end;
+        match tiledec::mpeg2::parser::parse_picture(&es[start..end], &index.seq) {
+            Ok(p) => {
+                let tref = p.info.temporal_reference as u64;
+                max_in_gop = max_in_gop.max(tref);
+                out.push(gop_base + tref);
+            }
+            Err(_) => out.push(out.len() as u64),
+        }
+    }
+    out
+}
+
+fn tiledec_bitstream_scan_gop(gap: &[u8]) -> bool {
+    use tiledec::bitstream::{StartCode, StartCodeScanner};
+    StartCodeScanner::new(gap).any(|c| c.code == StartCode::GROUP)
+}
+
+fn frame_rate_code(fps: f64) -> u8 {
+    let table: [(f64, u8); 8] = [
+        (23.976, 1),
+        (24.0, 2),
+        (25.0, 3),
+        (29.97, 4),
+        (30.0, 5),
+        (50.0, 6),
+        (59.94, 7),
+        (60.0, 8),
+    ];
+    table
+        .iter()
+        .min_by(|a, b| {
+            (a.0 - fps).abs().partial_cmp(&(b.0 - fps).abs()).expect("finite")
+        })
+        .map(|&(_, c)| c)
+        .unwrap_or(5)
+}

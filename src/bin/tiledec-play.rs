@@ -1,0 +1,155 @@
+//! `tiledec-play` — play an MPEG-2 stream on the parallel tiled-wall
+//! system and report what the cluster did.
+//!
+//! ```text
+//! tiledec-play input.m2v|input.mpg [--k N] [--grid MxN] [--overlap PX]
+//!              [--out wall.y4m] [--simulate]
+//! ```
+//!
+//! By default the threaded back-end runs (every node a thread) and the
+//! reassembled output is verified bit-exact against a sequential decode.
+//! `--simulate` uses the measured/event-simulated back-end instead and
+//! reports the virtual frame rate of a Myrinet-class cluster.
+
+use std::process::ExitCode;
+
+use tiledec::cluster::CostModel;
+use tiledec::core::{SimulatedSystem, SystemConfig, ThreadedSystem};
+use tiledec::mpeg2::y4m::{Y4mHeader, Y4mWriter};
+use tiledec::ps::looks_like_program_stream;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tiledec-play: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (positional, flag, value) = parse_args(&args, &["--simulate"]);
+    let input = positional
+        .first()
+        .ok_or("usage: tiledec-play <input> [--k N] [--grid MxN] [--overlap PX] [--out wall.y4m] [--simulate]")?;
+
+    let k: usize = value("--k").map(|v| v.parse().map_err(|_| "bad --k")).transpose()?.unwrap_or(1);
+    let grid = match value("--grid") {
+        Some(g) => {
+            let (m, n) = g.split_once('x').ok_or("bad --grid, expected MxN")?;
+            (m.parse().map_err(|_| "bad --grid")?, n.parse().map_err(|_| "bad --grid")?)
+        }
+        None => (2, 2),
+    };
+    let overlap: u32 =
+        value("--overlap").map(|v| v.parse().map_err(|_| "bad --overlap")).transpose()?.unwrap_or(0);
+
+    let data = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+    let es = if looks_like_program_stream(&data) {
+        tiledec::ps::demux_video(&data).map_err(|e| e.to_string())?.video_es
+    } else {
+        data
+    };
+
+    let cfg = SystemConfig::new(k, grid).with_overlap(overlap);
+    eprintln!(
+        "playing on a 1-{k}-({},{}) system: {} PCs, overlap {overlap}px",
+        grid.0, grid.1, cfg.nodes()
+    );
+
+    if flag("--simulate") {
+        let run = SimulatedSystem::new(cfg, CostModel::myrinet_2002())
+            .run(&es)
+            .map_err(|e| e.to_string())?;
+        println!("virtual frame rate: {:.1} fps over {} pictures", run.report.fps, run.pictures);
+        println!(
+            "host costs: split {:.2} ms/pic, decode {:.2} ms/pic/tile; optimal k = {}",
+            run.measured.split_s * 1e3,
+            run.measured.decode_s * 1e3,
+            tiledec::core::config::optimal_k(run.measured.split_s, run.measured.decode_s)
+        );
+        for node in 0..cfg.nodes() {
+            println!(
+                "  node {:>2}: send {:>8.2} MB/s  recv {:>8.2} MB/s",
+                node,
+                run.report.send_bandwidth(node) / 1e6,
+                run.report.recv_bandwidth(node) / 1e6
+            );
+        }
+        return Ok(());
+    }
+
+    let out = ThreadedSystem::new(cfg).play(&es).map_err(|e| e.to_string())?;
+    // Verify against the sequential decoder.
+    let reference = tiledec::mpeg2::decode_all(&es).map_err(|e| e.to_string())?;
+    let ok = out.frames.len() == reference.len()
+        && out.frames.iter().zip(&reference).all(|(a, b)| a == b);
+    println!(
+        "played {} pictures across {} tiles; sequential cross-check: {}",
+        out.pictures,
+        out.geometry.tiles(),
+        if ok { "bit-exact" } else { "MISMATCH" }
+    );
+    if !ok {
+        return Err("parallel output differs from the sequential decoder".into());
+    }
+    println!("traffic (MB): total {:.2}", total(&out.traffic) / 1e6);
+    if let Some(path) = value("--out") {
+        let f = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+        let first = out.frames.first().ok_or("no frames decoded")?;
+        let mut w = Y4mWriter::new(
+            std::io::BufWriter::new(f),
+            Y4mHeader {
+                width: first.width(),
+                height: first.height(),
+                fps_num: 30,
+                fps_den: 1,
+            },
+        );
+        for frame in &out.frames {
+            w.write_frame(frame).map_err(|e| e.to_string())?;
+        }
+        w.finish().map_err(|e| e.to_string())?;
+        println!("wall output written to {path}");
+    }
+    Ok(())
+}
+
+
+/// Splits args into positionals and flag lookups. `bool_flags` take no
+/// value; every other `--flag` consumes the next argument.
+fn parse_args<'a>(
+    args: &'a [String],
+    bool_flags: &[&str],
+) -> (Vec<String>, impl Fn(&str) -> bool + 'a, impl Fn(&str) -> Option<String> + 'a) {
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            if bool_flags.contains(&a.as_str()) {
+                i += 1;
+            } else {
+                i += 2;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    let args1 = args;
+    let args2 = args;
+    (
+        positional,
+        move |name: &str| args1.iter().any(|a| a == name),
+        move |name: &str| {
+            args2.iter().position(|a| a == name).and_then(|i| args2.get(i + 1)).cloned()
+        },
+    )
+}
+
+fn total(traffic: &[Vec<u64>]) -> f64 {
+    traffic.iter().flat_map(|r| r.iter()).sum::<u64>() as f64
+}

@@ -1,0 +1,60 @@
+//! # tiledec
+//!
+//! A parallel ultra-high-resolution MPEG-2 video decoder for PC-cluster based
+//! tiled display wall systems — a from-scratch reproduction of Chen, Li & Wei,
+//! *"A Parallel Ultra-High Resolution MPEG-2 Video Decoder for PC Cluster Based
+//! Tiled Display Systems"*, IPDPS 2002.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`bitstream`] — bit-level I/O and start-code scanning.
+//! * [`mpeg2`] — the MPEG-2 video codec substrate (decoder, encoder, and the
+//!   splitter's parse-only pass).
+//! * [`cluster`] — a simulated PC cluster: GM/Myrinet-style message passing
+//!   with pre-posted receive buffers, traffic accounting, and a discrete-event
+//!   simulator with a calibrated cost model.
+//! * [`wall`] — tiled display-wall geometry (projector overlap, edge
+//!   blending) and frame reassembly.
+//! * [`core`] — the paper's contribution: the hierarchical `1-k-(m,n)`
+//!   splitter/decoder system with SPH state propagation, MEI pre-calculated
+//!   macroblock exchange, and ANID picture ordering.
+//! * [`ps`] — the MPEG-2 *systems* layer: program-stream mux/demux so the
+//!   tools can ingest and produce `.mpg` files, not just elementary
+//!   streams.
+//! * [`workload`] — synthetic video generators mirroring the paper's 16 test
+//!   streams (Table 4).
+//!
+//! # Example
+//!
+//! Encode a synthetic clip, play it back on a threaded `1-1-(2,2)` wall and
+//! verify the output is bit-exact with a sequential decode:
+//!
+//! ```
+//! use tiledec::prelude::*;
+//!
+//! let video = StreamPreset::tiny_test().generate_and_encode(4).unwrap();
+//! let out = ThreadedSystem::new(SystemConfig::new(1, (2, 2)))
+//!     .play(&video.bitstream)
+//!     .unwrap();
+//! let reference = decode_all(&video.bitstream).unwrap();
+//! assert_eq!(out.frames.len(), reference.len());
+//! assert!(out.frames.iter().zip(&reference).all(|(a, b)| a == b));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use tiledec_bitstream as bitstream;
+pub use tiledec_cluster as cluster;
+pub use tiledec_core as core;
+pub use tiledec_mpeg2 as mpeg2;
+pub use tiledec_ps as ps;
+pub use tiledec_wall as wall;
+pub use tiledec_workload as workload;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use tiledec_core::{SystemConfig, ThreadedSystem};
+    pub use tiledec_mpeg2::decode_all;
+    pub use tiledec_wall::WallGeometry;
+    pub use tiledec_workload::StreamPreset;
+}

@@ -1,0 +1,84 @@
+//! Property test: for *randomised* stream parameters and wall
+//! configurations, the parallel system is bit-exact with the sequential
+//! decoder. Cases are kept small (this exercises the full pipeline per
+//! case) but cover the interaction space: GOP structure × motion × grid ×
+//! splitter count × overlap.
+
+use proptest::prelude::*;
+use tiledec::core::{SystemConfig, ThreadedSystem};
+use tiledec::mpeg2::decode_all;
+use tiledec::mpeg2::encoder::{Encoder, EncoderConfig};
+use tiledec::mpeg2::frame::Frame;
+
+fn clip(w: usize, h: usize, n: usize, seed: u32) -> Vec<Frame> {
+    let s = seed as usize;
+    (0..n)
+        .map(|t| {
+            let mut f = Frame::black(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    let v = ((x + 2 * t) * (3 + s % 5) + y * 7 + s) % 200;
+                    f.y.set(x, y, v as u8 + 20);
+                }
+            }
+            let sq = 16.min(w / 2).min(h / 2);
+            let ox = (t * (2 + s % 3)) % (w - sq);
+            let oy = (t + s) % (h - sq);
+            for y in oy..oy + sq {
+                for x in ox..ox + sq {
+                    f.y.set(x, y, 220);
+                }
+            }
+            for y in 0..h / 2 {
+                for x in 0..w / 2 {
+                    f.cb.set(x, y, ((x * 2 + y + t + s) % 100) as u8 + 70);
+                    f.cr.set(x, y, ((x + y * 2 + t) % 100) as u8 + 70);
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_equals_sequential(
+        grid_idx in 0usize..4,
+        k in 0usize..4,
+        use_overlap in any::<bool>(),
+        gop in 3u32..8,
+        b_frames in 0u32..3,
+        qscale in 3u8..16,
+        seed in 0u32..1000,
+        frames in 3usize..7,
+    ) {
+        // Grids that divide 192x96 with and without a 16 px overlap.
+        let grids = [(1u32, 1u32), (2, 1), (2, 2), (3, 1)];
+        let (m, n) = grids[grid_idx];
+        let overlap = if use_overlap && m > 1 { 16 } else { 0 };
+        // 192 + (m-1)*16 must divide by m with an even pitch: (2,1) -> 208
+        // fails parity; regenerate dims per grid instead.
+        let (w, h) = match (m, n, overlap) {
+            (2, _, 16) => (176, 96),  // (176+16)/2 = 96, pitch 80 even
+            (3, _, 16) => (160, 96),  // (160+32)/3 = 64, pitch 48 even
+            _ => (192, 96),
+        };
+
+        let mut cfg = EncoderConfig::for_size(w, h);
+        cfg.gop_size = gop;
+        cfg.b_frames = b_frames;
+        cfg.qscale = qscale;
+        let enc = Encoder::new(cfg).unwrap();
+        let stream = enc.encode(&clip(w as usize, h as usize, frames, seed)).unwrap();
+        let reference = decode_all(&stream).unwrap();
+
+        let sys = ThreadedSystem::new(SystemConfig::new(k, (m, n)).with_overlap(overlap));
+        let out = sys.play(&stream).unwrap();
+        prop_assert_eq!(out.frames.len(), reference.len());
+        for (i, (a, b)) in out.frames.iter().zip(&reference).enumerate() {
+            prop_assert!(a == b, "frame {} differs (k={}, grid=({},{}), ov={})", i, k, m, n, overlap);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The Figure-5 schedule test: the event simulator must emit the paper's
+//! two-level message schedule in causal order, on costs measured from a
+//! real stream.
+
+use tiledec::cluster::sim::{EventKind, PipelineSim};
+use tiledec::cluster::CostModel;
+use tiledec::core::{SimulatedSystem, SystemConfig};
+use tiledec::workload::StreamPreset;
+
+#[test]
+fn figure5_schedule_holds_on_measured_costs() {
+    let video = StreamPreset::tiny_test().generate_and_encode(6).unwrap();
+    let cfg = SystemConfig::new(2, (2, 2));
+    let run = SimulatedSystem::new(cfg, CostModel::myrinet_2002())
+        .run(&video.bitstream)
+        .unwrap();
+    let report = PipelineSim::new(run.spec.clone(), CostModel::myrinet_2002())
+        .with_trace()
+        .run();
+
+    let first = |p: usize, k: EventKind| {
+        report
+            .trace
+            .iter()
+            .filter(|e| e.picture == p && e.kind == k)
+            .map(|e| e.start)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let last = |p: usize, k: EventKind| {
+        report
+            .trace
+            .iter()
+            .filter(|e| e.picture == p && e.kind == k)
+            .map(|e| e.end)
+            .fold(0.0f64, f64::max)
+    };
+
+    for p in 0..run.pictures {
+        // Per-picture causal chain: copy → send picture → split →
+        // send sub-pictures → decode.
+        assert!(first(p, EventKind::Copy) <= first(p, EventKind::SendPicture), "pic {p}");
+        assert!(last(p, EventKind::SendPicture) <= first(p, EventKind::Split) + 1e-12, "pic {p}");
+        assert!(last(p, EventKind::Split) <= first(p, EventKind::SendSubpicture) + 1e-12);
+        assert!(first(p, EventKind::SendSubpicture) <= first(p, EventKind::Decode));
+        if p > 0 {
+            // Round-robin pipelining: copy of picture p may start before
+            // picture p-1 finishes decoding, but decode completion is
+            // ordered (decoders process pictures in sequence).
+            assert!(last(p - 1, EventKind::Decode) <= last(p, EventKind::Decode) + 1e-12);
+        }
+    }
+
+    // Alternating splitters: consecutive pictures split on different nodes.
+    let split_node = |p: usize| {
+        report
+            .trace
+            .iter()
+            .find(|e| e.picture == p && e.kind == EventKind::Split)
+            .map(|e| e.node)
+            .expect("split event")
+    };
+    for p in 1..run.pictures {
+        assert_ne!(split_node(p), split_node(p - 1), "k=2 must alternate splitters");
+    }
+
+    // While splitter A splits picture p, splitter B can already be
+    // splitting picture p+1 (the paper's key overlap) — check at least one
+    // overlapping pair exists.
+    let overlapping = (1..run.pictures).any(|p| {
+        let a = report
+            .trace
+            .iter()
+            .find(|e| e.picture == p - 1 && e.kind == EventKind::Split)
+            .unwrap();
+        let b = report
+            .trace
+            .iter()
+            .find(|e| e.picture == p && e.kind == EventKind::Split)
+            .unwrap();
+        b.start < a.end
+    });
+    assert!(overlapping, "two-level splitting should overlap in time");
+}
