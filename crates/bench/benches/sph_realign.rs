@@ -15,7 +15,9 @@ fn bench_sph_realign(c: &mut Criterion) {
     preset.height = 256;
     let enc = preset.generate_and_encode(6).expect("encode");
     let index = split_picture_units(&enc.bitstream).expect("index");
-    let geom = SystemConfig::new(1, (4, 2)).geometry(512, 256).expect("geometry");
+    let geom = SystemConfig::new(1, (4, 2))
+        .geometry(512, 256)
+        .expect("geometry");
     let byte_copy = MacroblockSplitter::new(geom, enc.seq.clone());
     let realigned = MacroblockSplitter::new(geom, enc.seq.clone()).with_bit_realignment();
 

@@ -45,9 +45,7 @@ fn bench_split_vs_decode(c: &mut Criterion) {
                 let kind = out.info.kind;
                 let mut all_blocks = Vec::new();
                 for (d, dec) in decoders.iter().enumerate() {
-                    for (peer, blocks) in
-                        dec.extract_send_blocks(kind, &out.mei[d]).unwrap()
-                    {
+                    for (peer, blocks) in dec.extract_send_blocks(kind, &out.mei[d]).unwrap() {
                         all_blocks.push((d, peer, blocks));
                     }
                 }

@@ -41,8 +41,7 @@ fn bench_vlc(c: &mut Criterion) {
                 let mut out = [0i32; 64];
                 for _ in 0..count {
                     let mut dc = 0;
-                    parse_block(black_box(&mut r), false, true, false, &mut dc, &mut out)
-                        .unwrap();
+                    parse_block(black_box(&mut r), false, true, false, &mut dc, &mut out).unwrap();
                 }
                 black_box(out[0]);
             })

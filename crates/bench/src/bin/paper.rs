@@ -17,8 +17,8 @@
 //! scaling, and low, balanced per-node bandwidth.
 
 use tiledec_bench::{
-    calibrate_cpu_scale, calibrated_model, heading, mbps, prepare_stream, run_config,
-    BENCH_FRAMES, SWEEP_GRIDS,
+    calibrate_cpu_scale, calibrated_model, heading, mbps, prepare_stream, run_config, BENCH_FRAMES,
+    SWEEP_GRIDS,
 };
 use tiledec_cluster::sim::PipelineSim;
 use tiledec_cluster::CostModel;
@@ -55,15 +55,18 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-            "experiments: table1 table4 table5 fig6 fig7 table6 fig8 fig9 beyond ablations all"
-        );
+                "experiments: table1 table4 table5 fig6 fig7 table6 fig8 fig9 beyond ablations all"
+            );
             std::process::exit(2);
         }
     }
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<u32> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }
 
 /// The 720p-class sweep stream: preset 8's character at a resolution every
@@ -299,8 +302,7 @@ fn table6_fig8(scale: u32, frames: usize) {
         spec.k = k;
         let report = PipelineSim::new(spec, model).run();
         let nodes = 1 + k + (m * n) as usize;
-        let pixel_rate =
-            report.fps * s.preset.width as f64 * s.preset.height as f64 / 1.0e6;
+        let pixel_rate = report.fps * s.preset.width as f64 * s.preset.height as f64 / 1.0e6;
         println!(
             "{:>3} {:<8} 1-{:<1}-({},{})    {:>6} {:>9.1} {:>12.1}",
             s.preset.number, s.preset.name, k, m, n, nodes, report.fps, pixel_rate
@@ -323,7 +325,11 @@ fn fig9(scale: u32, frames: usize) {
     heading("Figure 9 — per-node send/receive bandwidth, 1-4-(4,4), stream 16");
     let dvd = prepare_stream(StreamPreset::by_number(1).expect("preset 1"), scale, frames);
     let model = calibrated_model(calibrate_cpu_scale(&dvd));
-    let s = prepare_stream(StreamPreset::by_number(16).expect("preset 16"), scale, frames);
+    let s = prepare_stream(
+        StreamPreset::by_number(16).expect("preset 16"),
+        scale,
+        frames,
+    );
     let run = run_config(&s, SystemConfig::new(4, (4, 4)), model);
     let report = &run.report;
     println!("{:<12} {:>12} {:>12}", "node", "send MB/s", "recv MB/s");
@@ -346,9 +352,12 @@ fn fig9(scale: u32, frames: usize) {
         );
     }
     // The headline checks.
-    let max_dec_send = (5..nodes).map(|i| report.send_bandwidth(i)).fold(0.0, f64::max);
-    let min_dec_send =
-        (5..nodes).map(|i| report.send_bandwidth(i)).fold(f64::INFINITY, f64::min);
+    let max_dec_send = (5..nodes)
+        .map(|i| report.send_bandwidth(i))
+        .fold(0.0, f64::max);
+    let min_dec_send = (5..nodes)
+        .map(|i| report.send_bandwidth(i))
+        .fold(f64::INFINITY, f64::min);
     let sp_send: f64 = (1..5).map(|i| report.send_bandwidth(i)).sum::<f64>() / 4.0;
     let sp_recv: f64 = (1..5).map(|i| report.recv_bandwidth(i)).sum::<f64>() / 4.0;
     println!();
@@ -356,7 +365,11 @@ fn fig9(scale: u32, frames: usize) {
         "decoder send spread: {:.2}-{:.2} MB/s (balance ratio {:.2})",
         mbps(min_dec_send),
         mbps(max_dec_send),
-        if min_dec_send > 0.0 { max_dec_send / min_dec_send } else { f64::INFINITY }
+        if min_dec_send > 0.0 {
+            max_dec_send / min_dec_send
+        } else {
+            f64::INFINITY
+        }
     );
     println!(
         "splitter send/recv: {:.2}/{:.2} MB/s (SPH overhead {:+.0}%)",
@@ -381,9 +394,15 @@ fn beyond(frames: usize) {
     let cpu_scale = calibrate_cpu_scale(&dvd);
     let model = calibrated_model(cpu_scale);
     // Measure per-macroblock costs on a mid-size localized-detail stream.
-    let probe_preset = StreamPreset::by_number(13).expect("preset 13").scaled_down(2);
+    let probe_preset = StreamPreset::by_number(13)
+        .expect("preset 13")
+        .scaled_down(2);
     let probe = prepare_stream(&probe_preset, 1, frames);
-    let run = run_config(&probe, SystemConfig::new(1, probe.preset.suggested_grid), model);
+    let run = run_config(
+        &probe,
+        SystemConfig::new(1, probe.preset.suggested_grid),
+        model,
+    );
     let mbs = (probe.preset.width / 16) as f64 * (probe.preset.height / 16) as f64;
     let split_per_mb = run.measured.split_s / mbs;
     let decode_per_mb = run.measured.decode_s * run.spec.decoders as f64 / mbs;
@@ -391,13 +410,16 @@ fn beyond(frames: usize) {
     let subpic_factor = run.measured.subpic_bytes / run.measured.unit_bytes;
     // MEI volume scales with tile perimeter; estimate blocks/boundary-MB
     // from the probe.
-    let probe_mei: u64 = run.spec.pictures.iter()
+    let probe_mei: u64 = run
+        .spec
+        .pictures
+        .iter()
         .flat_map(|p| p.decoders.iter())
         .flat_map(|d| d.mei_out.iter().map(|(_, b)| *b))
         .sum();
     let (pm, pn) = probe.preset.suggested_grid;
-    let probe_boundary_mbs = ((probe.preset.width / 16) * (pn - 1)
-        + (probe.preset.height / 16) * (pm - 1)) as f64;
+    let probe_boundary_mbs =
+        ((probe.preset.width / 16) * (pn - 1) + (probe.preset.height / 16) * (pm - 1)) as f64;
     let mei_per_boundary_mb =
         probe_mei as f64 / run.spec.pictures.len() as f64 / probe_boundary_mbs.max(1.0);
 
@@ -415,7 +437,7 @@ fn beyond(frames: usize) {
     for (w, h, m, n) in [
         (3840u32, 2800u32, 4u32, 4u32), // the paper's ceiling, for reference
         (5120, 3840, 5, 5),
-        (7680, 4320, 8, 6),             // an 8K wall
+        (7680, 4320, 8, 6), // an 8K wall
         (10240, 5760, 8, 8),
     ] {
         let mbs = (w / 16) as f64 * (h / 16) as f64;
@@ -437,10 +459,7 @@ fn beyond(frames: usize) {
                         subpic_bytes: subpic,
                         decode_s: t_decode,
                         serve_s: t_decode * 0.03,
-                        mei_out: vec![(
-                            (d + 1) % tiles,
-                            mei_bytes / tiles as u64,
-                        )],
+                        mei_out: vec![((d + 1) % tiles, mei_bytes / tiles as u64)],
                     })
                     .collect(),
             })
@@ -488,7 +507,11 @@ fn ablations(frames: usize) {
         ("Gigabit Ethernet", CostModel::gigabit_ethernet()),
         ("Fast Ethernet", CostModel::fast_ethernet()),
     ] {
-        let run = run_config(&hd, SystemConfig::new(2, (2, 2)), model.with_cpu_scale(cpu_scale));
+        let run = run_config(
+            &hd,
+            SystemConfig::new(2, (2, 2)),
+            model.with_cpu_scale(cpu_scale),
+        );
         println!("  {:<18} {:>7.1} fps", name, run.report.fps);
     }
     println!("  (the paper's 'low bandwidth requirement' claim: even commodity fabrics");
@@ -556,7 +579,11 @@ fn ablations(frames: usize) {
         let a = time(&byte_copy).min(time(&byte_copy));
         let b = time(&realigned).min(time(&realigned));
         println!("  byte-copy    : {:.2} ms/picture", a * 1e3);
-        println!("  bit-realign  : {:.2} ms/picture ({:+.0}%)", b * 1e3, 100.0 * (b - a) / a);
+        println!(
+            "  bit-realign  : {:.2} ms/picture ({:+.0}%)",
+            b * 1e3,
+            100.0 * (b - a) / a
+        );
     }
 
     println!();
@@ -565,8 +592,8 @@ fn ablations(frames: usize) {
         let geom = SystemConfig::new(1, (2, 2))
             .geometry(hd.preset.width, hd.preset.height)
             .expect("geometry");
-        let out = tiledec_core::gop_level::run_gop_level(&hd.bitstream, &geom)
-            .expect("gop baseline");
+        let out =
+            tiledec_core::gop_level::run_gop_level(&hd.bitstream, &geom).expect("gop baseline");
         let d = 4;
         let mut redistribution = 0u64;
         for a in 1..=d {
@@ -594,7 +621,9 @@ fn ablations(frames: usize) {
     }
 
     println!();
-    println!("dynamic splitter dispatch (paper future work), alternating cheap/expensive pictures:");
+    println!(
+        "dynamic splitter dispatch (paper future work), alternating cheap/expensive pictures:"
+    );
     {
         use tiledec_cluster::sim::Dispatch;
         let run = run_config(&hd, SystemConfig::new(2, (2, 2)), model);
@@ -606,8 +635,14 @@ fn ablations(frames: usize) {
         rr.dispatch = Dispatch::RoundRobin;
         let mut ll = skew;
         ll.dispatch = Dispatch::LeastLoaded;
-        println!("  round-robin : {:>6.1} fps", PipelineSim::new(rr, model).run().fps);
-        println!("  least-loaded: {:>6.1} fps", PipelineSim::new(ll, model).run().fps);
+        println!(
+            "  round-robin : {:>6.1} fps",
+            PipelineSim::new(rr, model).run().fps
+        );
+        println!(
+            "  least-loaded: {:>6.1} fps",
+            PipelineSim::new(ll, model).run().fps
+        );
         println!("  finding: the two-buffer ack window serialises picture p behind p-2,");
         println!("  so dispatch policy barely matters under the paper's own flow control.");
     }

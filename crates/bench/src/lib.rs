@@ -45,7 +45,11 @@ pub struct BenchStream {
 /// Generates and encodes a preset (optionally resolution-scaled by
 /// `scale_div`), printing progress since large streams take a while.
 pub fn prepare_stream(preset: &StreamPreset, scale_div: u32, frames: usize) -> BenchStream {
-    let p = if scale_div > 1 { preset.scaled_down(scale_div) } else { *preset };
+    let p = if scale_div > 1 {
+        preset.scaled_down(scale_div)
+    } else {
+        *preset
+    };
     let t0 = Instant::now();
     let enc = p.generate_and_encode(frames).expect("encode failed");
     eprintln!(
@@ -102,8 +106,7 @@ pub fn run_config(
 }
 
 /// The screen configurations swept by Table 5 / Figure 6.
-pub const SWEEP_GRIDS: [(u32, u32); 7] =
-    [(1, 1), (2, 1), (2, 2), (3, 2), (3, 3), (4, 3), (4, 4)];
+pub const SWEEP_GRIDS: [(u32, u32); 7] = [(1, 1), (2, 1), (2, 2), (3, 2), (3, 3), (4, 3), (4, 4)];
 
 /// Formats bytes/s as MB/s.
 pub fn mbps(bytes_per_s: f64) -> f64 {

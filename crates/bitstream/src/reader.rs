@@ -132,8 +132,16 @@ impl<'a> BitReader<'a> {
             let avail = 8 - bit_in_byte as u32;
             let take = remaining.min(avail);
             let shifted = (byte as u32) >> (avail - take);
-            let mask = if take == 32 { u32::MAX } else { (1u32 << take) - 1 };
-            v = if take == 32 { shifted } else { (v << take) | (shifted & mask) };
+            let mask = if take == 32 {
+                u32::MAX
+            } else {
+                (1u32 << take) - 1
+            };
+            v = if take == 32 {
+                shifted
+            } else {
+                (v << take) | (shifted & mask)
+            };
             self.pos += take as usize;
             remaining -= take;
         }
@@ -179,7 +187,10 @@ impl<'a> BitReader<'a> {
     pub fn marker_bit(&mut self) -> super::Result<()> {
         let pos = self.pos;
         if self.read_bit()? != 1 {
-            return Err(BitstreamError::Syntax { bit_pos: pos, what: "marker bit was 0" });
+            return Err(BitstreamError::Syntax {
+                bit_pos: pos,
+                what: "marker bit was 0",
+            });
         }
         Ok(())
     }
@@ -191,7 +202,10 @@ impl<'a> BitReader<'a> {
 
     /// Helper for VLC decode failure at the current position.
     pub fn invalid_code(&self, table: &'static str) -> BitstreamError {
-        BitstreamError::InvalidCode { bit_pos: self.pos, table }
+        BitstreamError::InvalidCode {
+            bit_pos: self.pos,
+            table,
+        }
     }
 
     /// True when the next bits are a byte-aligned start-code prefix

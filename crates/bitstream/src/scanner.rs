@@ -88,7 +88,10 @@ pub fn find_start_code(data: &[u8], from: usize) -> Option<StartCode> {
             i += 3;
         } else if w[2] == 1 {
             if w[0] == 0 && w[1] == 0 {
-                return Some(StartCode { offset: i, code: w[3] });
+                return Some(StartCode {
+                    offset: i,
+                    code: w[3],
+                });
             }
             i += 3;
         } else {
@@ -106,15 +109,23 @@ mod tests {
     /// Naive reference implementation for cross-checking.
     fn naive_find(data: &[u8], from: usize) -> Option<StartCode> {
         (from..data.len().saturating_sub(3)).find_map(|i| {
-            (data[i] == 0 && data[i + 1] == 0 && data[i + 2] == 1)
-                .then(|| StartCode { offset: i, code: data[i + 3] })
+            (data[i] == 0 && data[i + 1] == 0 && data[i + 2] == 1).then(|| StartCode {
+                offset: i,
+                code: data[i + 3],
+            })
         })
     }
 
     #[test]
     fn finds_simple_code() {
         let data = [0xFF, 0x00, 0x00, 0x01, 0xB3, 0x12];
-        assert_eq!(find_start_code(&data, 0), Some(StartCode { offset: 1, code: 0xB3 }));
+        assert_eq!(
+            find_start_code(&data, 0),
+            Some(StartCode {
+                offset: 1,
+                code: 0xB3
+            })
+        );
     }
 
     #[test]
@@ -127,14 +138,26 @@ mod tests {
     #[test]
     fn respects_from_offset() {
         let data = [0x00, 0x00, 0x01, 0xB3, 0x00, 0x00, 0x01, 0x00];
-        assert_eq!(find_start_code(&data, 1), Some(StartCode { offset: 4, code: 0x00 }));
+        assert_eq!(
+            find_start_code(&data, 1),
+            Some(StartCode {
+                offset: 4,
+                code: 0x00
+            })
+        );
     }
 
     #[test]
     fn handles_overlapping_zeros() {
         // Three zeros then 01: the code starts at offset 1.
         let data = [0x00, 0x00, 0x00, 0x01, 0xB8];
-        assert_eq!(find_start_code(&data, 0), Some(StartCode { offset: 1, code: 0xB8 }));
+        assert_eq!(
+            find_start_code(&data, 0),
+            Some(StartCode {
+                offset: 1,
+                code: 0xB8
+            })
+        );
     }
 
     #[test]
@@ -165,7 +188,11 @@ mod tests {
         ];
         for p in &patterns {
             for from in 0..p.len() {
-                assert_eq!(find_start_code(p, from), naive_find(p, from), "pattern {p:?} from {from}");
+                assert_eq!(
+                    find_start_code(p, from),
+                    naive_find(p, from),
+                    "pattern {p:?} from {from}"
+                );
             }
         }
     }

@@ -17,7 +17,10 @@ impl BitWriter {
 
     /// Creates an empty writer with `bytes` of pre-reserved capacity.
     pub fn with_capacity(bytes: usize) -> Self {
-        BitWriter { buf: Vec::with_capacity(bytes), bit_fill: 0 }
+        BitWriter {
+            buf: Vec::with_capacity(bytes),
+            bit_fill: 0,
+        }
     }
 
     /// Total number of bits written so far.
@@ -38,7 +41,10 @@ impl BitWriter {
     #[inline]
     pub fn put_bits(&mut self, v: u32, n: u32) {
         debug_assert!(n <= 32);
-        debug_assert!(n == 32 || v < (1u64 << n) as u32, "value {v} wider than {n} bits");
+        debug_assert!(
+            n == 32 || v < (1u64 << n) as u32,
+            "value {v} wider than {n} bits"
+        );
         let mut remaining = n;
         while remaining > 0 {
             if self.bit_fill == 0 {
@@ -156,8 +162,15 @@ mod tests {
 
     #[test]
     fn round_trip_with_reader() {
-        let fields: [(u32, u32); 7] =
-            [(1, 1), (0x3, 2), (0x15, 5), (0xFF, 8), (0xABC, 12), (0, 3), (0x1FFFF, 17)];
+        let fields: [(u32, u32); 7] = [
+            (1, 1),
+            (0x3, 2),
+            (0x15, 5),
+            (0xFF, 8),
+            (0xABC, 12),
+            (0, 3),
+            (0x1FFFF, 17),
+        ];
         let mut w = BitWriter::new();
         for &(v, n) in &fields {
             w.put_bits(v, n);

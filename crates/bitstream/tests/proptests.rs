@@ -6,8 +6,10 @@ use tiledec_bitstream::{find_start_code, BitReader, BitWriter, StartCode};
 /// Naive start-code search used as the oracle.
 fn naive_find(data: &[u8], from: usize) -> Option<StartCode> {
     (from..data.len().saturating_sub(3)).find_map(|i| {
-        (data[i] == 0 && data[i + 1] == 0 && data[i + 2] == 1)
-            .then(|| StartCode { offset: i, code: data[i + 3] })
+        (data[i] == 0 && data[i + 1] == 0 && data[i + 2] == 1).then(|| StartCode {
+            offset: i,
+            code: data[i + 3],
+        })
     })
 }
 

@@ -36,6 +36,26 @@ pub struct Message {
     pub payload: Bytes,
 }
 
+/// A send that could not be completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The destination node id is outside the cluster.
+    UnknownDestination(NodeId),
+    /// The destination endpoint (and its mailbox) no longer exists.
+    ReceiverGone(NodeId),
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::UnknownDestination(id) => write!(f, "unknown destination node {}", id.0),
+            SendError::ReceiverGone(id) => write!(f, "receiver endpoint {} dropped", id.0),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
 /// Per-link credit counter: models the receiver's posted buffers.
 struct Credits {
     state: Mutex<usize>,
@@ -44,7 +64,10 @@ struct Credits {
 
 impl Credits {
     fn new(n: usize) -> Self {
-        Credits { state: Mutex::new(n), cv: Condvar::new() }
+        Credits {
+            state: Mutex::new(n),
+            cv: Condvar::new(),
+        }
     }
 
     fn acquire(&self) {
@@ -102,7 +125,13 @@ impl ThreadCluster {
         let endpoints = receivers
             .into_iter()
             .enumerate()
-            .map(|(id, rx)| Some(Endpoint { id: NodeId(id), rx, shared: Arc::clone(&shared) }))
+            .map(|(id, rx)| {
+                Some(Endpoint {
+                    id: NodeId(id),
+                    rx,
+                    shared: Arc::clone(&shared),
+                })
+            })
             .collect();
         ThreadCluster { shared, endpoints }
     }
@@ -138,15 +167,25 @@ impl Endpoint {
     }
 
     /// Sends a message, blocking while the receiver has no posted buffer
-    /// for this link.
-    pub fn send(&self, to: NodeId, tag: u32, payload: Bytes) {
-        assert!(to.0 < self.shared.n, "unknown destination {to:?}");
+    /// for this link. Fails (instead of panicking) on an out-of-range
+    /// destination or a torn-down receiver, so callers — and the model
+    /// checker — can treat send-time faults as protocol errors.
+    pub fn send(&self, to: NodeId, tag: u32, payload: Bytes) -> Result<(), SendError> {
+        if to.0 >= self.shared.n {
+            return Err(SendError::UnknownDestination(to));
+        }
         let link = &self.shared.credits[self.id.0 * self.shared.n + to.0];
         link.acquire();
-        self.shared.traffic.record(self.id.0, to.0, payload.len() as u64);
+        self.shared
+            .traffic
+            .record(self.id.0, to.0, payload.len() as u64);
         self.shared.mailboxes[to.0]
-            .send(Message { from: self.id, tag, payload })
-            .expect("receiver endpoint dropped");
+            .send(Message {
+                from: self.id,
+                tag,
+                payload,
+            })
+            .map_err(|_| SendError::ReceiverGone(to))
     }
 
     /// Receives the next message, blocking until one arrives. The caller
@@ -187,9 +226,9 @@ mod tests {
             b.recycle(&m);
             assert_eq!(m.from, NodeId(0));
             assert_eq!(m.tag, 7);
-            b.send(NodeId(0), 8, Bytes::from_static(b"pong"));
+            b.send(NodeId(0), 8, Bytes::from_static(b"pong")).unwrap();
         });
-        a.send(NodeId(1), 7, Bytes::from_static(b"ping"));
+        a.send(NodeId(1), 7, Bytes::from_static(b"ping")).unwrap();
         let m = a.recv();
         a.recycle(&m);
         assert_eq!(m.payload.as_ref(), b"pong");
@@ -204,7 +243,7 @@ mod tests {
         let a = cluster.take_endpoint(0);
         let b = cluster.take_endpoint(1);
         for i in 0..50u32 {
-            a.send(NodeId(1), i, Bytes::new());
+            a.send(NodeId(1), i, Bytes::new()).unwrap();
         }
         for i in 0..50u32 {
             let m = b.recv();
@@ -220,10 +259,10 @@ mod tests {
         let b = cluster.take_endpoint(1);
         // Two sends fit in the posted buffers; the third must block until
         // the receiver recycles.
-        a.send(NodeId(1), 0, Bytes::new());
-        a.send(NodeId(1), 1, Bytes::new());
+        a.send(NodeId(1), 0, Bytes::new()).unwrap();
+        a.send(NodeId(1), 1, Bytes::new()).unwrap();
         let blocked = std::thread::spawn(move || {
-            a.send(NodeId(1), 2, Bytes::new());
+            a.send(NodeId(1), 2, Bytes::new()).unwrap();
             a
         });
         std::thread::sleep(Duration::from_millis(50));
@@ -245,14 +284,24 @@ mod tests {
         let a = cluster.take_endpoint(0);
         let b = cluster.take_endpoint(1);
         let c = cluster.take_endpoint(2);
-        a.send(NodeId(1), 0, Bytes::from(vec![0u8; 10]));
-        a.send(NodeId(2), 0, Bytes::from(vec![0u8; 20]));
+        a.send(NodeId(1), 0, Bytes::from(vec![0u8; 10])).unwrap();
+        a.send(NodeId(2), 0, Bytes::from(vec![0u8; 20])).unwrap();
         let m = b.recv();
         b.recycle(&m);
         let m = c.recv();
         c.recycle(&m);
         assert_eq!(cluster.traffic().sent_by(0), 30);
         assert_eq!(cluster.traffic().received_by(2), 20);
+    }
+
+    #[test]
+    fn send_to_unknown_destination_fails() {
+        let mut cluster = ThreadCluster::new(2);
+        let a = cluster.take_endpoint(0);
+        assert_eq!(
+            a.send(NodeId(9), 0, Bytes::new()),
+            Err(SendError::UnknownDestination(NodeId(9)))
+        );
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //!   payloads, and per-link traffic accounting. Used to prove functional
 //!   correctness: the parallel decoder's output is bit-exact with the
 //!   sequential decoder.
+//! * [`modelcheck`] — a **deterministic model checker** that replaces the
+//!   threads with resumable state machines and enumerates every message
+//!   interleaving (DFS with partial-order reduction, plus a random-walk
+//!   mode), proving deadlock-freedom, credit-window safety and protocol
+//!   ordering rather than sampling one lucky schedule.
 //! * [`sim`] — a **discrete-event simulator** that executes the exact
 //!   message schedule of the paper's refined algorithms (Table 3 /
 //!   Figure 5) under a calibrated [`cost::CostModel`]. Used by the
@@ -22,10 +27,11 @@
 
 pub mod cost;
 pub mod gm;
+pub mod modelcheck;
 pub mod sim;
 pub mod stats;
 
 pub use cost::CostModel;
-pub use gm::{Endpoint, Message, NodeId, ThreadCluster};
+pub use gm::{Endpoint, Message, NodeId, SendError, ThreadCluster};
 pub use sim::{DecoderCost, PictureCost, PipelineSim, PipelineSpec, SimReport};
 pub use stats::TrafficMatrix;

@@ -61,7 +61,9 @@ impl TrafficMatrix {
 
     /// Plain snapshot of the byte matrix (row = sender).
     pub fn snapshot(&self) -> Vec<Vec<u64>> {
-        (0..self.n).map(|f| (0..self.n).map(|t| self.bytes(f, t)).collect()).collect()
+        (0..self.n)
+            .map(|f| (0..self.n).map(|t| self.bytes(f, t)).collect())
+            .collect()
     }
 }
 

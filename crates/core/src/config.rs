@@ -40,7 +40,12 @@ pub struct SystemConfig {
 impl SystemConfig {
     /// A `1-k-(m,n)` system with no projector overlap and a default halo.
     pub fn new(k: usize, grid: (u32, u32)) -> Self {
-        SystemConfig { k, grid, overlap: 0, halo_margin: 64 }
+        SystemConfig {
+            k,
+            grid,
+            overlap: 0,
+            halo_margin: 64,
+        }
     }
 
     /// Sets the projector overlap.

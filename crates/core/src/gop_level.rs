@@ -117,7 +117,15 @@ pub fn run_gop_level(stream: &[u8], geom: &WallGeometry) -> Result<GopLevelResul
             for t in geom.iter_tiles() {
                 let r = geom.tile_mb_rect(t);
                 let mut tile = Frame::black(r.w as usize, r.h as usize);
-                tile.y.blit_from(&frame.y, r.x0 as usize, r.y0 as usize, 0, 0, r.w as usize, r.h as usize);
+                tile.y.blit_from(
+                    &frame.y,
+                    r.x0 as usize,
+                    r.y0 as usize,
+                    0,
+                    0,
+                    r.w as usize,
+                    r.h as usize,
+                );
                 tile.cb.blit_from(
                     &frame.cb,
                     r.x0 as usize / 2,
@@ -136,12 +144,20 @@ pub fn run_gop_level(stream: &[u8], geom: &WallGeometry) -> Result<GopLevelResul
                     r.w as usize / 2,
                     r.h as usize / 2,
                 );
-                wall.set_tile(t, tile).map_err(|e| CoreError::Protocol(e.to_string()))?;
+                wall.set_tile(t, tile)
+                    .map_err(|e| CoreError::Protocol(e.to_string()))?;
             }
-            frames.push(wall.assemble(true).map_err(|e| CoreError::Protocol(e.to_string()))?);
+            frames.push(
+                wall.assemble(true)
+                    .map_err(|e| CoreError::Protocol(e.to_string()))?,
+            );
         }
     }
-    Ok(GopLevelResult { frames, traffic, gops: ranges.len() })
+    Ok(GopLevelResult {
+        frames,
+        traffic,
+        gops: ranges.len(),
+    })
 }
 
 #[cfg(test)]

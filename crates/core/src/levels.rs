@@ -36,8 +36,13 @@ pub enum Level {
 
 impl Level {
     /// All levels in Table 1 order.
-    pub const ALL: [Level; 5] =
-        [Level::Sequence, Level::Gop, Level::Picture, Level::Slice, Level::Macroblock];
+    pub const ALL: [Level; 5] = [
+        Level::Sequence,
+        Level::Gop,
+        Level::Picture,
+        Level::Slice,
+        Level::Macroblock,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -94,8 +99,7 @@ pub fn measure_levels(stream: &[u8], geom: &WallGeometry) -> Result<Vec<LevelCos
     for (p, &(start, end)) in index.units.iter().enumerate() {
         let out = splitter.split(p as u32, &stream[start..end])?;
         for mei in &out.mei {
-            mei_bytes_total +=
-                (mei.sends().count() * crate::mei::BLOCK_WIRE_BYTES) as f64;
+            mei_bytes_total += (mei.sends().count() * crate::mei::BLOCK_WIRE_BYTES) as f64;
         }
         mb_count += out.stats.coded_mbs + out.stats.skipped_mbs;
     }

@@ -29,6 +29,7 @@
 pub mod config;
 pub mod gop_level;
 pub mod levels;
+pub mod machines;
 pub mod mei;
 pub mod protocol;
 pub mod simulated;

@@ -72,7 +72,7 @@ pub enum MeiInstruction {
 }
 
 /// The instruction buffer attached to one decoder's sub-picture.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct MeiBuffer {
     /// Instructions in splitter-emission order (SENDs and RECVs may
     /// interleave; decoders execute all SENDs first).
@@ -87,12 +87,16 @@ impl MeiBuffer {
 
     /// All SEND instructions.
     pub fn sends(&self) -> impl Iterator<Item = &MeiInstruction> {
-        self.instructions.iter().filter(|i| matches!(i, MeiInstruction::Send { .. }))
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i, MeiInstruction::Send { .. }))
     }
 
     /// All RECV instructions.
     pub fn recvs(&self) -> impl Iterator<Item = &MeiInstruction> {
-        self.instructions.iter().filter(|i| matches!(i, MeiInstruction::Recv { .. }))
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i, MeiInstruction::Recv { .. }))
     }
 
     /// Bytes of reference data this decoder will ship to each peer, as
@@ -113,14 +117,24 @@ impl MeiBuffer {
         w.u32(self.instructions.len() as u32);
         for i in &self.instructions {
             match *i {
-                MeiInstruction::Send { mb_x, mb_y, slot, peer } => {
+                MeiInstruction::Send {
+                    mb_x,
+                    mb_y,
+                    slot,
+                    peer,
+                } => {
                     w.u8(0);
                     w.u16(mb_x);
                     w.u16(mb_y);
                     w.u8(slot.code());
                     w.u16(peer);
                 }
-                MeiInstruction::Recv { mb_x, mb_y, slot, peer } => {
+                MeiInstruction::Recv {
+                    mb_x,
+                    mb_y,
+                    slot,
+                    peer,
+                } => {
                     w.u8(1);
                     w.u16(mb_x);
                     w.u16(mb_y);
@@ -142,11 +156,19 @@ impl MeiBuffer {
             let slot = RefSlot::from_code(r.u8()?)?;
             let peer = r.u16()?;
             instructions.push(match kind {
-                0 => MeiInstruction::Send { mb_x, mb_y, slot, peer },
-                1 => MeiInstruction::Recv { mb_x, mb_y, slot, peer },
-                other => {
-                    return Err(crate::CoreError::Wire(format!("bad MEI opcode {other}")))
-                }
+                0 => MeiInstruction::Send {
+                    mb_x,
+                    mb_y,
+                    slot,
+                    peer,
+                },
+                1 => MeiInstruction::Recv {
+                    mb_x,
+                    mb_y,
+                    slot,
+                    peer,
+                },
+                other => return Err(crate::CoreError::Wire(format!("bad MEI opcode {other}"))),
             });
         }
         Ok(MeiBuffer { instructions })
@@ -162,10 +184,7 @@ pub const BLOCK_WIRE_BYTES: usize = 256 + 64 + 64 + 8;
 /// `needs` lists, per tile, the remote reference macroblocks it requires
 /// as `(mb_x, mb_y, slot, owner_tile)`. Duplicates are tolerated and
 /// deduplicated here.
-pub fn build_mei(
-    tiles: usize,
-    needs: &[Vec<(u16, u16, RefSlot, u16)>],
-) -> Vec<MeiBuffer> {
+pub fn build_mei(tiles: usize, needs: &[Vec<(u16, u16, RefSlot, u16)>]) -> Vec<MeiBuffer> {
     assert_eq!(needs.len(), tiles);
     let mut buffers = vec![MeiBuffer::new(); tiles];
     let mut seen: HashSet<(u16, u16, u16, RefSlot, u16)> = HashSet::new();
@@ -175,12 +194,14 @@ pub fn build_mei(
             if !seen.insert((tile as u16, mb_x, mb_y, slot, owner)) {
                 continue;
             }
-            buffers[owner as usize].instructions.push(MeiInstruction::Send {
-                mb_x,
-                mb_y,
-                slot,
-                peer: tile as u16,
-            });
+            buffers[owner as usize]
+                .instructions
+                .push(MeiInstruction::Send {
+                    mb_x,
+                    mb_y,
+                    slot,
+                    peer: tile as u16,
+                });
             buffers[tile].instructions.push(MeiInstruction::Recv {
                 mb_x,
                 mb_y,
@@ -200,8 +221,18 @@ mod tests {
     fn round_trip() {
         let buf = MeiBuffer {
             instructions: vec![
-                MeiInstruction::Send { mb_x: 3, mb_y: 4, slot: RefSlot::Forward, peer: 2 },
-                MeiInstruction::Recv { mb_x: 9, mb_y: 1, slot: RefSlot::Backward, peer: 0 },
+                MeiInstruction::Send {
+                    mb_x: 3,
+                    mb_y: 4,
+                    slot: RefSlot::Forward,
+                    peer: 2,
+                },
+                MeiInstruction::Recv {
+                    mb_x: 9,
+                    mb_y: 1,
+                    slot: RefSlot::Backward,
+                    peer: 0,
+                },
             ],
         };
         let mut w = WireWriter::new();
@@ -225,9 +256,17 @@ mod tests {
         assert_eq!(bufs[1].recvs().count(), 1);
         assert_eq!(
             bufs[0].sends().next().unwrap(),
-            &MeiInstruction::Send { mb_x: 5, mb_y: 2, slot: RefSlot::Forward, peer: 1 }
+            &MeiInstruction::Send {
+                mb_x: 5,
+                mb_y: 2,
+                slot: RefSlot::Forward,
+                peer: 1
+            }
         );
-        assert_eq!(bufs[0].send_bytes_by_peer(), vec![(1, BLOCK_WIRE_BYTES as u64)]);
+        assert_eq!(
+            bufs[0].send_bytes_by_peer(),
+            vec![(1, BLOCK_WIRE_BYTES as u64)]
+        );
     }
 
     #[test]
@@ -241,14 +280,26 @@ mod tests {
         let mut sends: HashSet<(u16, u16, u16, RefSlot, u16)> = HashSet::new();
         for (tile, b) in bufs.iter().enumerate() {
             for i in b.sends() {
-                if let MeiInstruction::Send { mb_x, mb_y, slot, peer } = i {
+                if let MeiInstruction::Send {
+                    mb_x,
+                    mb_y,
+                    slot,
+                    peer,
+                } = i
+                {
                     sends.insert((*peer, *mb_x, *mb_y, *slot, tile as u16));
                 }
             }
         }
         for (tile, b) in bufs.iter().enumerate() {
             for i in b.recvs() {
-                if let MeiInstruction::Recv { mb_x, mb_y, slot, peer } = i {
+                if let MeiInstruction::Recv {
+                    mb_x,
+                    mb_y,
+                    slot,
+                    peer,
+                } = i
+                {
                     assert!(
                         sends.contains(&(tile as u16, *mb_x, *mb_y, *slot, *peer)),
                         "unmatched RECV {i:?} at tile {tile}"

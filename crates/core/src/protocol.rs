@@ -63,7 +63,7 @@ pub fn decode_ack(payload: &[u8]) -> Result<u32> {
 }
 
 /// A work unit as received by a decoder.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct WorkUnit {
     /// Picture index in coding order.
     pub picture_id: u32,
@@ -93,7 +93,12 @@ impl WorkUnit {
         let anid_node = r.u16()?;
         let mei = MeiBuffer::decode(&mut r)?;
         let subpicture = SubPicture::decode(&mut r)?;
-        Ok(WorkUnit { picture_id, anid_node, mei, subpicture })
+        Ok(WorkUnit {
+            picture_id,
+            anid_node,
+            mei,
+            subpicture,
+        })
     }
 }
 
@@ -135,7 +140,14 @@ pub fn decode_blocks(payload: &[u8]) -> Result<(u32, u16, Vec<BlockData>)> {
         let y = r.bytes(256)?.to_vec();
         let cb = r.bytes(64)?.to_vec();
         let cr = r.bytes(64)?.to_vec();
-        out.push(BlockData { mb_x, mb_y, slot, y, cb, cr });
+        out.push(BlockData {
+            mb_x,
+            mb_y,
+            slot,
+            y,
+            cb,
+            cr,
+        });
     }
     Ok((picture_id, src, out))
 }

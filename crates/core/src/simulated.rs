@@ -69,7 +69,12 @@ pub struct SimulatedSystem {
 impl SimulatedSystem {
     /// Creates a simulated system under a cost model.
     pub fn new(cfg: SystemConfig, model: CostModel) -> Self {
-        SimulatedSystem { cfg, model, verify: false, repeats: 1 }
+        SimulatedSystem {
+            cfg,
+            model,
+            verify: false,
+            repeats: 1,
+        }
     }
 
     /// Measure each CPU cost `n` times and keep the minimum — damps
@@ -139,8 +144,7 @@ impl SimulatedSystem {
             }
             let mut mei_out: Vec<Vec<(usize, u64)>> = vec![Vec::new(); tiles];
             for (src, peer, blocks) in &deliveries {
-                mei_out[*src]
-                    .push((*peer, (blocks.len() * crate::mei::BLOCK_WIRE_BYTES) as u64));
+                mei_out[*src].push((*peer, (blocks.len() * crate::mei::BLOCK_WIRE_BYTES) as u64));
             }
             for (src, peer, blocks) in deliveries {
                 decoders[peer].apply_recv_blocks(kind, &out.mei[peer], src, &blocks)?;
@@ -210,16 +214,18 @@ impl SimulatedSystem {
                 }
             }
             for display in 0..index.units.len() as u32 {
-                let (wall, count) = pending_walls.remove(&display).ok_or_else(|| {
-                    CoreError::Protocol(format!("no tiles for frame {display}"))
-                })?;
+                let (wall, count) = pending_walls
+                    .remove(&display)
+                    .ok_or_else(|| CoreError::Protocol(format!("no tiles for frame {display}")))?;
                 if count != tiles {
                     return Err(CoreError::Protocol(format!(
                         "frame {display} has {count}/{tiles} tiles"
                     )));
                 }
-                frames
-                    .push(wall.assemble(true).map_err(|e| CoreError::Protocol(e.to_string()))?);
+                frames.push(
+                    wall.assemble(true)
+                        .map_err(|e| CoreError::Protocol(e.to_string()))?,
+                );
             }
         }
 

@@ -22,11 +22,11 @@ use std::cell::RefCell;
 use tiledec_bitstream::{BitReader, StartCode, StartCodeScanner};
 use tiledec_cluster::stats::TrafficMatrix;
 use tiledec_mpeg2::frame::Frame;
+use tiledec_mpeg2::headers;
 use tiledec_mpeg2::motion::{PlanePick, RefPick, ReferenceFetcher};
 use tiledec_mpeg2::recon::{FrameSink, Reconstructor};
 use tiledec_mpeg2::slice::{parse_slice, SliceContext};
 use tiledec_mpeg2::types::{PictureInfo, PictureKind};
-use tiledec_mpeg2::headers;
 
 use crate::splitter::split_picture_units;
 use crate::{CoreError, Result};
@@ -106,7 +106,11 @@ impl ReferenceFetcher for BandRefs<'_> {
 /// Runs the slice-level baseline with `bands` horizontal bands on an
 /// `m`-column display wall (the column count only affects the
 /// redistribution accounting).
-pub fn run_slice_level(stream: &[u8], bands: usize, display_columns: u32) -> Result<SliceLevelResult> {
+pub fn run_slice_level(
+    stream: &[u8],
+    bands: usize,
+    display_columns: u32,
+) -> Result<SliceLevelResult> {
     if bands == 0 {
         return Err(CoreError::Config("need at least one band".into()));
     }
@@ -117,7 +121,9 @@ pub fn run_slice_level(stream: &[u8], bands: usize, display_columns: u32) -> Res
 
     // Band boundaries: contiguous runs of macroblock rows.
     let rows_per_band = mbh.div_ceil(bands as u32);
-    let mut bounds: Vec<u32> = (0..=bands as u32).map(|i| (i * rows_per_band * 16).min(seq.height)).collect();
+    let mut bounds: Vec<u32> = (0..=bands as u32)
+        .map(|i| (i * rows_per_band * 16).min(seq.height))
+        .collect();
     // Guard degenerate empty trailing bands.
     for i in 1..bounds.len() {
         if bounds[i] < bounds[i - 1] {
@@ -186,15 +192,18 @@ pub fn run_slice_level(stream: &[u8], bands: usize, display_columns: u32) -> Res
                     (f, f)
                 }
                 PictureKind::B => (
-                    prev_ref
-                        .as_ref()
-                        .ok_or_else(|| CoreError::Protocol("B picture without references".into()))?,
-                    next_ref
-                        .as_ref()
-                        .ok_or_else(|| CoreError::Protocol("B picture without references".into()))?,
+                    prev_ref.as_ref().ok_or_else(|| {
+                        CoreError::Protocol("B picture without references".into())
+                    })?,
+                    next_ref.as_ref().ok_or_else(|| {
+                        CoreError::Protocol("B picture without references".into())
+                    })?,
                 ),
             };
-            let ctx = SliceContext { seq: &seq, pic: &info };
+            let ctx = SliceContext {
+                seq: &seq,
+                pic: &info,
+            };
             for &(c, off) in &slices {
                 let row = (c - 1) as u32;
                 let band = ((row / rows_per_band) as usize).min(bands - 1);
@@ -208,8 +217,13 @@ pub fn run_slice_level(stream: &[u8], bands: usize, display_columns: u32) -> Res
                     picture_width: frame_w,
                     remote_bytes: &remote,
                 };
-                let mut sink = FrameSink { frame: &mut current };
-                let mut recon = Reconstructor { refs: &refs, sink: &mut sink };
+                let mut sink = FrameSink {
+                    frame: &mut current,
+                };
+                let mut recon = Reconstructor {
+                    refs: &refs,
+                    sink: &mut sink,
+                };
                 let mut r = BitReader::at(unit, (off + 4) * 8);
                 parse_slice(&mut r, &ctx, row, &mut recon)?;
             }
@@ -241,7 +255,11 @@ pub fn run_slice_level(stream: &[u8], bands: usize, display_columns: u32) -> Res
     if let Some(last) = next_ref.take() {
         out_frames.push(last);
     }
-    Ok(SliceLevelResult { frames: out_frames, traffic, bands })
+    Ok(SliceLevelResult {
+        frames: out_frames,
+        traffic,
+        bands,
+    })
 }
 
 #[cfg(test)]

@@ -107,6 +107,7 @@ pub struct SplitOutput {
 }
 
 /// A second-level (macroblock) splitter.
+#[derive(Debug, Clone, Hash)]
 pub struct MacroblockSplitter {
     geom: WallGeometry,
     seq: SequenceInfo,
@@ -136,7 +137,13 @@ impl MacroblockSplitter {
                 (*r.mb_rows().start(), *r.mb_rows().end())
             })
             .collect();
-        MacroblockSplitter { geom, seq, tile_cols, tile_rows, realign: false }
+        MacroblockSplitter {
+            geom,
+            seq,
+            tile_cols,
+            tile_rows,
+            realign: false,
+        }
     }
 
     /// Enables bit-realignment of partial slices: every run's payload is
@@ -159,7 +166,11 @@ impl MacroblockSplitter {
         let parsed = parse_picture(unit, &self.seq)?;
         let tiles = self.geom.tiles() as usize;
         let mut subpictures: Vec<SubPicture> = (0..tiles)
-            .map(|_| SubPicture { picture_id, info: parsed.info.clone(), runs: Vec::new() })
+            .map(|_| SubPicture {
+                picture_id,
+                info: parsed.info.clone(),
+                runs: Vec::new(),
+            })
             .collect();
         let mut needs: Vec<Vec<(u16, u16, RefSlot, u16)>> = vec![Vec::new(); tiles];
         let mut stats = SplitStats {
@@ -190,12 +201,22 @@ impl MacroblockSplitter {
         stats.mei_instructions = mei.iter().map(|b| b.instructions.len()).sum();
         stats.subpicture_bytes = subpictures.iter().map(|s| s.wire_len()).sum();
         stats.overhead_bytes = stats.subpicture_bytes as isize - unit.len() as isize;
-        Ok(SplitOutput { info: parsed.info.clone(), subpictures, mei, stats })
+        Ok(SplitOutput {
+            info: parsed.info.clone(),
+            subpictures,
+            mei,
+            stats,
+        })
     }
 
     /// Builds the (at most one) partial-slice run of `tile` within a
     /// slice.
-    fn build_run(&self, slice: &ParsedSlice, tile: usize, unit: &[u8]) -> Result<Option<PartialSlice>> {
+    fn build_run(
+        &self,
+        slice: &ParsedSlice,
+        tile: usize,
+        unit: &[u8],
+    ) -> Result<Option<PartialSlice>> {
         let (c0, c1) = self.tile_cols[tile];
 
         // Coded macroblocks inside the tile's column interval form a
@@ -252,26 +273,34 @@ impl MacroblockSplitter {
             return Ok(None);
         }
 
-        let (payload, skip_bits, entry, first_coded_col, coded_count) = if coded.is_empty() {
-            (Vec::new(), 0u8, tiledec_mpeg2::slice::PredictorState::slice_start(0, 1), NO_CODED, 0)
-        } else {
-            let first_mb = &coded[0];
-            let last_mb = coded.last().expect("non-empty");
-            let (payload, skip_bits) = if self.realign {
-                (realign_bits(unit, first_mb.bit_start, last_mb.bit_end), 0u8)
+        let (payload, skip_bits, entry, first_coded_col, coded_count) =
+            if let (Some(first_mb), Some(last_mb)) = (coded.first(), coded.last()) {
+                let (payload, skip_bits) = if self.realign {
+                    (
+                        realign_bits(unit, first_mb.bit_start, last_mb.bit_end)?,
+                        0u8,
+                    )
+                } else {
+                    let byte0 = first_mb.bit_start / 8;
+                    let byte1 = last_mb.bit_end.div_ceil(8);
+                    (unit[byte0..byte1].to_vec(), (first_mb.bit_start % 8) as u8)
+                };
+                (
+                    payload,
+                    skip_bits,
+                    first_mb.entry.clone(),
+                    first_mb.x as u16,
+                    coded.len() as u16,
+                )
             } else {
-                let byte0 = first_mb.bit_start / 8;
-                let byte1 = last_mb.bit_end.div_ceil(8);
-                (unit[byte0..byte1].to_vec(), (first_mb.bit_start % 8) as u8)
+                (
+                    Vec::new(),
+                    0u8,
+                    tiledec_mpeg2::slice::PredictorState::slice_start(0, 1),
+                    NO_CODED,
+                    0,
+                )
             };
-            (
-                payload,
-                skip_bits,
-                first_mb.entry.clone(),
-                first_mb.x as u16,
-                coded.len() as u16,
-            )
-        };
 
         Ok(Some(PartialSlice {
             row: slice.row as u16,
@@ -341,31 +370,33 @@ impl MacroblockSplitter {
 }
 
 /// Re-emits the bit range `[bit_start, bit_end)` of `unit` shifted to bit
-/// offset 0 — the "costly bit shifting" the SPH design avoids.
-fn realign_bits(unit: &[u8], bit_start: usize, bit_end: usize) -> Vec<u8> {
+/// offset 0 — the "costly bit shifting" the SPH design avoids. Fails if
+/// the span runs past the unit (a malformed slice index).
+fn realign_bits(unit: &[u8], bit_start: usize, bit_end: usize) -> Result<Vec<u8>> {
     use tiledec_bitstream::{BitReader, BitWriter};
     let mut r = BitReader::at(unit, bit_start);
     let mut w = BitWriter::with_capacity((bit_end - bit_start) / 8 + 1);
     let mut remaining = bit_end - bit_start;
+    let span_err = |e: tiledec_bitstream::BitstreamError| {
+        CoreError::Wire(format!("slice span out of unit: {e}"))
+    };
     while remaining >= 32 {
-        w.put_bits(r.read_bits(32).expect("span validated"), 32);
+        w.put_bits(r.read_bits(32).map_err(span_err)?, 32);
         remaining -= 32;
     }
     if remaining > 0 {
-        w.put_bits(r.read_bits(remaining as u32).expect("span validated"), remaining as u32);
+        w.put_bits(
+            r.read_bits(remaining as u32).map_err(span_err)?,
+            remaining as u32,
+        );
     }
-    w.into_bytes()
+    Ok(w.into_bytes())
 }
 
 /// The macroblock-aligned cover of the reference region a 16×16 prediction
 /// with vector `mv` reads, padded by 2 pixels to cover the chroma
 /// footprint and half-pel extension.
-fn footprint_mbs(
-    mb_x: u32,
-    mb_y: u32,
-    mv: MotionVector,
-    geom: &WallGeometry,
-) -> Vec<(u32, u32)> {
+fn footprint_mbs(mb_x: u32, mb_y: u32, mv: MotionVector, geom: &WallGeometry) -> Vec<(u32, u32)> {
     let (x0, y0, w, h) = tiledec_mpeg2::motion::luma_footprint(mb_x, mb_y, mv);
     let (mbw, mbh) = geom.mb_dims();
     let x_lo = (x0 - 2).max(0) as u32 / 16;

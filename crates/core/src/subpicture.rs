@@ -26,7 +26,7 @@ use crate::{CoreError, Result};
 pub const NO_CODED: u16 = u16::MAX;
 
 /// One partial-slice run inside a sub-picture.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PartialSlice {
     /// Macroblock row (slice row).
     pub row: u16,
@@ -86,7 +86,9 @@ impl PartialSlice {
         let skipped_after = r.u16()?;
         let skip_bits = r.u8()?;
         if skip_bits > 7 {
-            return Err(CoreError::Wire(format!("skip_bits {skip_bits} out of range")));
+            return Err(CoreError::Wire(format!(
+                "skip_bits {skip_bits} out of range"
+            )));
         }
         let entry = decode_state(r)?;
         let len = r.u32()? as usize;
@@ -107,7 +109,7 @@ impl PartialSlice {
 }
 
 /// The macroblocks of one picture destined for one tile.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SubPicture {
     /// Picture index in coding order.
     pub picture_id: u32,
@@ -144,7 +146,11 @@ impl SubPicture {
         for _ in 0..n {
             runs.push(PartialSlice::decode(r)?);
         }
-        Ok(SubPicture { picture_id, info, runs })
+        Ok(SubPicture {
+            picture_id,
+            info,
+            runs,
+        })
     }
 }
 
@@ -217,7 +223,11 @@ fn decode_state(r: &mut WireReader<'_>) -> Result<PredictorState> {
             pmv[1][sdir][t] = v;
         }
     }
-    Ok(PredictorState { qscale_code, dc_pred, pmv })
+    Ok(PredictorState {
+        qscale_code,
+        dc_pred,
+        pmv,
+    })
 }
 
 /// Serialises [`PictureInfo`].
@@ -270,8 +280,10 @@ pub fn decode_sequence_info(r: &mut WireReader<'_>) -> Result<SequenceInfo> {
     let height = r.u32()?;
     let frame_rate_code = r.u8()?;
     let bit_rate_400 = r.u32()?;
-    let intra: [u8; 64] = r.bytes(64)?.try_into().unwrap();
-    let non_intra: [u8; 64] = r.bytes(64)?.try_into().unwrap();
+    let mut intra = [0u8; 64];
+    intra.copy_from_slice(r.bytes(64)?);
+    let mut non_intra = [0u8; 64];
+    non_intra.copy_from_slice(r.bytes(64)?);
     Ok(SequenceInfo {
         width,
         height,
@@ -302,7 +314,10 @@ mod tests {
             row: 3,
             skipped_before: 2,
             skip_start_col: 9,
-            skip_motion: Some(MbMotion::Bi(MotionVector::new(1, -1), MotionVector::new(0, 8))),
+            skip_motion: Some(MbMotion::Bi(
+                MotionVector::new(1, -1),
+                MotionVector::new(0, 8),
+            )),
             coded_count: 5,
             first_coded_col: 11,
             skipped_after: 1,
@@ -363,7 +378,10 @@ mod tests {
         let mut w = WireWriter::new();
         encode_sequence_info(&mut w, &si);
         let bytes = w.into_bytes();
-        assert_eq!(decode_sequence_info(&mut WireReader::new(&bytes)).unwrap(), si);
+        assert_eq!(
+            decode_sequence_info(&mut WireReader::new(&bytes)).unwrap(),
+            si
+        );
     }
 
     #[test]

@@ -7,34 +7,27 @@
 //! [`crate::simulated`] back-end — this host cannot exhibit 21-node
 //! speedups in wall-clock time.)
 //!
-//! Protocol fidelity notes:
-//!
-//! * the root waits for one splitter ack before every picture send after
-//!   the first (Table 3);
-//! * splitters wait for all decoder acks of the *previous* picture before
-//!   shipping sub-pictures — those acks were addressed to them by the
-//!   **ANID** (ack-node-id) carried in the previous picture's work units,
-//!   which is what keeps pictures ordered at the decoders without reorder
-//!   queues despite GM's lack of cross-sender ordering;
-//! * decoders execute MEI SENDs before decoding and verify every received
-//!   block against their RECV instructions.
+//! The node logic itself lives in [`crate::machines`] as resumable state
+//! machines: each thread here is a trivial driver that forwards
+//! [`Effect`]s to a real [`Endpoint`] and feeds received messages back in.
+//! The *same* machines run under the
+//! [`tiledec_cluster::modelcheck`] scheduler, which explores every message
+//! interleaving — so the protocol properties proven there (deadlock
+//! freedom, the ANID ordering guarantee, credit-window safety, MEI
+//! SEND/RECV matching) hold for the code executing on these threads, not
+//! for a parallel re-implementation.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::mpsc;
 
-use bytes::Bytes;
-use tiledec_cluster::gm::{Endpoint, Message, NodeId, ThreadCluster};
+use tiledec_cluster::gm::{Endpoint, NodeId, ThreadCluster};
+use tiledec_cluster::modelcheck::{Effect, Msg, Process};
 use tiledec_mpeg2::frame::Frame;
-use tiledec_mpeg2::types::SequenceInfo;
 use tiledec_wall::{Wall, WallGeometry};
 
 use crate::config::SystemConfig;
-use crate::protocol::{
-    decode_ack, decode_blocks, decode_unit, encode_ack, encode_blocks, encode_unit, WorkUnit,
-    TAG_ACK_ROOT, TAG_ACK_SPLIT, TAG_BLOCKS, TAG_END, TAG_UNIT, TAG_WORK,
-};
-use crate::splitter::{split_picture_units, MacroblockSplitter};
-use crate::tile_decoder::{DisplayTile, TileDecoder};
+use crate::machines::{build_machines, NodeMachine};
+use crate::tile_decoder::DisplayTile;
 use crate::{CoreError, Result};
 
 /// Output of a threaded playback.
@@ -65,46 +58,30 @@ impl ThreadedSystem {
     /// Plays back a whole elementary stream, returning the assembled
     /// frames.
     pub fn play(&self, stream: &[u8]) -> Result<PlaybackResult> {
-        let index = split_picture_units(stream)?;
-        let seq = index.seq.clone();
-        if seq.width % 16 != 0 || seq.height % 16 != 0 {
-            return Err(CoreError::Config(format!(
-                "video {}x{} is not macroblock aligned",
-                seq.width, seq.height
-            )));
-        }
-        let geom = self.cfg.geometry(seq.width, seq.height)?;
-        let k = self.cfg.k;
-        let d_count = self.cfg.decoders();
-        let n = index.units.len();
-        let n_nodes = 1 + k + d_count;
+        let set = build_machines(&self.cfg, stream)?;
+        let geom = set.geometry;
+        let k = set.k;
+        let n = set.pictures;
+        let n_nodes = set.machines.len();
         let mut cluster = ThreadCluster::new(n_nodes);
         let (tile_tx, tile_rx) = mpsc::channel::<(usize, DisplayTile)>();
 
-        let halo = self.cfg.halo_margin;
         std::thread::scope(|scope| -> Result<()> {
             let mut handles = Vec::new();
-            for s in 0..k {
-                let ep = cluster.take_endpoint(1 + s);
-                let seq = seq.clone();
-                handles.push(
-                    scope.spawn(move || splitter_thread(ep, s, k, n, d_count, seq, geom)),
-                );
-            }
-            for d in 0..d_count {
-                let ep = cluster.take_endpoint(1 + k + d);
-                let seq = seq.clone();
-                let tx = tile_tx.clone();
-                handles.push(scope.spawn(move || decoder_thread(ep, d, k, n, seq, geom, halo, tx)));
+            let mut machines = set.machines.into_iter().enumerate();
+            let Some((_, root)) = machines.next() else {
+                return Err(CoreError::Config("machine set has no root node".into()));
+            };
+            for (id, mach) in machines {
+                let ep = cluster.take_endpoint(id);
+                // Decoders stream their tiles out as they decode;
+                // splitters produce none.
+                let sink = id.checked_sub(1 + k).map(|d| (d, tile_tx.clone()));
+                handles.push(scope.spawn(move || drive_node(ep, mach, sink)));
             }
             drop(tile_tx);
             let root_ep = cluster.take_endpoint(0);
-            let root_result = if k == 0 {
-                one_level_root(&root_ep, stream, &index, d_count, &seq, geom)
-            } else {
-                two_level_root(&root_ep, stream, &index, k)
-            };
-            let mut first_err = root_result.err();
+            let mut first_err = drive_node(root_ep, root, None).err();
             for h in handles {
                 match h.join() {
                     Ok(Ok(())) => {}
@@ -149,7 +126,10 @@ impl ThreadedSystem {
                     geom.tiles()
                 )));
             }
-            frames.push(wall.assemble(true).map_err(|e| CoreError::Protocol(e.to_string()))?);
+            frames.push(
+                wall.assemble(true)
+                    .map_err(|e| CoreError::Protocol(e.to_string()))?,
+            );
         }
         Ok(PlaybackResult {
             frames,
@@ -160,265 +140,35 @@ impl ThreadedSystem {
     }
 }
 
-/// Receive with reordering buffer: messages are consumed by predicate and
-/// recycled immediately, so link credits never dam up behind a busy node.
-struct Inbox {
+/// Drives one machine over a real endpoint until it finishes. Emitted
+/// tiles are forwarded through `sink` as they appear.
+fn drive_node(
     ep: Endpoint,
-    buffered: VecDeque<Message>,
-}
-
-impl Inbox {
-    fn new(ep: Endpoint) -> Self {
-        Inbox { ep, buffered: VecDeque::new() }
-    }
-
-    fn await_where(&mut self, pred: impl Fn(&Message) -> bool) -> Message {
-        if let Some(pos) = self.buffered.iter().position(&pred) {
-            return self.buffered.remove(pos).expect("position valid");
-        }
-        loop {
-            let m = self.ep.recv();
-            self.ep.recycle(&m);
-            if pred(&m) {
-                return m;
-            }
-            self.buffered.push_back(m);
-        }
-    }
-
-    fn send(&self, to: usize, tag: u32, payload: Vec<u8>) {
-        self.ep.send(NodeId(to), tag, Bytes::from(payload));
-    }
-}
-
-fn is_ack(tag: u32, id: u32) -> impl Fn(&Message) -> bool {
-    move |m| m.tag == tag && decode_ack(&m.payload).is_ok_and(|got| got == id)
-}
-
-/// Root logic of a two-level system (picture-level splitting only).
-fn two_level_root(
-    ep: &Endpoint,
-    stream: &[u8],
-    index: &crate::splitter::StreamIndex,
-    k: usize,
+    mut mach: NodeMachine,
+    sink: Option<(usize, mpsc::Sender<(usize, DisplayTile)>)>,
 ) -> Result<()> {
-    let mut inbox_buf: VecDeque<Message> = VecDeque::new();
-    let mut await_any_ack = |ep: &Endpoint| {
-        if let Some(pos) = inbox_buf.iter().position(|m| m.tag == TAG_ACK_ROOT) {
-            inbox_buf.remove(pos);
-            return;
-        }
-        loop {
-            let m = ep.recv();
-            ep.recycle(&m);
-            if m.tag == TAG_ACK_ROOT {
-                return;
-            }
-            inbox_buf.push_back(m);
-        }
-    };
-    let n = index.units.len();
-    for (p, &(start, end)) in index.units.iter().enumerate() {
-        // "Copy the current picture P into an output buffer."
-        let payload = encode_unit(p as u32, ((p + 1) % k) as u16, &stream[start..end]);
-        // "Wait for ACK from any splitter, except for the first picture."
-        if p >= 1 {
-            await_any_ack(ep);
-        }
-        ep.send(NodeId(1 + p % k), TAG_UNIT, Bytes::from(payload));
-    }
-    if n >= 1 {
-        await_any_ack(ep); // the final picture's ack
-    }
-    for s in 0..k {
-        ep.send(NodeId(1 + s), TAG_END, Bytes::new());
-    }
-    Ok(())
-}
-
-/// Root logic of a one-level system: the console node is the macroblock
-/// splitter.
-fn one_level_root(
-    ep: &Endpoint,
-    stream: &[u8],
-    index: &crate::splitter::StreamIndex,
-    d_count: usize,
-    seq: &SequenceInfo,
-    geom: WallGeometry,
-) -> Result<()> {
-    let splitter = MacroblockSplitter::new(geom, seq.clone());
-    let mut inbox = InboxRef { ep, buffered: VecDeque::new() };
-    let n = index.units.len();
-    for (p, &(start, end)) in index.units.iter().enumerate() {
-        let out = splitter.split(p as u32, &stream[start..end])?;
-        if p >= 1 {
-            for _ in 0..d_count {
-                inbox.await_where(is_ack(TAG_ACK_SPLIT, p as u32 - 1));
+    let mut input: Option<Msg> = None;
+    loop {
+        let effect = mach.resume(input.take()).map_err(CoreError::Protocol)?;
+        if let Some((d, tx)) = &sink {
+            for dt in mach.take_emitted() {
+                let _ = tx.send((*d, dt));
             }
         }
-        for d in 0..d_count {
-            let wu = WorkUnit {
-                picture_id: p as u32,
-                anid_node: 0,
-                mei: out.mei[d].clone(),
-                subpicture: out.subpictures[d].clone(),
-            };
-            ep.send(NodeId(1 + d), TAG_WORK, Bytes::from(wu.encode()));
-        }
-    }
-    if n >= 1 {
-        for _ in 0..d_count {
-            inbox.await_where(is_ack(TAG_ACK_SPLIT, n as u32 - 1));
-        }
-    }
-    for d in 0..d_count {
-        ep.send(NodeId(1 + d), TAG_END, Bytes::new());
-    }
-    Ok(())
-}
-
-/// Inbox over a borrowed endpoint (root runs on the caller's thread).
-struct InboxRef<'a> {
-    ep: &'a Endpoint,
-    buffered: VecDeque<Message>,
-}
-
-impl InboxRef<'_> {
-    fn await_where(&mut self, pred: impl Fn(&Message) -> bool) -> Message {
-        if let Some(pos) = self.buffered.iter().position(&pred) {
-            return self.buffered.remove(pos).expect("position valid");
-        }
-        loop {
-            let m = self.ep.recv();
-            self.ep.recycle(&m);
-            if pred(&m) {
-                return m;
+        match effect {
+            Effect::Send { to, tag, payload } => ep
+                .send(NodeId(to), tag, payload)
+                .map_err(|e| CoreError::Protocol(e.to_string()))?,
+            Effect::Recv => {
+                let m = ep.recv();
+                ep.recycle(&m);
+                input = Some(Msg {
+                    from: m.from.0,
+                    tag: m.tag,
+                    payload: m.payload,
+                });
             }
-            self.buffered.push_back(m);
+            Effect::Done => return Ok(()),
         }
     }
-}
-
-/// A second-level splitter node.
-fn splitter_thread(
-    ep: Endpoint,
-    s: usize,
-    k: usize,
-    n: usize,
-    d_count: usize,
-    seq: SequenceInfo,
-    geom: WallGeometry,
-) -> Result<()> {
-    let splitter = MacroblockSplitter::new(geom, seq);
-    let mut inbox = Inbox::new(ep);
-    let mut p = s;
-    while p < n {
-        let m = inbox.await_where(|m| m.tag == TAG_UNIT);
-        let (pid, _nsid, unit) = decode_unit(&m.payload)?;
-        if pid != p as u32 {
-            return Err(CoreError::Protocol(format!(
-                "splitter {s} expected picture {p}, got {pid}"
-            )));
-        }
-        inbox.send(0, TAG_ACK_ROOT, encode_ack(pid));
-        let out = splitter.split(pid, unit)?;
-        // ANID: the decoder acks for the previous picture were addressed
-        // to this splitter.
-        if p >= 1 {
-            for _ in 0..d_count {
-                inbox.await_where(is_ack(TAG_ACK_SPLIT, p as u32 - 1));
-            }
-        }
-        let anid_node = 1 + ((p + 1) % k);
-        for d in 0..d_count {
-            let wu = WorkUnit {
-                picture_id: pid,
-                anid_node: anid_node as u16,
-                mei: out.mei[d].clone(),
-                subpicture: out.subpictures[d].clone(),
-            };
-            inbox.send(1 + k + d, TAG_WORK, wu.encode());
-        }
-        p += k;
-    }
-    inbox.await_where(|m| m.tag == TAG_END);
-    for d in 0..d_count {
-        inbox.send(1 + k + d, TAG_END, Vec::new());
-    }
-    // Drain the acks of the final picture if they were addressed here.
-    if n >= 1 && n % k == s {
-        for _ in 0..d_count {
-            inbox.await_where(is_ack(TAG_ACK_SPLIT, n as u32 - 1));
-        }
-    }
-    Ok(())
-}
-
-/// A decoder node.
-#[allow(clippy::too_many_arguments)]
-fn decoder_thread(
-    ep: Endpoint,
-    d: usize,
-    k: usize,
-    n: usize,
-    seq: SequenceInfo,
-    geom: WallGeometry,
-    halo: u32,
-    tx: mpsc::Sender<(usize, DisplayTile)>,
-) -> Result<()> {
-    let tile = geom.tile_at(d);
-    let mut dec = TileDecoder::new(geom, tile, seq, halo);
-    let mut inbox = Inbox::new(ep);
-    for p in 0..n as u32 {
-        let m = inbox.await_where(|m| m.tag == TAG_WORK);
-        let wu = WorkUnit::decode(&m.payload)?;
-        if wu.picture_id != p {
-            return Err(CoreError::Protocol(format!(
-                "decoder {d} expected picture {p}, got {} — ANID ordering violated",
-                wu.picture_id
-            )));
-        }
-        inbox.send(wu.anid_node as usize, TAG_ACK_SPLIT, encode_ack(p));
-        let kind = wu.subpicture.info.kind;
-
-        // Execute SEND instructions before decoding (§4.2).
-        for (peer, blocks) in dec.extract_send_blocks(kind, &wu.mei)? {
-            inbox.send(1 + k + peer, TAG_BLOCKS, encode_blocks(p, d as u16, &blocks));
-        }
-
-        // Gather the blocks our RECV instructions announce.
-        let mut expected: BTreeSet<u16> = wu
-            .mei
-            .recvs()
-            .map(|i| match i {
-                crate::mei::MeiInstruction::Recv { peer, .. } => *peer,
-                _ => unreachable!(),
-            })
-            .collect();
-        while !expected.is_empty() {
-            let m = inbox.await_where(|m| {
-                m.tag == TAG_BLOCKS
-                    && decode_blocks(&m.payload)
-                        .map(|(pid, src, _)| pid == p && expected.contains(&src))
-                        .unwrap_or(false)
-            });
-            let (_, src, blocks) = decode_blocks(&m.payload)?;
-            dec.apply_recv_blocks(kind, &wu.mei, src as usize, &blocks)?;
-            expected.remove(&src);
-        }
-
-        for dt in dec.decode(&wu.subpicture)? {
-            let _ = tx.send((d, dt));
-        }
-    }
-    let mut ends = 0;
-    let want = k.max(1);
-    while ends < want {
-        inbox.await_where(|m| m.tag == TAG_END);
-        ends += 1;
-    }
-    if let Some(dt) = dec.flush() {
-        let _ = tx.send((d, dt));
-    }
-    Ok(())
 }

@@ -31,7 +31,7 @@ use crate::subpicture::{SubPicture, NO_CODED};
 use crate::{CoreError, Result};
 
 /// One exchanged reference macroblock (pixels of all three planes).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BlockData {
     /// Macroblock column.
     pub mb_x: u16,
@@ -48,7 +48,7 @@ pub struct BlockData {
 }
 
 /// A tile frame ready for display.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DisplayTile {
     /// Display-order index of the picture.
     pub display_index: u32,
@@ -57,7 +57,7 @@ pub struct DisplayTile {
 }
 
 /// The tile decoder.
-#[derive(Clone)]
+#[derive(Clone, Hash)]
 pub struct TileDecoder {
     geom: WallGeometry,
     tile: TileId,
@@ -83,8 +83,23 @@ impl TileDecoder {
         let y0 = own_rect.y0.saturating_sub(margin);
         let x1 = (own_rect.x1() + margin).min(seq.mb_width() * 16);
         let y1 = (own_rect.y1() + margin).min(seq.mb_height() * 16);
-        let ext_rect = PixelRect { x0, y0, w: x1 - x0, h: y1 - y0 };
-        TileDecoder { geom, tile, seq, own_rect, ext_rect, fwd: None, bwd: None, held: None, emitted: 0 }
+        let ext_rect = PixelRect {
+            x0,
+            y0,
+            w: x1 - x0,
+            h: y1 - y0,
+        };
+        TileDecoder {
+            geom,
+            tile,
+            seq,
+            own_rect,
+            ext_rect,
+            fwd: None,
+            bwd: None,
+            held: None,
+            emitted: 0,
+        }
     }
 
     /// The tile this decoder drives.
@@ -106,7 +121,15 @@ impl TileDecoder {
     ) -> Result<Vec<(usize, Vec<BlockData>)>> {
         let mut by_peer: std::collections::BTreeMap<usize, Vec<BlockData>> = Default::default();
         for i in mei.sends() {
-            let MeiInstruction::Send { mb_x, mb_y, slot, peer } = *i else { unreachable!() };
+            let MeiInstruction::Send {
+                mb_x,
+                mb_y,
+                slot,
+                peer,
+            } = *i
+            else {
+                continue;
+            };
             let frame = self.reference(kind, slot)?;
             let (px, py) = (mb_x as u32 * 16, mb_y as u32 * 16);
             if !self.own_rect.contains(px, py) {
@@ -181,7 +204,9 @@ impl TileDecoder {
             (PictureKind::P, RefSlot::Forward) => self.bwd.as_ref().ok_or_else(missing),
             (PictureKind::B, RefSlot::Forward) => self.fwd.as_ref().ok_or_else(missing),
             (PictureKind::B, RefSlot::Backward) => self.bwd.as_ref().ok_or_else(missing),
-            _ => Err(CoreError::Protocol(format!("no {slot:?} reference in {kind:?} pictures"))),
+            _ => Err(CoreError::Protocol(format!(
+                "no {slot:?} reference in {kind:?} pictures"
+            ))),
         }
     }
 
@@ -191,7 +216,9 @@ impl TileDecoder {
             (PictureKind::P, RefSlot::Forward) => self.bwd.as_mut().ok_or_else(missing),
             (PictureKind::B, RefSlot::Forward) => self.fwd.as_mut().ok_or_else(missing),
             (PictureKind::B, RefSlot::Backward) => self.bwd.as_mut().ok_or_else(missing),
-            _ => Err(CoreError::Protocol(format!("no {slot:?} reference in {kind:?} pictures"))),
+            _ => Err(CoreError::Protocol(format!(
+                "no {slot:?} reference in {kind:?} pictures"
+            ))),
         }
     }
 
@@ -200,35 +227,43 @@ impl TileDecoder {
     /// display order.
     pub fn decode(&mut self, sp: &SubPicture) -> Result<Vec<DisplayTile>> {
         let kind = sp.info.kind;
-        match kind {
-            PictureKind::I => {}
-            PictureKind::P => {
-                if self.bwd.is_none() {
-                    return Err(CoreError::Protocol("P sub-picture without reference".into()));
-                }
-            }
-            PictureKind::B => {
-                if self.bwd.is_none() || self.fwd.is_none() {
-                    return Err(CoreError::Protocol("B sub-picture without references".into()));
-                }
-            }
-        }
-        let mut current =
-            Frame::zeroed(self.ext_rect.w as usize, self.ext_rect.h as usize);
+        let mut current = Frame::zeroed(self.ext_rect.w as usize, self.ext_rect.h as usize);
         {
             let placeholder = Frame::zeroed(16, 16);
             let (fwd, bwd): (&Frame, &Frame) = match kind {
                 PictureKind::I => (&placeholder, &placeholder),
                 PictureKind::P => {
-                    let f = self.bwd.as_ref().unwrap();
+                    let f = self.bwd.as_ref().ok_or_else(|| {
+                        CoreError::Protocol("P sub-picture without reference".into())
+                    })?;
                     (f, f)
                 }
-                PictureKind::B => (self.fwd.as_ref().unwrap(), self.bwd.as_ref().unwrap()),
+                PictureKind::B => {
+                    let (Some(f), Some(b)) = (self.fwd.as_ref(), self.bwd.as_ref()) else {
+                        return Err(CoreError::Protocol(
+                            "B sub-picture without references".into(),
+                        ));
+                    };
+                    (f, b)
+                }
             };
-            let refs = TileRefs { fwd, bwd, ext_rect: self.ext_rect };
-            let mut sink = TileSink { frame: &mut current, ext_rect: self.ext_rect };
-            let mut recon = Reconstructor { refs: &refs, sink: &mut sink };
-            let ctx = SliceContext { seq: &self.seq, pic: &sp.info };
+            let refs = TileRefs {
+                fwd,
+                bwd,
+                ext_rect: self.ext_rect,
+            };
+            let mut sink = TileSink {
+                frame: &mut current,
+                ext_rect: self.ext_rect,
+            };
+            let mut recon = Reconstructor {
+                refs: &refs,
+                sink: &mut sink,
+            };
+            let ctx = SliceContext {
+                seq: &self.seq,
+                pic: &sp.info,
+            };
             for run in &sp.runs {
                 decode_run(run, &ctx, &mut recon)?;
             }
@@ -238,7 +273,10 @@ impl TileDecoder {
         let mut out = Vec::new();
         match kind {
             PictureKind::B => {
-                out.push(DisplayTile { display_index: self.emitted, frame: self.crop_own(&current) });
+                out.push(DisplayTile {
+                    display_index: self.emitted,
+                    frame: self.crop_own(&current),
+                });
                 self.emitted += 1;
             }
             _ => {
@@ -259,7 +297,10 @@ impl TileDecoder {
     /// Flushes the last held reference tile at end of stream.
     pub fn flush(&mut self) -> Option<DisplayTile> {
         self.held.take().map(|frame| {
-            let t = DisplayTile { display_index: self.emitted, frame };
+            let t = DisplayTile {
+                display_index: self.emitted,
+                frame,
+            };
             self.emitted += 1;
             t
         })
@@ -317,20 +358,32 @@ fn decode_run(
     // Re-enter the slice mid-stream from SPH state.
     let mut st = WalkState {
         pred: run.entry.clone(),
-        prev_motion: run.skip_motion.unwrap_or(tiledec_mpeg2::slice::MbMotion::Intra),
+        prev_motion: run
+            .skip_motion
+            .unwrap_or(tiledec_mpeg2::slice::MbMotion::Intra),
         prev_addr: 0, // overridden by the forced address
     };
     let mut r = BitReader::new(&run.payload);
-    r.skip(run.skip_bits as usize).map_err(tiledec_mpeg2::Error::from)?;
+    r.skip(run.skip_bits as usize)
+        .map_err(tiledec_mpeg2::Error::from)?;
     let first_addr = run.row as u32 * mbw + run.first_coded_col as u32;
     let mut blocks = Box::new([[0i32; 64]; 6]);
     for i in 0..run.coded_count {
-        let mode = if i == 0 { AddrMode::Forced(first_addr) } else { AddrMode::Continuation };
+        let mode = if i == 0 {
+            AddrMode::Forced(first_addr)
+        } else {
+            AddrMode::Continuation
+        };
         let meta = parse_one_macroblock(&mut r, ctx, &mut st, mode, &mut blocks)
             .map_err(CoreError::Codec)?;
         if meta.skipped_before > 0 {
             let m = skip_motion(ctx.pic.kind, &meta.entry_prev_motion)?;
-            visitor.skipped(ctx, meta.addr - meta.skipped_before, meta.skipped_before, &m)?;
+            visitor.skipped(
+                ctx,
+                meta.addr - meta.skipped_before,
+                meta.skipped_before,
+                &m,
+            )?;
         }
         visitor.macroblock(ctx, &meta, &blocks)?;
     }
@@ -436,7 +489,15 @@ mod tests {
         assert_eq!(d.ext_rect.x1(), 128); // 64 + 64 margin hits the edge
         assert_eq!(d.ext_rect.y1(), 64);
         let d = TileDecoder::new(geom, TileId { col: 1, row: 1 }, seq(128, 64), 16);
-        assert_eq!(d.ext_rect, PixelRect { x0: 48, y0: 16, w: 80, h: 48 });
+        assert_eq!(
+            d.ext_rect,
+            PixelRect {
+                x0: 48,
+                y0: 16,
+                w: 80,
+                h: 48
+            }
+        );
     }
 
     #[test]
@@ -469,7 +530,9 @@ mod tests {
             cr: vec![0; 64],
         };
         let empty = MeiBuffer::new();
-        assert!(d.apply_recv_blocks(PictureKind::P, &empty, 1, &[block]).is_err());
+        assert!(d
+            .apply_recv_blocks(PictureKind::P, &empty, 1, &[block])
+            .is_err());
     }
 
     #[test]

@@ -21,7 +21,9 @@ impl WireWriter {
 
     /// Creates a writer with reserved capacity.
     pub fn with_capacity(n: usize) -> Self {
-        WireWriter { buf: Vec::with_capacity(n) }
+        WireWriter {
+            buf: Vec::with_capacity(n),
+        }
     }
 
     /// Finishes and returns the bytes.
@@ -112,22 +114,26 @@ impl<'a> WireReader<'a> {
 
     /// Reads a little-endian u16.
     pub fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     /// Reads a little-endian u32.
     pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Reads a little-endian i32.
     pub fn i32(&mut self) -> Result<i32> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Reads a little-endian i16.
     pub fn i16(&mut self) -> Result<i16> {
-        Ok(i16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let b = self.take(2)?;
+        Ok(i16::from_le_bytes([b[0], b[1]]))
     }
 
     /// Reads `n` raw bytes.

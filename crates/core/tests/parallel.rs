@@ -3,9 +3,9 @@
 //! system is **bit-exact** with the sequential reference decoder.
 
 use tiledec_core::{SimulatedSystem, SystemConfig, ThreadedSystem};
+use tiledec_mpeg2::decode_all;
 use tiledec_mpeg2::encoder::{Encoder, EncoderConfig};
 use tiledec_mpeg2::frame::Frame;
-use tiledec_mpeg2::decode_all;
 
 /// Deterministic clip with global pan, a bouncing bright square (motion
 /// vectors crossing tile boundaries) and textured chroma.
@@ -48,7 +48,10 @@ fn encode_clip(w: u32, h: u32, n: usize, gop: u32, b: u32, q: u8) -> Vec<u8> {
 fn assert_bit_exact(parallel: &[Frame], reference: &[Frame], label: &str) {
     assert_eq!(parallel.len(), reference.len(), "{label}: frame count");
     for (i, (a, b)) in parallel.iter().zip(reference).enumerate() {
-        assert!(a == b, "{label}: frame {i} differs from the sequential decode");
+        assert!(
+            a == b,
+            "{label}: frame {i} differs from the sequential decode"
+        );
     }
 }
 
@@ -96,6 +99,52 @@ fn overlap_configuration_matches_sequential() {
     let sys = ThreadedSystem::new(SystemConfig::new(1, (2, 1)).with_overlap(16));
     let out = sys.play(&stream).unwrap();
     assert_bit_exact(&out.frames, &reference, "1-1-(2,1)+overlap");
+}
+
+/// Regression: the final macroblock of a picture's last slice can end
+/// flush against the end of the cut picture unit, with no start code
+/// after it inside the unit. `slice_done` used to mistake those trailing
+/// in-byte bits for padding, so the splitter's parse pass silently
+/// dropped the macroblock and the tile decoder never reconstructed it.
+/// This clip/config pair (found by the randomised property test) produces
+/// exactly that layout in a B picture.
+#[test]
+fn flush_final_macroblock_is_not_dropped() {
+    let clip: Vec<Frame> = (0..4)
+        .map(|t: usize| {
+            let (w, h, s) = (192usize, 96usize, 721usize);
+            let mut f = Frame::black(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    let v = ((x + 2 * t) * (3 + s % 5) + y * 7 + s) % 200;
+                    f.y.set(x, y, v as u8 + 20);
+                }
+            }
+            let ox = (t * (2 + s % 3)) % (w - 16);
+            let oy = (t + s) % (h - 16);
+            for y in oy..oy + 16 {
+                for x in ox..ox + 16 {
+                    f.y.set(x, y, 220);
+                }
+            }
+            for y in 0..h / 2 {
+                for x in 0..w / 2 {
+                    f.cb.set(x, y, ((x * 2 + y + t + s) % 100) as u8 + 70);
+                    f.cr.set(x, y, ((x + y * 2 + t) % 100) as u8 + 70);
+                }
+            }
+            f
+        })
+        .collect();
+    let mut cfg = EncoderConfig::for_size(192, 96);
+    cfg.gop_size = 7;
+    cfg.b_frames = 1;
+    cfg.qscale = 3;
+    let stream = Encoder::new(cfg).unwrap().encode(&clip).unwrap();
+    let reference = decode_all(&stream).unwrap();
+    let sys = ThreadedSystem::new(SystemConfig::new(2, (2, 1)));
+    let out = sys.play(&stream).unwrap();
+    assert_bit_exact(&out.frames, &reference, "flush final macroblock");
 }
 
 #[test]
@@ -153,8 +202,7 @@ fn simulated_backend_produces_identical_frames_and_sane_fps() {
     assert!(run.measured.decode_s > 0.0);
     // Splitter send traffic (SPH overhead) exceeds what it receives.
     let splitter_sent: u64 = run.report.traffic.sent_by(1) + run.report.traffic.sent_by(2);
-    let splitter_recv: u64 =
-        run.report.traffic.received_by(1) + run.report.traffic.received_by(2);
+    let splitter_recv: u64 = run.report.traffic.received_by(1) + run.report.traffic.received_by(2);
     assert!(
         splitter_sent > splitter_recv,
         "SPH headers should make splitters send more than they receive"
@@ -197,8 +245,9 @@ fn bit_realigned_subpictures_decode_identically() {
         .map(|t| TileDecoder::new(geom, t, index.seq.clone(), 64))
         .collect();
     let mut walls: std::collections::HashMap<u32, tiledec_wall::Wall> = Default::default();
-    let place = |d: usize, dt: tiledec_core::tile_decoder::DisplayTile,
-                     walls: &mut std::collections::HashMap<u32, tiledec_wall::Wall>| {
+    let place = |d: usize,
+                 dt: tiledec_core::tile_decoder::DisplayTile,
+                 walls: &mut std::collections::HashMap<u32, tiledec_wall::Wall>| {
         walls
             .entry(dt.display_index)
             .or_insert_with(|| tiledec_wall::Wall::new(geom))
@@ -221,7 +270,9 @@ fn bit_realigned_subpictures_decode_identically() {
             }
         }
         for (src, peer, blocks) in deliveries {
-            decoders[peer].apply_recv_blocks(kind, &out.mei[peer], src, &blocks).unwrap();
+            decoders[peer]
+                .apply_recv_blocks(kind, &out.mei[peer], src, &blocks)
+                .unwrap();
         }
         for (d, dec) in decoders.iter_mut().enumerate() {
             for dt in dec.decode(&out.subpictures[d]).unwrap() {
@@ -270,7 +321,9 @@ fn gop_level_baseline_is_correct_but_redistributes_heavily() {
     }
     assert_eq!(dd, expected_redistribution);
 
-    let mb_system = ThreadedSystem::new(SystemConfig::new(1, (2, 2))).play(&stream).unwrap();
+    let mb_system = ThreadedSystem::new(SystemConfig::new(1, (2, 2)))
+        .play(&stream)
+        .unwrap();
     let mb_dd: u64 = (2..6)
         .flat_map(|a| (2..6).map(move |b| (a, b)))
         .filter(|(a, b)| a != b)

@@ -29,6 +29,81 @@ proptest! {
     }
 
     #[test]
+    fn ack_round_trips_for_any_picture_id(id in any::<u32>()) {
+        use tiledec_core::protocol::encode_ack;
+        prop_assert_eq!(decode_ack(&encode_ack(id)).unwrap(), id);
+    }
+
+    #[test]
+    fn unit_round_trips_for_any_payload(
+        id in any::<u32>(),
+        nsid in any::<u16>(),
+        unit in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        use tiledec_core::protocol::encode_unit;
+        let payload = encode_unit(id, nsid, &unit);
+        let (got_id, got_nsid, got_unit) = decode_unit(&payload).unwrap();
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got_nsid, nsid);
+        prop_assert_eq!(got_unit, &unit[..]);
+    }
+
+    #[test]
+    fn blocks_round_trip_for_any_block_set(
+        id in any::<u32>(),
+        src_tile in any::<u16>(),
+        specs in prop::collection::vec(
+            (any::<u16>(), any::<u16>(), any::<bool>(), any::<u8>()),
+            0..8,
+        ),
+    ) {
+        use tiledec_core::mei::RefSlot;
+        use tiledec_core::protocol::encode_blocks;
+        use tiledec_core::tile_decoder::BlockData;
+        let blocks: Vec<BlockData> = specs
+            .iter()
+            .map(|&(mb_x, mb_y, fwd, seed)| BlockData {
+                mb_x,
+                mb_y,
+                slot: if fwd { RefSlot::Forward } else { RefSlot::Backward },
+                y: (0..256u16).map(|i| (i as u8).wrapping_add(seed)).collect(),
+                cb: (0..64u8).map(|i| i.wrapping_mul(seed | 1)).collect(),
+                cr: (0..64u8).map(|i| i.wrapping_sub(seed)).collect(),
+            })
+            .collect();
+        let payload = encode_blocks(id, src_tile, &blocks);
+        let (got_id, got_src, got_blocks) = decode_blocks(&payload).unwrap();
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got_src, src_tile);
+        prop_assert_eq!(got_blocks, blocks);
+    }
+
+    #[test]
+    fn truncated_block_batches_fail_closed(
+        cut in 0usize..4096,
+        specs in prop::collection::vec((any::<u16>(), any::<u16>()), 1..4),
+    ) {
+        use tiledec_core::mei::RefSlot;
+        use tiledec_core::protocol::encode_blocks;
+        use tiledec_core::tile_decoder::BlockData;
+        let blocks: Vec<BlockData> = specs
+            .iter()
+            .map(|&(mb_x, mb_y)| BlockData {
+                mb_x,
+                mb_y,
+                slot: RefSlot::Forward,
+                y: vec![1; 256],
+                cb: vec![2; 64],
+                cr: vec![3; 64],
+            })
+            .collect();
+        let payload = encode_blocks(7, 0, &blocks);
+        // Any strict prefix must be rejected, never panic or mis-decode.
+        let cut = cut % payload.len();
+        prop_assert!(decode_blocks(&payload[..cut]).is_err());
+    }
+
+    #[test]
     fn corrupted_work_units_fail_closed(
         flip_pos in 0usize..256,
         mask in 1u8..=255,

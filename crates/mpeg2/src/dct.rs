@@ -157,8 +157,16 @@ pub fn idct_reference(coeffs: &[i32; 64]) -> [f64; 64] {
             let mut acc = 0.0f64;
             for v in 0..8 {
                 for u in 0..8 {
-                    let cu = if u == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
-                    let cv = if v == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
+                    let cu = if u == 0 {
+                        std::f64::consts::FRAC_1_SQRT_2
+                    } else {
+                        1.0
+                    };
+                    let cv = if v == 0 {
+                        std::f64::consts::FRAC_1_SQRT_2
+                    } else {
+                        1.0
+                    };
                     acc += cu
                         * cv
                         * coeffs[v * 8 + u] as f64
@@ -182,7 +190,11 @@ pub fn fdct(samples: &[i32; 64]) -> [i32; 64] {
     let mut tmp = [0.0f64; 64];
     for y in 0..8 {
         for u in 0..8 {
-            let cu = if u == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
+            let cu = if u == 0 {
+                std::f64::consts::FRAC_1_SQRT_2
+            } else {
+                1.0
+            };
             let mut acc = 0.0;
             for x in 0..8 {
                 acc += samples[y * 8 + x] as f64
@@ -193,7 +205,11 @@ pub fn fdct(samples: &[i32; 64]) -> [i32; 64] {
     }
     for u in 0..8 {
         for v in 0..8 {
-            let cv = if v == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
+            let cv = if v == 0 {
+                std::f64::consts::FRAC_1_SQRT_2
+            } else {
+                1.0
+            };
             let mut acc = 0.0;
             for y in 0..8 {
                 acc += tmp[y * 8 + u]

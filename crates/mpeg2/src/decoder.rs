@@ -44,7 +44,13 @@ impl Default for Decoder {
 impl Decoder {
     /// Creates a fresh decoder.
     pub fn new() -> Self {
-        Decoder { seq: None, prev_ref: None, next_ref: None, current: None, pictures: 0 }
+        Decoder {
+            seq: None,
+            prev_ref: None,
+            next_ref: None,
+            current: None,
+            pictures: 0,
+        }
     }
 
     /// Decodes a whole elementary stream, invoking `on_frame` for every
@@ -71,10 +77,9 @@ impl Decoder {
                             .ok_or(Error::Syntax("sequence extension before header".into()))?;
                         headers::parse_sequence_extension(&mut r, seq)?;
                     } else if id == headers::EXT_ID_PICTURE_CODING {
-                        let (info, _, ext, _) = self
-                            .current
-                            .as_mut()
-                            .ok_or(Error::Syntax("picture coding extension without picture".into()))?;
+                        let (info, _, ext, _) = self.current.as_mut().ok_or(Error::Syntax(
+                            "picture coding extension without picture".into(),
+                        ))?;
                         headers::parse_picture_coding_extension(&mut r, info)?;
                         *ext = true;
                     }
@@ -114,12 +119,21 @@ impl Decoder {
             let info = PictureInfo::new(PictureKind::P, 0, [[15, 15], [15, 15]]);
             on_frame(&last, &info);
         }
-        let seq = self.seq.clone().ok_or(Error::Syntax("no sequence header in stream".into()))?;
-        Ok(StreamSummary { seq, pictures: self.pictures })
+        let seq = self
+            .seq
+            .clone()
+            .ok_or(Error::Syntax("no sequence header in stream".into()))?;
+        Ok(StreamSummary {
+            seq,
+            pictures: self.pictures,
+        })
     }
 
     fn decode_slice_code(&mut self, r: &mut BitReader<'_>, code: u8) -> Result<()> {
-        let seq = self.seq.as_ref().ok_or(Error::Syntax("slice before sequence header".into()))?;
+        let seq = self
+            .seq
+            .as_ref()
+            .ok_or(Error::Syntax("slice before sequence header".into()))?;
         // Take the picture out of `self` so reference borrows stay disjoint.
         let mut cur = self
             .current
@@ -128,39 +142,45 @@ impl Decoder {
         let result = (|| {
             let (info, frame, ext, any_slice) = (&cur.0, &mut cur.1, cur.2, &mut cur.3);
             if !ext {
-                return Err(Error::Syntax("slice before picture coding extension".into()));
+                return Err(Error::Syntax(
+                    "slice before picture coding extension".into(),
+                ));
             }
-        match info.kind {
-            PictureKind::I => {}
-            PictureKind::P => {
-                if self.next_ref.is_none() {
-                    return Err(Error::Syntax("P picture without a reference".into()));
+            match info.kind {
+                PictureKind::I => {}
+                PictureKind::P => {
+                    if self.next_ref.is_none() {
+                        return Err(Error::Syntax("P picture without a reference".into()));
+                    }
+                }
+                PictureKind::B => {
+                    if self.next_ref.is_none() || self.prev_ref.is_none() {
+                        return Err(Error::Syntax("B picture without two references".into()));
+                    }
                 }
             }
-            PictureKind::B => {
-                if self.next_ref.is_none() || self.prev_ref.is_none() {
-                    return Err(Error::Syntax("B picture without two references".into()));
+            let placeholder = Frame::zeroed(16, 16);
+            let (fwd, bwd) = match info.kind {
+                PictureKind::B => (
+                    self.prev_ref.as_ref().unwrap(),
+                    self.next_ref.as_ref().unwrap(),
+                ),
+                PictureKind::P => {
+                    let f = self.next_ref.as_ref().unwrap();
+                    (f, f)
                 }
-            }
-        }
-        let placeholder = Frame::zeroed(16, 16);
-        let (fwd, bwd) = match info.kind {
-            PictureKind::B => {
-                (self.prev_ref.as_ref().unwrap(), self.next_ref.as_ref().unwrap())
-            }
-            PictureKind::P => {
-                let f = self.next_ref.as_ref().unwrap();
-                (f, f)
-            }
-            PictureKind::I => (&placeholder, &placeholder),
-        };
-        let refs = FrameRefs { fwd, bwd };
-        let mut sink = FrameSink { frame };
-        let mut recon = Reconstructor { refs: &refs, sink: &mut sink };
-        let ctx = SliceContext { seq, pic: info };
-        parse_slice(r, &ctx, (code - 1) as u32, &mut recon)?;
-        *any_slice = true;
-        Ok(())
+                PictureKind::I => (&placeholder, &placeholder),
+            };
+            let refs = FrameRefs { fwd, bwd };
+            let mut sink = FrameSink { frame };
+            let mut recon = Reconstructor {
+                refs: &refs,
+                sink: &mut sink,
+            };
+            let ctx = SliceContext { seq, pic: info };
+            parse_slice(r, &ctx, (code - 1) as u32, &mut recon)?;
+            *any_slice = true;
+            Ok(())
         })();
         self.current = Some(cur);
         result

@@ -35,8 +35,7 @@ fn sad_fullpel(src: &Plane, sx: usize, sy: usize, reference: &Plane, rx: i32, ry
     let mut sad = 0u32;
     for y in 0..16 {
         let row = &src.row(sy + y)[sx..sx + 16];
-        let rrow = &reference.row((ry + y as i32) as usize)
-            [rx as usize..rx as usize + 16];
+        let rrow = &reference.row((ry + y as i32) as usize)[rx as usize..rx as usize + 16];
         for (a, b) in row.iter().zip(rrow) {
             sad += (*a as i32 - *b as i32).unsigned_abs();
         }
@@ -151,7 +150,10 @@ pub fn search(
                 continue;
             }
             crate::motion::predict(
-                &crate::motion::FrameRefs { fwd: reference, bwd: reference },
+                &crate::motion::FrameRefs {
+                    fwd: reference,
+                    bwd: reference,
+                },
                 crate::motion::RefPick::Forward,
                 crate::motion::PlanePick::Y,
                 sx,
@@ -172,7 +174,10 @@ pub fn search(
         (best_mv.x.abs() as i32) <= 2 * range + 1 && (best_mv.y.abs() as i32) <= 2 * range + 1,
         "search produced {best_mv:?} beyond range {range}"
     );
-    MotionSearch { mv: best_mv, sad: best_sad }
+    MotionSearch {
+        mv: best_mv,
+        sad: best_sad,
+    }
 }
 
 /// True when a half-pel vector's fetch window stays inside the plane, for
@@ -234,7 +239,11 @@ mod tests {
         let reference = textured_frame(256, 64, 0);
         let shifted = textured_frame(256, 64, 40);
         let m = search(&shifted.y, &reference, 96, 16, MotionVector::ZERO, 4);
-        assert!((m.mv.x / 2).abs() <= 4 && (m.mv.y / 2).abs() <= 4, "{:?}", m.mv);
+        assert!(
+            (m.mv.x / 2).abs() <= 4 && (m.mv.y / 2).abs() <= 4,
+            "{:?}",
+            m.mv
+        );
     }
 
     #[test]

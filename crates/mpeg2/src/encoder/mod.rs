@@ -84,18 +84,28 @@ impl Default for EncoderConfig {
 impl EncoderConfig {
     /// Convenience constructor for a given picture size.
     pub fn for_size(width: u32, height: u32) -> Self {
-        EncoderConfig { width, height, ..Default::default() }
+        EncoderConfig {
+            width,
+            height,
+            ..Default::default()
+        }
     }
 
     fn validate(&self) -> Result<()> {
-        if self.width == 0 || self.height == 0 || !self.width.is_multiple_of(16) || !self.height.is_multiple_of(16) {
+        if self.width == 0
+            || self.height == 0
+            || !self.width.is_multiple_of(16)
+            || !self.height.is_multiple_of(16)
+        {
             return Err(Error::InvalidInput(format!(
                 "dimensions {}x{} must be non-zero multiples of 16",
                 self.width, self.height
             )));
         }
         if self.width > 4095 {
-            return Err(Error::InvalidInput("width above 4095 needs size extensions".into()));
+            return Err(Error::InvalidInput(
+                "width above 4095 needs size extensions".into(),
+            ));
         }
         if self.height > 2800 {
             return Err(Error::InvalidInput(
@@ -198,7 +208,10 @@ impl Encoder {
         }
         let mut w = BitWriter::with_capacity(frames.len() * 4096);
         headers::write_sequence_header(&mut w, &self.seq);
-        let mut stats = EncodeStats { pictures: Vec::new(), total_bytes: 0 };
+        let mut stats = EncodeStats {
+            pictures: Vec::new(),
+            total_bytes: 0,
+        };
         let mut rc = self
             .cfg
             .target_bits_per_picture
@@ -285,7 +298,10 @@ impl Encoder {
         };
         let mut recon = Frame::zeroed(src.width(), src.height());
         let ctx_pic = pi.clone();
-        let ctx = SliceContext { seq: &self.seq, pic: &ctx_pic };
+        let ctx = SliceContext {
+            seq: &self.seq,
+            pic: &ctx_pic,
+        };
         let mbw = self.seq.mb_width();
         let mbh = self.seq.mb_height();
 
@@ -309,7 +325,10 @@ impl Encoder {
             for col in 0..mbw {
                 pe.encode_mb(row, col, mbw)?;
             }
-            debug_assert_eq!(pe.pending_skips, 0, "slice must end with a coded macroblock");
+            debug_assert_eq!(
+                pe.pending_skips, 0,
+                "slice must end with a coded macroblock"
+            );
             pe.w.pad_to_start_code();
         }
         Ok(recon)
@@ -391,8 +410,8 @@ impl PictureEncoder<'_> {
         // --- Write ------------------------------------------------------
         mba::encode_increment(self.w, self.pending_skips + 1);
         self.pending_skips = 0;
-        let quant_needed = plan.qscale != self.state.qscale_code
-            && (plan.flags.pattern || plan.flags.intra);
+        let quant_needed =
+            plan.qscale != self.state.qscale_code && (plan.flags.pattern || plan.flags.intra);
         let mut flags = plan.flags;
         flags.quant = quant_needed;
         mb_type::encode_mb_type(self.w, self.kind, flags);
@@ -460,9 +479,17 @@ impl PictureEncoder<'_> {
             bit_start: 0,
             bit_end: 0,
         };
-        let refs = FrameRefs { fwd: self.fwd, bwd: self.bwd };
-        let mut sink = FrameSink { frame: &mut *self.recon };
-        let mut recon = Reconstructor { refs: &refs, sink: &mut sink };
+        let refs = FrameRefs {
+            fwd: self.fwd,
+            bwd: self.bwd,
+        };
+        let mut sink = FrameSink {
+            frame: &mut *self.recon,
+        };
+        let mut recon = Reconstructor {
+            refs: &refs,
+            sink: &mut sink,
+        };
         recon.macroblock(self.ctx, &meta, &plan.blocks)?;
         Ok(())
     }
@@ -502,9 +529,17 @@ impl PictureEncoder<'_> {
 
     fn reconstruct_skipped(&mut self, addr: u32) -> Result<()> {
         let motion = skip_motion(self.kind, &self.prev_motion)?;
-        let refs = FrameRefs { fwd: self.fwd, bwd: self.bwd };
-        let mut sink = FrameSink { frame: &mut *self.recon };
-        let mut recon = Reconstructor { refs: &refs, sink: &mut sink };
+        let refs = FrameRefs {
+            fwd: self.fwd,
+            bwd: self.bwd,
+        };
+        let mut sink = FrameSink {
+            frame: &mut *self.recon,
+        };
+        let mut recon = Reconstructor {
+            refs: &refs,
+            sink: &mut sink,
+        };
         recon.skipped(self.ctx, addr, 1, &motion)
     }
 
@@ -534,7 +569,10 @@ impl PictureEncoder<'_> {
             );
         }
         MbPlan {
-            flags: MbFlags { intra: true, ..Default::default() },
+            flags: MbFlags {
+                intra: true,
+                ..Default::default()
+            },
             motion: MbMotion::Intra,
             cbp: 0b111111,
             qscale: q,
@@ -543,7 +581,14 @@ impl PictureEncoder<'_> {
     }
 
     fn plan_p(&mut self, px: usize, py: usize, act: u32, q: u8) -> MbPlan {
-        let m = search(&self.src.y, self.fwd, px, py, self.hint[0], self.cfg.search_range as i32);
+        let m = search(
+            &self.src.y,
+            self.fwd,
+            px,
+            py,
+            self.hint[0],
+            self.cfg.search_range as i32,
+        );
         if m.sad > act.saturating_add(2048) {
             return self.plan_intra(px, py, q);
         }
@@ -552,8 +597,20 @@ impl PictureEncoder<'_> {
         if m.mv != MotionVector::ZERO {
             let zero_sad = {
                 let mut pred = [0u8; 256];
-                let refs = FrameRefs { fwd: self.fwd, bwd: self.bwd };
-                predict(&refs, RefPick::Forward, PlanePick::Y, px, py, 16, MotionVector::ZERO, &mut pred);
+                let refs = FrameRefs {
+                    fwd: self.fwd,
+                    bwd: self.bwd,
+                };
+                predict(
+                    &refs,
+                    RefPick::Forward,
+                    PlanePick::Y,
+                    px,
+                    py,
+                    16,
+                    MotionVector::ZERO,
+                    &mut pred,
+                );
                 sad_block(&self.src.y, px, py, &pred)
             };
             if zero_sad <= m.sad.saturating_add(512) && zero_sad < 2048 {
@@ -561,7 +618,10 @@ impl PictureEncoder<'_> {
                 let (cbp, blocks) = self.quantise_inter(px, py, &zero_motion, q);
                 if cbp == 0 {
                     return MbPlan {
-                        flags: MbFlags { motion_forward: true, ..Default::default() },
+                        flags: MbFlags {
+                            motion_forward: true,
+                            ..Default::default()
+                        },
                         motion: zero_motion,
                         cbp,
                         qscale: q,
@@ -580,7 +640,13 @@ impl PictureEncoder<'_> {
         };
         // Zero-vector coded macroblocks use the "no MC" type (prediction
         // without transmitted vectors).
-        MbPlan { flags, motion, cbp, qscale: q, blocks }
+        MbPlan {
+            flags,
+            motion,
+            cbp,
+            qscale: q,
+            blocks,
+        }
     }
 
     fn plan_b(&mut self, px: usize, py: usize, act: u32, q: u8) -> MbPlan {
@@ -596,7 +662,13 @@ impl PictureEncoder<'_> {
                         motion_backward: matches!(prev, MbMotion::Backward(_) | MbMotion::Bi(..)),
                         ..Default::default()
                     };
-                    return MbPlan { flags, motion: prev, cbp, qscale: q, blocks };
+                    return MbPlan {
+                        flags,
+                        motion: prev,
+                        cbp,
+                        qscale: q,
+                        blocks,
+                    };
                 }
             }
         }
@@ -606,9 +678,30 @@ impl PictureEncoder<'_> {
         // Evaluate the bidirectional average of the two winners.
         let mut pf = [0u8; 256];
         let mut pb = [0u8; 256];
-        let refs = FrameRefs { fwd: self.fwd, bwd: self.bwd };
-        predict(&refs, RefPick::Forward, PlanePick::Y, px, py, 16, mf.mv, &mut pf);
-        predict(&refs, RefPick::Backward, PlanePick::Y, px, py, 16, mb.mv, &mut pb);
+        let refs = FrameRefs {
+            fwd: self.fwd,
+            bwd: self.bwd,
+        };
+        predict(
+            &refs,
+            RefPick::Forward,
+            PlanePick::Y,
+            px,
+            py,
+            16,
+            mf.mv,
+            &mut pf,
+        );
+        predict(
+            &refs,
+            RefPick::Backward,
+            PlanePick::Y,
+            px,
+            py,
+            16,
+            mb.mv,
+            &mut pb,
+        );
         crate::motion::average_into(&mut pf, &pb);
         let bi_sad = sad_block(&self.src.y, px, py, &pf);
 
@@ -634,7 +727,13 @@ impl PictureEncoder<'_> {
             pattern: cbp != 0,
             ..Default::default()
         };
-        MbPlan { flags, motion, cbp, qscale: q, blocks }
+        MbPlan {
+            flags,
+            motion,
+            cbp,
+            qscale: q,
+            blocks,
+        }
     }
 
     /// True when every vector of `motion` keeps its prediction window
@@ -657,7 +756,10 @@ impl PictureEncoder<'_> {
         motion: &MbMotion,
         q: u8,
     ) -> (u8, Box<[[i32; 64]; 6]>) {
-        let refs = FrameRefs { fwd: self.fwd, bwd: self.bwd };
+        let refs = FrameRefs {
+            fwd: self.fwd,
+            bwd: self.bwd,
+        };
         let mut pred_y = [0u8; 256];
         let mut pred_cb = [0u8; 64];
         let mut pred_cr = [0u8; 64];
@@ -673,14 +775,50 @@ impl PictureEncoder<'_> {
             let cmv = mv.chroma_420();
             if i == 0 {
                 predict(&refs, *which, PlanePick::Y, px, py, 16, *mv, &mut pred_y);
-                predict(&refs, *which, PlanePick::Cb, px / 2, py / 2, 8, cmv, &mut pred_cb);
-                predict(&refs, *which, PlanePick::Cr, px / 2, py / 2, 8, cmv, &mut pred_cr);
+                predict(
+                    &refs,
+                    *which,
+                    PlanePick::Cb,
+                    px / 2,
+                    py / 2,
+                    8,
+                    cmv,
+                    &mut pred_cb,
+                );
+                predict(
+                    &refs,
+                    *which,
+                    PlanePick::Cr,
+                    px / 2,
+                    py / 2,
+                    8,
+                    cmv,
+                    &mut pred_cr,
+                );
             } else {
                 predict(&refs, *which, PlanePick::Y, px, py, 16, *mv, &mut tmp_y);
                 crate::motion::average_into(&mut pred_y, &tmp_y);
-                predict(&refs, *which, PlanePick::Cb, px / 2, py / 2, 8, cmv, &mut tmp_c);
+                predict(
+                    &refs,
+                    *which,
+                    PlanePick::Cb,
+                    px / 2,
+                    py / 2,
+                    8,
+                    cmv,
+                    &mut tmp_c,
+                );
                 crate::motion::average_into(&mut pred_cb, &tmp_c);
-                predict(&refs, *which, PlanePick::Cr, px / 2, py / 2, 8, cmv, &mut tmp_c);
+                predict(
+                    &refs,
+                    *which,
+                    PlanePick::Cr,
+                    px / 2,
+                    py / 2,
+                    8,
+                    cmv,
+                    &mut tmp_c,
+                );
                 crate::motion::average_into(&mut pred_cr, &tmp_c);
             }
         }
@@ -782,7 +920,11 @@ mod tests {
             let order = coding_order(start, end, b);
             let mut seen: Vec<usize> = order.iter().map(|(d, _)| *d).collect();
             seen.sort_unstable();
-            assert_eq!(seen, (start..end).collect::<Vec<_>>(), "{start}..{end} b={b}");
+            assert_eq!(
+                seen,
+                (start..end).collect::<Vec<_>>(),
+                "{start}..{end} b={b}"
+            );
             assert_eq!(order[0].1, PictureKind::I);
         }
     }

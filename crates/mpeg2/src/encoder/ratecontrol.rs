@@ -20,7 +20,10 @@ impl RateController {
     /// the usual practice).
     pub fn new(target_bits: f64, base_q: u8) -> Self {
         let q = base_q as f64;
-        RateController { target_bits, q: [(q * 0.8).max(1.0), q, (q * 1.3).min(31.0)] }
+        RateController {
+            target_bits,
+            q: [(q * 0.8).max(1.0), q, (q * 1.3).min(31.0)],
+        }
     }
 
     fn idx(kind: PictureKind) -> usize {

@@ -1,7 +1,7 @@
 //! Planar image buffers (4:2:0).
 
 /// A single 8-bit image plane with an explicit stride.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Plane {
     width: usize,
     height: usize,
@@ -12,12 +12,22 @@ pub struct Plane {
 impl Plane {
     /// Creates a zero-filled plane with `stride == width`.
     pub fn new(width: usize, height: usize) -> Self {
-        Plane { width, height, stride: width, data: vec![0; width * height] }
+        Plane {
+            width,
+            height,
+            stride: width,
+            data: vec![0; width * height],
+        }
     }
 
     /// Creates a plane filled with `value`.
     pub fn filled(width: usize, height: usize, value: u8) -> Self {
-        Plane { width, height, stride: width, data: vec![value; width * height] }
+        Plane {
+            width,
+            height,
+            stride: width,
+            data: vec![value; width * height],
+        }
     }
 
     /// Plane width in pixels.
@@ -70,9 +80,24 @@ impl Plane {
     /// Copies a `w × h` rectangle from `src` at (`sx`, `sy`) to (`dx`, `dy`)
     /// in `self`. Panics if either rectangle is out of bounds.
     #[allow(clippy::too_many_arguments)] // two rects are clearer unpacked
-    pub fn blit_from(&mut self, src: &Plane, sx: usize, sy: usize, dx: usize, dy: usize, w: usize, h: usize) {
-        assert!(sx + w <= src.width && sy + h <= src.height, "source rect out of bounds");
-        assert!(dx + w <= self.width && dy + h <= self.height, "dest rect out of bounds");
+    pub fn blit_from(
+        &mut self,
+        src: &Plane,
+        sx: usize,
+        sy: usize,
+        dx: usize,
+        dy: usize,
+        w: usize,
+        h: usize,
+    ) {
+        assert!(
+            sx + w <= src.width && sy + h <= src.height,
+            "source rect out of bounds"
+        );
+        assert!(
+            dx + w <= self.width && dy + h <= self.height,
+            "dest rect out of bounds"
+        );
         for row in 0..h {
             let s0 = (sy + row) * src.stride + sx;
             let d0 = (dy + row) * self.stride + dx;
@@ -83,7 +108,10 @@ impl Plane {
     /// Copies a `w × h` rectangle out of the plane into a tightly packed
     /// buffer (`w` stride).
     pub fn extract(&self, x: usize, y: usize, w: usize, h: usize) -> Vec<u8> {
-        assert!(x + w <= self.width && y + h <= self.height, "rect out of bounds");
+        assert!(
+            x + w <= self.width && y + h <= self.height,
+            "rect out of bounds"
+        );
         let mut out = Vec::with_capacity(w * h);
         for row in 0..h {
             let s0 = (y + row) * self.stride + x;
@@ -94,7 +122,10 @@ impl Plane {
 
     /// Writes a tightly packed `w × h` buffer into the plane at (`x`, `y`).
     pub fn insert(&mut self, x: usize, y: usize, w: usize, h: usize, pixels: &[u8]) {
-        assert!(x + w <= self.width && y + h <= self.height, "rect out of bounds");
+        assert!(
+            x + w <= self.width && y + h <= self.height,
+            "rect out of bounds"
+        );
         assert_eq!(pixels.len(), w * h);
         for row in 0..h {
             let d0 = (y + row) * self.stride + x;
@@ -110,7 +141,7 @@ impl std::fmt::Debug for Plane {
 }
 
 /// A planar 4:2:0 YCbCr frame. Luma dimensions must be even.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Frame {
     /// Luma plane, full resolution.
     pub y: Plane,
@@ -123,7 +154,10 @@ pub struct Frame {
 impl Frame {
     /// Creates a black (Y=16 equivalent 0, chroma neutral 128) frame.
     pub fn black(width: usize, height: usize) -> Self {
-        assert!(width.is_multiple_of(2) && height.is_multiple_of(2), "4:2:0 needs even dimensions");
+        assert!(
+            width.is_multiple_of(2) && height.is_multiple_of(2),
+            "4:2:0 needs even dimensions"
+        );
         Frame {
             y: Plane::new(width, height),
             cb: Plane::filled(width / 2, height / 2, 128),
@@ -134,7 +168,10 @@ impl Frame {
     /// Creates an all-zero frame (used for reference slots before the first
     /// I picture).
     pub fn zeroed(width: usize, height: usize) -> Self {
-        assert!(width.is_multiple_of(2) && height.is_multiple_of(2), "4:2:0 needs even dimensions");
+        assert!(
+            width.is_multiple_of(2) && height.is_multiple_of(2),
+            "4:2:0 needs even dimensions"
+        );
         Frame {
             y: Plane::new(width, height),
             cb: Plane::new(width / 2, height / 2),

@@ -29,7 +29,11 @@ pub struct GopHeader {
 
 impl Default for GopHeader {
     fn default() -> Self {
-        GopHeader { time_code: 0, closed_gop: true, broken_link: false }
+        GopHeader {
+            time_code: 0,
+            closed_gop: true,
+            broken_link: false,
+        }
     }
 }
 
@@ -44,10 +48,16 @@ pub fn parse_sequence_header(r: &mut BitReader<'_>) -> Result<SequenceInfo> {
     r.marker_bit()?;
     let _vbv_buffer_size = r.read_bits(10)?;
     let _constrained = r.read_bit()?;
-    let intra_quant_matrix =
-        if r.read_bit()? == 1 { read_matrix(r)? } else { DEFAULT_INTRA_MATRIX };
-    let non_intra_quant_matrix =
-        if r.read_bit()? == 1 { read_matrix(r)? } else { DEFAULT_NON_INTRA_MATRIX };
+    let intra_quant_matrix = if r.read_bit()? == 1 {
+        read_matrix(r)?
+    } else {
+        DEFAULT_INTRA_MATRIX
+    };
+    let non_intra_quant_matrix = if r.read_bit()? == 1 {
+        read_matrix(r)?
+    } else {
+        DEFAULT_NON_INTRA_MATRIX
+    };
     if width == 0 || height == 0 {
         return Err(Error::Syntax("zero picture dimensions".into()));
     }
@@ -152,7 +162,11 @@ pub fn parse_gop_header(r: &mut BitReader<'_>) -> Result<GopHeader> {
     let time_code = r.read_bits(25)?;
     let closed_gop = r.read_bit()? == 1;
     let broken_link = r.read_bit()? == 1;
-    Ok(GopHeader { time_code, closed_gop, broken_link })
+    Ok(GopHeader {
+        time_code,
+        closed_gop,
+        broken_link,
+    })
 }
 
 /// Writes `group_of_pictures_header()`.
@@ -176,14 +190,18 @@ pub fn parse_picture_header(r: &mut BitReader<'_>) -> Result<PictureInfo> {
         let full_pel_fwd = r.read_bit()?;
         let _fwd_f_code = r.read_bits(3)?;
         if full_pel_fwd != 0 {
-            return Err(Error::Unsupported("full_pel vectors (MPEG-1 compatibility)"));
+            return Err(Error::Unsupported(
+                "full_pel vectors (MPEG-1 compatibility)",
+            ));
         }
     }
     if matches!(kind, PictureKind::B) {
         let full_pel_bwd = r.read_bit()?;
         let _bwd_f_code = r.read_bits(3)?;
         if full_pel_bwd != 0 {
-            return Err(Error::Unsupported("full_pel vectors (MPEG-1 compatibility)"));
+            return Err(Error::Unsupported(
+                "full_pel vectors (MPEG-1 compatibility)",
+            ));
         }
     }
     while r.read_bit()? == 1 {
@@ -329,7 +347,11 @@ mod tests {
 
     #[test]
     fn gop_header_round_trip() {
-        let gop = GopHeader { time_code: 0x123456, closed_gop: false, broken_link: true };
+        let gop = GopHeader {
+            time_code: 0x123456,
+            closed_gop: false,
+            broken_link: true,
+        };
         let mut w = BitWriter::new();
         write_gop_header(&mut w, &gop);
         let bytes = w.into_bytes();

@@ -37,7 +37,16 @@ pub trait ReferenceFetcher {
     /// Copies a `w × h` region at (`x0`, `y0`) of the chosen plane of the
     /// chosen reference into `out` (tightly packed, stride `w`).
     #[allow(clippy::too_many_arguments)] // region + routing; a struct would obscure the hot path
-    fn fetch(&self, which: RefPick, plane: PlanePick, x0: i32, y0: i32, w: usize, h: usize, out: &mut [u8]);
+    fn fetch(
+        &self,
+        which: RefPick,
+        plane: PlanePick,
+        x0: i32,
+        y0: i32,
+        w: usize,
+        h: usize,
+        out: &mut [u8],
+    );
 }
 
 /// [`ReferenceFetcher`] over two whole frames, used by the sequential
@@ -50,7 +59,16 @@ pub struct FrameRefs<'a> {
 }
 
 impl ReferenceFetcher for FrameRefs<'_> {
-    fn fetch(&self, which: RefPick, plane: PlanePick, x0: i32, y0: i32, w: usize, h: usize, out: &mut [u8]) {
+    fn fetch(
+        &self,
+        which: RefPick,
+        plane: PlanePick,
+        x0: i32,
+        y0: i32,
+        w: usize,
+        h: usize,
+        out: &mut [u8],
+    ) {
         let frame = match which {
             RefPick::Forward => self.fwd,
             RefPick::Backward => self.bwd,
@@ -175,7 +193,16 @@ mod tests {
         let f = gradient_frame(64, 64);
         let refs = FrameRefs { fwd: &f, bwd: &f };
         let mut out = vec![0u8; 256];
-        predict(&refs, RefPick::Forward, PlanePick::Y, 16, 16, 16, MotionVector::new(-4, 6), &mut out);
+        predict(
+            &refs,
+            RefPick::Forward,
+            PlanePick::Y,
+            16,
+            16,
+            16,
+            MotionVector::new(-4, 6),
+            &mut out,
+        );
         // mv (-4, 6) half-pel = (-2, 3) full-pel
         for y in 0..16 {
             for x in 0..16 {
@@ -191,7 +218,16 @@ mod tests {
         f.y.set(1, 0, 11);
         let refs = FrameRefs { fwd: &f, bwd: &f };
         let mut out = vec![0u8; 256];
-        predict(&refs, RefPick::Forward, PlanePick::Y, 0, 0, 16, MotionVector::new(1, 0), &mut out);
+        predict(
+            &refs,
+            RefPick::Forward,
+            PlanePick::Y,
+            0,
+            0,
+            16,
+            MotionVector::new(1, 0),
+            &mut out,
+        );
         assert_eq!(out[0], 11); // (10 + 11 + 1) >> 1
     }
 
@@ -204,7 +240,16 @@ mod tests {
         f.y.set(1, 1, 6);
         let refs = FrameRefs { fwd: &f, bwd: &f };
         let mut out = vec![0u8; 256];
-        predict(&refs, RefPick::Forward, PlanePick::Y, 0, 0, 16, MotionVector::new(1, 1), &mut out);
+        predict(
+            &refs,
+            RefPick::Forward,
+            PlanePick::Y,
+            0,
+            0,
+            16,
+            MotionVector::new(1, 1),
+            &mut out,
+        );
         assert_eq!(out[0], (1 + 3 + 5 + 6 + 2) >> 2);
     }
 
@@ -221,7 +266,16 @@ mod tests {
         let f = gradient_frame(64, 64);
         let refs = FrameRefs { fwd: &f, bwd: &f };
         let mut out = vec![0u8; 64];
-        predict(&refs, RefPick::Forward, PlanePick::Cb, 8, 8, 8, MotionVector::ZERO, &mut out);
+        predict(
+            &refs,
+            RefPick::Forward,
+            PlanePick::Cb,
+            8,
+            8,
+            8,
+            MotionVector::ZERO,
+            &mut out,
+        );
         for y in 0..8 {
             for x in 0..8 {
                 assert_eq!(out[y * 8 + x], f.cb.get(8 + x, 8 + y));
@@ -232,8 +286,14 @@ mod tests {
     #[test]
     fn footprint_covers_half_pel_extension() {
         assert_eq!(luma_footprint(2, 1, MotionVector::ZERO), (32, 16, 16, 16));
-        assert_eq!(luma_footprint(2, 1, MotionVector::new(-3, 5)), (30, 18, 17, 17));
-        assert_eq!(luma_footprint(0, 0, MotionVector::new(2, -2)), (1, -1, 16, 16));
+        assert_eq!(
+            luma_footprint(2, 1, MotionVector::new(-3, 5)),
+            (30, 18, 17, 17)
+        );
+        assert_eq!(
+            luma_footprint(0, 0, MotionVector::new(2, -2)),
+            (1, -1, 16, 16)
+        );
     }
 
     #[test]
@@ -244,7 +304,16 @@ mod tests {
         f.y.set(31, 31, 99);
         let refs = FrameRefs { fwd: &f, bwd: &f };
         let mut out = vec![0u8; 256];
-        predict(&refs, RefPick::Forward, PlanePick::Y, 24, 24, 16, MotionVector::new(20, 0), &mut out);
+        predict(
+            &refs,
+            RefPick::Forward,
+            PlanePick::Y,
+            24,
+            24,
+            16,
+            MotionVector::new(20, 0),
+            &mut out,
+        );
         // Clamped region is the bottom-right 16x16 corner.
         assert_eq!(out[15 * 16 + 15], 99);
     }

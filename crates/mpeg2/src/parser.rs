@@ -59,7 +59,11 @@ impl ParsedPicture {
 
     /// Total number of skipped macroblocks.
     pub fn skipped_mb_count(&self) -> u32 {
-        self.slices.iter().flat_map(|s| &s.skips).map(|k| k.count).sum()
+        self.slices
+            .iter()
+            .flat_map(|s| &s.skips)
+            .map(|k| k.count)
+            .sum()
     }
 }
 
@@ -76,7 +80,11 @@ impl SliceVisitor for RecordingVisitor {
         count: u32,
         motion: &MbMotion,
     ) -> Result<()> {
-        self.skips.push(SkipRun { start_addr, count, motion: *motion });
+        self.skips.push(SkipRun {
+            start_addr,
+            count,
+            motion: *motion,
+        });
         Ok(())
     }
 
@@ -119,13 +127,19 @@ pub fn parse_picture(data: &[u8], seq: &SequenceInfo) -> Result<ParsedPicture> {
             }
             StartCode::USER_DATA => {}
             c if (StartCode::SLICE_MIN..=StartCode::SLICE_MAX).contains(&c) => {
-                let info =
-                    info.as_ref().ok_or(Error::Syntax("slice before picture header".into()))?;
+                let info = info
+                    .as_ref()
+                    .ok_or(Error::Syntax("slice before picture header".into()))?;
                 if !ext {
-                    return Err(Error::Syntax("slice before picture coding extension".into()));
+                    return Err(Error::Syntax(
+                        "slice before picture coding extension".into(),
+                    ));
                 }
                 let ctx = SliceContext { seq, pic: info };
-                let mut v = RecordingVisitor { mbs: Vec::new(), skips: Vec::new() };
+                let mut v = RecordingVisitor {
+                    mbs: Vec::new(),
+                    skips: Vec::new(),
+                };
                 parse_slice(&mut r, &ctx, (c - 1) as u32, &mut v)?;
                 slices.push(ParsedSlice {
                     row: (c - 1) as u32,
@@ -142,7 +156,11 @@ pub fn parse_picture(data: &[u8], seq: &SequenceInfo) -> Result<ParsedPicture> {
         }
     }
     let info = info.ok_or(Error::Syntax("no picture header in unit".into()))?;
-    Ok(ParsedPicture { info, slices, byte_len: data.len() })
+    Ok(ParsedPicture {
+        info,
+        slices,
+        byte_len: data.len(),
+    })
 }
 
 #[cfg(test)]

@@ -74,7 +74,8 @@ pub fn quant_intra(
 ) -> [i32; 64] {
     let mut out = [0i32; 64];
     let dc_m = intra_dc_mult(dc_precision);
-    out[0] = div_round(coeffs[0], dc_m).clamp(-(1 << (8 + dc_precision)), (1 << (8 + dc_precision)) - 1);
+    out[0] =
+        div_round(coeffs[0], dc_m).clamp(-(1 << (8 + dc_precision)), (1 << (8 + dc_precision)) - 1);
     for i in 1..64 {
         let denom = matrix[i] as i32 * scale as i32;
         // QF = round(16*F / (W*scale)); dequant reconstructs QF*W*scale/16.
@@ -155,7 +156,11 @@ mod tests {
         }] {
             let dq = dequant_non_intra(&levels, &DEFAULT_NON_INTRA_MATRIX, 4);
             let sum: i32 = dq.iter().sum();
-            assert_eq!(sum.rem_euclid(2), 1, "sum must be odd after mismatch control");
+            assert_eq!(
+                sum.rem_euclid(2),
+                1,
+                "sum must be odd after mismatch control"
+            );
         }
     }
 

@@ -72,11 +72,38 @@ impl<R: ReferenceFetcher, S: MbSink> Reconstructor<'_, R, S> {
                 predict(self.refs, *which, PlanePick::Cb, px / 2, py / 2, 8, cmv, cb);
                 predict(self.refs, *which, PlanePick::Cr, px / 2, py / 2, 8, cmv, cr);
             } else {
-                predict(self.refs, *which, PlanePick::Y, px, py, 16, *mv, &mut second_y);
+                predict(
+                    self.refs,
+                    *which,
+                    PlanePick::Y,
+                    px,
+                    py,
+                    16,
+                    *mv,
+                    &mut second_y,
+                );
                 average_into(y, &second_y);
-                predict(self.refs, *which, PlanePick::Cb, px / 2, py / 2, 8, cmv, &mut second_c);
+                predict(
+                    self.refs,
+                    *which,
+                    PlanePick::Cb,
+                    px / 2,
+                    py / 2,
+                    8,
+                    cmv,
+                    &mut second_c,
+                );
                 average_into(cb, &second_c);
-                predict(self.refs, *which, PlanePick::Cr, px / 2, py / 2, 8, cmv, &mut second_c);
+                predict(
+                    self.refs,
+                    *which,
+                    PlanePick::Cr,
+                    px / 2,
+                    py / 2,
+                    8,
+                    cmv,
+                    &mut second_c,
+                );
                 average_into(cr, &second_c);
             }
         }

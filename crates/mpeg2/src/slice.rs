@@ -32,7 +32,7 @@ impl SliceContext<'_> {
 /// The in-slice predictor state: exactly what the paper's SPH header must
 /// carry so a decoder can pick up a slice in the middle (§4.3 of the
 /// paper).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PredictorState {
     /// Current quantiser scale code (updated by slice headers and
     /// `macroblock_quant`).
@@ -49,7 +49,11 @@ impl PredictorState {
     /// State at a slice start: DC predictors and PMVs reset.
     pub fn slice_start(intra_dc_precision: u8, qscale_code: u8) -> Self {
         let reset = dc_reset_value(intra_dc_precision);
-        PredictorState { qscale_code, dc_pred: [reset; 3], pmv: [[[0; 2]; 2]; 2] }
+        PredictorState {
+            qscale_code,
+            dc_pred: [reset; 3],
+            pmv: [[[0; 2]; 2]; 2],
+        }
     }
 
     /// Resets the DC predictors (§7.2.1).
@@ -69,7 +73,7 @@ pub fn dc_reset_value(intra_dc_precision: u8) -> i32 {
 }
 
 /// The prediction a macroblock performs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MbMotion {
     /// Intra-coded: no prediction.
     Intra,
@@ -187,11 +191,15 @@ pub fn parse_slice(
     visitor: &mut impl SliceVisitor,
 ) -> Result<()> {
     if row >= ctx.seq.mb_height() {
-        return Err(Error::Syntax(format!("slice row {row} past picture bottom")));
+        return Err(Error::Syntax(format!(
+            "slice row {row} past picture bottom"
+        )));
     }
     let qscale_code = r.read_bits(5)? as u8;
     if qscale_code == 0 {
-        return Err(Error::Syntax("quantiser_scale_code 0 in slice header".into()));
+        return Err(Error::Syntax(
+            "quantiser_scale_code 0 in slice header".into(),
+        ));
     }
     if r.read_bit()? == 1 {
         return Err(Error::Unsupported("slice extensions (intra_slice_flag)"));
@@ -200,11 +208,20 @@ pub fn parse_slice(
     let mut blocks = Box::new([[0i32; 64]; 6]);
     let mut first = true;
     loop {
-        let mode = if first { AddrMode::FirstInSlice } else { AddrMode::Continuation };
+        let mode = if first {
+            AddrMode::FirstInSlice
+        } else {
+            AddrMode::Continuation
+        };
         let meta = parse_one_macroblock(r, ctx, &mut st, mode, &mut blocks)?;
         if meta.skipped_before > 0 {
             let skip_motion = skip_motion(ctx.pic.kind, &meta.entry_prev_motion)?;
-            visitor.skipped(ctx, meta.addr - meta.skipped_before, meta.skipped_before, &skip_motion)?;
+            visitor.skipped(
+                ctx,
+                meta.addr - meta.skipped_before,
+                meta.skipped_before,
+                &skip_motion,
+            )?;
         }
         visitor.macroblock(ctx, &meta, &blocks)?;
         first = false;
@@ -219,9 +236,9 @@ pub fn skip_motion(kind: PictureKind, prev: &MbMotion) -> Result<MbMotion> {
     match kind {
         PictureKind::P => Ok(MbMotion::Forward(MotionVector::ZERO)),
         PictureKind::B => match prev {
-            MbMotion::Intra => {
-                Err(Error::Syntax("skipped macroblock follows intra in B picture".into()))
-            }
+            MbMotion::Intra => Err(Error::Syntax(
+                "skipped macroblock follows intra in B picture".into(),
+            )),
             m => Ok(*m),
         },
         PictureKind::I => Err(Error::Syntax("skipped macroblock in I picture".into())),
@@ -235,7 +252,11 @@ pub fn skip_motion(kind: PictureKind, prev: &MbMotion) -> Result<MbMotion> {
 pub fn slice_done(r: &BitReader<'_>) -> bool {
     let pad = (8 - r.bit_position() % 8) % 8;
     if r.bits_remaining() <= pad {
-        return true;
+        // The buffer ends inside (or at) the current byte. The remaining
+        // bits are still macroblock data unless they are all zero: a
+        // macroblock can end flush against the end of a cut picture unit,
+        // where no start code follows to mark the boundary.
+        return r.peek_bits(r.bits_remaining() as u32) == 0;
     }
     if r.peek_bits(pad as u32) != 0 {
         return false;
@@ -272,7 +293,9 @@ pub fn parse_one_macroblock(
     };
     let mbw = ctx.mb_width();
     if addr >= mbw * ctx.seq.mb_height() {
-        return Err(Error::Syntax(format!("macroblock address {addr} out of picture")));
+        return Err(Error::Syntax(format!(
+            "macroblock address {addr} out of picture"
+        )));
     }
     let skipped_before = match mode {
         AddrMode::FirstInSlice => {
@@ -329,7 +352,9 @@ pub fn parse_one_macroblock(
                 MbMotion::Forward(MotionVector::ZERO)
             }
             (None, None, _) => {
-                return Err(Error::Syntax("non-intra B macroblock without motion".into()))
+                return Err(Error::Syntax(
+                    "non-intra B macroblock without motion".into(),
+                ))
             }
         }
     };
@@ -343,7 +368,9 @@ pub fn parse_one_macroblock(
     let cbp = if flags.pattern {
         let c = cbp::decode_cbp(r)?;
         if c == 0 {
-            return Err(Error::Syntax("coded_block_pattern 0 is illegal in 4:2:0".into()));
+            return Err(Error::Syntax(
+                "coded_block_pattern 0 is illegal in 4:2:0".into(),
+            ));
         }
         c
     } else if flags.intra {
@@ -394,7 +421,9 @@ fn decode_motion_vector(
     let fx = ctx.pic.f_code[s][0];
     let fy = ctx.pic.f_code[s][1];
     if !(1..=9).contains(&fx) || !(1..=9).contains(&fy) {
-        return Err(Error::Syntax(format!("invalid f_code {fx}/{fy} for used prediction")));
+        return Err(Error::Syntax(format!(
+            "invalid f_code {fx}/{fy} for used prediction"
+        )));
     }
     let x = mvtab::decode_mv_component(r, fx, st.pred.pmv[0][s][0])?;
     let y = mvtab::decode_mv_component(r, fy, st.pred.pmv[0][s][1])?;
@@ -407,7 +436,10 @@ fn decode_motion_vector(
 /// Panics for rows that cannot be expressed without the vertical-position
 /// extension (≥ 175, i.e. pictures taller than 2800 lines).
 pub fn write_slice_header(w: &mut BitWriter, row: u32, qscale_code: u8) {
-    assert!(row < 175, "slice_vertical_position extension unsupported (picture too tall)");
+    assert!(
+        row < 175,
+        "slice_vertical_position extension unsupported (picture too tall)"
+    );
     assert!((1..=31).contains(&qscale_code));
     w.put_start_code((row + 1) as u8);
     w.put_bits(qscale_code as u32, 5);
@@ -458,6 +490,25 @@ mod tests {
         let data = [0b10110_000, 0x00, 0x00, 0x01, 0x05];
         let mut r = BitReader::new(&data);
         r.skip(5).unwrap();
+        assert!(slice_done(&r));
+    }
+
+    #[test]
+    fn slice_not_done_when_data_ends_flush_with_buffer() {
+        // 2 bits consumed, 6 bits of macroblock data fill the rest of the
+        // final byte: no start code follows (the unit was cut here), but
+        // the nonzero bits are still a macroblock, not padding.
+        let data = [0b01_100110];
+        let mut r = BitReader::new(&data);
+        r.skip(2).unwrap();
+        assert!(!slice_done(&r));
+    }
+
+    #[test]
+    fn slice_done_on_zero_padding_flush_with_buffer() {
+        let data = [0b01_000000];
+        let mut r = BitReader::new(&data);
+        r.skip(2).unwrap();
         assert!(slice_done(&r));
     }
 

@@ -51,13 +51,22 @@ fn chroma_table() -> &'static VlcTable<u8> {
 
 /// Decodes a DC differential for a luma (`is_luma`) or chroma block.
 pub fn decode_dc_differential(r: &mut BitReader<'_>, is_luma: bool) -> crate::Result<i32> {
-    let size = if is_luma { luma_table() } else { chroma_table() }.decode(r)?;
+    let size = if is_luma {
+        luma_table()
+    } else {
+        chroma_table()
+    }
+    .decode(r)?;
     if size == 0 {
         return Ok(0);
     }
     let bits = r.read_bits(size as u32)? as i32;
     let half = 1i32 << (size - 1);
-    Ok(if bits >= half { bits } else { bits - (1 << size) + 1 })
+    Ok(if bits >= half {
+        bits
+    } else {
+        bits - (1 << size) + 1
+    })
 }
 
 /// Encodes a DC differential.
@@ -65,11 +74,19 @@ pub fn encode_dc_differential(w: &mut BitWriter, is_luma: bool, diff: i32) {
     let mag = diff.unsigned_abs();
     let size = 32 - mag.leading_zeros() as u8; // bits needed for |diff|
     assert!(size <= 11, "DC differential {diff} too large");
-    let table = if is_luma { luma_table() } else { chroma_table() };
+    let table = if is_luma {
+        luma_table()
+    } else {
+        chroma_table()
+    };
     let (code, len) = table.encode_key_unwrap(size as usize);
     w.put_bits(code, len as u32);
     if size > 0 {
-        let bits = if diff >= 0 { diff } else { diff + (1 << size) - 1 };
+        let bits = if diff >= 0 {
+            diff
+        } else {
+            diff + (1 << size) - 1
+        };
         w.put_bits(bits as u32, size as u32);
     }
 }

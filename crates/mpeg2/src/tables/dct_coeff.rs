@@ -181,7 +181,10 @@ pub fn decode_coeff(r: &mut BitReader<'_>, first: bool) -> crate::Result<Coeff> 
     if first && r.peek_bits(1) == 1 {
         r.skip(1)?;
         let sign = r.read_bit()?;
-        return Ok(Coeff::Run { run: 0, level: if sign == 1 { -1 } else { 1 } });
+        return Ok(Coeff::Run {
+            run: 0,
+            level: if sign == 1 { -1 } else { 1 },
+        });
     }
     match table().decode(r)? {
         EOB => Ok(Coeff::Eob),
@@ -190,7 +193,9 @@ pub fn decode_coeff(r: &mut BitReader<'_>, first: bool) -> crate::Result<Coeff> 
             let raw = r.read_bits(12)? as i32;
             let level = if raw >= 2048 { raw - 4096 } else { raw };
             if level == 0 || level == -2048 {
-                return Err(crate::Error::Syntax(format!("forbidden escape level {level}")));
+                return Err(crate::Error::Syntax(format!(
+                    "forbidden escape level {level}"
+                )));
             }
             Ok(Coeff::Run { run, level })
         }
@@ -198,7 +203,10 @@ pub fn decode_coeff(r: &mut BitReader<'_>, first: bool) -> crate::Result<Coeff> 
             let run = (packed >> 8) as u8;
             let mag = (packed & 0xFF) as i32;
             let sign = r.read_bit()?;
-            Ok(Coeff::Run { run, level: if sign == 1 { -mag } else { mag } })
+            Ok(Coeff::Run {
+                run,
+                level: if sign == 1 { -mag } else { mag },
+            })
         }
     }
 }
@@ -279,12 +287,22 @@ mod tests {
 
     #[test]
     fn escape_levels_round_trip() {
-        for (run, level) in [(0u8, 41i32), (5, -200), (31, 2), (40, 1), (63, 2047), (2, -2047)] {
+        for (run, level) in [
+            (0u8, 41i32),
+            (5, -200),
+            (31, 2),
+            (40, 1),
+            (63, 2047),
+            (2, -2047),
+        ] {
             let mut w = BitWriter::new();
             encode_coeff(&mut w, false, run, level);
             let bytes = w.into_bytes();
             let mut r = BitReader::new(&bytes);
-            assert_eq!(decode_coeff(&mut r, false).unwrap(), Coeff::Run { run, level });
+            assert_eq!(
+                decode_coeff(&mut r, false).unwrap(),
+                Coeff::Run { run, level }
+            );
         }
     }
 
@@ -298,7 +316,10 @@ mod tests {
         // As a first coefficient the leading 1 takes the first-coefficient
         // path: '1' + sign '0' reads as run 0 / level +1.
         let mut r = BitReader::new(&bytes);
-        assert_eq!(decode_coeff(&mut r, true).unwrap(), Coeff::Run { run: 0, level: 1 });
+        assert_eq!(
+            decode_coeff(&mut r, true).unwrap(),
+            Coeff::Run { run: 0, level: 1 }
+        );
     }
 
     #[test]

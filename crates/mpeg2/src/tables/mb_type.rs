@@ -19,7 +19,13 @@ fn key(f: &MbFlags) -> usize {
 }
 
 const fn flags(quant: bool, fwd: bool, bwd: bool, pattern: bool, intra: bool) -> MbFlags {
-    MbFlags { quant, motion_forward: fwd, motion_backward: bwd, pattern, intra }
+    MbFlags {
+        quant,
+        motion_forward: fwd,
+        motion_backward: bwd,
+        pattern,
+        intra,
+    }
 }
 
 /// Table B-2 (I pictures).
@@ -115,21 +121,33 @@ mod tests {
     #[test]
     fn intra_in_p_is_5_bits() {
         let mut w = BitWriter::new();
-        encode_mb_type(&mut w, PictureKind::P, flags(false, false, false, false, true));
+        encode_mb_type(
+            &mut w,
+            PictureKind::P,
+            flags(false, false, false, false, true),
+        );
         assert_eq!(w.bit_len(), 5);
     }
 
     #[test]
     fn mc_coded_in_p_is_1_bit() {
         let mut w = BitWriter::new();
-        encode_mb_type(&mut w, PictureKind::P, flags(false, true, false, true, false));
+        encode_mb_type(
+            &mut w,
+            PictureKind::P,
+            flags(false, true, false, true, false),
+        );
         assert_eq!(w.bit_len(), 1);
     }
 
     #[test]
     fn interp_coded_in_b_is_2_bits() {
         let mut w = BitWriter::new();
-        encode_mb_type(&mut w, PictureKind::B, flags(false, true, true, true, false));
+        encode_mb_type(
+            &mut w,
+            PictureKind::B,
+            flags(false, true, true, true, false),
+        );
         assert_eq!(w.bit_len(), 2);
     }
 
@@ -138,6 +156,10 @@ mod tests {
     fn illegal_combo_panics() {
         let mut w = BitWriter::new();
         // Backward motion in a P picture is illegal.
-        encode_mb_type(&mut w, PictureKind::P, flags(false, false, true, false, false));
+        encode_mb_type(
+            &mut w,
+            PictureKind::P,
+            flags(false, false, true, false, false),
+        );
     }
 }

@@ -48,7 +48,10 @@ pub fn decode_motion_code(r: &mut BitReader<'_>) -> crate::Result<i32> {
 
 /// Encodes a signed motion code (−16 … +16).
 pub fn encode_motion_code(w: &mut BitWriter, code: i32) {
-    assert!((-16..=16).contains(&code), "motion code {code} out of range");
+    assert!(
+        (-16..=16).contains(&code),
+        "motion code {code} out of range"
+    );
     let (bits, len) = table().encode_key_unwrap(code.unsigned_abs() as usize);
     w.put_bits(bits, len as u32);
     if code != 0 {
@@ -67,7 +70,11 @@ pub fn decode_mv_component(r: &mut BitReader<'_>, f_code: u8, pred: i32) -> crat
     let delta = if code == 0 {
         0
     } else {
-        let residual = if r_size > 0 { r.read_bits(r_size)? as i32 } else { 0 };
+        let residual = if r_size > 0 {
+            r.read_bits(r_size)? as i32
+        } else {
+            0
+        };
         let mag = (code.abs() - 1) * f + residual + 1;
         if code < 0 {
             -mag
@@ -92,7 +99,10 @@ pub fn encode_mv_component(w: &mut BitWriter, f_code: u8, pred: i32, value: i32)
     } else if delta >= 16 * f {
         delta -= range;
     }
-    assert!((-16 * f..16 * f).contains(&delta), "delta {delta} unreachable with f_code {f_code}");
+    assert!(
+        (-16 * f..16 * f).contains(&delta),
+        "delta {delta} unreachable with f_code {f_code}"
+    );
     if delta == 0 {
         encode_motion_code(w, 0);
         return;

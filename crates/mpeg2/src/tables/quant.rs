@@ -29,7 +29,10 @@ pub const NON_LINEAR_SCALE: [u16; 32] = [
 
 /// Maps a 5-bit `quantiser_scale_code` (1–31) to the quantiser scale.
 pub fn quantiser_scale(q_scale_type: bool, code: u8) -> u16 {
-    debug_assert!((1..=31).contains(&code), "quantiser_scale_code must be 1-31");
+    debug_assert!(
+        (1..=31).contains(&code),
+        "quantiser_scale_code must be 1-31"
+    );
     if q_scale_type {
         NON_LINEAR_SCALE[code as usize]
     } else {

@@ -48,7 +48,10 @@ impl<V: Copy + PartialEq + std::fmt::Debug> VlcTable<V> {
         key: impl Fn(&V) -> usize,
     ) -> Self {
         let max_len = specs.iter().map(|s| s.len).max().expect("empty VLC table");
-        assert!(max_len <= 16, "VLC codes longer than 16 bits are not used by MPEG-2");
+        assert!(
+            max_len <= 16,
+            "VLC codes longer than 16 bits are not used by MPEG-2"
+        );
         let mut lut = vec![(default, 0u8); 1 << max_len];
         for s in specs {
             assert!(s.len >= 1 && s.len <= max_len);
@@ -75,10 +78,19 @@ impl<V: Copy + PartialEq + std::fmt::Debug> VlcTable<V> {
         for s in specs {
             let k = key(&s.value);
             assert!(k < key_space, "{name}: key {k} out of range");
-            assert!(enc[k].is_none(), "{name}: duplicate encode key {k} for {:?}", s.value);
+            assert!(
+                enc[k].is_none(),
+                "{name}: duplicate encode key {k} for {:?}",
+                s.value
+            );
             enc[k] = Some((s.code, s.len));
         }
-        VlcTable { max_len, lut, enc, name }
+        VlcTable {
+            max_len,
+            lut,
+            enc,
+            name,
+        }
     }
 
     /// Longest code length in the table.
@@ -122,7 +134,12 @@ mod tests {
     fn demo_table() -> VlcTable<u8> {
         VlcTable::build(
             "demo",
-            &[spec(0u8, 0b1, 1), spec(1, 0b01, 2), spec(2, 0b001, 3), spec(3, 0b000, 3)],
+            &[
+                spec(0u8, 0b1, 1),
+                spec(1, 0b01, 2),
+                spec(2, 0b001, 3),
+                spec(3, 0b000, 3),
+            ],
             0,
             4,
             |v| *v as usize,
@@ -162,12 +179,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "collides")]
     fn prefix_collision_panics() {
-        VlcTable::build(
-            "bad",
-            &[spec(0u8, 0b1, 1), spec(1, 0b10, 2)],
-            0,
-            2,
-            |v| *v as usize,
-        );
+        VlcTable::build("bad", &[spec(0u8, 0b1, 1), spec(1, 0b10, 2)], 0, 2, |v| {
+            *v as usize
+        });
     }
 }

@@ -58,7 +58,10 @@ impl MotionVector {
     /// Chroma vector for 4:2:0: each component halved with truncation
     /// toward zero (ISO 13818-2 §7.6.3.7).
     pub fn chroma_420(self) -> MotionVector {
-        MotionVector { x: self.x / 2, y: self.y / 2 }
+        MotionVector {
+            x: self.x / 2,
+            y: self.y / 2,
+        }
     }
 }
 
@@ -78,7 +81,7 @@ pub struct MbFlags {
 }
 
 /// Stream-level parameters every decoder of the stream needs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SequenceInfo {
     /// Luma width in pixels (as coded; always a multiple of 16 here).
     pub width: u32,
@@ -123,7 +126,7 @@ impl SequenceInfo {
 
 /// Per-picture coding parameters gathered from the picture header and the
 /// picture coding extension — everything slice decoding needs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PictureInfo {
     /// Display order index within the GOP (`temporal_reference`).
     pub temporal_reference: u16,
@@ -172,9 +175,18 @@ mod tests {
 
     #[test]
     fn chroma_vector_truncates_toward_zero() {
-        assert_eq!(MotionVector::new(3, -3).chroma_420(), MotionVector::new(1, -1));
-        assert_eq!(MotionVector::new(-1, 1).chroma_420(), MotionVector::new(0, 0));
-        assert_eq!(MotionVector::new(-4, 5).chroma_420(), MotionVector::new(-2, 2));
+        assert_eq!(
+            MotionVector::new(3, -3).chroma_420(),
+            MotionVector::new(1, -1)
+        );
+        assert_eq!(
+            MotionVector::new(-1, 1).chroma_420(),
+            MotionVector::new(0, 0)
+        );
+        assert_eq!(
+            MotionVector::new(-4, 5).chroma_420(),
+            MotionVector::new(-2, 2)
+        );
     }
 
     #[test]

@@ -58,26 +58,33 @@ impl<R: BufRead> Y4mReader<R> {
                 "W" => width = val.parse().map_err(|_| bad_param("W", val))?,
                 "H" => height = val.parse().map_err(|_| bad_param("H", val))?,
                 "F" => {
-                    let (n, d) =
-                        val.split_once(':').ok_or_else(|| bad_param("F", val))?;
+                    let (n, d) = val.split_once(':').ok_or_else(|| bad_param("F", val))?;
                     fps_num = n.parse().map_err(|_| bad_param("F", val))?;
                     fps_den = d.parse().map_err(|_| bad_param("F", val))?;
                 }
-                "C"
-                    if !val.starts_with("420") => {
-                        return Err(Error::Unsupported("y4m colourspaces other than 4:2:0"));
-                    }
-                "I"
-                    if val != "p" => {
-                        return Err(Error::Unsupported("interlaced y4m input"));
-                    }
+                "C" if !val.starts_with("420") => {
+                    return Err(Error::Unsupported("y4m colourspaces other than 4:2:0"));
+                }
+                "I" if val != "p" => {
+                    return Err(Error::Unsupported("interlaced y4m input"));
+                }
                 _ => {} // aspect ratio, extensions: ignored
             }
         }
         if width == 0 || height == 0 || !width.is_multiple_of(2) || !height.is_multiple_of(2) {
-            return Err(Error::InvalidInput(format!("bad y4m dimensions {width}x{height}")));
+            return Err(Error::InvalidInput(format!(
+                "bad y4m dimensions {width}x{height}"
+            )));
         }
-        Ok(Y4mReader { inner, header: Y4mHeader { width, height, fps_num, fps_den } })
+        Ok(Y4mReader {
+            inner,
+            header: Y4mHeader {
+                width,
+                height,
+                fps_num,
+                fps_den,
+            },
+        })
     }
 
     /// The stream header.
@@ -96,7 +103,9 @@ impl<R: BufRead> Y4mReader<R> {
             return Ok(None);
         }
         if !line.starts_with("FRAME") {
-            return Err(Error::InvalidInput(format!("expected FRAME marker, got {line:?}")));
+            return Err(Error::InvalidInput(format!(
+                "expected FRAME marker, got {line:?}"
+            )));
         }
         let (w, h) = (self.header.width, self.header.height);
         let mut frame = Frame::zeroed(w, h);
@@ -132,7 +141,11 @@ pub struct Y4mWriter<W: Write> {
 impl<W: Write> Y4mWriter<W> {
     /// Creates a writer; the header is emitted with the first frame.
     pub fn new(inner: W, header: Y4mHeader) -> Self {
-        Y4mWriter { inner, header, wrote_header: false }
+        Y4mWriter {
+            inner,
+            header,
+            wrote_header: false,
+        }
     }
 
     /// Writes one frame.
@@ -167,7 +180,9 @@ impl<W: Write> Y4mWriter<W> {
 
     /// Flushes and returns the inner writer.
     pub fn finish(mut self) -> Result<W> {
-        self.inner.flush().map_err(|e| Error::InvalidInput(format!("y4m flush: {e}")))?;
+        self.inner
+            .flush()
+            .map_err(|e| Error::InvalidInput(format!("y4m flush: {e}")))?;
         Ok(self.inner)
     }
 }
@@ -201,7 +216,12 @@ mod tests {
         let frames = demo_frames(3);
         let mut w = Y4mWriter::new(
             Vec::new(),
-            Y4mHeader { width: 32, height: 16, fps_num: 30, fps_den: 1 },
+            Y4mHeader {
+                width: 32,
+                height: 16,
+                fps_num: 30,
+                fps_den: 1,
+            },
         );
         for f in &frames {
             w.write_frame(f).unwrap();
@@ -235,7 +255,12 @@ mod tests {
     fn rejects_truncated_frame() {
         let mut w = Y4mWriter::new(
             Vec::new(),
-            Y4mHeader { width: 32, height: 16, fps_num: 30, fps_den: 1 },
+            Y4mHeader {
+                width: 32,
+                height: 16,
+                fps_num: 30,
+                fps_den: 1,
+            },
         );
         w.write_frame(&Frame::black(32, 16)).unwrap();
         let mut bytes = w.finish().unwrap();
@@ -248,7 +273,12 @@ mod tests {
     fn size_mismatch_rejected_on_write() {
         let mut w = Y4mWriter::new(
             Vec::new(),
-            Y4mHeader { width: 32, height: 16, fps_num: 30, fps_den: 1 },
+            Y4mHeader {
+                width: 32,
+                height: 16,
+                fps_num: 30,
+                fps_den: 1,
+            },
         );
         assert!(w.write_frame(&Frame::black(16, 16)).is_err());
     }

@@ -168,7 +168,10 @@ fn static_scene_produces_skipped_macroblocks() {
     let seq = decode_seq(&stream);
     let units = picture_units(&stream);
     let parsed = parse_picture(&units[1], &seq).unwrap();
-    assert!(parsed.skipped_mb_count() > 0, "static P picture should skip macroblocks");
+    assert!(
+        parsed.skipped_mb_count() > 0,
+        "static P picture should skip macroblocks"
+    );
 
     let decoded = decode_all(&stream).unwrap();
     for dec in &decoded {

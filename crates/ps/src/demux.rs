@@ -21,7 +21,11 @@ pub struct DemuxOutput {
 /// Extracts the single video elementary stream from a program stream.
 pub fn demux_video(ps: &[u8]) -> Result<DemuxOutput> {
     let mut pos = 0usize;
-    let mut out = DemuxOutput { video_es: Vec::new(), pts: Vec::new(), scr: Vec::new() };
+    let mut out = DemuxOutput {
+        video_es: Vec::new(),
+        pts: Vec::new(),
+        scr: Vec::new(),
+    };
     let mut saw_pack = false;
     while pos + 4 <= ps.len() {
         if ps[pos] != 0 || ps[pos + 1] != 0 || ps[pos + 2] != 1 {
@@ -109,7 +113,10 @@ fn parse_pack_header(ps: &[u8], pos: usize) -> Result<(ClockStamp, usize)> {
     expect_marker(&mut r)?;
     r.skip(5).map_err(e)?;
     let stuffing = r.read_bits(3).map_err(e)? as usize;
-    Ok((ClockStamp((hi << 30) | (mid << 15) | lo), pos + 14 + stuffing))
+    Ok((
+        ClockStamp((hi << 30) | (mid << 15) | lo),
+        pos + 14 + stuffing,
+    ))
 }
 
 #[cfg(test)]
@@ -136,7 +143,7 @@ mod tests {
         assert_eq!(out.video_es, es, "demuxed ES must be byte-identical");
         assert_eq!(out.pts.len(), 2);
         assert_eq!(out.scr.len(), 3); // one per access unit + trailing pack
-        // PTS increase with display order.
+                                      // PTS increase with display order.
         assert!(out.pts[0].1 < out.pts[1].1);
     }
 
@@ -155,7 +162,10 @@ mod tests {
     #[test]
     fn elementary_streams_are_rejected_with_a_clear_error() {
         let es = [0u8, 0, 1, 0xB3, 0x12, 0x34];
-        assert!(matches!(demux_video(&es), Err(PsError::NotAProgramStream(_))));
+        assert!(matches!(
+            demux_video(&es),
+            Err(PsError::NotAProgramStream(_))
+        ));
         assert!(!looks_like_program_stream(&es));
     }
 

@@ -25,7 +25,11 @@ pub struct MuxConfig {
 
 impl Default for MuxConfig {
     fn default() -> Self {
-        MuxConfig { fps_num: 30, fps_den: 1, mux_rate_50: 20_000 /* 8 Mbit/s */ }
+        MuxConfig {
+            fps_num: 30,
+            fps_den: 1,
+            mux_rate_50: 20_000, /* 8 Mbit/s */
+        }
     }
 }
 
@@ -109,7 +113,7 @@ pub fn write_system_header(out: &mut Vec<u8>, rate_bound_50: u32) {
     w.put_bits(1, 5); // video_bound
     w.put_bit(0); // packet_rate_restriction
     w.put_bits(0x7F, 7); // reserved
-    // Stream bound entry for video stream 0xE0.
+                         // Stream bound entry for video stream 0xE0.
     w.put_bits(crate::pes::VIDEO_STREAM_ID as u32, 8);
     w.put_bits(0b11, 2);
     w.put_bit(1); // buffer_bound_scale (video: 1024-byte units)

@@ -187,14 +187,22 @@ pub fn parse_pes_header(data: &[u8], offset: usize) -> Result<(PesHeader, usize)
     }
     let consumed = (r.bit_position() - stamps_start) / 8;
     if consumed > header_data_len {
-        return Err(PsError::Syntax("PES header data overruns its length".into()));
+        return Err(PsError::Syntax(
+            "PES header data overruns its length".into(),
+        ));
     }
     let payload_offset = 3 + header_data_len;
     if payload_offset > body_len {
         return Err(PsError::Syntax("PES header longer than packet".into()));
     }
     Ok((
-        PesHeader { stream_id, pts, dts, payload_offset, body_len },
+        PesHeader {
+            stream_id,
+            pts,
+            dts,
+            payload_offset,
+            body_len,
+        },
         body_start + body_len,
     ))
 }
@@ -272,6 +280,9 @@ mod tests {
         let mut out = Vec::new();
         write_pes_packet(&mut out, None, None, &[1, 2, 3]);
         out[6] |= 0b0011_0000; // set scrambling control
-        assert!(matches!(parse_pes_header(&out, 0), Err(PsError::Unsupported(_))));
+        assert!(matches!(
+            parse_pes_header(&out, 0),
+            Err(PsError::Unsupported(_))
+        ));
     }
 }

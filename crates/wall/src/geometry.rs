@@ -10,7 +10,7 @@ pub struct TileId {
 }
 
 /// An axis-aligned pixel rectangle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PixelRect {
     /// Left edge (inclusive).
     pub x0: u32,
@@ -45,7 +45,12 @@ impl PixelRect {
 
     /// The rectangle of one macroblock.
     pub fn of_mb(mb_x: u32, mb_y: u32) -> PixelRect {
-        PixelRect { x0: mb_x * 16, y0: mb_y * 16, w: 16, h: 16 }
+        PixelRect {
+            x0: mb_x * 16,
+            y0: mb_y * 16,
+            w: 16,
+            h: 16,
+        }
     }
 
     /// Expands to 16-pixel boundaries (clipped to a `width × height`
@@ -55,7 +60,12 @@ impl PixelRect {
         let y0 = (self.y0 / 16) * 16;
         let x1 = self.x1().div_ceil(16) * 16;
         let y1 = self.y1().div_ceil(16) * 16;
-        PixelRect { x0, y0, w: x1.min(width) - x0, h: y1.min(height) - y0 }
+        PixelRect {
+            x0,
+            y0,
+            w: x1.min(width) - x0,
+            h: y1.min(height) - y0,
+        }
     }
 
     /// Inclusive range of macroblock columns intersecting this rect.
@@ -84,7 +94,7 @@ impl PixelRect {
 /// let owner = g.owner_of_mb(10, 5);
 /// assert!(g.tiles_for_mb(10, 5).contains(&owner));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WallGeometry {
     /// Tiles per row.
     pub m: u32,
@@ -107,7 +117,13 @@ impl WallGeometry {
     /// `m × n` projectors with `overlap` blending pixels. Fails unless the
     /// video divides evenly into tiles with 4:2:0-compatible (even)
     /// offsets.
-    pub fn for_video(width: u32, height: u32, m: u32, n: u32, overlap: u32) -> Result<Self, String> {
+    pub fn for_video(
+        width: u32,
+        height: u32,
+        m: u32,
+        n: u32,
+        overlap: u32,
+    ) -> Result<Self, String> {
         if m == 0 || n == 0 {
             return Err("wall must have at least one tile".into());
         }
@@ -129,7 +145,15 @@ impl WallGeometry {
         if tile_w <= overlap || tile_h <= overlap {
             return Err("tiles would be all overlap".into());
         }
-        Ok(WallGeometry { m, n, tile_w, tile_h, overlap, width, height })
+        Ok(WallGeometry {
+            m,
+            n,
+            tile_w,
+            tile_h,
+            overlap,
+            width,
+            height,
+        })
     }
 
     /// Number of tiles.
@@ -144,14 +168,22 @@ impl WallGeometry {
 
     /// Tile from its row-major index.
     pub fn tile_at(&self, index: usize) -> TileId {
-        TileId { col: index as u32 % self.m, row: index as u32 / self.m }
+        TileId {
+            col: index as u32 % self.m,
+            row: index as u32 / self.m,
+        }
     }
 
     /// The pixel rectangle a tile displays (including overlap regions).
     pub fn tile_rect(&self, t: TileId) -> PixelRect {
         let x0 = t.col * (self.tile_w - self.overlap);
         let y0 = t.row * (self.tile_h - self.overlap);
-        PixelRect { x0, y0, w: self.tile_w, h: self.tile_h }
+        PixelRect {
+            x0,
+            y0,
+            w: self.tile_w,
+            h: self.tile_h,
+        }
     }
 
     /// The tile rectangle expanded to macroblock boundaries: the region a
@@ -266,9 +298,12 @@ mod tests {
 
     #[test]
     fn every_mb_has_exactly_one_owner_inside_its_tiles() {
-        for (w, h, m, n, ov) in
-            [(256, 128, 4, 2, 0), (320, 192, 2, 2, 32), (160, 96, 2, 2, 16), (4000, 2976, 4, 4, 32)]
-        {
+        for (w, h, m, n, ov) in [
+            (256, 128, 4, 2, 0),
+            (320, 192, 2, 2, 32),
+            (160, 96, 2, 2, 16),
+            (4000, 2976, 4, 4, 32),
+        ] {
             let g = WallGeometry::for_video(w, h, m, n, ov).unwrap();
             let (mbw, mbh) = g.mb_dims();
             for mby in 0..mbh {
@@ -300,9 +335,22 @@ mod tests {
 
     #[test]
     fn mb_aligned_expansion() {
-        let r = PixelRect { x0: 72, y0: 40, w: 88, h: 56 };
+        let r = PixelRect {
+            x0: 72,
+            y0: 40,
+            w: 88,
+            h: 56,
+        };
         let a = r.mb_aligned(160, 96);
-        assert_eq!(a, PixelRect { x0: 64, y0: 32, w: 96, h: 64 });
+        assert_eq!(
+            a,
+            PixelRect {
+                x0: 64,
+                y0: 32,
+                w: 96,
+                h: 64
+            }
+        );
         assert_eq!(a.mb_cols(), 4..=9);
         assert_eq!(a.mb_rows(), 2..=5);
     }

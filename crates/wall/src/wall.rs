@@ -31,7 +31,10 @@ impl std::fmt::Display for WallError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WallError::BadTileSize { tile, got, want } => {
-                write!(f, "tile {tile:?} framebuffer is {got:?}, geometry needs {want:?}")
+                write!(
+                    f,
+                    "tile {tile:?} framebuffer is {got:?}, geometry needs {want:?}"
+                )
             }
             WallError::OverlapMismatch { a, b, at } => {
                 write!(f, "tiles {a:?} and {b:?} disagree at pixel {at:?}")
@@ -105,7 +108,15 @@ impl Wall {
         for t in g.iter_tiles() {
             let r = g.tile_mb_rect(t);
             let f = &self.tiles[g.index_of(t)];
-            out.y.blit_from(&f.y, 0, 0, r.x0 as usize, r.y0 as usize, r.w as usize, r.h as usize);
+            out.y.blit_from(
+                &f.y,
+                0,
+                0,
+                r.x0 as usize,
+                r.y0 as usize,
+                r.w as usize,
+                r.h as usize,
+            );
             out.cb.blit_from(
                 &f.cb,
                 0,
@@ -155,7 +166,11 @@ impl Wall {
                         .iter_tiles()
                         .find(|&o| o != t && g.tile_mb_rect(o).contains(gx, gy))
                         .unwrap_or(t);
-                    return Err(WallError::OverlapMismatch { a: t, b: other, at: (gx, gy) });
+                    return Err(WallError::OverlapMismatch {
+                        a: t,
+                        b: other,
+                        at: (gx, gy),
+                    });
                 }
             }
         }
@@ -238,7 +253,15 @@ mod tests {
         for t in g.iter_tiles() {
             let r = g.tile_mb_rect(t);
             let mut tile = Frame::black(r.w as usize, r.h as usize);
-            tile.y.blit_from(&global.y, r.x0 as usize, r.y0 as usize, 0, 0, r.w as usize, r.h as usize);
+            tile.y.blit_from(
+                &global.y,
+                r.x0 as usize,
+                r.y0 as usize,
+                0,
+                0,
+                r.w as usize,
+                r.h as usize,
+            );
             tile.cb.blit_from(
                 &global.cb,
                 r.x0 as usize / 2,
@@ -263,7 +286,11 @@ mod tests {
 
     #[test]
     fn assemble_reconstructs_the_global_frame() {
-        for (w, h, m, n, ov) in [(128, 64, 2, 2, 0), (160, 96, 2, 2, 16), (320, 192, 4, 2, 32)] {
+        for (w, h, m, n, ov) in [
+            (128, 64, 2, 2, 0),
+            (160, 96, 2, 2, 16),
+            (320, 192, 4, 2, 32),
+        ] {
             let g = WallGeometry::for_video(w, h, m, n, ov).unwrap();
             let global = pattern_frame(w as usize, h as usize);
             let mut wall = Wall::new(g);
@@ -294,7 +321,9 @@ mod tests {
     fn set_tile_validates_dimensions() {
         let g = WallGeometry::for_video(128, 64, 2, 2, 0).unwrap();
         let mut wall = Wall::new(g);
-        let err = wall.set_tile(TileId { col: 0, row: 0 }, Frame::black(16, 16)).unwrap_err();
+        let err = wall
+            .set_tile(TileId { col: 0, row: 0 }, Frame::black(16, 16))
+            .unwrap_err();
         assert!(matches!(err, WallError::BadTileSize { .. }));
     }
 
@@ -322,6 +351,9 @@ mod tests {
         let mid = disp0.x1() - g.overlap / 2; // centre of blend ramp
         let a = blended[0].y.get((mid - g0.x0) as usize, 20) as u32;
         let b = blended[1].y.get((mid - g1.x0) as usize, 20) as u32;
-        assert!((a + b) as i32 - 200 <= 2 && 200 - (a + b) as i32 <= 2, "a={a} b={b}");
+        assert!(
+            (a + b) as i32 - 200 <= 2 && 200 - (a + b) as i32 <= 2,
+            "a={a} b={b}"
+        );
     }
 }

@@ -32,22 +32,166 @@ pub struct StreamPreset {
 /// grid and the documented resolution class (DVD → 720p → 1080i → up to
 /// the 3840×2800 Orion fly-by).
 pub const PRESETS: [StreamPreset; 16] = [
-    StreamPreset { number: 1, name: "spr", width: 720, height: 480, bits_per_pixel: 1.10, profile: MotionProfile::PanAndObjects { pan: 3, objects: 3 }, suggested_grid: (1, 1), seed: 11 },
-    StreamPreset { number: 2, name: "matrix", width: 720, height: 480, bits_per_pixel: 0.93, profile: MotionProfile::PanAndObjects { pan: 5, objects: 4 }, suggested_grid: (1, 1), seed: 22 },
-    StreamPreset { number: 3, name: "t2", width: 720, height: 480, bits_per_pixel: 1.21, profile: MotionProfile::PanAndObjects { pan: 4, objects: 2 }, suggested_grid: (1, 1), seed: 33 },
-    StreamPreset { number: 4, name: "anim1", width: 960, height: 640, bits_per_pixel: 0.30, profile: MotionProfile::PanAndObjects { pan: 2, objects: 5 }, suggested_grid: (2, 1), seed: 44 },
-    StreamPreset { number: 5, name: "fish1", width: 1280, height: 720, bits_per_pixel: 0.30, profile: MotionProfile::LayeredDrift, suggested_grid: (2, 1), seed: 55 },
-    StreamPreset { number: 6, name: "fish2", width: 1280, height: 720, bits_per_pixel: 0.30, profile: MotionProfile::LayeredDrift, suggested_grid: (2, 1), seed: 66 },
-    StreamPreset { number: 7, name: "fish3", width: 1280, height: 720, bits_per_pixel: 0.30, profile: MotionProfile::LayeredDrift, suggested_grid: (2, 1), seed: 77 },
-    StreamPreset { number: 8, name: "fish4", width: 1280, height: 720, bits_per_pixel: 0.30, profile: MotionProfile::LayeredDrift, suggested_grid: (2, 1), seed: 88 },
-    StreamPreset { number: 9, name: "fox", width: 1280, height: 720, bits_per_pixel: 0.30, profile: MotionProfile::PanAndObjects { pan: 6, objects: 3 }, suggested_grid: (2, 1), seed: 99 },
-    StreamPreset { number: 10, name: "nbc", width: 1920, height: 1088, bits_per_pixel: 0.30, profile: MotionProfile::PanAndObjects { pan: 4, objects: 4 }, suggested_grid: (2, 2), seed: 110 },
-    StreamPreset { number: 11, name: "cbs", width: 1920, height: 1088, bits_per_pixel: 0.30, profile: MotionProfile::PanAndObjects { pan: 3, objects: 5 }, suggested_grid: (2, 2), seed: 121 },
-    StreamPreset { number: 12, name: "anim4", width: 1920, height: 1280, bits_per_pixel: 0.30, profile: MotionProfile::PanAndObjects { pan: 2, objects: 5 }, suggested_grid: (3, 2), seed: 44 },
-    StreamPreset { number: 13, name: "orion1", width: 2304, height: 1728, bits_per_pixel: 0.30, profile: MotionProfile::LocalizedDetail { coverage: 0.20 }, suggested_grid: (3, 3), seed: 131 },
-    StreamPreset { number: 14, name: "orion2", width: 2560, height: 1920, bits_per_pixel: 0.30, profile: MotionProfile::LocalizedDetail { coverage: 0.18 }, suggested_grid: (4, 3), seed: 141 },
-    StreamPreset { number: 15, name: "orion3", width: 3200, height: 2400, bits_per_pixel: 0.30, profile: MotionProfile::LocalizedDetail { coverage: 0.15 }, suggested_grid: (4, 4), seed: 151 },
-    StreamPreset { number: 16, name: "orion4", width: 3840, height: 2800, bits_per_pixel: 0.30, profile: MotionProfile::LocalizedDetail { coverage: 0.12 }, suggested_grid: (4, 4), seed: 161 },
+    StreamPreset {
+        number: 1,
+        name: "spr",
+        width: 720,
+        height: 480,
+        bits_per_pixel: 1.10,
+        profile: MotionProfile::PanAndObjects { pan: 3, objects: 3 },
+        suggested_grid: (1, 1),
+        seed: 11,
+    },
+    StreamPreset {
+        number: 2,
+        name: "matrix",
+        width: 720,
+        height: 480,
+        bits_per_pixel: 0.93,
+        profile: MotionProfile::PanAndObjects { pan: 5, objects: 4 },
+        suggested_grid: (1, 1),
+        seed: 22,
+    },
+    StreamPreset {
+        number: 3,
+        name: "t2",
+        width: 720,
+        height: 480,
+        bits_per_pixel: 1.21,
+        profile: MotionProfile::PanAndObjects { pan: 4, objects: 2 },
+        suggested_grid: (1, 1),
+        seed: 33,
+    },
+    StreamPreset {
+        number: 4,
+        name: "anim1",
+        width: 960,
+        height: 640,
+        bits_per_pixel: 0.30,
+        profile: MotionProfile::PanAndObjects { pan: 2, objects: 5 },
+        suggested_grid: (2, 1),
+        seed: 44,
+    },
+    StreamPreset {
+        number: 5,
+        name: "fish1",
+        width: 1280,
+        height: 720,
+        bits_per_pixel: 0.30,
+        profile: MotionProfile::LayeredDrift,
+        suggested_grid: (2, 1),
+        seed: 55,
+    },
+    StreamPreset {
+        number: 6,
+        name: "fish2",
+        width: 1280,
+        height: 720,
+        bits_per_pixel: 0.30,
+        profile: MotionProfile::LayeredDrift,
+        suggested_grid: (2, 1),
+        seed: 66,
+    },
+    StreamPreset {
+        number: 7,
+        name: "fish3",
+        width: 1280,
+        height: 720,
+        bits_per_pixel: 0.30,
+        profile: MotionProfile::LayeredDrift,
+        suggested_grid: (2, 1),
+        seed: 77,
+    },
+    StreamPreset {
+        number: 8,
+        name: "fish4",
+        width: 1280,
+        height: 720,
+        bits_per_pixel: 0.30,
+        profile: MotionProfile::LayeredDrift,
+        suggested_grid: (2, 1),
+        seed: 88,
+    },
+    StreamPreset {
+        number: 9,
+        name: "fox",
+        width: 1280,
+        height: 720,
+        bits_per_pixel: 0.30,
+        profile: MotionProfile::PanAndObjects { pan: 6, objects: 3 },
+        suggested_grid: (2, 1),
+        seed: 99,
+    },
+    StreamPreset {
+        number: 10,
+        name: "nbc",
+        width: 1920,
+        height: 1088,
+        bits_per_pixel: 0.30,
+        profile: MotionProfile::PanAndObjects { pan: 4, objects: 4 },
+        suggested_grid: (2, 2),
+        seed: 110,
+    },
+    StreamPreset {
+        number: 11,
+        name: "cbs",
+        width: 1920,
+        height: 1088,
+        bits_per_pixel: 0.30,
+        profile: MotionProfile::PanAndObjects { pan: 3, objects: 5 },
+        suggested_grid: (2, 2),
+        seed: 121,
+    },
+    StreamPreset {
+        number: 12,
+        name: "anim4",
+        width: 1920,
+        height: 1280,
+        bits_per_pixel: 0.30,
+        profile: MotionProfile::PanAndObjects { pan: 2, objects: 5 },
+        suggested_grid: (3, 2),
+        seed: 44,
+    },
+    StreamPreset {
+        number: 13,
+        name: "orion1",
+        width: 2304,
+        height: 1728,
+        bits_per_pixel: 0.30,
+        profile: MotionProfile::LocalizedDetail { coverage: 0.20 },
+        suggested_grid: (3, 3),
+        seed: 131,
+    },
+    StreamPreset {
+        number: 14,
+        name: "orion2",
+        width: 2560,
+        height: 1920,
+        bits_per_pixel: 0.30,
+        profile: MotionProfile::LocalizedDetail { coverage: 0.18 },
+        suggested_grid: (4, 3),
+        seed: 141,
+    },
+    StreamPreset {
+        number: 15,
+        name: "orion3",
+        width: 3200,
+        height: 2400,
+        bits_per_pixel: 0.30,
+        profile: MotionProfile::LocalizedDetail { coverage: 0.15 },
+        suggested_grid: (4, 4),
+        seed: 151,
+    },
+    StreamPreset {
+        number: 16,
+        name: "orion4",
+        width: 3840,
+        height: 2800,
+        bits_per_pixel: 0.30,
+        profile: MotionProfile::LocalizedDetail { coverage: 0.12 },
+        suggested_grid: (4, 4),
+        seed: 161,
+    },
 ];
 
 /// An encoded synthetic stream.
@@ -149,9 +293,18 @@ mod tests {
         for p in &PRESETS {
             assert_eq!(p.width % 16, 0, "{}", p.name);
             assert_eq!(p.height % 16, 0, "{}", p.name);
-            assert!(p.height <= 2800, "{}: taller than the slice-code limit", p.name);
+            assert!(
+                p.height <= 2800,
+                "{}: taller than the slice-code limit",
+                p.name
+            );
             let (m, n) = p.suggested_grid;
-            assert_eq!(p.width % m, 0, "{} does not divide into {m} columns", p.name);
+            assert_eq!(
+                p.width % m,
+                0,
+                "{} does not divide into {m} columns",
+                p.name
+            );
             assert_eq!(p.height % n, 0, "{} does not divide into {n} rows", p.name);
         }
     }

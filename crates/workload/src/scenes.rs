@@ -93,8 +93,8 @@ impl Scene {
                 let dy = (t + s / 2) % (h - dh + 1);
                 for y in dy..dy + dh {
                     for x in dx..dx + dw {
-                        let n = (x.wrapping_mul(2654435761) ^ y.wrapping_mul(40503) ^ (t * 977))
-                            >> 7;
+                        let n =
+                            (x.wrapping_mul(2654435761) ^ y.wrapping_mul(40503) ^ (t * 977)) >> 7;
                         f.y.set(x, y, (n % 220) as u8 + 18);
                     }
                 }
@@ -142,7 +142,12 @@ mod tests {
 
     #[test]
     fn still_scene_does_not_move() {
-        let s = Scene { width: 64, height: 48, profile: MotionProfile::Still, seed: 1 };
+        let s = Scene {
+            width: 64,
+            height: 48,
+            profile: MotionProfile::Still,
+            seed: 1,
+        };
         assert!(s.render(0) == s.render(7));
     }
 
@@ -182,8 +187,18 @@ mod tests {
 
     #[test]
     fn seeds_differentiate_streams() {
-        let a = Scene { width: 64, height: 48, profile: MotionProfile::LayeredDrift, seed: 1 };
-        let b = Scene { width: 64, height: 48, profile: MotionProfile::LayeredDrift, seed: 2 };
+        let a = Scene {
+            width: 64,
+            height: 48,
+            profile: MotionProfile::LayeredDrift,
+            seed: 1,
+        };
+        let b = Scene {
+            width: 64,
+            height: 48,
+            profile: MotionProfile::LayeredDrift,
+            seed: 2,
+        };
         assert!(a.render(0) != b.render(0));
     }
 }

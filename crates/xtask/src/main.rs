@@ -1,0 +1,48 @@
+//! `cargo xtask <command>` — repo-local tooling (no external deps).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = <root>/crates/xtask whenever run via cargo.
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(d) => PathBuf::from(d).join("../.."),
+        None => PathBuf::from("."),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\nusage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    match xtask::run_lint(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask lint: ok (panic allowlist, TAG exhaustiveness, doc coverage)");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("error: {f}");
+            }
+            eprintln!("\nxtask lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

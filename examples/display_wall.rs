@@ -42,8 +42,14 @@ fn main() {
         .expect("simulated run");
 
     println!("\nvirtual frame rate : {:.1} fps", run.report.fps);
-    println!("host split cost    : {:.2} ms/picture", run.measured.split_s * 1e3);
-    println!("host decode cost   : {:.2} ms/picture/tile", run.measured.decode_s * 1e3);
+    println!(
+        "host split cost    : {:.2} ms/picture",
+        run.measured.split_s * 1e3
+    );
+    println!(
+        "host decode cost   : {:.2} ms/picture/tile",
+        run.measured.decode_s * 1e3
+    );
     println!(
         "optimal k (ceil ts/td): {}",
         tiledec::core::config::optimal_k(run.measured.split_s, run.measured.decode_s)
@@ -54,7 +60,10 @@ fn main() {
     );
 
     println!("\nper-decoder runtime breakdown:");
-    println!("  {:<8} {:>7} {:>7} {:>7} {:>7} {:>7}", "tile", "work%", "serve%", "recv%", "wait%", "ack%");
+    println!(
+        "  {:<8} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "tile", "work%", "serve%", "recv%", "wait%", "ack%"
+    );
     let total = run.report.total_s;
     for (d, b) in run.report.decoder_breakdown.iter().enumerate() {
         println!(

@@ -26,7 +26,9 @@ fn main() {
     //    macroblock splitter, four tile decoders — each node a real thread
     //    exchanging GM-style messages.
     let cfg = SystemConfig::new(1, (2, 2));
-    let out = ThreadedSystem::new(cfg).play(&video.bitstream).expect("playback");
+    let out = ThreadedSystem::new(cfg)
+        .play(&video.bitstream)
+        .expect("playback");
     println!(
         "parallel playback: {} pictures across {} tiles",
         out.pictures,
@@ -40,7 +42,10 @@ fn main() {
     for (i, (a, b)) in out.frames.iter().zip(&reference).enumerate() {
         assert!(a == b, "frame {i} mismatch");
     }
-    println!("verified: all {} frames bit-exact with the sequential decoder", reference.len());
+    println!(
+        "verified: all {} frames bit-exact with the sequential decoder",
+        reference.len()
+    );
 
     // 4. Who talked to whom (bytes over each link).
     println!("\ntraffic matrix (bytes, row = sender):");

@@ -19,8 +19,12 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(30.0);
 
-    let ladder: [(u32, u32, (u32, u32)); 4] =
-        [(384, 256, (1, 1)), (768, 512, (2, 1)), (1152, 768, (2, 2)), (1536, 1024, (4, 2))];
+    let ladder: [(u32, u32, (u32, u32)); 4] = [
+        (384, 256, (1, 1)),
+        (768, 512, (2, 1)),
+        (1152, 768, (2, 2)),
+        (1536, 1024, (4, 2)),
+    ];
 
     println!(
         "{:<12} {:<7} {:>4} {:>10} {:>10} {:>10} {:>12}",

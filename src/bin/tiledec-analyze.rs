@@ -17,13 +17,16 @@ use tiledec::mpeg2::slice::MbMotion;
 use tiledec::mpeg2::types::PictureKind;
 use tiledec::ps::looks_like_program_stream;
 
-
 /// Splits args into positionals and flag lookups. `bool_flags` take no
 /// value; every other `--flag` consumes the next argument.
 fn parse_args<'a>(
     args: &'a [String],
     bool_flags: &[&str],
-) -> (Vec<String>, impl Fn(&str) -> bool + 'a, impl Fn(&str) -> Option<String> + 'a) {
+) -> (
+    Vec<String>,
+    impl Fn(&str) -> bool + 'a,
+    impl Fn(&str) -> Option<String> + 'a,
+) {
     let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -45,7 +48,11 @@ fn parse_args<'a>(
         positional,
         move |name: &str| args1.iter().any(|a| a == name),
         move |name: &str| {
-            args2.iter().position(|a| a == name).and_then(|i| args2.get(i + 1)).cloned()
+            args2
+                .iter()
+                .position(|a| a == name)
+                .and_then(|i| args2.get(i + 1))
+                .cloned()
         },
     )
 }
@@ -63,11 +70,16 @@ fn main() -> ExitCode {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (positional, _flag, value) = parse_args(&args, &[]);
-    let input = positional.first().ok_or("usage: tiledec-analyze <input> [--grid MxN]")?;
+    let input = positional
+        .first()
+        .ok_or("usage: tiledec-analyze <input> [--grid MxN]")?;
     let grid = value("--grid")
         .map(|g| -> Result<(u32, u32), String> {
             let (m, n) = g.split_once('x').ok_or("bad --grid")?;
-            Ok((m.parse().map_err(|_| "bad --grid")?, n.parse().map_err(|_| "bad --grid")?))
+            Ok((
+                m.parse().map_err(|_| "bad --grid")?,
+                n.parse().map_err(|_| "bad --grid")?,
+            ))
         })
         .transpose()?;
 
@@ -142,10 +154,15 @@ fn run() -> Result<(), String> {
     }
     println!("\npicture mix:");
     for (kind, (count, bytes)) in &kind_sizes {
-        println!("  {kind}: {count:>4} pictures, avg {:>8.0} bytes", *bytes as f64 / *count as f64);
+        println!(
+            "  {kind}: {count:>4} pictures, avg {:>8.0} bytes",
+            *bytes as f64 / *count as f64
+        );
     }
     println!("\nmacroblocks: {coded} coded ({intra_mbs} intra), {skipped} skipped");
-    println!("motion reach: max {max_mv} px; |mv| histogram (full-pel buckets 0, 1-4, 5-8, 9-16, 17+):");
+    println!(
+        "motion reach: max {max_mv} px; |mv| histogram (full-pel buckets 0, 1-4, 5-8, 9-16, 17+):"
+    );
     println!("  {:?}", mv_histogram);
 
     if let Some((m, n)) = grid {
@@ -157,7 +174,9 @@ fn run() -> Result<(), String> {
         let mut dup = 0usize;
         let mut sp_bytes = 0usize;
         for (p, &(start, end)) in index.units.iter().enumerate() {
-            let out = splitter.split(p as u32, &es[start..end]).map_err(|e| e.to_string())?;
+            let out = splitter
+                .split(p as u32, &es[start..end])
+                .map_err(|e| e.to_string())?;
             mei += out.stats.mei_instructions;
             dup += out.stats.duplicated_assignments;
             sp_bytes += out.stats.subpicture_bytes;

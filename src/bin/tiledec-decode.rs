@@ -34,7 +34,9 @@ fn run() -> Result<String, String> {
     let data = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
     let es = if looks_like_program_stream(&data) {
         eprintln!("program stream detected; demultiplexing");
-        tiledec::ps::demux_video(&data).map_err(|e| e.to_string())?.video_es
+        tiledec::ps::demux_video(&data)
+            .map_err(|e| e.to_string())?
+            .video_es
     } else {
         data
     };

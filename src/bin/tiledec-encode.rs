@@ -30,8 +30,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<String, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (positional, flag, value) =
-        parse_args(&args, &["--ps", "--alt-scan", "--nonlinear-q"]);
+    let (positional, flag, value) = parse_args(&args, &["--ps", "--alt-scan", "--nonlinear-q"]);
     let [input, output] = &positional[..] else {
         return Err(
             "usage: tiledec-encode <input.y4m> <output.m2v> [--q N] [--gop N] [--bframes N] \
@@ -77,8 +76,7 @@ fn run() -> Result<String, String> {
     let (es, stats) = enc.encode_with_stats(&frames).map_err(|e| e.to_string())?;
 
     let bytes = if flag("--ps") {
-        let index =
-            tiledec::core::split_picture_units(&es).map_err(|e| e.to_string())?;
+        let index = tiledec::core::split_picture_units(&es).map_err(|e| e.to_string())?;
         let mut display = compute_display_indices(&es, &index);
         let units: Vec<(usize, usize, u64)> = index
             .units
@@ -92,7 +90,8 @@ fn run() -> Result<String, String> {
         es
     };
 
-    let mut out = BufWriter::new(File::create(output).map_err(|e| format!("create {output}: {e}"))?);
+    let mut out =
+        BufWriter::new(File::create(output).map_err(|e| format!("create {output}: {e}"))?);
     out.write_all(&bytes).map_err(|e| e.to_string())?;
     out.flush().map_err(|e| e.to_string())?;
     Ok(format!(
@@ -104,13 +103,16 @@ fn run() -> Result<String, String> {
     ))
 }
 
-
 /// Splits args into positionals and flag lookups. `bool_flags` take no
 /// value; every other `--flag` consumes the next argument.
 fn parse_args<'a>(
     args: &'a [String],
     bool_flags: &[&str],
-) -> (Vec<String>, impl Fn(&str) -> bool + 'a, impl Fn(&str) -> Option<String> + 'a) {
+) -> (
+    Vec<String>,
+    impl Fn(&str) -> bool + 'a,
+    impl Fn(&str) -> Option<String> + 'a,
+) {
     let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -132,22 +134,27 @@ fn parse_args<'a>(
         positional,
         move |name: &str| args1.iter().any(|a| a == name),
         move |name: &str| {
-            args2.iter().position(|a| a == name).and_then(|i| args2.get(i + 1)).cloned()
+            args2
+                .iter()
+                .position(|a| a == name)
+                .and_then(|i| args2.get(i + 1))
+                .cloned()
         },
     )
 }
 
 fn tiledec_ps_config(fps_num: u32, fps_den: u32) -> tiledec::ps::MuxConfig {
-    tiledec::ps::MuxConfig { fps_num, fps_den, ..Default::default() }
+    tiledec::ps::MuxConfig {
+        fps_num,
+        fps_den,
+        ..Default::default()
+    }
 }
 
 /// Recover display-order indices. `temporal_reference` is GOP-relative;
 /// GOP boundaries show up as GOP start codes in the bytes between
 /// consecutive picture units.
-fn compute_display_indices(
-    es: &[u8],
-    index: &tiledec::core::splitter::StreamIndex,
-) -> Vec<u64> {
+fn compute_display_indices(es: &[u8], index: &tiledec::core::splitter::StreamIndex) -> Vec<u64> {
     let mut out = Vec::with_capacity(index.units.len());
     let mut gop_base = 0u64;
     let mut max_in_gop = 0u64;
@@ -191,7 +198,10 @@ fn frame_rate_code(fps: f64) -> u8 {
     table
         .iter()
         .min_by(|a, b| {
-            (a.0 - fps).abs().partial_cmp(&(b.0 - fps).abs()).expect("finite")
+            (a.0 - fps)
+                .abs()
+                .partial_cmp(&(b.0 - fps).abs())
+                .expect("finite")
         })
         .map(|&(_, c)| c)
         .unwrap_or(5)

@@ -35,20 +35,30 @@ fn run() -> Result<(), String> {
         .first()
         .ok_or("usage: tiledec-play <input> [--k N] [--grid MxN] [--overlap PX] [--out wall.y4m] [--simulate]")?;
 
-    let k: usize = value("--k").map(|v| v.parse().map_err(|_| "bad --k")).transpose()?.unwrap_or(1);
+    let k: usize = value("--k")
+        .map(|v| v.parse().map_err(|_| "bad --k"))
+        .transpose()?
+        .unwrap_or(1);
     let grid = match value("--grid") {
         Some(g) => {
             let (m, n) = g.split_once('x').ok_or("bad --grid, expected MxN")?;
-            (m.parse().map_err(|_| "bad --grid")?, n.parse().map_err(|_| "bad --grid")?)
+            (
+                m.parse().map_err(|_| "bad --grid")?,
+                n.parse().map_err(|_| "bad --grid")?,
+            )
         }
         None => (2, 2),
     };
-    let overlap: u32 =
-        value("--overlap").map(|v| v.parse().map_err(|_| "bad --overlap")).transpose()?.unwrap_or(0);
+    let overlap: u32 = value("--overlap")
+        .map(|v| v.parse().map_err(|_| "bad --overlap"))
+        .transpose()?
+        .unwrap_or(0);
 
     let data = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
     let es = if looks_like_program_stream(&data) {
-        tiledec::ps::demux_video(&data).map_err(|e| e.to_string())?.video_es
+        tiledec::ps::demux_video(&data)
+            .map_err(|e| e.to_string())?
+            .video_es
     } else {
         data
     };
@@ -56,14 +66,19 @@ fn run() -> Result<(), String> {
     let cfg = SystemConfig::new(k, grid).with_overlap(overlap);
     eprintln!(
         "playing on a 1-{k}-({},{}) system: {} PCs, overlap {overlap}px",
-        grid.0, grid.1, cfg.nodes()
+        grid.0,
+        grid.1,
+        cfg.nodes()
     );
 
     if flag("--simulate") {
         let run = SimulatedSystem::new(cfg, CostModel::myrinet_2002())
             .run(&es)
             .map_err(|e| e.to_string())?;
-        println!("virtual frame rate: {:.1} fps over {} pictures", run.report.fps, run.pictures);
+        println!(
+            "virtual frame rate: {:.1} fps over {} pictures",
+            run.report.fps, run.pictures
+        );
         println!(
             "host costs: split {:.2} ms/pic, decode {:.2} ms/pic/tile; optimal k = {}",
             run.measured.split_s * 1e3,
@@ -81,7 +96,9 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
-    let out = ThreadedSystem::new(cfg).play(&es).map_err(|e| e.to_string())?;
+    let out = ThreadedSystem::new(cfg)
+        .play(&es)
+        .map_err(|e| e.to_string())?;
     // Verify against the sequential decoder.
     let reference = tiledec::mpeg2::decode_all(&es).map_err(|e| e.to_string())?;
     let ok = out.frames.len() == reference.len()
@@ -117,13 +134,16 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
-
 /// Splits args into positionals and flag lookups. `bool_flags` take no
 /// value; every other `--flag` consumes the next argument.
 fn parse_args<'a>(
     args: &'a [String],
     bool_flags: &[&str],
-) -> (Vec<String>, impl Fn(&str) -> bool + 'a, impl Fn(&str) -> Option<String> + 'a) {
+) -> (
+    Vec<String>,
+    impl Fn(&str) -> bool + 'a,
+    impl Fn(&str) -> Option<String> + 'a,
+) {
     let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -145,7 +165,11 @@ fn parse_args<'a>(
         positional,
         move |name: &str| args1.iter().any(|a| a == name),
         move |name: &str| {
-            args2.iter().position(|a| a == name).and_then(|i| args2.get(i + 1)).cloned()
+            args2
+                .iter()
+                .position(|a| a == name)
+                .and_then(|i| args2.get(i + 1))
+                .cloned()
         },
     )
 }

@@ -62,8 +62,9 @@ fn localized_detail_stream_survives_the_pipeline() {
 
 #[test]
 fn still_stream_is_mostly_skips_and_still_bit_exact() {
-    let video =
-        preset(128, 64, MotionProfile::Still).generate_and_encode(6).unwrap();
+    let video = preset(128, 64, MotionProfile::Still)
+        .generate_and_encode(6)
+        .unwrap();
     let reference = decode_all(&video.bitstream).unwrap();
     let out = ThreadedSystem::new(SystemConfig::new(1, (2, 2)))
         .play(&video.bitstream)
@@ -75,7 +76,9 @@ fn still_stream_is_mostly_skips_and_still_bit_exact() {
 
 #[test]
 fn edge_blended_projector_outputs_sum_to_the_frame() {
-    let video = preset(160, 96, MotionProfile::LayeredDrift).generate_and_encode(3).unwrap();
+    let video = preset(160, 96, MotionProfile::LayeredDrift)
+        .generate_and_encode(3)
+        .unwrap();
     let cfg = SystemConfig::new(1, (2, 1)).with_overlap(16);
     let out = ThreadedSystem::new(cfg).play(&video.bitstream).unwrap();
     // Rebuild a wall from the final frame and check the blending ramps.
@@ -85,7 +88,15 @@ fn edge_blended_projector_outputs_sum_to_the_frame() {
         let r = geom.tile_mb_rect(t);
         let mut tile = tiledec::mpeg2::frame::Frame::black(r.w as usize, r.h as usize);
         let last = out.frames.last().unwrap();
-        tile.y.blit_from(&last.y, r.x0 as usize, r.y0 as usize, 0, 0, r.w as usize, r.h as usize);
+        tile.y.blit_from(
+            &last.y,
+            r.x0 as usize,
+            r.y0 as usize,
+            0,
+            0,
+            r.w as usize,
+            r.h as usize,
+        );
         tile.cb.blit_from(
             &last.cb,
             r.x0 as usize / 2,
@@ -123,9 +134,13 @@ fn edge_blended_projector_outputs_sum_to_the_frame() {
 fn fourteen_node_wall_plays_hd_class_stream() {
     // A miniature of the paper's headline configuration: 1-3-(4,2) on an
     // HD-class (divisible) stream.
-    let video = preset(320, 128, MotionProfile::PanAndObjects { pan: 4, objects: 3 })
-        .generate_and_encode(8)
-        .unwrap();
+    let video = preset(
+        320,
+        128,
+        MotionProfile::PanAndObjects { pan: 4, objects: 3 },
+    )
+    .generate_and_encode(8)
+    .unwrap();
     let reference = decode_all(&video.bitstream).unwrap();
     let cfg = SystemConfig::new(3, (4, 2));
     assert_eq!(cfg.nodes(), 12);
@@ -151,7 +166,10 @@ fn program_stream_wrapping_is_transparent_to_the_wall() {
     let ps = tiledec::ps::mux_video(&video.bitstream, &units, &tiledec::ps::MuxConfig::default());
     assert!(tiledec::ps::looks_like_program_stream(&ps));
     let demuxed = tiledec::ps::demux_video(&ps).unwrap();
-    assert_eq!(demuxed.video_es, video.bitstream, "demux must be byte-exact");
+    assert_eq!(
+        demuxed.video_es, video.bitstream,
+        "demux must be byte-exact"
+    );
 
     let reference = decode_all(&video.bitstream).unwrap();
     let out = ThreadedSystem::new(SystemConfig::new(1, (2, 2)))
@@ -165,17 +183,27 @@ fn program_stream_wrapping_is_transparent_to_the_wall() {
 #[test]
 fn y4m_export_round_trips_decoded_frames() {
     use tiledec::mpeg2::y4m::{Y4mHeader, Y4mReader, Y4mWriter};
-    let video = preset(128, 64, MotionProfile::LayeredDrift).generate_and_encode(4).unwrap();
+    let video = preset(128, 64, MotionProfile::LayeredDrift)
+        .generate_and_encode(4)
+        .unwrap();
     let frames = decode_all(&video.bitstream).unwrap();
     let mut w = Y4mWriter::new(
         Vec::new(),
-        Y4mHeader { width: 128, height: 64, fps_num: 30, fps_den: 1 },
+        Y4mHeader {
+            width: 128,
+            height: 64,
+            fps_num: 30,
+            fps_den: 1,
+        },
     );
     for f in &frames {
         w.write_frame(f).unwrap();
     }
     let bytes = w.finish().unwrap();
-    let got = Y4mReader::new(std::io::Cursor::new(bytes)).unwrap().read_all().unwrap();
+    let got = Y4mReader::new(std::io::Cursor::new(bytes))
+        .unwrap()
+        .read_all()
+        .unwrap();
     assert_eq!(got.len(), frames.len());
     for (a, b) in frames.iter().zip(&got) {
         assert!(a == b);

@@ -38,8 +38,14 @@ fn figure5_schedule_holds_on_measured_costs() {
     for p in 0..run.pictures {
         // Per-picture causal chain: copy → send picture → split →
         // send sub-pictures → decode.
-        assert!(first(p, EventKind::Copy) <= first(p, EventKind::SendPicture), "pic {p}");
-        assert!(last(p, EventKind::SendPicture) <= first(p, EventKind::Split) + 1e-12, "pic {p}");
+        assert!(
+            first(p, EventKind::Copy) <= first(p, EventKind::SendPicture),
+            "pic {p}"
+        );
+        assert!(
+            last(p, EventKind::SendPicture) <= first(p, EventKind::Split) + 1e-12,
+            "pic {p}"
+        );
         assert!(last(p, EventKind::Split) <= first(p, EventKind::SendSubpicture) + 1e-12);
         assert!(first(p, EventKind::SendSubpicture) <= first(p, EventKind::Decode));
         if p > 0 {
@@ -60,7 +66,11 @@ fn figure5_schedule_holds_on_measured_costs() {
             .expect("split event")
     };
     for p in 1..run.pictures {
-        assert_ne!(split_node(p), split_node(p - 1), "k=2 must alternate splitters");
+        assert_ne!(
+            split_node(p),
+            split_node(p - 1),
+            "k=2 must alternate splitters"
+        );
     }
 
     // While splitter A splits picture p, splitter B can already be
