@@ -1,0 +1,134 @@
+//! Microbenchmarks for the runtime-dispatched decode kernels: every
+//! available kernel set (scalar, SSE2, AVX2) over the IDCT, half-pel
+//! motion compensation and residual reconstruction — the per-sample hot
+//! loops behind the paper's `t_d` decode cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tiledec_mpeg2::kernels;
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+fn random_blocks(n: usize) -> Vec<[i32; 64]> {
+    let mut s = 0x12345678u64;
+    (0..n)
+        .map(|_| {
+            let mut b = [0i32; 64];
+            for v in &mut b {
+                *v = (xorshift(&mut s) % 601) as i32 - 300;
+            }
+            b
+        })
+        .collect()
+}
+
+fn sparse_blocks(n: usize) -> Vec<[i32; 64]> {
+    // DC plus a couple of low-frequency coefficients: the common shape in
+    // real streams, where most rows/columns take the zero-AC shortcut.
+    let mut s = 0xABCDEFu64;
+    (0..n)
+        .map(|_| {
+            let mut b = [0i32; 64];
+            b[0] = (xorshift(&mut s) % 2001) as i32 - 1000;
+            b[1] = (xorshift(&mut s) % 101) as i32 - 50;
+            b[8] = (xorshift(&mut s) % 101) as i32 - 50;
+            b
+        })
+        .collect()
+}
+
+fn random_bytes(n: usize, seed: u64) -> Vec<u8> {
+    let mut s = seed | 1;
+    (0..n).map(|_| xorshift(&mut s) as u8).collect()
+}
+
+fn bench_idct_dispatch(c: &mut Criterion) {
+    let dense = random_blocks(64);
+    let sparse = sparse_blocks(64);
+    let mut g = c.benchmark_group("idct_dispatch");
+    for set in kernels::available() {
+        g.bench_function(format!("{}_dense", set.name), |b| {
+            b.iter(|| {
+                for blk in &dense {
+                    let mut x = *blk;
+                    (set.idct)(black_box(&mut x));
+                    black_box(x[0]);
+                }
+            })
+        });
+        g.bench_function(format!("{}_sparse", set.name), |b| {
+            b.iter(|| {
+                for blk in &sparse {
+                    let mut x = *blk;
+                    (set.idct)(black_box(&mut x));
+                    black_box(x[0]);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+type McFn = fn(&[u8], usize, &mut [u8], usize);
+
+fn bench_mc_halfpel(c: &mut Criterion) {
+    let stride = 64usize;
+    let src = random_bytes(stride * 20, 7);
+    let mut dst = [0u8; 256];
+    let mut g = c.benchmark_group("mc_halfpel");
+    for set in kernels::available() {
+        let variants: [(&str, McFn); 4] = [
+            ("copy", set.mc_copy),
+            ("avg_h", set.mc_avg_h),
+            ("avg_v", set.mc_avg_v),
+            ("avg_hv", set.mc_avg_hv),
+        ];
+        for (vname, f) in variants {
+            g.bench_function(format!("{}_{vname}_16x16", set.name), |b| {
+                b.iter(|| {
+                    f(black_box(&src), stride, black_box(&mut dst), 16);
+                    black_box(dst[0]);
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_recon_add(c: &mut Criterion) {
+    let residuals = random_blocks(16);
+    let mut mb = [128u8; 256];
+    let mut g = c.benchmark_group("recon_add");
+    for set in kernels::available() {
+        g.bench_function(format!("{}_add_residual", set.name), |b| {
+            b.iter(|| {
+                for r in &residuals {
+                    (set.add_residual)(black_box(&mut mb), 16, black_box(r));
+                }
+                black_box(mb[0]);
+            })
+        });
+        g.bench_function(format!("{}_set_block", set.name), |b| {
+            b.iter(|| {
+                for r in &residuals {
+                    (set.set_block)(black_box(&mut mb), 16, black_box(r));
+                }
+                black_box(mb[0]);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_idct_dispatch,
+    bench_mc_halfpel,
+    bench_recon_add
+);
+criterion_main!(benches);

@@ -1,0 +1,310 @@
+//! End-to-end decode throughput benchmark with a perf-regression gate.
+//!
+//! Decodes workload presets two ways — the sequential reference decoder
+//! and a tiled 2×2 decoder bank fed by the real macroblock splitter —
+//! under both the scalar kernel set and the best SIMD set the host
+//! offers, and counts steady-state heap allocations with a counting
+//! global allocator. Results go to stdout (or `--out`) as JSON.
+//!
+//! `BENCH_decode.json` at the repository root is the committed baseline.
+//! CI re-runs this binary with `--check BENCH_decode.json`, which fails
+//! if sequential pixels/sec on any preset drops more than 25% below the
+//! baseline, and `--min-ratio` guards the SIMD-vs-scalar speedup.
+//!
+//! Usage:
+//!   decode_bench [--frames N] [--out PATH] [--check PATH] [--min-ratio X]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use tiledec_core::splitter::{split_picture_units, MacroblockSplitter};
+use tiledec_core::tile_decoder::TileDecoder;
+use tiledec_core::SystemConfig;
+use tiledec_mpeg2::kernels;
+use tiledec_workload::StreamPreset;
+
+/// One preset's measurements.
+struct PresetResult {
+    name: String,
+    width: u32,
+    height: u32,
+    frames: usize,
+    scalar_pps: f64,
+    best_pps: f64,
+    best_fps: f64,
+    ratio: f64,
+    tiled_pps: f64,
+    tiled_fps: f64,
+    steady_allocs: u64,
+}
+
+fn main() {
+    let mut frames = 24usize;
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut min_ratio: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--frames" => frames = args.next().expect("--frames N").parse().expect("frames"),
+            "--out" => out_path = Some(args.next().expect("--out PATH")),
+            "--check" => check_path = Some(args.next().expect("--check PATH")),
+            "--min-ratio" => {
+                min_ratio = Some(args.next().expect("--min-ratio X").parse().expect("ratio"))
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let presets: Vec<(String, StreamPreset)> = vec![
+        ("tiny".into(), StreamPreset::tiny_test()),
+        (
+            "dvd_half".into(),
+            StreamPreset::by_number(1).expect("preset 1").scaled_down(2),
+        ),
+        (
+            "hd_quarter".into(),
+            StreamPreset::by_number(9).expect("preset 9").scaled_down(4),
+        ),
+    ];
+
+    let best = *kernels::available().last().expect("scalar always present");
+    let mut results = Vec::new();
+    for (name, preset) in &presets {
+        eprintln!(
+            "[decode_bench] preset {name} ({}x{})",
+            preset.width, preset.height
+        );
+        results.push(run_preset(name, preset, frames, best));
+    }
+
+    let json = render_json(&results, frames, best.name);
+    match &out_path {
+        Some(p) => std::fs::write(p, &json).expect("write --out"),
+        None => println!("{json}"),
+    }
+
+    let mut failed = false;
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path).expect("read --check baseline");
+        for r in &results {
+            let Some(base_pps) = extract_best_pps(&baseline, &r.name) else {
+                eprintln!("[check] preset {} not in baseline, skipping", r.name);
+                continue;
+            };
+            let floor = base_pps * 0.75;
+            if r.best_pps < floor {
+                eprintln!(
+                    "[check] FAIL {}: {:.0} pixels/s is more than 25% below baseline {:.0}",
+                    r.name, r.best_pps, base_pps
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "[check] ok {}: {:.0} pixels/s vs baseline {:.0}",
+                    r.name, r.best_pps, base_pps
+                );
+            }
+        }
+    }
+    if let Some(min) = min_ratio {
+        let max_ratio = results.iter().map(|r| r.ratio).fold(0.0f64, f64::max);
+        if max_ratio < min {
+            eprintln!("[check] FAIL: best SIMD/scalar ratio {max_ratio:.2} < {min:.2}");
+            failed = true;
+        } else {
+            eprintln!("[check] ok: best SIMD/scalar ratio {max_ratio:.2} >= {min:.2}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn run_preset(
+    name: &str,
+    preset: &StreamPreset,
+    frames: usize,
+    best: &'static kernels::KernelSet,
+) -> PresetResult {
+    let enc = preset.generate_and_encode(frames).expect("encode");
+    let stream = enc.bitstream;
+    let pixels = preset.width as f64 * preset.height as f64 * frames as f64;
+
+    // Sequential decode under each kernel set; best-of-3 wall time.
+    kernels::set_active(&kernels::SCALAR);
+    let scalar_s = time_sequential(&stream);
+    kernels::set_active(best);
+    let best_s = time_sequential(&stream);
+
+    // Tiled 2×2 decode (critical path: slowest tile per picture), with
+    // steady-state allocation audit on the second half of the pictures.
+    let (tiled_s, steady_allocs) = time_tiled(&stream);
+
+    PresetResult {
+        name: name.into(),
+        width: preset.width,
+        height: preset.height,
+        frames,
+        scalar_pps: pixels / scalar_s,
+        best_pps: pixels / best_s,
+        best_fps: frames as f64 / best_s,
+        ratio: scalar_s / best_s,
+        tiled_pps: pixels / tiled_s,
+        tiled_fps: frames as f64 / tiled_s,
+        steady_allocs,
+    }
+}
+
+fn time_sequential(stream: &[u8]) -> f64 {
+    let mut bestt = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let frames = tiledec_mpeg2::decode_all(stream).expect("decode");
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(frames);
+        bestt = bestt.min(dt);
+    }
+    bestt
+}
+
+/// Runs the real splitter + 2×2 tile-decoder bank. Returns the summed
+/// per-picture critical path (the slowest tile each picture — what a
+/// cluster with one node per tile would wait for) and the heap
+/// allocation count across all decode calls in the second half of the
+/// stream (steady state; must be zero).
+fn time_tiled(stream: &[u8]) -> (f64, u64) {
+    let index = split_picture_units(stream).expect("index");
+    let seq = index.seq.clone();
+    let cfg = SystemConfig::new(0, (2, 2));
+    let geom = cfg.geometry(seq.width, seq.height).expect("geometry");
+    let splitter = MacroblockSplitter::new(geom, seq.clone());
+    let mut decoders: Vec<TileDecoder> = geom
+        .iter_tiles()
+        .map(|t| TileDecoder::new(geom, t, seq.clone(), cfg.halo_margin))
+        .collect();
+    let outs: Vec<_> = index
+        .units
+        .iter()
+        .enumerate()
+        .map(|(p, &(s, e))| splitter.split(p as u32, &stream[s..e]).expect("split"))
+        .collect();
+
+    let mut wall = 0.0f64;
+    let mut steady_allocs = 0u64;
+    let half = outs.len() / 2;
+    for (p, out) in outs.iter().enumerate() {
+        let kind = out.info.kind;
+        let mut deliveries = Vec::new();
+        for (d, dec) in decoders.iter().enumerate() {
+            for (peer, blocks) in dec.extract_send_blocks(kind, &out.mei[d]).expect("serve") {
+                deliveries.push((d, peer, blocks));
+            }
+        }
+        for (src, peer, blocks) in deliveries {
+            decoders[peer]
+                .apply_recv_blocks(kind, &out.mei[peer], src, &blocks)
+                .expect("apply");
+        }
+        let mut slowest = 0.0f64;
+        for (d, dec) in decoders.iter_mut().enumerate() {
+            let before = ALLOCS.load(Ordering::Relaxed);
+            let t0 = Instant::now();
+            let displayed = dec.decode(&out.subpictures[d]).expect("tile decode");
+            let dt = t0.elapsed().as_secs_f64();
+            let after = ALLOCS.load(Ordering::Relaxed);
+            if p >= half {
+                steady_allocs += after - before;
+            }
+            if let Some(dt) = displayed {
+                dec.recycle(dt.frame);
+            }
+            slowest = slowest.max(dt);
+        }
+        wall += slowest;
+    }
+    (wall, steady_allocs)
+}
+
+fn render_json(results: &[PresetResult], frames: usize, kernel: &str) -> String {
+    let sets: Vec<String> = kernels::available()
+        .iter()
+        .map(|s| format!("\"{}\"", s.name))
+        .collect();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"kernel\": \"{kernel}\",\n"));
+    s.push_str(&format!("  \"available\": [{}],\n", sets.join(", ")));
+    s.push_str(&format!("  \"frames\": {frames},\n"));
+    s.push_str("  \"presets\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"width\": {}, \"height\": {}, \"frames\": {},\n",
+                "     \"scalar_pps\": {:.0}, \"best_pps\": {:.0}, \"best_fps\": {:.2}, ",
+                "\"simd_ratio\": {:.3},\n",
+                "     \"tiled_2x2_pps\": {:.0}, \"tiled_2x2_fps\": {:.2}, ",
+                "\"steady_allocs\": {}}}{}\n",
+            ),
+            r.name,
+            r.width,
+            r.height,
+            r.frames,
+            r.scalar_pps,
+            r.best_pps,
+            r.best_fps,
+            r.ratio,
+            r.tiled_pps,
+            r.tiled_fps,
+            r.steady_allocs,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Pulls `best_pps` for `preset` out of a baseline JSON file written by
+/// [`render_json`] (line-oriented scan; no JSON dependency).
+fn extract_best_pps(baseline: &str, preset: &str) -> Option<f64> {
+    let tag = format!("\"name\": \"{preset}\"");
+    let start = baseline.find(&tag)?;
+    let rest = &baseline[start..];
+    let key = "\"best_pps\": ";
+    let at = rest.find(key)? + key.len();
+    let tail = &rest[at..];
+    let end = tail.find([',', '}', '\n'])?;
+    tail[..end].trim().parse().ok()
+}

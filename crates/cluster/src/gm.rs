@@ -13,6 +13,7 @@
 //!   fed concurrently). Messages from one sender stay in order. The
 //!   ANID protocol in `tiledec-core` exists precisely because of this.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -43,6 +44,8 @@ pub enum SendError {
     UnknownDestination(NodeId),
     /// The destination endpoint (and its mailbox) no longer exists.
     ReceiverGone(NodeId),
+    /// A peer poisoned the cluster; the pipeline is tearing down.
+    Poisoned,
 }
 
 impl std::fmt::Display for SendError {
@@ -50,11 +53,38 @@ impl std::fmt::Display for SendError {
         match self {
             SendError::UnknownDestination(id) => write!(f, "unknown destination node {}", id.0),
             SendError::ReceiverGone(id) => write!(f, "receiver endpoint {} dropped", id.0),
+            SendError::Poisoned => write!(f, "cluster poisoned by a failed peer"),
         }
     }
 }
 
 impl std::error::Error for SendError {}
+
+/// A receive that could not be completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// A peer poisoned the cluster; the pipeline is tearing down.
+    Poisoned,
+    /// Every sender handle is gone, so no message can ever arrive.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Poisoned => write!(f, "cluster poisoned by a failed peer"),
+            RecvError::Disconnected => write!(f, "cluster torn down while receiving"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Sentinel tag of the internal wake-up message [`Endpoint::poison`]
+/// injects into every mailbox. Never delivered to callers (and
+/// deliberately *not* a `TAG_` protocol constant: it belongs to the
+/// transport, not the decode protocol).
+const POISON_WAKE: u32 = u32::MAX;
 
 /// Per-link credit counter: models the receiver's posted buffers.
 struct Credits {
@@ -70,12 +100,20 @@ impl Credits {
         }
     }
 
-    fn acquire(&self) {
+    /// Blocks for a posted buffer. Returns `false` (without consuming a
+    /// credit) if the cluster is poisoned before one frees up.
+    fn acquire(&self, poisoned: &AtomicBool) -> bool {
         let mut avail = self.state.lock();
-        while *avail == 0 {
+        loop {
+            if poisoned.load(Ordering::SeqCst) {
+                return false;
+            }
+            if *avail > 0 {
+                *avail -= 1;
+                return true;
+            }
             self.cv.wait(&mut avail);
         }
-        *avail -= 1;
     }
 
     fn release(&self) {
@@ -91,6 +129,8 @@ struct Shared {
     /// `credits[from * n + to]`.
     credits: Vec<Credits>,
     traffic: TrafficMatrix,
+    /// Set once by the first failing node; wakes every blocked peer.
+    poisoned: AtomicBool,
 }
 
 /// A cluster of `n` nodes with all-to-all links.
@@ -121,6 +161,7 @@ impl ThreadCluster {
             mailboxes,
             credits: (0..n * n).map(|_| Credits::new(credits)).collect(),
             traffic: TrafficMatrix::new(n),
+            poisoned: AtomicBool::new(false),
         });
         let endpoints = receivers
             .into_iter()
@@ -175,7 +216,9 @@ impl Endpoint {
             return Err(SendError::UnknownDestination(to));
         }
         let link = &self.shared.credits[self.id.0 * self.shared.n + to.0];
-        link.acquire();
+        if !link.acquire(&self.shared.poisoned) {
+            return Err(SendError::Poisoned);
+        }
         self.shared
             .traffic
             .record(self.id.0, to.0, payload.len() as u64);
@@ -191,13 +234,53 @@ impl Endpoint {
     /// Receives the next message, blocking until one arrives. The caller
     /// must [`Endpoint::recycle`] the message once consumed, or the sender
     /// will eventually stall — mirroring GM's explicit buffer recycling.
-    pub fn recv(&self) -> Message {
-        self.rx.recv().expect("cluster torn down while receiving")
+    ///
+    /// Fails instead of blocking forever once a peer has poisoned the
+    /// cluster (see [`Endpoint::poison`]) or every sender is gone.
+    pub fn recv(&self) -> Result<Message, RecvError> {
+        if self.shared.poisoned.load(Ordering::SeqCst) {
+            return Err(RecvError::Poisoned);
+        }
+        match self.rx.recv() {
+            Err(_) => Err(RecvError::Disconnected),
+            Ok(m) if m.tag == POISON_WAKE => Err(RecvError::Poisoned),
+            Ok(m) => Ok(m),
+        }
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Message> {
-        self.rx.try_recv().ok()
+        match self.rx.try_recv() {
+            Ok(m) if m.tag == POISON_WAKE => None,
+            Ok(m) => Some(m),
+            Err(_) => None,
+        }
+    }
+
+    /// Poisons the whole cluster: every peer blocked in
+    /// [`Endpoint::recv`] or in a credit-starved [`Endpoint::send`] wakes
+    /// up with a `Poisoned` error, and later calls fail fast. Called by a
+    /// node that hit an unrecoverable error mid-pipeline, so the process
+    /// tears down with that error instead of deadlocking on messages that
+    /// will never arrive (the paper's cluster equivalent is killing the
+    /// MPI/GM job). Idempotent; the first caller wins.
+    pub fn poison(&self) {
+        if self.shared.poisoned.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Lock each credit mutex before notifying so a sender that just
+        // checked the flag and is about to wait cannot miss the wake-up.
+        for link in &self.shared.credits {
+            let _guard = link.state.lock();
+            link.cv.notify_all();
+        }
+        for mailbox in &self.shared.mailboxes {
+            let _ = mailbox.send(Message {
+                from: self.id,
+                tag: POISON_WAKE,
+                payload: Bytes::new(),
+            });
+        }
     }
 
     /// Returns a receive buffer to the link it arrived on.
@@ -222,14 +305,14 @@ mod tests {
         let a = cluster.take_endpoint(0);
         let b = cluster.take_endpoint(1);
         let t = std::thread::spawn(move || {
-            let m = b.recv();
+            let m = b.recv().unwrap();
             b.recycle(&m);
             assert_eq!(m.from, NodeId(0));
             assert_eq!(m.tag, 7);
             b.send(NodeId(0), 8, Bytes::from_static(b"pong")).unwrap();
         });
         a.send(NodeId(1), 7, Bytes::from_static(b"ping")).unwrap();
-        let m = a.recv();
+        let m = a.recv().unwrap();
         a.recycle(&m);
         assert_eq!(m.payload.as_ref(), b"pong");
         t.join().unwrap();
@@ -246,7 +329,7 @@ mod tests {
             a.send(NodeId(1), i, Bytes::new()).unwrap();
         }
         for i in 0..50u32 {
-            let m = b.recv();
+            let m = b.recv().unwrap();
             b.recycle(&m);
             assert_eq!(m.tag, i);
         }
@@ -267,13 +350,13 @@ mod tests {
         });
         std::thread::sleep(Duration::from_millis(50));
         assert!(!blocked.is_finished(), "third send should block on credits");
-        let m = b.recv();
+        let m = b.recv().unwrap();
         b.recycle(&m);
         let a = blocked.join().unwrap();
         drop(a);
-        let m1 = b.recv();
+        let m1 = b.recv().unwrap();
         b.recycle(&m1);
-        let m2 = b.recv();
+        let m2 = b.recv().unwrap();
         b.recycle(&m2);
         assert_eq!((m1.tag, m2.tag), (1, 2));
     }
@@ -286,9 +369,9 @@ mod tests {
         let c = cluster.take_endpoint(2);
         a.send(NodeId(1), 0, Bytes::from(vec![0u8; 10])).unwrap();
         a.send(NodeId(2), 0, Bytes::from(vec![0u8; 20])).unwrap();
-        let m = b.recv();
+        let m = b.recv().unwrap();
         b.recycle(&m);
-        let m = c.recv();
+        let m = c.recv().unwrap();
         c.recycle(&m);
         assert_eq!(cluster.traffic().sent_by(0), 30);
         assert_eq!(cluster.traffic().received_by(2), 20);
@@ -302,6 +385,45 @@ mod tests {
             a.send(NodeId(9), 0, Bytes::new()),
             Err(SendError::UnknownDestination(NodeId(9)))
         );
+    }
+
+    #[test]
+    fn poison_wakes_blocked_receiver() {
+        let mut cluster = ThreadCluster::new(2);
+        let a = cluster.take_endpoint(0);
+        let b = cluster.take_endpoint(1);
+        let blocked = std::thread::spawn(move || b.recv());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!blocked.is_finished(), "receiver should be blocked");
+        a.poison();
+        assert_eq!(blocked.join().unwrap().unwrap_err(), RecvError::Poisoned);
+        // Later operations fail fast instead of blocking.
+        assert_eq!(a.send(NodeId(1), 0, Bytes::new()), Err(SendError::Poisoned));
+    }
+
+    #[test]
+    fn poison_wakes_credit_starved_sender() {
+        let mut cluster = ThreadCluster::with_credits(2, 1);
+        let a = cluster.take_endpoint(0);
+        let b = cluster.take_endpoint(1);
+        a.send(NodeId(1), 0, Bytes::new()).unwrap();
+        // No credits left: the next send blocks until `b` poisons.
+        let blocked = std::thread::spawn(move || a.send(NodeId(1), 1, Bytes::new()));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!blocked.is_finished(), "send should be blocked on credits");
+        b.poison();
+        assert_eq!(blocked.join().unwrap(), Err(SendError::Poisoned));
+    }
+
+    #[test]
+    fn poison_is_idempotent() {
+        let mut cluster = ThreadCluster::new(2);
+        let a = cluster.take_endpoint(0);
+        let b = cluster.take_endpoint(1);
+        a.poison();
+        b.poison();
+        a.poison();
+        assert_eq!(b.recv().unwrap_err(), RecvError::Poisoned);
     }
 
     #[test]

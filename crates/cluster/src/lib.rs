@@ -32,6 +32,6 @@ pub mod sim;
 pub mod stats;
 
 pub use cost::CostModel;
-pub use gm::{Endpoint, Message, NodeId, SendError, ThreadCluster};
+pub use gm::{Endpoint, Message, NodeId, RecvError, SendError, ThreadCluster};
 pub use sim::{DecoderCost, PictureCost, PipelineSim, PipelineSpec, SimReport};
 pub use stats::TrafficMatrix;

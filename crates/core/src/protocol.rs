@@ -137,17 +137,18 @@ pub fn decode_blocks(payload: &[u8]) -> Result<(u32, u16, Vec<BlockData>)> {
             1 => RefSlot::Backward,
             other => return Err(CoreError::Wire(format!("bad slot {other}"))),
         };
-        let y = r.bytes(256)?.to_vec();
-        let cb = r.bytes(64)?.to_vec();
-        let cr = r.bytes(64)?.to_vec();
-        out.push(BlockData {
+        let mut block = BlockData {
             mb_x,
             mb_y,
             slot,
-            y,
-            cb,
-            cr,
-        });
+            y: [0; 256],
+            cb: [0; 64],
+            cr: [0; 64],
+        };
+        block.y.copy_from_slice(r.bytes(256)?);
+        block.cb.copy_from_slice(r.bytes(64)?);
+        block.cr.copy_from_slice(r.bytes(64)?);
+        out.push(block);
     }
     Ok((picture_id, src, out))
 }
@@ -199,17 +200,17 @@ mod tests {
                 mb_x: 5,
                 mb_y: 6,
                 slot: RefSlot::Backward,
-                y: (0..=255).collect(),
-                cb: vec![1; 64],
-                cr: vec![2; 64],
+                y: std::array::from_fn(|i| i as u8),
+                cb: [1; 64],
+                cr: [2; 64],
             },
             BlockData {
                 mb_x: 0,
                 mb_y: 0,
                 slot: RefSlot::Forward,
-                y: vec![7; 256],
-                cb: vec![8; 64],
-                cr: vec![9; 64],
+                y: [7; 256],
+                cb: [8; 64],
+                cr: [9; 64],
             },
         ];
         let payload = encode_blocks(33, 4, &blocks);

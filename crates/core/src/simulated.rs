@@ -22,7 +22,7 @@ use crate::tile_decoder::BlockData;
 type SendBatches = Vec<(usize, Vec<BlockData>)>;
 use crate::splitter::{split_picture_units, MacroblockSplitter};
 use crate::tile_decoder::TileDecoder;
-use crate::wire::WireWriter;
+use crate::wire::BufferPool;
 use crate::{CoreError, Result};
 
 /// Measured per-picture averages from the profiling pass.
@@ -105,6 +105,7 @@ impl SimulatedSystem {
 
         let mut pictures = Vec::with_capacity(index.units.len());
         let mut measured = MeasuredCosts::default();
+        let mut wire_pool = BufferPool::new();
         let mut frames: Vec<Frame> = Vec::new();
         let mut pending_walls: std::collections::HashMap<u32, (Wall, usize)> = Default::default();
 
@@ -153,10 +154,11 @@ impl SimulatedSystem {
             let mut per_decoder = Vec::with_capacity(tiles);
             for (d, dec) in decoders.iter_mut().enumerate() {
                 let sp = &out.subpictures[d];
-                let mut w = WireWriter::new();
+                let mut w = wire_pool.writer();
                 sp.encode(&mut w);
                 out.mei[d].encode(&mut w);
                 let subpic_bytes = w.len() as u64;
+                wire_pool.release(w.into_bytes());
                 // Extra timing passes run on a clone so reference state
                 // advances exactly once.
                 let mut decode_s = f64::INFINITY;
@@ -170,7 +172,7 @@ impl SimulatedSystem {
                 let displayable = dec.decode(sp)?;
                 decode_s = decode_s.min(t0.elapsed().as_secs_f64());
                 if self.verify {
-                    for dt in displayable {
+                    if let Some(dt) = displayable {
                         let entry = pending_walls
                             .entry(dt.display_index)
                             .or_insert_with(|| (Wall::new(geom), 0));
@@ -180,6 +182,10 @@ impl SimulatedSystem {
                             .map_err(|e| CoreError::Protocol(e.to_string()))?;
                         entry.1 += 1;
                     }
+                } else if let Some(dt) = displayable {
+                    // Not assembling output: hand the tile's allocation
+                    // straight back to the decoder's frame pool.
+                    dec.recycle(dt.frame);
                 }
                 per_decoder.push(DecoderCost {
                     subpic_bytes,

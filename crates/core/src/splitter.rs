@@ -165,11 +165,15 @@ impl MacroblockSplitter {
     pub fn split(&self, picture_id: u32, unit: &[u8]) -> Result<SplitOutput> {
         let parsed = parse_picture(unit, &self.seq)?;
         let tiles = self.geom.tiles() as usize;
-        let mut subpictures: Vec<SubPicture> = (0..tiles)
-            .map(|_| SubPicture {
+        // One run per slice row intersecting the tile, so the tile's
+        // macroblock-row count is the exact steady-state capacity.
+        let mut subpictures: Vec<SubPicture> = self
+            .geom
+            .iter_tiles()
+            .map(|t| SubPicture {
                 picture_id,
                 info: parsed.info.clone(),
-                runs: Vec::new(),
+                runs: Vec::with_capacity((self.geom.tile_mb_rect(t).h / 16) as usize),
             })
             .collect();
         let mut needs: Vec<Vec<(u16, u16, RefSlot, u16)>> = vec![Vec::new(); tiles];

@@ -81,23 +81,28 @@ impl ThreadedSystem {
             }
             drop(tile_tx);
             let root_ep = cluster.take_endpoint(0);
-            let mut first_err = drive_node(root_ep, root, None).err();
+            let mut errors: Vec<CoreError> = Vec::new();
+            if let Err(e) = drive_node(root_ep, root, None) {
+                errors.push(e);
+            }
             for h in handles {
                 match h.join() {
                     Ok(Ok(())) => {}
-                    Ok(Err(e)) => {
-                        if first_err.is_none() {
-                            first_err = Some(e);
-                        }
-                    }
-                    Err(_) => {
-                        if first_err.is_none() {
-                            first_err = Some(CoreError::Protocol("node thread panicked".into()));
-                        }
-                    }
+                    Ok(Err(e)) => errors.push(e),
+                    Err(_) => errors.push(CoreError::Protocol("node thread panicked".into())),
                 }
             }
-            match first_err {
+            // A failing node poisons the cluster, so its peers all report
+            // teardown fallout; surface the root cause, not the cascade.
+            let mut fallout = None;
+            for e in errors {
+                if e.to_string().contains("poisoned") {
+                    fallout.get_or_insert(e);
+                } else {
+                    return Err(e);
+                }
+            }
+            match fallout {
                 Some(e) => Err(e),
                 None => Ok(()),
             }
@@ -140,13 +145,35 @@ impl ThreadedSystem {
     }
 }
 
+/// Poisons the cluster on any non-`Done` exit — error return or panic —
+/// so peers blocked on this node wake with an error instead of hanging.
+struct PoisonGuard<'a> {
+    ep: &'a Endpoint,
+    armed: bool,
+}
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.ep.poison();
+        }
+    }
+}
+
 /// Drives one machine over a real endpoint until it finishes. Emitted
-/// tiles are forwarded through `sink` as they appear.
+/// tiles are forwarded through `sink` as they appear. If the machine
+/// fails mid-pipeline (e.g. a parse error inside a picture unit), the
+/// whole cluster is poisoned so every peer unblocks and
+/// [`ThreadedSystem::play`] returns the error instead of deadlocking.
 fn drive_node(
     ep: Endpoint,
     mut mach: NodeMachine,
     sink: Option<(usize, mpsc::Sender<(usize, DisplayTile)>)>,
 ) -> Result<()> {
+    let mut guard = PoisonGuard {
+        ep: &ep,
+        armed: true,
+    };
     let mut input: Option<Msg> = None;
     loop {
         let effect = mach.resume(input.take()).map_err(CoreError::Protocol)?;
@@ -160,7 +187,7 @@ fn drive_node(
                 .send(NodeId(to), tag, payload)
                 .map_err(|e| CoreError::Protocol(e.to_string()))?,
             Effect::Recv => {
-                let m = ep.recv();
+                let m = ep.recv().map_err(|e| CoreError::Protocol(e.to_string()))?;
                 ep.recycle(&m);
                 input = Some(Msg {
                     from: m.from.0,
@@ -168,7 +195,10 @@ fn drive_node(
                     payload: m.payload,
                 });
             }
-            Effect::Done => return Ok(()),
+            Effect::Done => {
+                guard.armed = false;
+                return Ok(());
+            }
         }
     }
 }

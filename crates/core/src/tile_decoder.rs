@@ -17,7 +17,7 @@
 //!    decoder).
 
 use tiledec_bitstream::BitReader;
-use tiledec_mpeg2::frame::Frame;
+use tiledec_mpeg2::frame::{Frame, FramePool};
 use tiledec_mpeg2::motion::{PlanePick, RefPick, ReferenceFetcher};
 use tiledec_mpeg2::recon::{MbSink, Reconstructor};
 use tiledec_mpeg2::slice::{
@@ -40,11 +40,11 @@ pub struct BlockData {
     /// Which reference frame the block belongs to.
     pub slot: RefSlot,
     /// 16×16 luma samples.
-    pub y: Vec<u8>,
+    pub y: [u8; 256],
     /// 8×8 Cb samples.
-    pub cb: Vec<u8>,
+    pub cb: [u8; 64],
     /// 8×8 Cr samples.
-    pub cr: Vec<u8>,
+    pub cr: [u8; 64],
 }
 
 /// A tile frame ready for display.
@@ -71,6 +71,9 @@ pub struct TileDecoder {
     /// Held reference tile awaiting display-order release.
     held: Option<Frame>,
     emitted: u32,
+    /// Recycled frame allocations (identity-transparent cache: hashes to
+    /// nothing, clones empty).
+    pool: FramePool,
 }
 
 impl TileDecoder {
@@ -99,6 +102,7 @@ impl TileDecoder {
             bwd: None,
             held: None,
             emitted: 0,
+            pool: FramePool::new(),
         }
     }
 
@@ -119,7 +123,17 @@ impl TileDecoder {
         kind: PictureKind,
         mei: &MeiBuffer,
     ) -> Result<Vec<(usize, Vec<BlockData>)>> {
-        let mut by_peer: std::collections::BTreeMap<usize, Vec<BlockData>> = Default::default();
+        // Pre-count per-peer batches so each Vec is sized exactly once.
+        let mut counts: std::collections::BTreeMap<usize, usize> = Default::default();
+        for i in mei.sends() {
+            if let MeiInstruction::Send { peer, .. } = i {
+                *counts.entry(*peer as usize).or_default() += 1;
+            }
+        }
+        let mut by_peer: std::collections::BTreeMap<usize, Vec<BlockData>> = counts
+            .into_iter()
+            .map(|(peer, n)| (peer, Vec::with_capacity(n)))
+            .collect();
         for i in mei.sends() {
             let MeiInstruction::Send {
                 mb_x,
@@ -140,14 +154,18 @@ impl TileDecoder {
             }
             let lx = (px - self.ext_rect.x0) as usize;
             let ly = (py - self.ext_rect.y0) as usize;
-            let block = BlockData {
+            let mut block = BlockData {
                 mb_x,
                 mb_y,
                 slot,
-                y: frame.y.extract(lx, ly, 16, 16),
-                cb: frame.cb.extract(lx / 2, ly / 2, 8, 8),
-                cr: frame.cr.extract(lx / 2, ly / 2, 8, 8),
+                y: [0; 256],
+                cb: [0; 64],
+                cr: [0; 64],
             };
+            frame.y.extract_into(lx, ly, 16, 16, &mut block.y);
+            frame.cb.extract_into(lx / 2, ly / 2, 8, 8, &mut block.cb);
+            frame.cr.extract_into(lx / 2, ly / 2, 8, 8, &mut block.cr);
+            // Key exists from the counting pass, so no allocation here.
             by_peer.entry(peer as usize).or_default().push(block);
         }
         Ok(by_peer.into_iter().collect())
@@ -223,15 +241,22 @@ impl TileDecoder {
     }
 
     /// Decodes a sub-picture. Any blocks required from peers must have
-    /// been applied first. Returns tiles that become displayable, in
-    /// display order.
-    pub fn decode(&mut self, sp: &SubPicture) -> Result<Vec<DisplayTile>> {
+    /// been applied first. Returns the tile that becomes displayable, if
+    /// any: B tiles immediately, reference tiles deferred one picture.
+    ///
+    /// Steady state allocates nothing: working frames come from the
+    /// decoder's pool, which [`TileDecoder::recycle`] refills once a
+    /// [`DisplayTile`] has been consumed.
+    pub fn decode(&mut self, sp: &SubPicture) -> Result<Option<DisplayTile>> {
         let kind = sp.info.kind;
-        let mut current = Frame::zeroed(self.ext_rect.w as usize, self.ext_rect.h as usize);
+        let mut current = self
+            .pool
+            .acquire_zeroed(self.ext_rect.w as usize, self.ext_rect.h as usize);
         {
-            let placeholder = Frame::zeroed(16, 16);
+            static PLACEHOLDER: std::sync::OnceLock<Frame> = std::sync::OnceLock::new();
+            let placeholder = PLACEHOLDER.get_or_init(|| Frame::zeroed(16, 16));
             let (fwd, bwd): (&Frame, &Frame) = match kind {
-                PictureKind::I => (&placeholder, &placeholder),
+                PictureKind::I => (placeholder, placeholder),
                 PictureKind::P => {
                     let f = self.bwd.as_ref().ok_or_else(|| {
                         CoreError::Protocol("P sub-picture without reference".into())
@@ -270,28 +295,42 @@ impl TileDecoder {
         }
 
         // Display-order emission, mirroring the sequential decoder.
-        let mut out = Vec::new();
         match kind {
             PictureKind::B => {
-                out.push(DisplayTile {
+                let frame = self.crop_own(&current);
+                self.pool.release(current);
+                let tile = DisplayTile {
                     display_index: self.emitted,
-                    frame: self.crop_own(&current),
-                });
+                    frame,
+                };
                 self.emitted += 1;
+                Ok(Some(tile))
             }
             _ => {
-                if let Some(prev) = self.held.take() {
-                    out.push(DisplayTile {
+                let out = self.held.take().map(|prev| {
+                    let tile = DisplayTile {
                         display_index: self.emitted,
                         frame: prev,
-                    });
+                    };
                     self.emitted += 1;
-                }
+                    tile
+                });
                 self.held = Some(self.crop_own(&current));
-                self.fwd = self.bwd.replace(current);
+                let retired = std::mem::replace(&mut self.fwd, self.bwd.replace(current));
+                if let Some(old) = retired {
+                    self.pool.release(old);
+                }
+                Ok(out)
             }
         }
-        Ok(out)
+    }
+
+    /// Returns a consumed frame's allocation to the decoder's pool so the
+    /// steady-state hot path stops allocating. Callers hand back the
+    /// [`DisplayTile`] frames they have finished displaying (or encoding
+    /// onward); frames of any dimensions are accepted.
+    pub fn recycle(&mut self, frame: Frame) {
+        self.pool.release(frame);
     }
 
     /// Flushes the last held reference tile at end of stream.
@@ -306,11 +345,11 @@ impl TileDecoder {
         })
     }
 
-    fn crop_own(&self, ext: &Frame) -> Frame {
+    fn crop_own(&mut self, ext: &Frame) -> Frame {
         let dx = (self.own_rect.x0 - self.ext_rect.x0) as usize;
         let dy = (self.own_rect.y0 - self.ext_rect.y0) as usize;
         let (w, h) = (self.own_rect.w as usize, self.own_rect.h as usize);
-        let mut f = Frame::zeroed(w, h);
+        let mut f = self.pool.acquire_zeroed(w, h);
         f.y.blit_from(&ext.y, dx, dy, 0, 0, w, h);
         f.cb.blit_from(&ext.cb, dx / 2, dy / 2, 0, 0, w / 2, h / 2);
         f.cr.blit_from(&ext.cr, dx / 2, dy / 2, 0, 0, w / 2, h / 2);
@@ -367,7 +406,7 @@ fn decode_run(
     r.skip(run.skip_bits as usize)
         .map_err(tiledec_mpeg2::Error::from)?;
     let first_addr = run.row as u32 * mbw + run.first_coded_col as u32;
-    let mut blocks = Box::new([[0i32; 64]; 6]);
+    let mut blocks = [[0i32; 64]; 6];
     for i in 0..run.coded_count {
         let mode = if i == 0 {
             AddrMode::Forced(first_addr)
@@ -439,6 +478,43 @@ impl ReferenceFetcher for TileRefs<'_> {
             let src = &p.row(cy + row)[cx..cx + w];
             out[row * w..(row + 1) * w].copy_from_slice(src);
         }
+    }
+
+    fn region(
+        &self,
+        which: RefPick,
+        plane: PlanePick,
+        x0: i32,
+        y0: i32,
+        w: usize,
+        h: usize,
+    ) -> Option<(&[u8], usize)> {
+        // Interior fetches (the vast majority: halo coverage means the
+        // whole prediction region sits inside the extended rectangle)
+        // lend a slice of the reference plane instead of copying.
+        let frame = match which {
+            RefPick::Forward => self.fwd,
+            RefPick::Backward => self.bwd,
+        };
+        let (ex, ey) = match plane {
+            PlanePick::Y => (self.ext_rect.x0 as i32, self.ext_rect.y0 as i32),
+            _ => (self.ext_rect.x0 as i32 / 2, self.ext_rect.y0 as i32 / 2),
+        };
+        let lx = x0 - ex;
+        let ly = y0 - ey;
+        if lx < 0 || ly < 0 {
+            return None;
+        }
+        let (lx, ly) = (lx as usize, ly as usize);
+        let p = match plane {
+            PlanePick::Y => &frame.y,
+            PlanePick::Cb => &frame.cb,
+            PlanePick::Cr => &frame.cr,
+        };
+        if lx + w > p.width() || ly + h > p.height() {
+            return None;
+        }
+        Some((&p.data()[ly * p.stride() + lx..], p.stride()))
     }
 }
 
@@ -525,9 +601,9 @@ mod tests {
             mb_x: 4,
             mb_y: 0,
             slot: RefSlot::Forward,
-            y: vec![0; 256],
-            cb: vec![0; 64],
-            cr: vec![0; 64],
+            y: [0; 256],
+            cb: [0; 64],
+            cr: [0; 64],
         };
         let empty = MeiBuffer::new();
         assert!(d

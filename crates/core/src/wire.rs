@@ -72,6 +72,58 @@ impl WireWriter {
     }
 }
 
+/// Upper bound on buffers retained by a [`BufferPool`]; beyond this,
+/// released buffers are simply dropped.
+const BUFFER_POOL_CAP: usize = 16;
+
+/// Recycles message byte buffers so steady-state encoding allocates
+/// nothing: acquire a buffer (or a [`WireWriter`] over one), ship or
+/// measure the bytes, then hand the allocation back with
+/// [`BufferPool::release`].
+#[derive(Default)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a cleared buffer from the pool, or allocates a fresh one.
+    pub fn acquire(&mut self) -> Vec<u8> {
+        let mut b = self.free.pop().unwrap_or_default();
+        b.clear();
+        b
+    }
+
+    /// Starts a [`WireWriter`] over a pooled buffer. Recycle it after use
+    /// via `pool.release(w.into_bytes())`.
+    pub fn writer(&mut self) -> WireWriter {
+        WireWriter {
+            buf: self.acquire(),
+        }
+    }
+
+    /// Returns a buffer's allocation to the pool (capped; excess dropped).
+    pub fn release(&mut self, buf: Vec<u8>) {
+        if self.free.len() < BUFFER_POOL_CAP {
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of buffers currently idle in the pool.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True when no buffer is idle in the pool.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
 /// Sequential decoder over a byte slice.
 pub struct WireReader<'a> {
     buf: &'a [u8],
@@ -164,6 +216,33 @@ mod tests {
         assert_eq!(r.i16().unwrap(), -77);
         assert_eq!(r.bytes(3).unwrap(), b"xyz");
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn buffer_pool_recycles_allocations() {
+        let mut pool = BufferPool::new();
+        let mut w = pool.writer();
+        w.bytes(&[0u8; 512]);
+        let buf = w.into_bytes();
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        pool.release(buf);
+        assert_eq!(pool.len(), 1);
+        // Reacquired buffer reuses the same allocation, cleared.
+        let again = pool.acquire();
+        assert!(again.is_empty());
+        assert_eq!(again.capacity(), cap);
+        assert_eq!(again.as_ptr(), ptr);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn buffer_pool_is_bounded() {
+        let mut pool = BufferPool::new();
+        for _ in 0..100 {
+            pool.release(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.len(), super::BUFFER_POOL_CAP);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Steady-state allocation audit of the tile-decoder hot path.
+//!
+//! A counting global allocator wraps the system allocator; after a
+//! warm-up GOP has filled the decoder's frame pool, every further
+//! `TileDecoder::decode` call must perform **zero** heap allocations —
+//! the per-picture working frames all come from recycled pool frames,
+//! macroblock coefficient blocks live on the stack, and motion
+//! compensation borrows reference regions instead of copying.
+//!
+//! This file deliberately holds a single test: the allocator counter is
+//! process-global, and a concurrent test would perturb the counts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use tiledec_core::splitter::{split_picture_units, MacroblockSplitter};
+use tiledec_core::tile_decoder::TileDecoder;
+use tiledec_core::SystemConfig;
+use tiledec_mpeg2::encoder::{Encoder, EncoderConfig};
+use tiledec_mpeg2::frame::Frame;
+
+fn clip(w: usize, h: usize, frames: usize) -> Vec<Frame> {
+    (0..frames)
+        .map(|t| {
+            let mut f = Frame::black(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    let mut v = (((x + 3 * t) * 5 + y * 7) % 199) as u8 + 20;
+                    let sq_x = (5 * t + 12) % (w - 24);
+                    let sq_y = (3 * t + 4) % (h - 24);
+                    if x >= sq_x && x < sq_x + 24 && y >= sq_y && y < sq_y + 24 {
+                        v = 230;
+                    }
+                    f.y.set(x, y, v);
+                }
+            }
+            for y in 0..h / 2 {
+                for x in 0..w / 2 {
+                    f.cb.set(x, y, (((x + 2 * t) * 3 + y) % 120) as u8 + 60);
+                    f.cr.set(x, y, ((x + (y + t) * 3) % 120) as u8 + 60);
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+#[test]
+fn steady_state_decode_is_allocation_free() {
+    // Two GOPs with B pictures and cross-tile motion; the first GOP warms
+    // the frame pool, the second is audited.
+    let (w, h, gop, frames) = (128u32, 64u32, 6usize, 12usize);
+    let mut ecfg = EncoderConfig::for_size(w, h);
+    ecfg.gop_size = gop as u32;
+    ecfg.b_frames = 1;
+    ecfg.qscale = 6;
+    ecfg.search_range = 15;
+    let stream = Encoder::new(ecfg)
+        .unwrap()
+        .encode(&clip(w as usize, h as usize, frames))
+        .unwrap();
+
+    let index = split_picture_units(&stream).unwrap();
+    let seq = index.seq.clone();
+    let cfg = SystemConfig::new(0, (2, 1));
+    let geom = cfg.geometry(seq.width, seq.height).unwrap();
+    let splitter = MacroblockSplitter::new(geom, seq.clone());
+    let mut decoders: Vec<TileDecoder> = geom
+        .iter_tiles()
+        .map(|t| TileDecoder::new(geom, t, seq.clone(), cfg.halo_margin))
+        .collect();
+
+    // Split everything up front so only `decode` runs inside the window.
+    let outs: Vec<_> = index
+        .units
+        .iter()
+        .enumerate()
+        .map(|(p, &(s, e))| splitter.split(p as u32, &stream[s..e]).unwrap())
+        .collect();
+
+    let mut audited: Vec<(usize, usize, u64)> = Vec::with_capacity(frames * 2);
+    for (p, out) in outs.iter().enumerate() {
+        let kind = out.info.kind;
+        // MEI exchange (unmeasured: the serve path batches into Vecs).
+        let mut deliveries = Vec::new();
+        for (d, dec) in decoders.iter().enumerate() {
+            for (peer, blocks) in dec.extract_send_blocks(kind, &out.mei[d]).unwrap() {
+                deliveries.push((d, peer, blocks));
+            }
+        }
+        for (src, peer, blocks) in deliveries {
+            decoders[peer]
+                .apply_recv_blocks(kind, &out.mei[peer], src, &blocks)
+                .unwrap();
+        }
+        for (d, dec) in decoders.iter_mut().enumerate() {
+            let before = ALLOCS.load(Ordering::Relaxed);
+            let displayed = dec.decode(&out.subpictures[d]).unwrap();
+            let after = ALLOCS.load(Ordering::Relaxed);
+            // Consumers return display frames to the pool (outside the
+            // measured window, as a real display loop would after blit).
+            if let Some(dt) = displayed {
+                dec.recycle(dt.frame);
+            }
+            audited.push((p, d, after - before));
+        }
+    }
+
+    // Warm-up may allocate (pool filling, placeholder init). After one
+    // full GOP every decode must be allocation-free.
+    let steady: Vec<_> = audited.iter().filter(|(p, _, _)| *p >= gop).collect();
+    assert!(!steady.is_empty());
+    for (p, d, n) in steady {
+        assert_eq!(
+            *n, 0,
+            "picture {p} decoder {d}: {n} heap allocations in steady state"
+        );
+    }
+}

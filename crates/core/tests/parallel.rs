@@ -90,6 +90,43 @@ fn three_splitters_4x2_matches_sequential() {
     assert_bit_exact(&out.frames, &reference, "1-3-(4,2)");
 }
 
+/// Regression for the ROADMAP teardown item: a parse failure inside a
+/// picture unit used to deadlock `ThreadedSystem::play` — the failing
+/// node exited while its peers blocked forever on messages that would
+/// never arrive. With poison-cascade teardown the first real error must
+/// come back promptly.
+#[test]
+fn truncated_picture_unit_tears_down_with_error() {
+    let stream = encode_clip(128, 64, 6, 6, 1, 6);
+    // Cut mid-way through the last picture unit: the start-code index
+    // stays valid, so the failure happens in a splitter node's per-picture
+    // parse, mid-pipeline, with decoders already waiting on work.
+    let last_pic = (0..stream.len() - 4)
+        .rev()
+        .find(|&i| stream[i..i + 4] == [0, 0, 1, 0])
+        .expect("no picture start code");
+    let cut = last_pic + (stream.len() - last_pic) / 2;
+    let truncated = stream[..cut].to_vec();
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let sys = ThreadedSystem::new(SystemConfig::new(2, (2, 2)));
+        let _ = tx.send(sys.play(&truncated).map(|_| ()));
+    });
+    // The watchdog distinguishes "returns an error" from the old hang.
+    match rx.recv_timeout(std::time::Duration::from_secs(120)) {
+        Ok(result) => {
+            let err = result.expect_err("truncated stream must fail");
+            let msg = err.to_string();
+            assert!(
+                !msg.contains("poisoned"),
+                "play surfaced teardown fallout instead of the root cause: {msg}"
+            );
+        }
+        Err(_) => panic!("ThreadedSystem::play hung on a truncated picture unit"),
+    }
+}
+
 #[test]
 fn overlap_configuration_matches_sequential() {
     // 160 px wide over 2 tiles with 16 px overlap: seam macroblocks go to
@@ -275,7 +312,7 @@ fn bit_realigned_subpictures_decode_identically() {
                 .unwrap();
         }
         for (d, dec) in decoders.iter_mut().enumerate() {
-            for dt in dec.decode(&out.subpictures[d]).unwrap() {
+            if let Some(dt) = dec.decode(&out.subpictures[d]).unwrap() {
                 place(d, dt, &mut walls);
             }
         }

@@ -66,9 +66,9 @@ proptest! {
                 mb_x,
                 mb_y,
                 slot: if fwd { RefSlot::Forward } else { RefSlot::Backward },
-                y: (0..256u16).map(|i| (i as u8).wrapping_add(seed)).collect(),
-                cb: (0..64u8).map(|i| i.wrapping_mul(seed | 1)).collect(),
-                cr: (0..64u8).map(|i| i.wrapping_sub(seed)).collect(),
+                y: std::array::from_fn(|i| (i as u8).wrapping_add(seed)),
+                cb: std::array::from_fn(|i| (i as u8).wrapping_mul(seed | 1)),
+                cr: std::array::from_fn(|i| (i as u8).wrapping_sub(seed)),
             })
             .collect();
         let payload = encode_blocks(id, src_tile, &blocks);
@@ -92,9 +92,9 @@ proptest! {
                 mb_x,
                 mb_y,
                 slot: RefSlot::Forward,
-                y: vec![1; 256],
-                cb: vec![2; 64],
-                cr: vec![3; 64],
+                y: [1; 256],
+                cb: [2; 64],
+                cr: [3; 64],
             })
             .collect();
         let payload = encode_blocks(7, 0, &blocks);

@@ -20,7 +20,18 @@ const W7: i64 = 565; //  2048*sqrt(2)*cos(7*pi/16)
 
 /// In-place fixed-point inverse DCT of an 8×8 block in raster order.
 /// Output values are clamped to `[-256, 255]`.
+///
+/// Dispatches to the fastest [`crate::kernels`] implementation available
+/// on this host; every implementation is bit-exact with
+/// [`idct_scalar`], so the choice never affects decoder output.
+#[inline]
 pub fn idct(block: &mut [i32; 64]) {
+    (crate::kernels::active().idct)(block)
+}
+
+/// The portable scalar IDCT — the bit-exactness reference every SIMD
+/// kernel is property-tested against.
+pub fn idct_scalar(block: &mut [i32; 64]) {
     for row in 0..8 {
         idct_row(&mut block[row * 8..row * 8 + 8]);
     }

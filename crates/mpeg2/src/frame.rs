@@ -108,16 +108,29 @@ impl Plane {
     /// Copies a `w × h` rectangle out of the plane into a tightly packed
     /// buffer (`w` stride).
     pub fn extract(&self, x: usize, y: usize, w: usize, h: usize) -> Vec<u8> {
+        let mut out = vec![0u8; w * h];
+        self.extract_into(x, y, w, h, &mut out);
+        out
+    }
+
+    /// Allocation-free [`extract`](Plane::extract): copies the rectangle
+    /// into a caller-provided `w × h` buffer.
+    pub fn extract_into(&self, x: usize, y: usize, w: usize, h: usize, out: &mut [u8]) {
         assert!(
             x + w <= self.width && y + h <= self.height,
             "rect out of bounds"
         );
-        let mut out = Vec::with_capacity(w * h);
+        assert_eq!(out.len(), w * h);
         for row in 0..h {
             let s0 = (y + row) * self.stride + x;
-            out.extend_from_slice(&self.data[s0..s0 + w]);
+            out[row * w..(row + 1) * w].copy_from_slice(&self.data[s0..s0 + w]);
         }
-        out
+    }
+
+    /// Overwrites every byte of the plane with `value` (stride padding
+    /// included), reusing the existing allocation.
+    pub fn fill(&mut self, value: u8) {
+        self.data.fill(value);
     }
 
     /// Writes a tightly packed `w × h` buffer into the plane at (`x`, `y`).
@@ -239,6 +252,94 @@ impl std::fmt::Debug for Frame {
     }
 }
 
+/// Recycles [`Frame`] allocations across pictures.
+///
+/// Decoders allocate one picture-sized frame per decoded picture; with a
+/// pool the steady state reuses the same buffers instead (zero heap
+/// traffic per picture once warm). The pool is a cache, **not** state:
+/// it hashes to nothing and clones empty, so two decoders that differ
+/// only in pooled garbage still compare/hash equal (the model checker
+/// and the probe-clone paths in the simulator rely on this).
+#[derive(Default)]
+pub struct FramePool {
+    free: Vec<Frame>,
+}
+
+/// Upper bound on retained frames; enough for current + two references +
+/// cropped output per decoder, with headroom for ping-ponging.
+const FRAME_POOL_CAP: usize = 8;
+
+impl FramePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        FramePool::default()
+    }
+
+    /// Returns an all-zero `width × height` frame, reusing a pooled
+    /// allocation of matching dimensions when one is available.
+    pub fn acquire_zeroed(&mut self, width: usize, height: usize) -> Frame {
+        if let Some(pos) = self
+            .free
+            .iter()
+            .position(|f| f.width() == width && f.height() == height)
+        {
+            let mut f = self.free.swap_remove(pos);
+            f.y.fill(0);
+            f.cb.fill(0);
+            f.cr.fill(0);
+            f
+        } else {
+            Frame::zeroed(width, height)
+        }
+    }
+
+    /// Returns a frame to the pool for reuse. Frames beyond the retention
+    /// cap are dropped on the spot.
+    pub fn release(&mut self, frame: Frame) {
+        if self.free.len() < FRAME_POOL_CAP {
+            self.free.push(frame);
+        }
+    }
+
+    /// Number of frames currently cached.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True when no frames are cached.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
+impl Clone for FramePool {
+    /// Clones to an *empty* pool: a clone is a fresh decoder identity and
+    /// must not share or count cached garbage.
+    fn clone(&self) -> Self {
+        FramePool::default()
+    }
+}
+
+impl PartialEq for FramePool {
+    /// Pools compare equal regardless of contents (cache, not state).
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for FramePool {}
+
+impl std::hash::Hash for FramePool {
+    /// Hashes nothing: pooled garbage must not affect decoder identity.
+    fn hash<H: std::hash::Hasher>(&self, _state: &mut H) {}
+}
+
+impl std::fmt::Debug for FramePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FramePool({} free)", self.free.len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +402,54 @@ mod tests {
         b.cb.set(0, 0, 0);
         assert_eq!(a.psnr_luma(&b), f64::INFINITY);
         assert!(a.psnr(&b).is_finite());
+    }
+
+    #[test]
+    fn frame_pool_reuses_matching_dimensions() {
+        let mut pool = FramePool::new();
+        let mut f = pool.acquire_zeroed(32, 16);
+        f.y.set(3, 3, 77);
+        pool.release(f);
+        pool.release(Frame::zeroed(64, 64));
+        assert_eq!(pool.len(), 2);
+        // Same dims → recycled and re-zeroed.
+        let f2 = pool.acquire_zeroed(32, 16);
+        assert_eq!(f2.y.get(3, 3), 0);
+        assert_eq!(pool.len(), 1);
+        // No match → fresh allocation, pool untouched.
+        let f3 = pool.acquire_zeroed(16, 16);
+        assert_eq!((f3.width(), f3.height()), (16, 16));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn frame_pool_is_identity_transparent() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut a = FramePool::new();
+        a.release(Frame::zeroed(16, 16));
+        let b = FramePool::new();
+        assert_eq!(a, b);
+        assert!(a.clone().is_empty(), "clones start empty");
+        let hash = |p: &FramePool| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn extract_into_matches_extract() {
+        let mut p = Plane::new(32, 16);
+        for y in 0..16 {
+            for x in 0..32 {
+                p.set(x, y, (x * 5 + y * 3) as u8);
+            }
+        }
+        let mut out = vec![0u8; 48];
+        p.extract_into(7, 2, 8, 6, &mut out);
+        assert_eq!(out, p.extract(7, 2, 8, 6));
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Runtime-dispatched implementations of the three hot decode kernels:
+//! the 8×8 fixed-point IDCT, half-pel motion-compensation averaging and
+//! the residual add/store with saturating clamp.
+//!
+//! Every member of a [`KernelSet`] is **bit-exact** with the scalar
+//! reference implementation (the property tests in
+//! `tests/kernel_exactness.rs` prove it on random blocks), so switching
+//! kernels can never change decoder output — tile-parallel decode stays
+//! bit-identical to the sequential decoder no matter which set is active.
+//!
+//! Selection happens once, lazily, from `is_x86_feature_detected!`; the
+//! `TILEDEC_KERNELS` environment variable (`scalar`, `sse2`, `avx2`)
+//! overrides detection for benchmarking and debugging. Non-x86 targets
+//! always get the scalar set.
+
+pub mod scalar;
+#[cfg(target_arch = "x86_64")]
+pub mod x86;
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// A complete, interchangeable set of hot decode kernels.
+///
+/// The motion-compensation members read from a strided source (either a
+/// tightly packed fetch buffer or a borrowed plane region) and write a
+/// tightly packed `size × size` prediction block; `size` is 16 for luma
+/// and 8 for chroma. The reconstruction members operate on an 8×8 block
+/// whose top-left byte is `dst[0]`, with rows `stride` bytes apart.
+pub struct KernelSet {
+    /// Kernel set name: `"scalar"`, `"sse2"` or `"avx2"`.
+    pub name: &'static str,
+    /// In-place 8×8 inverse DCT, bit-exact with [`crate::dct::idct_scalar`].
+    pub idct: fn(&mut [i32; 64]),
+    /// Full-pel prediction: row-wise copy of `size × size` pixels.
+    pub mc_copy: fn(src: &[u8], src_stride: usize, dst: &mut [u8], size: usize),
+    /// Horizontal half-pel average: `(a + b + 1) >> 1` of each pixel and
+    /// its right neighbour (reads `size + 1` columns).
+    pub mc_avg_h: fn(src: &[u8], src_stride: usize, dst: &mut [u8], size: usize),
+    /// Vertical half-pel average (reads `size + 1` rows).
+    pub mc_avg_v: fn(src: &[u8], src_stride: usize, dst: &mut [u8], size: usize),
+    /// Diagonal half-pel average: `(a + b + c + d + 2) >> 2` of the 2×2
+    /// neighbourhood (reads `size + 1` rows and columns).
+    pub mc_avg_hv: fn(src: &[u8], src_stride: usize, dst: &mut [u8], size: usize),
+    /// Bidirectional combine: `dst = (dst + src + 1) >> 1` element-wise.
+    pub average_into: fn(dst: &mut [u8], src: &[u8]),
+    /// Adds an 8×8 residual onto prediction pixels, clamping to `[0, 255]`.
+    pub add_residual: fn(dst: &mut [u8], stride: usize, residual: &[i32; 64]),
+    /// Stores an 8×8 intra block, clamping samples to `[0, 255]`.
+    pub set_block: fn(dst: &mut [u8], stride: usize, samples: &[i32; 64]),
+}
+
+/// The portable scalar baseline (always available, every arch).
+pub static SCALAR: KernelSet = KernelSet {
+    name: "scalar",
+    idct: crate::dct::idct_scalar,
+    mc_copy: scalar::mc_copy,
+    mc_avg_h: scalar::mc_avg_h,
+    mc_avg_v: scalar::mc_avg_v,
+    mc_avg_hv: scalar::mc_avg_hv,
+    average_into: scalar::average_into,
+    add_residual: scalar::add_residual,
+    set_block: scalar::set_block,
+};
+
+static ACTIVE: AtomicPtr<KernelSet> = AtomicPtr::new(std::ptr::null_mut());
+
+/// The kernel set every decode path dispatches through.
+///
+/// Resolved once (environment override first, then feature detection) and
+/// cached; subsequent calls are a single atomic load.
+#[inline]
+pub fn active() -> &'static KernelSet {
+    let p = ACTIVE.load(Ordering::Relaxed);
+    if !p.is_null() {
+        // SAFETY: the pointer only ever holds `&'static KernelSet` values.
+        return unsafe { &*p };
+    }
+    let chosen = default_set();
+    set_active(chosen);
+    chosen
+}
+
+/// Forces a specific kernel set for the rest of the process (used by the
+/// benchmarks to measure scalar-vs-SIMD on the same host, and by tests).
+pub fn set_active(set: &'static KernelSet) {
+    ACTIVE.store(set as *const KernelSet as *mut KernelSet, Ordering::Relaxed);
+}
+
+fn default_set() -> &'static KernelSet {
+    if let Ok(name) = std::env::var("TILEDEC_KERNELS") {
+        if let Some(set) = by_name(&name) {
+            return set;
+        }
+    }
+    available().last().copied().unwrap_or(&SCALAR)
+}
+
+/// Every kernel set usable on this host, slowest first (`scalar` always,
+/// then `sse2`/`avx2` as detected). Tests iterate this to prove each
+/// available set bit-exact; benches iterate it to report per-set speed.
+pub fn available() -> Vec<&'static KernelSet> {
+    #[allow(unused_mut)]
+    let mut sets = vec![&SCALAR];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("sse2") {
+            sets.push(&x86::SSE2);
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            sets.push(&x86::AVX2);
+        }
+    }
+    sets
+}
+
+/// Looks up an *available* kernel set by name (case-insensitive).
+pub fn by_name(name: &str) -> Option<&'static KernelSet> {
+    let name = name.trim().to_ascii_lowercase();
+    available().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_available() {
+        let sets = available();
+        assert_eq!(sets[0].name, "scalar");
+        assert!(by_name("scalar").is_some());
+        assert!(by_name(" SCALAR ").is_some());
+        assert!(by_name("mmx").is_none());
+    }
+
+    #[test]
+    fn active_is_idempotent() {
+        let a = active();
+        let b = active();
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn x86_sets_detected_in_order() {
+        let names: Vec<_> = available().iter().map(|s| s.name).collect();
+        if names.contains(&"avx2") {
+            assert!(names.contains(&"sse2"), "avx2 implies sse2");
+        }
+    }
+}

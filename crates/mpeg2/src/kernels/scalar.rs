@@ -1,0 +1,86 @@
+//! Portable scalar kernels — the bit-exactness reference for every SIMD
+//! set and the fallback on non-x86 targets.
+//!
+//! The arithmetic here is the canonical definition of decoder output:
+//! half-pel interpolation rounds up (`+1` / `+2` before the shift) and
+//! reconstruction clamps to `[0, 255]`, exactly as `motion.rs` and
+//! `recon.rs` did before the kernel layer existed.
+
+/// Row-wise copy of a `size × size` block (full-pel prediction).
+pub fn mc_copy(src: &[u8], src_stride: usize, dst: &mut [u8], size: usize) {
+    for y in 0..size {
+        let s = &src[y * src_stride..y * src_stride + size];
+        dst[y * size..(y + 1) * size].copy_from_slice(s);
+    }
+}
+
+/// Horizontal half-pel average: `(a + b + 1) >> 1` with the right neighbour.
+pub fn mc_avg_h(src: &[u8], src_stride: usize, dst: &mut [u8], size: usize) {
+    for y in 0..size {
+        let row = &src[y * src_stride..];
+        for x in 0..size {
+            let a = row[x] as u16;
+            let b = row[x + 1] as u16;
+            dst[y * size + x] = ((a + b + 1) >> 1) as u8;
+        }
+    }
+}
+
+/// Vertical half-pel average: `(a + b + 1) >> 1` with the row below.
+pub fn mc_avg_v(src: &[u8], src_stride: usize, dst: &mut [u8], size: usize) {
+    for y in 0..size {
+        let row0 = &src[y * src_stride..];
+        let row1 = &src[(y + 1) * src_stride..];
+        for x in 0..size {
+            let a = row0[x] as u16;
+            let b = row1[x] as u16;
+            dst[y * size + x] = ((a + b + 1) >> 1) as u8;
+        }
+    }
+}
+
+/// Diagonal half-pel average: `(a + b + c + d + 2) >> 2` of the 2×2
+/// neighbourhood.
+pub fn mc_avg_hv(src: &[u8], src_stride: usize, dst: &mut [u8], size: usize) {
+    for y in 0..size {
+        let row0 = &src[y * src_stride..];
+        let row1 = &src[(y + 1) * src_stride..];
+        for x in 0..size {
+            let a = row0[x] as u16;
+            let b = row0[x + 1] as u16;
+            let c = row1[x] as u16;
+            let d = row1[x + 1] as u16;
+            dst[y * size + x] = ((a + b + c + d + 2) >> 2) as u8;
+        }
+    }
+}
+
+/// Bidirectional combine: `dst = (dst + src + 1) >> 1` element-wise.
+pub fn average_into(dst: &mut [u8], src: &[u8]) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = ((*d as u16 + *s as u16 + 1) >> 1) as u8;
+    }
+}
+
+/// Adds an 8×8 residual block onto prediction pixels with saturation.
+///
+/// `dst[0]` is the top-left pixel of the block; rows are `stride` apart.
+pub fn add_residual(dst: &mut [u8], stride: usize, residual: &[i32; 64]) {
+    for row in 0..8 {
+        let base = row * stride;
+        for col in 0..8 {
+            let d = &mut dst[base + col];
+            *d = (*d as i32 + residual[row * 8 + col]).clamp(0, 255) as u8;
+        }
+    }
+}
+
+/// Stores an 8×8 intra block, clamping each sample to `[0, 255]`.
+pub fn set_block(dst: &mut [u8], stride: usize, samples: &[i32; 64]) {
+    for row in 0..8 {
+        let base = row * stride;
+        for col in 0..8 {
+            dst[base + col] = samples[row * 8 + col].clamp(0, 255) as u8;
+        }
+    }
+}

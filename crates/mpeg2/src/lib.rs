@@ -44,6 +44,7 @@ pub mod encoder;
 pub mod error;
 pub mod frame;
 pub mod headers;
+pub mod kernels;
 pub mod motion;
 pub mod parser;
 pub mod quant;
@@ -56,5 +57,5 @@ pub mod y4m;
 pub use decoder::{decode_all, Decoder};
 pub use encoder::{Encoder, EncoderConfig};
 pub use error::{Error, Result};
-pub use frame::{Frame, Plane};
+pub use frame::{Frame, FramePool, Plane};
 pub use types::{MotionVector, PictureKind, SequenceInfo};

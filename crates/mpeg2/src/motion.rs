@@ -47,6 +47,28 @@ pub trait ReferenceFetcher {
         h: usize,
         out: &mut [u8],
     );
+
+    /// Zero-copy fast path: borrows the `w × h` region at (`x0`, `y0`)
+    /// directly from backing storage when it is fully interior (no edge
+    /// clamping, no halo translation), returning the slice starting at the
+    /// region's top-left pixel and the storage row stride. Returning
+    /// `None` (the default) makes [`predict`] fall back to a [`fetch`]
+    /// copy; implementations must only return regions whose pixels are
+    /// identical to what `fetch` would have produced.
+    ///
+    /// [`fetch`]: ReferenceFetcher::fetch
+    fn region(
+        &self,
+        which: RefPick,
+        plane: PlanePick,
+        x0: i32,
+        y0: i32,
+        w: usize,
+        h: usize,
+    ) -> Option<(&[u8], usize)> {
+        let _ = (which, plane, x0, y0, w, h);
+        None
+    }
 }
 
 /// [`ReferenceFetcher`] over two whole frames, used by the sequential
@@ -88,6 +110,36 @@ impl ReferenceFetcher for FrameRefs<'_> {
             out[row * w..(row + 1) * w].copy_from_slice(src);
         }
     }
+
+    fn region(
+        &self,
+        which: RefPick,
+        plane: PlanePick,
+        x0: i32,
+        y0: i32,
+        w: usize,
+        h: usize,
+    ) -> Option<(&[u8], usize)> {
+        let frame = match which {
+            RefPick::Forward => self.fwd,
+            RefPick::Backward => self.bwd,
+        };
+        let p = match plane {
+            PlanePick::Y => &frame.y,
+            PlanePick::Cb => &frame.cb,
+            PlanePick::Cr => &frame.cr,
+        };
+        // Borrow only when fully interior — the same coordinates `fetch`
+        // would copy without clamping.
+        if x0 < 0 || y0 < 0 {
+            return None;
+        }
+        let (x0, y0) = (x0 as usize, y0 as usize);
+        if x0 + w > p.width() || y0 + h > p.height() {
+            return None;
+        }
+        Some((&p.data()[y0 * p.stride() + x0..], p.stride()))
+    }
 }
 
 /// Forms a motion-compensated prediction for a `size × size` block whose
@@ -112,40 +164,34 @@ pub fn predict(
     let src_y = dst_y as i32 + (mv.y >> 1) as i32;
     let fw = size + half_x;
     let fh = size + half_y;
+    let k = crate::kernels::active();
+    let out = &mut out[..size * size];
+    // Zero-copy fast path: interpolate straight out of the reference
+    // plane when the fetcher can lend the region.
+    if let Some((src, stride)) = fetch.region(which, plane, src_x, src_y, fw, fh) {
+        apply_halfpel(k, half_x, half_y, src, stride, out, size);
+        return;
+    }
     let mut tmp = [0u8; 17 * 17];
     let tmp = &mut tmp[..fw * fh];
     fetch.fetch(which, plane, src_x, src_y, fw, fh, tmp);
+    apply_halfpel(k, half_x, half_y, tmp, fw, out, size);
+}
+
+fn apply_halfpel(
+    k: &crate::kernels::KernelSet,
+    half_x: usize,
+    half_y: usize,
+    src: &[u8],
+    src_stride: usize,
+    out: &mut [u8],
+    size: usize,
+) {
     match (half_x, half_y) {
-        (0, 0) => out[..size * size].copy_from_slice(tmp),
-        (1, 0) => {
-            for y in 0..size {
-                for x in 0..size {
-                    let a = tmp[y * fw + x] as u16;
-                    let b = tmp[y * fw + x + 1] as u16;
-                    out[y * size + x] = ((a + b + 1) >> 1) as u8;
-                }
-            }
-        }
-        (0, 1) => {
-            for y in 0..size {
-                for x in 0..size {
-                    let a = tmp[y * fw + x] as u16;
-                    let b = tmp[(y + 1) * fw + x] as u16;
-                    out[y * size + x] = ((a + b + 1) >> 1) as u8;
-                }
-            }
-        }
-        _ => {
-            for y in 0..size {
-                for x in 0..size {
-                    let a = tmp[y * fw + x] as u16;
-                    let b = tmp[y * fw + x + 1] as u16;
-                    let c = tmp[(y + 1) * fw + x] as u16;
-                    let d = tmp[(y + 1) * fw + x + 1] as u16;
-                    out[y * size + x] = ((a + b + c + d + 2) >> 2) as u8;
-                }
-            }
-        }
+        (0, 0) => (k.mc_copy)(src, src_stride, out, size),
+        (1, 0) => (k.mc_avg_h)(src, src_stride, out, size),
+        (0, 1) => (k.mc_avg_v)(src, src_stride, out, size),
+        _ => (k.mc_avg_hv)(src, src_stride, out, size),
     }
 }
 
@@ -153,9 +199,7 @@ pub fn predict(
 /// (§7.6.7.1: `(f + b) // 2` with rounding away from zero).
 pub fn average_into(fwd: &mut [u8], bwd: &[u8]) {
     debug_assert_eq!(fwd.len(), bwd.len());
-    for (f, &b) in fwd.iter_mut().zip(bwd) {
-        *f = ((*f as u16 + b as u16 + 1) >> 1) as u8;
-    }
+    (crate::kernels::active().average_into)(fwd, bwd)
 }
 
 /// The luma pixel rectangle a 16×16 prediction with vector `mv` reads,

@@ -135,23 +135,16 @@ impl<R: ReferenceFetcher, S: MbSink> Reconstructor<'_, R, S> {
 }
 
 /// Adds an 8×8 residual onto a prediction sub-block inside a macroblock
-/// pixel buffer of width `stride`.
+/// pixel buffer of width `stride`, saturating to `[0, 255]`. Dispatches
+/// through [`crate::kernels`]; bit-exact across kernel sets.
 fn add_residual(dst: &mut [u8], stride: usize, bx: usize, by: usize, residual: &[i32; 64]) {
-    for y in 0..8 {
-        for x in 0..8 {
-            let d = &mut dst[(by + y) * stride + bx + x];
-            *d = (*d as i32 + residual[y * 8 + x]).clamp(0, 255) as u8;
-        }
-    }
+    (crate::kernels::active().add_residual)(&mut dst[by * stride + bx..], stride, residual)
 }
 
-/// Writes an 8×8 intra block (no prediction) into a macroblock buffer.
+/// Writes an 8×8 intra block (no prediction) into a macroblock buffer,
+/// clamping samples to `[0, 255]`. Dispatches through [`crate::kernels`].
 fn set_block(dst: &mut [u8], stride: usize, bx: usize, by: usize, samples: &[i32; 64]) {
-    for y in 0..8 {
-        for x in 0..8 {
-            dst[(by + y) * stride + bx + x] = samples[y * 8 + x].clamp(0, 255) as u8;
-        }
-    }
+    (crate::kernels::active().set_block)(&mut dst[by * stride + bx..], stride, samples)
 }
 
 /// Offsets of the four luma blocks within a macroblock.

@@ -1,0 +1,350 @@
+//! Bit-exactness properties for every dispatched kernel set.
+//!
+//! Each available [`KernelSet`] (scalar, and SSE2/AVX2 where the host has
+//! them) must produce byte-identical output to the scalar reference on
+//! every input: random dense blocks, the per-row/per-column zero-AC
+//! shortcut, out-of-range coefficients (which take the scalar fallback
+//! inside the SIMD sets), strided vs packed motion-compensation sources,
+//! edge-clamped fetches, and saturating reconstruction extremes.
+
+use proptest::prelude::*;
+use tiledec_mpeg2::dct::idct_scalar;
+use tiledec_mpeg2::frame::Frame;
+use tiledec_mpeg2::kernels::{self, scalar, KernelSet};
+use tiledec_mpeg2::motion::{predict, FrameRefs, PlanePick, RefPick, ReferenceFetcher};
+use tiledec_mpeg2::types::MotionVector;
+
+fn block_from(vals: &[i32]) -> [i32; 64] {
+    let mut b = [0i32; 64];
+    for (dst, src) in b.iter_mut().zip(vals.iter()) {
+        *dst = *src;
+    }
+    b
+}
+
+fn assert_idct_matches(set: &KernelSet, coeffs: &[i32; 64], what: &str) {
+    let mut expect = *coeffs;
+    idct_scalar(&mut expect);
+    let mut got = *coeffs;
+    (set.idct)(&mut got);
+    assert_eq!(expect, got, "idct mismatch: set={} case={what}", set.name);
+}
+
+proptest! {
+    #[test]
+    fn idct_matches_scalar_on_dense_blocks(
+        vals in prop::collection::vec(-2048i32..=2047, 64),
+    ) {
+        let coeffs = block_from(&vals);
+        for set in kernels::available() {
+            let mut expect = coeffs;
+            idct_scalar(&mut expect);
+            let mut got = coeffs;
+            (set.idct)(&mut got);
+            prop_assert_eq!(expect, got);
+        }
+    }
+
+    #[test]
+    fn idct_matches_scalar_on_sparse_blocks(
+        positions in prop::collection::btree_set(0usize..64, 1..6),
+        levels in prop::collection::vec(-2048i32..=2047, 6),
+    ) {
+        // Few coefficients → most rows/columns hit the zero-AC shortcut,
+        // so shortcut and butterfly lanes mix inside one vector.
+        let mut coeffs = [0i32; 64];
+        for (i, &pos) in positions.iter().enumerate() {
+            coeffs[pos] = levels[i % levels.len()];
+        }
+        for set in kernels::available() {
+            let mut expect = coeffs;
+            idct_scalar(&mut expect);
+            let mut got = coeffs;
+            (set.idct)(&mut got);
+            prop_assert_eq!(expect, got);
+        }
+    }
+
+    #[test]
+    fn idct_out_of_range_takes_scalar_fallback(
+        vals in prop::collection::vec(-2048i32..=2047, 64),
+        hot in 0usize..64,
+        spike in 2048i32..=100_000,
+        negate in any::<bool>(),
+    ) {
+        // A coefficient outside the dequantiser range must route the SIMD
+        // sets to the scalar fallback and still match exactly.
+        let mut coeffs = block_from(&vals);
+        coeffs[hot] = if negate { -spike - 1 } else { spike };
+        for set in kernels::available() {
+            let mut expect = coeffs;
+            idct_scalar(&mut expect);
+            let mut got = coeffs;
+            (set.idct)(&mut got);
+            prop_assert_eq!(expect, got);
+        }
+    }
+}
+
+#[test]
+fn idct_adversarial_extremes_match_scalar() {
+    for set in kernels::available() {
+        // DC-only (global shortcut), all-ones rows, saturated blocks, and
+        // every single-coefficient basis block at both range extremes —
+        // the inputs that maximise intermediate magnitudes.
+        assert_idct_matches(set, &[0i32; 64], "all-zero");
+        assert_idct_matches(set, &block_from(&[2047]), "dc-max");
+        assert_idct_matches(set, &block_from(&[-2048]), "dc-min");
+        assert_idct_matches(set, &[2047i32; 64], "all-max");
+        assert_idct_matches(set, &[-2048i32; 64], "all-min");
+        let mut alt = [0i32; 64];
+        for (i, v) in alt.iter_mut().enumerate() {
+            *v = if i % 2 == 0 { 2047 } else { -2048 };
+        }
+        assert_idct_matches(set, &alt, "alternating");
+        for pos in 0..64 {
+            let mut b = [0i32; 64];
+            b[pos] = 2047;
+            assert_idct_matches(set, &b, "basis+");
+            b[pos] = -2048;
+            assert_idct_matches(set, &b, "basis-");
+        }
+        // Single zero-AC rows/columns inside otherwise dense blocks.
+        for lane in 0..8 {
+            let mut b = [1000i32; 64];
+            for i in 0..8 {
+                b[lane * 8 + i] = 0; // row `lane` zero except DC untouched
+            }
+            b[lane * 8] = 500;
+            assert_idct_matches(set, &b, "zero-ac-row");
+            let mut b = [-999i32; 64];
+            for i in 1..8 {
+                b[i * 8 + lane] = 0;
+            }
+            assert_idct_matches(set, &b, "zero-ac-col");
+        }
+    }
+}
+
+fn xorshift_bytes(seed: u64, n: usize) -> Vec<u8> {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s as u8
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn mc_variants_match_scalar(
+        seed in any::<u64>(),
+        wide in any::<bool>(),
+        pad in 0usize..5,
+    ) {
+        let size = if wide { 16 } else { 8 };
+        let stride = size + 1 + pad;
+        let src = xorshift_bytes(seed, size * stride + stride + 2);
+        type Pair = (
+            fn(&[u8], usize, &mut [u8], usize),
+            fn(&KernelSet) -> fn(&[u8], usize, &mut [u8], usize),
+        );
+        let variants: [Pair; 4] = [
+            (scalar::mc_copy, |k: &KernelSet| k.mc_copy),
+            (scalar::mc_avg_h, |k: &KernelSet| k.mc_avg_h),
+            (scalar::mc_avg_v, |k: &KernelSet| k.mc_avg_v),
+            (scalar::mc_avg_hv, |k: &KernelSet| k.mc_avg_hv),
+        ];
+        for (reference, pick) in variants {
+            let mut expect = vec![0u8; size * size];
+            reference(&src, stride, &mut expect, size);
+            for set in kernels::available() {
+                let mut got = vec![0u8; size * size];
+                pick(set)(&src, stride, &mut got, size);
+                prop_assert_eq!(&expect, &got);
+            }
+        }
+    }
+
+    #[test]
+    fn average_into_matches_scalar(
+        a in prop::collection::vec(0u8..=255, 256),
+        b in prop::collection::vec(0u8..=255, 256),
+    ) {
+        for set in kernels::available() {
+            let mut expect = a.clone();
+            scalar::average_into(&mut expect, &b);
+            let mut got = a.clone();
+            (set.average_into)(&mut got, &b);
+            prop_assert_eq!(&expect, &got);
+        }
+    }
+
+    #[test]
+    fn recon_kernels_match_scalar(
+        dst in prop::collection::vec(0u8..=255, 256),
+        vals in prop::collection::vec(-2000i32..=2000, 64),
+        extreme in any::<i32>(),
+        hot in 0usize..64,
+        wide_stride in any::<bool>(),
+    ) {
+        // Residuals include an arbitrary i32 to prove the pack/saturate
+        // chain coincides with the scalar clamp even far out of range.
+        let mut residual = block_from(&vals);
+        residual[hot] = extreme;
+        let stride = if wide_stride { 16 } else { 8 };
+        for set in kernels::available() {
+            let mut expect = dst.clone();
+            scalar::add_residual(&mut expect, stride, &residual);
+            let mut got = dst.clone();
+            (set.add_residual)(&mut got, stride, &residual);
+            prop_assert_eq!(&expect, &got);
+
+            let mut expect = dst.clone();
+            scalar::set_block(&mut expect, stride, &residual);
+            let mut got = dst.clone();
+            (set.set_block)(&mut got, stride, &residual);
+            prop_assert_eq!(&expect, &got);
+        }
+    }
+}
+
+/// Wrapper that refuses to lend regions, forcing `predict` down the
+/// copying `fetch` path — used to prove borrow and copy paths identical.
+struct NoBorrow<'a>(FrameRefs<'a>);
+
+impl ReferenceFetcher for NoBorrow<'_> {
+    fn fetch(
+        &self,
+        which: RefPick,
+        plane: PlanePick,
+        x0: i32,
+        y0: i32,
+        w: usize,
+        h: usize,
+        out: &mut [u8],
+    ) {
+        self.0.fetch(which, plane, x0, y0, w, h, out)
+    }
+}
+
+fn noise_frame(seed: u64, w: usize, h: usize) -> Frame {
+    let mut f = Frame::black(w, h);
+    let y = xorshift_bytes(seed, w * h);
+    for (i, v) in y.iter().enumerate() {
+        f.y.set(i % w, i / w, *v);
+    }
+    let c = xorshift_bytes(seed ^ 0xABCD, (w / 2) * (h / 2));
+    for (i, v) in c.iter().enumerate() {
+        f.cb.set(i % (w / 2), i / (w / 2), *v);
+        f.cr.set(i % (w / 2), i / (w / 2), v.wrapping_add(17));
+    }
+    f
+}
+
+/// End-to-end `predict` through the dispatcher: every kernel set, the
+/// region-borrow vs fetch-copy paths, and edge-clamped (out-of-bounds)
+/// vectors must all agree with the scalar baseline.
+#[test]
+fn predict_is_bit_exact_across_sets_and_paths() {
+    let frame = noise_frame(7, 64, 48);
+    let refs = FrameRefs {
+        fwd: &frame,
+        bwd: &frame,
+    };
+    let forced = NoBorrow(FrameRefs {
+        fwd: &frame,
+        bwd: &frame,
+    });
+    // Half-pel phases × interior/edge positions, including vectors that
+    // reach outside the picture (clamped fetch, no region borrow).
+    let cases: &[(usize, usize, i16, i16)] = &[
+        (16, 16, 0, 0),
+        (16, 16, 1, 0),
+        (16, 16, 0, 1),
+        (16, 16, 1, 1),
+        (16, 16, -7, 5),
+        (0, 0, -3, -3),
+        (48, 32, 31, 31),
+        (48, 32, 40, 2),
+        (0, 32, -1, 33),
+    ];
+    for &(px, py, mvx, mvy) in cases {
+        let mv = MotionVector::new(mvx, mvy);
+        kernels::set_active(&kernels::SCALAR);
+        let mut expect = [0u8; 256];
+        predict(
+            &refs,
+            RefPick::Forward,
+            PlanePick::Y,
+            px,
+            py,
+            16,
+            mv,
+            &mut expect,
+        );
+        let mut expect_c = [0u8; 64];
+        predict(
+            &refs,
+            RefPick::Backward,
+            PlanePick::Cb,
+            px / 2,
+            py / 2,
+            8,
+            mv,
+            &mut expect_c,
+        );
+        fn check_case(
+            fetcher: &impl ReferenceFetcher,
+            label: &str,
+            set_name: &str,
+            (px, py): (usize, usize),
+            mv: MotionVector,
+            expect: &[u8; 256],
+            expect_c: &[u8; 64],
+        ) {
+            let mut got = [0u8; 256];
+            predict(
+                fetcher,
+                RefPick::Forward,
+                PlanePick::Y,
+                px,
+                py,
+                16,
+                mv,
+                &mut got,
+            );
+            assert_eq!(
+                expect, &got,
+                "luma set={set_name} path={label} mb=({px},{py}) mv={mv:?}"
+            );
+            let mut got_c = [0u8; 64];
+            predict(
+                fetcher,
+                RefPick::Backward,
+                PlanePick::Cb,
+                px / 2,
+                py / 2,
+                8,
+                mv,
+                &mut got_c,
+            );
+            assert_eq!(
+                expect_c, &got_c,
+                "chroma set={set_name} path={label} mb=({px},{py}) mv={mv:?}"
+            );
+        }
+        for set in kernels::available() {
+            kernels::set_active(set);
+            check_case(&refs, "borrow", set.name, (px, py), mv, &expect, &expect_c);
+            check_case(&forced, "copy", set.name, (px, py), mv, &expect, &expect_c);
+        }
+    }
+    // Leave the process-wide choice back at the auto-detected best.
+    if let Some(best) = kernels::available().last() {
+        kernels::set_active(best);
+    }
+}

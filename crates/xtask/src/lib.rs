@@ -13,6 +13,14 @@
 //!    defined.
 //! 3. **Doc coverage** — every `pub` item in the core and cluster crates
 //!    carries a doc comment.
+//! 4. **Hot-path allocation budget** — the per-picture decode modules
+//!    must not grow new `vec![0`-style heap allocations: the steady-state
+//!    hot path is allocation-free by contract (see the counting-allocator
+//!    test in `crates/core/tests/alloc_steady.rs`), and buffers come from
+//!    [`FramePool`]/`BufferPool` or stack arrays instead. Justified sites
+//!    are frozen in `crates/xtask/alloc-allowlist.txt`.
+//!
+//!    [`FramePool`]: ../tiledec_mpeg2/frame/struct.FramePool.html
 //!
 //! All passes work on a lexed view of the source (comments and string
 //! literals blanked out) so they cannot be fooled by text inside either.
@@ -288,6 +296,92 @@ pub fn check_panic_allowlist(
     findings
 }
 
+/// Per-picture hot-path modules covered by the allocation budget: these
+/// run once per decoded picture (or per wire message) in steady state,
+/// and `crates/core/tests/alloc_steady.rs` proves them allocation-free.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/tile_decoder.rs",
+    "crates/core/src/wire.rs",
+    "crates/core/src/simulated.rs",
+    "crates/core/src/protocol.rs",
+    "crates/core/src/splitter.rs",
+];
+
+const ALLOC_PATTERNS: &[&str] = &["vec![0", "vec! [0"];
+
+/// Finds `vec![0...]`-style zero-fill heap allocations in one file
+/// (test modules excluded). Returns `(line, pattern)` pairs.
+pub fn find_alloc_sites(src: &str) -> Vec<(usize, &'static str)> {
+    let masked = mask_test_modules(&strip_comments_and_strings(src));
+    let mut sites = Vec::new();
+    for (lineno, line) in masked.lines().enumerate() {
+        for pat in ALLOC_PATTERNS {
+            let mut from = 0;
+            while let Some(p) = line[from..].find(pat) {
+                sites.push((lineno + 1, *pat));
+                from += p + pat.len();
+            }
+        }
+    }
+    sites
+}
+
+/// Checks zero-fill allocation sites in the hot-path subset of `files`
+/// against `alloc-allowlist.txt` budgets (same format as the panic
+/// allowlist). Files outside [`HOT_PATH_FILES`] are ignored.
+pub fn check_alloc_allowlist(
+    files: &[(String, String)],
+    allowlist: &BTreeMap<String, usize>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut seen = BTreeSet::new();
+    for (path, src) in files {
+        if !HOT_PATH_FILES.contains(&path.as_str()) {
+            continue;
+        }
+        seen.insert(path.clone());
+        let sites = find_alloc_sites(src);
+        let allowed = allowlist.get(path).copied().unwrap_or(0);
+        if sites.len() > allowed {
+            for (line, pat) in &sites {
+                findings.push(Finding {
+                    file: path.clone(),
+                    line: *line,
+                    message: format!(
+                        "`{pat}` in a per-picture hot-path module: steady-state decode \
+                         must not heap-allocate — reuse a pooled buffer (FramePool / \
+                         BufferPool) or a stack array ({} sites found, {allowed} allowed \
+                         — see crates/xtask/alloc-allowlist.txt)",
+                        sites.len()
+                    ),
+                });
+            }
+        } else if sites.len() < allowed {
+            findings.push(Finding {
+                file: path.clone(),
+                line: 0,
+                message: format!(
+                    "alloc allowlist permits {allowed} sites but only {} remain — \
+                     lower the budget in crates/xtask/alloc-allowlist.txt",
+                    sites.len()
+                ),
+            });
+        }
+    }
+    for path in allowlist.keys() {
+        if !seen.contains(path) {
+            findings.push(Finding {
+                file: path.clone(),
+                line: 0,
+                message: "alloc-allowlisted file is not a scanned hot-path module — \
+                          remove the stale entry"
+                    .into(),
+            });
+        }
+    }
+    findings
+}
+
 /// Extracts `TAG_*` identifiers from text.
 fn tag_tokens(text: &str) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
@@ -478,6 +572,12 @@ pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
 
     let mut findings = check_panic_allowlist(&files, &allowlist);
 
+    let alloc_path = root.join("crates/xtask/alloc-allowlist.txt");
+    let alloc_text = std::fs::read_to_string(&alloc_path)
+        .map_err(|e| format!("reading {}: {e}", alloc_path.display()))?;
+    let alloc_allowlist = parse_allowlist(&alloc_text)?;
+    findings.extend(check_alloc_allowlist(&files, &alloc_allowlist));
+
     let get = |name: &str| {
         files
             .iter()
@@ -589,6 +689,47 @@ mod tests {
         let findings = check_doc_coverage("x.rs", src);
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("pub struct Bad"));
+    }
+
+    #[test]
+    fn new_zero_fill_vec_in_hot_path_fails_with_pool_hint() {
+        // The gate this lint exists for: someone re-introduces a
+        // per-picture `vec![0u8; n]` into the tile decoder and the build
+        // must fail pointing at the pooled alternatives.
+        let files = vec![(
+            "crates/core/src/tile_decoder.rs".to_string(),
+            "fn f(n: usize) -> Vec<u8> { vec![0u8; n] }\n".to_string(),
+        )];
+        let findings = check_alloc_allowlist(&files, &BTreeMap::new());
+        assert_eq!(findings.len(), 1);
+        let msg = findings[0].to_string();
+        assert!(
+            msg.contains("crates/core/src/tile_decoder.rs:1"),
+            "message: {msg}"
+        );
+        assert!(msg.contains("FramePool"), "message: {msg}");
+    }
+
+    #[test]
+    fn alloc_lint_ignores_tests_and_non_hot_path_files() {
+        let hot = "crates/core/src/wire.rs".to_string();
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = vec![0u8; 4]; }\n}\n";
+        let cold = (
+            "crates/core/src/subpicture.rs".to_string(),
+            "fn f() -> Vec<u8> { vec![0u8; 8] }\n".to_string(),
+        );
+        let findings = check_alloc_allowlist(&[(hot, src.to_string()), cold], &BTreeMap::new());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn stale_alloc_allowlist_entry_is_reported() {
+        let mut allow = BTreeMap::new();
+        allow.insert("crates/core/src/gone.rs".to_string(), 1);
+        let findings = check_alloc_allowlist(&[], &allow);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("stale"));
     }
 
     #[test]

@@ -30,7 +30,10 @@ fn lint() -> ExitCode {
     let root = workspace_root();
     match xtask::run_lint(&root) {
         Ok(findings) if findings.is_empty() => {
-            println!("xtask lint: ok (panic allowlist, TAG exhaustiveness, doc coverage)");
+            println!(
+                "xtask lint: ok (panic allowlist, TAG exhaustiveness, doc coverage, \
+                 hot-path alloc budget)"
+            );
             ExitCode::SUCCESS
         }
         Ok(findings) => {
