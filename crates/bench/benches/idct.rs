@@ -1,8 +1,9 @@
 //! Microbenchmark: the fixed-point IDCT against the double-precision
 //! reference (the hot inner loop of `t_d`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tiledec_bench::microbench::Criterion;
+use tiledec_bench::{bench_group, bench_main};
 
 fn random_blocks(n: usize) -> Vec<[i32; 64]> {
     let mut s = 0x12345678u64;
@@ -49,5 +50,5 @@ fn bench_idct(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_idct);
-criterion_main!(benches);
+bench_group!(benches, bench_idct);
+bench_main!(benches);

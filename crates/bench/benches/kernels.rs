@@ -3,8 +3,9 @@
 //! motion compensation and residual reconstruction — the per-sample hot
 //! loops behind the paper's `t_d` decode cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tiledec_bench::microbench::Criterion;
+use tiledec_bench::{bench_group, bench_main};
 use tiledec_mpeg2::kernels;
 
 fn xorshift(s: &mut u64) -> u64 {
@@ -125,10 +126,10 @@ fn bench_recon_add(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_idct_dispatch,
     bench_mc_halfpel,
     bench_recon_add
 );
-criterion_main!(benches);
+bench_main!(benches);

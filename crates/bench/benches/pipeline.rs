@@ -1,8 +1,9 @@
 //! End-to-end pipeline benchmarks: the discrete-event simulator replay
 //! (cheap, pure scheduling) and the full measured pass.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tiledec_bench::microbench::Criterion;
+use tiledec_bench::{bench_group, bench_main};
 use tiledec_cluster::sim::PipelineSim;
 use tiledec_cluster::CostModel;
 use tiledec_core::{SimulatedSystem, SystemConfig, ThreadedSystem};
@@ -41,5 +42,5 @@ fn bench_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);
+bench_group!(benches, bench_pipeline);
+bench_main!(benches);

@@ -3,8 +3,9 @@
 //! byte-copy because realignment is "costly"; this bench measures by how
 //! much on the real splitter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tiledec_bench::microbench::Criterion;
+use tiledec_bench::{bench_group, bench_main};
 use tiledec_core::splitter::{split_picture_units, MacroblockSplitter};
 use tiledec_core::SystemConfig;
 use tiledec_workload::StreamPreset;
@@ -39,5 +40,5 @@ fn bench_sph_realign(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sph_realign);
-criterion_main!(benches);
+bench_group!(benches, bench_sph_realign);
+bench_main!(benches);

@@ -3,8 +3,9 @@
 //! `optimal k = ceil(t_s / t_d)` (§4.6) comes straight from these two
 //! numbers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tiledec_bench::microbench::Criterion;
+use tiledec_bench::{bench_group, bench_main};
 use tiledec_core::splitter::{split_picture_units, MacroblockSplitter};
 use tiledec_core::{SystemConfig, TileDecoder};
 use tiledec_workload::StreamPreset;
@@ -66,5 +67,5 @@ fn bench_split_vs_decode(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_split_vs_decode);
-criterion_main!(benches);
+bench_group!(benches, bench_split_vs_decode);
+bench_main!(benches);

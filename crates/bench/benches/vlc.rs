@@ -1,8 +1,9 @@
 //! Microbenchmark: VLC coefficient-block decode — the dominant cost of the
 //! splitter's parse-only pass (`t_s` is mostly this).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tiledec_bench::microbench::Criterion;
+use tiledec_bench::{bench_group, bench_main};
 use tiledec_bitstream::{BitReader, BitWriter};
 use tiledec_mpeg2::block::{parse_block, write_block};
 
@@ -63,5 +64,5 @@ fn bench_vlc(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_vlc);
-criterion_main!(benches);
+bench_group!(benches, bench_vlc);
+bench_main!(benches);

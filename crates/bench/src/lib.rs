@@ -15,6 +15,8 @@
 //! 4. prints the table/figure series next to the paper's qualitative
 //!    expectations.
 
+pub mod microbench;
+
 use std::time::Instant;
 
 use tiledec_cluster::CostModel;

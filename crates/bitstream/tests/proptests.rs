@@ -1,7 +1,34 @@
-//! Property-based tests for the bitstream layer.
+//! Property-based tests for the bitstream layer, driven by a seeded
+//! xorshift generator so every case is deterministic and reproducible
+//! (re-run a failure by plugging its printed case number into the seed).
 
-use proptest::prelude::*;
 use tiledec_bitstream::{find_start_code, BitReader, BitWriter, StartCode};
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
+
+const CASES: u64 = 256;
 
 /// Naive start-code search used as the oracle.
 fn naive_find(data: &[u8], from: usize) -> Option<StartCode> {
@@ -14,50 +41,77 @@ fn naive_find(data: &[u8], from: usize) -> Option<StartCode> {
 }
 
 /// A field is (value, width) with value < 2^width.
-fn field_strategy() -> impl Strategy<Value = (u32, u32)> {
-    (1u32..=32).prop_flat_map(|n| {
-        let max = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
-        (0..=max, Just(n))
-    })
+fn random_field(rng: &mut Rng) -> (u32, u32) {
+    let n = 1 + rng.below(32) as u32;
+    let v = if n == 32 {
+        rng.next() as u32
+    } else {
+        rng.next() as u32 & ((1u32 << n) - 1)
+    };
+    (v, n)
 }
 
-proptest! {
-    #[test]
-    fn writer_reader_round_trip(fields in prop::collection::vec(field_strategy(), 0..64)) {
+#[test]
+fn writer_reader_round_trip() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let count = rng.below(64) as usize;
+        let fields: Vec<(u32, u32)> = (0..count).map(|_| random_field(&mut rng)).collect();
         let mut w = BitWriter::new();
         for &(v, n) in &fields {
             w.put_bits(v, n);
         }
         let total_bits: usize = fields.iter().map(|&(_, n)| n as usize).sum();
-        prop_assert_eq!(w.bit_len(), total_bits);
+        assert_eq!(w.bit_len(), total_bits, "case {case}");
         let bytes = w.into_bytes();
-        prop_assert_eq!(bytes.len(), total_bits.div_ceil(8));
+        assert_eq!(bytes.len(), total_bits.div_ceil(8), "case {case}");
         let mut r = BitReader::new(&bytes);
         for &(v, n) in &fields {
-            prop_assert_eq!(r.read_bits(n).unwrap(), v);
+            assert_eq!(r.read_bits(n).unwrap(), v, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn peek_equals_read(data in prop::collection::vec(any::<u8>(), 1..64),
-                        skip in 0usize..64, n in 0u32..=32) {
+#[test]
+fn peek_equals_read() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let len = 1 + rng.below(63) as usize;
+        let data = rng.bytes(len);
+        let skip = rng.below(64) as usize % (data.len() * 8);
+        let n = rng.below(33) as u32;
         let mut r = BitReader::new(&data);
-        let skip = skip % (data.len() * 8);
         r.skip(skip).unwrap();
         let peeked = r.peek_bits(n);
         if r.has_bits(n as usize) {
-            prop_assert_eq!(r.read_bits(n).unwrap(), peeked);
+            assert_eq!(r.read_bits(n).unwrap(), peeked, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn scanner_matches_naive(data in prop::collection::vec(0u8..4, 0..256), from in 0usize..64) {
+#[test]
+fn scanner_matches_naive() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
         // Bytes restricted to 0..4 so start codes are dense.
-        prop_assert_eq!(find_start_code(&data, from), naive_find(&data, from));
+        let len = rng.below(256) as usize;
+        let data: Vec<u8> = (0..len).map(|_| rng.below(4) as u8).collect();
+        let from = rng.below(64) as usize;
+        assert_eq!(
+            find_start_code(&data, from),
+            naive_find(&data, from),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn read_bits_equals_bit_by_bit(data in prop::collection::vec(any::<u8>(), 1..32), n in 1u32..=32) {
+#[test]
+fn read_bits_equals_bit_by_bit() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let len = 1 + rng.below(31) as usize;
+        let data = rng.bytes(len);
+        let n = 1 + rng.below(32) as u32;
         if (n as usize) <= data.len() * 8 {
             let mut r1 = BitReader::new(&data);
             let v = r1.read_bits(n).unwrap();
@@ -66,8 +120,8 @@ proptest! {
             for _ in 0..n {
                 acc = (acc << 1) | r2.read_bits(1).unwrap();
             }
-            prop_assert_eq!(v, acc);
-            prop_assert_eq!(r1.bit_position(), r2.bit_position());
+            assert_eq!(v, acc, "case {case}");
+            assert_eq!(r1.bit_position(), r2.bit_position(), "case {case}");
         }
     }
 }

@@ -14,12 +14,10 @@
 //!   ANID protocol in `tiledec-core` exists precisely because of this.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
-
+use crate::bytes::Bytes;
 use crate::stats::TrafficMatrix;
 
 /// Identifies a node in the cluster.
@@ -86,6 +84,14 @@ impl std::error::Error for RecvError {}
 /// transport, not the decode protocol).
 const POISON_WAKE: u32 = u32::MAX;
 
+/// Locks a mutex, recovering the guard if another thread panicked while
+/// holding it. The guarded state here is a plain counter that is never
+/// left mid-update, so a poisoned lock is still structurally sound — and
+/// a node must keep tearing down (poison/recycle) rather than abort.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Per-link credit counter: models the receiver's posted buffers.
 struct Credits {
     state: Mutex<usize>,
@@ -103,7 +109,7 @@ impl Credits {
     /// Blocks for a posted buffer. Returns `false` (without consuming a
     /// credit) if the cluster is poisoned before one frees up.
     fn acquire(&self, poisoned: &AtomicBool) -> bool {
-        let mut avail = self.state.lock();
+        let mut avail = lock_ignore_poison(&self.state);
         loop {
             if poisoned.load(Ordering::SeqCst) {
                 return false;
@@ -112,12 +118,15 @@ impl Credits {
                 *avail -= 1;
                 return true;
             }
-            self.cv.wait(&mut avail);
+            avail = self
+                .cv
+                .wait(avail)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     fn release(&self) {
-        let mut avail = self.state.lock();
+        let mut avail = lock_ignore_poison(&self.state);
         *avail += 1;
         self.cv.notify_one();
     }
@@ -152,7 +161,7 @@ impl ThreadCluster {
         let mut mailboxes = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<Message>> = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             mailboxes.push(tx);
             receivers.push(rx);
         }
@@ -271,7 +280,7 @@ impl Endpoint {
         // Lock each credit mutex before notifying so a sender that just
         // checked the flag and is about to wait cannot miss the wake-up.
         for link in &self.shared.credits {
-            let _guard = link.state.lock();
+            let _guard = lock_ignore_poison(&link.state);
             link.cv.notify_all();
         }
         for mailbox in &self.shared.mailboxes {

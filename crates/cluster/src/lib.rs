@@ -8,7 +8,7 @@
 //!   GM-style semantics: pre-posted receive buffers per link (a sender
 //!   blocks once two messages are outstanding, exactly the two-buffer
 //!   flow control of the paper's §4.4), zero-copy [`bytes::Bytes`]
-//!   payloads, and per-link traffic accounting. Used to prove functional
+//!   (reference-counted) payloads, and per-link traffic accounting. Used to prove functional
 //!   correctness: the parallel decoder's output is bit-exact with the
 //!   sequential decoder.
 //! * [`modelcheck`] — a **deterministic model checker** that replaces the
@@ -25,12 +25,14 @@
 
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod cost;
 pub mod gm;
 pub mod modelcheck;
 pub mod sim;
 pub mod stats;
 
+pub use bytes::Bytes;
 pub use cost::CostModel;
 pub use gm::{Endpoint, Message, NodeId, RecvError, SendError, ThreadCluster};
 pub use sim::{DecoderCost, PictureCost, PipelineSim, PipelineSpec, SimReport};

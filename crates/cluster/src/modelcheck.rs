@@ -50,7 +50,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 
 /// A message delivered to a process: sender node id, wire tag, payload.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

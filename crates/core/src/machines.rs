@@ -27,8 +27,8 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use bytes::Bytes;
 use tiledec_cluster::modelcheck::{Effect, Msg, Process};
+use tiledec_cluster::Bytes;
 use tiledec_mpeg2::types::{PictureKind, SequenceInfo};
 use tiledec_wall::WallGeometry;
 

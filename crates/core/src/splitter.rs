@@ -149,7 +149,7 @@ impl MacroblockSplitter {
     /// Enables bit-realignment of partial slices: every run's payload is
     /// re-emitted bit by bit so it starts on a byte boundary
     /// (`skip_bits = 0`). This is the design the paper *avoided*; use it
-    /// only to measure why (see the `sph_realign` criterion bench and the
+    /// only to measure why (see the `sph_realign` micro-bench and the
     /// ablations experiment).
     pub fn with_bit_realignment(mut self) -> Self {
         self.realign = true;

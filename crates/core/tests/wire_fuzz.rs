@@ -1,96 +1,151 @@
 //! Wire-format fuzzing: control-plane decoders must reject arbitrary and
 //! corrupted bytes with errors, never panics or runaway allocations.
+//! Inputs come from a seeded xorshift generator so every case is
+//! deterministic and reproducible.
 
-use proptest::prelude::*;
 use tiledec_core::protocol::{decode_ack, decode_blocks, decode_unit, WorkUnit};
 use tiledec_core::subpicture::SubPicture;
 use tiledec_core::wire::WireReader;
 
-proptest! {
-    #[test]
-    fn work_unit_decode_never_panics(data in prop::collection::vec(any::<u8>(), 0..512)) {
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
+
+const CASES: u64 = 256;
+
+#[test]
+fn work_unit_decode_never_panics() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let len = rng.below(512) as usize;
+        let data = rng.bytes(len);
         let _ = WorkUnit::decode(&data);
     }
+}
 
-    #[test]
-    fn subpicture_decode_never_panics(data in prop::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn subpicture_decode_never_panics() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case ^ 0x5b5b);
+        let len = rng.below(512) as usize;
+        let data = rng.bytes(len);
         let _ = SubPicture::decode(&mut WireReader::new(&data));
     }
+}
 
-    #[test]
-    fn blocks_decode_never_panics(data in prop::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn blocks_decode_never_panics() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case ^ 0xb10c);
+        let len = rng.below(512) as usize;
+        let data = rng.bytes(len);
         let _ = decode_blocks(&data);
     }
+}
 
-    #[test]
-    fn unit_and_ack_decode_never_panic(data in prop::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn unit_and_ack_decode_never_panic() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case ^ 0xac4);
+        let len = rng.below(64) as usize;
+        let data = rng.bytes(len);
         let _ = decode_unit(&data);
         let _ = decode_ack(&data);
     }
+}
 
-    #[test]
-    fn ack_round_trips_for_any_picture_id(id in any::<u32>()) {
-        use tiledec_core::protocol::encode_ack;
-        prop_assert_eq!(decode_ack(&encode_ack(id)).unwrap(), id);
+#[test]
+fn ack_round_trips_for_any_picture_id() {
+    use tiledec_core::protocol::encode_ack;
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let id = rng.next() as u32;
+        assert_eq!(decode_ack(&encode_ack(id)).unwrap(), id, "case {case}");
     }
+}
 
-    #[test]
-    fn unit_round_trips_for_any_payload(
-        id in any::<u32>(),
-        nsid in any::<u16>(),
-        unit in prop::collection::vec(any::<u8>(), 0..256),
-    ) {
-        use tiledec_core::protocol::encode_unit;
+#[test]
+fn unit_round_trips_for_any_payload() {
+    use tiledec_core::protocol::encode_unit;
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let id = rng.next() as u32;
+        let nsid = rng.next() as u16;
+        let len = rng.below(256) as usize;
+        let unit = rng.bytes(len);
         let payload = encode_unit(id, nsid, &unit);
         let (got_id, got_nsid, got_unit) = decode_unit(&payload).unwrap();
-        prop_assert_eq!(got_id, id);
-        prop_assert_eq!(got_nsid, nsid);
-        prop_assert_eq!(got_unit, &unit[..]);
+        assert_eq!(got_id, id, "case {case}");
+        assert_eq!(got_nsid, nsid, "case {case}");
+        assert_eq!(got_unit, &unit[..], "case {case}");
     }
+}
 
-    #[test]
-    fn blocks_round_trip_for_any_block_set(
-        id in any::<u32>(),
-        src_tile in any::<u16>(),
-        specs in prop::collection::vec(
-            (any::<u16>(), any::<u16>(), any::<bool>(), any::<u8>()),
-            0..8,
-        ),
-    ) {
-        use tiledec_core::mei::RefSlot;
-        use tiledec_core::protocol::encode_blocks;
-        use tiledec_core::tile_decoder::BlockData;
-        let blocks: Vec<BlockData> = specs
-            .iter()
-            .map(|&(mb_x, mb_y, fwd, seed)| BlockData {
-                mb_x,
-                mb_y,
-                slot: if fwd { RefSlot::Forward } else { RefSlot::Backward },
-                y: std::array::from_fn(|i| (i as u8).wrapping_add(seed)),
-                cb: std::array::from_fn(|i| (i as u8).wrapping_mul(seed | 1)),
-                cr: std::array::from_fn(|i| (i as u8).wrapping_sub(seed)),
+#[test]
+fn blocks_round_trip_for_any_block_set() {
+    use tiledec_core::mei::RefSlot;
+    use tiledec_core::protocol::encode_blocks;
+    use tiledec_core::tile_decoder::BlockData;
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let id = rng.next() as u32;
+        let src_tile = rng.next() as u16;
+        let blocks: Vec<BlockData> = (0..rng.below(8))
+            .map(|_| {
+                let seed = rng.next() as u8;
+                BlockData {
+                    mb_x: rng.next() as u16,
+                    mb_y: rng.next() as u16,
+                    slot: if rng.next() & 1 == 1 {
+                        RefSlot::Forward
+                    } else {
+                        RefSlot::Backward
+                    },
+                    y: std::array::from_fn(|i| (i as u8).wrapping_add(seed)),
+                    cb: std::array::from_fn(|i| (i as u8).wrapping_mul(seed | 1)),
+                    cr: std::array::from_fn(|i| (i as u8).wrapping_sub(seed)),
+                }
             })
             .collect();
         let payload = encode_blocks(id, src_tile, &blocks);
         let (got_id, got_src, got_blocks) = decode_blocks(&payload).unwrap();
-        prop_assert_eq!(got_id, id);
-        prop_assert_eq!(got_src, src_tile);
-        prop_assert_eq!(got_blocks, blocks);
+        assert_eq!(got_id, id, "case {case}");
+        assert_eq!(got_src, src_tile, "case {case}");
+        assert_eq!(got_blocks, blocks, "case {case}");
     }
+}
 
-    #[test]
-    fn truncated_block_batches_fail_closed(
-        cut in 0usize..4096,
-        specs in prop::collection::vec((any::<u16>(), any::<u16>()), 1..4),
-    ) {
-        use tiledec_core::mei::RefSlot;
-        use tiledec_core::protocol::encode_blocks;
-        use tiledec_core::tile_decoder::BlockData;
-        let blocks: Vec<BlockData> = specs
-            .iter()
-            .map(|&(mb_x, mb_y)| BlockData {
-                mb_x,
-                mb_y,
+#[test]
+fn truncated_block_batches_fail_closed() {
+    use tiledec_core::mei::RefSlot;
+    use tiledec_core::protocol::encode_blocks;
+    use tiledec_core::tile_decoder::BlockData;
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let blocks: Vec<BlockData> = (0..1 + rng.below(3))
+            .map(|_| BlockData {
+                mb_x: rng.next() as u16,
+                mb_y: rng.next() as u16,
                 slot: RefSlot::Forward,
                 y: [1; 256],
                 cb: [2; 64],
@@ -99,19 +154,22 @@ proptest! {
             .collect();
         let payload = encode_blocks(7, 0, &blocks);
         // Any strict prefix must be rejected, never panic or mis-decode.
-        let cut = cut % payload.len();
-        prop_assert!(decode_blocks(&payload[..cut]).is_err());
+        let cut = rng.below(4096) as usize % payload.len();
+        assert!(
+            decode_blocks(&payload[..cut]).is_err(),
+            "case {case}: cut={cut}"
+        );
     }
+}
 
-    #[test]
-    fn corrupted_work_units_fail_closed(
-        flip_pos in 0usize..256,
-        mask in 1u8..=255,
-    ) {
-        // Start from a valid work unit, flip one byte: decode either fails
-        // or yields a structurally valid unit — but never panics.
-        use tiledec_core::mei::{MeiBuffer, MeiInstruction, RefSlot};
-        use tiledec_mpeg2::types::{PictureInfo, PictureKind};
+#[test]
+fn corrupted_work_units_fail_closed() {
+    // Start from a valid work unit, flip one byte: decode either fails
+    // or yields a structurally valid unit — but never panics.
+    use tiledec_core::mei::{MeiBuffer, MeiInstruction, RefSlot};
+    use tiledec_mpeg2::types::{PictureInfo, PictureKind};
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
         let wu = WorkUnit {
             picture_id: 3,
             anid_node: 1,
@@ -130,7 +188,8 @@ proptest! {
             },
         };
         let mut bytes = wu.encode();
-        let pos = flip_pos % bytes.len();
+        let pos = rng.below(256) as usize % bytes.len();
+        let mask = 1 + rng.below(255) as u8;
         bytes[pos] ^= mask;
         let _ = WorkUnit::decode(&bytes);
     }

@@ -7,12 +7,40 @@
 //! inside the SIMD sets), strided vs packed motion-compensation sources,
 //! edge-clamped fetches, and saturating reconstruction extremes.
 
-use proptest::prelude::*;
 use tiledec_mpeg2::dct::idct_scalar;
 use tiledec_mpeg2::frame::Frame;
 use tiledec_mpeg2::kernels::{self, scalar, KernelSet};
 use tiledec_mpeg2::motion::{predict, FrameRefs, PlanePick, RefPick, ReferenceFetcher};
 use tiledec_mpeg2::types::MotionVector;
+
+/// Seeded xorshift generator: every case is deterministic and
+/// reproducible from its printed case number.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in the half-open range `lo..hi`.
+    fn range(&mut self, lo: i32, hi: i32) -> i32 {
+        lo + self.below((hi as i64 - lo as i64) as u64) as i32
+    }
+}
+
+const CASES: u64 = 256;
 
 fn block_from(vals: &[i32]) -> [i32; 64] {
     let mut b = [0i32; 64];
@@ -30,58 +58,55 @@ fn assert_idct_matches(set: &KernelSet, coeffs: &[i32; 64], what: &str) {
     assert_eq!(expect, got, "idct mismatch: set={} case={what}", set.name);
 }
 
-proptest! {
-    #[test]
-    fn idct_matches_scalar_on_dense_blocks(
-        vals in prop::collection::vec(-2048i32..=2047, 64),
-    ) {
-        let coeffs = block_from(&vals);
+#[test]
+fn idct_matches_scalar_on_dense_blocks() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let mut coeffs = [0i32; 64];
+        for v in &mut coeffs {
+            *v = rng.range(-2048, 2048);
+        }
         for set in kernels::available() {
-            let mut expect = coeffs;
-            idct_scalar(&mut expect);
-            let mut got = coeffs;
-            (set.idct)(&mut got);
-            prop_assert_eq!(expect, got);
+            assert_idct_matches(set, &coeffs, &format!("dense case {case}"));
         }
     }
+}
 
-    #[test]
-    fn idct_matches_scalar_on_sparse_blocks(
-        positions in prop::collection::btree_set(0usize..64, 1..6),
-        levels in prop::collection::vec(-2048i32..=2047, 6),
-    ) {
+#[test]
+fn idct_matches_scalar_on_sparse_blocks() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
         // Few coefficients → most rows/columns hit the zero-AC shortcut,
         // so shortcut and butterfly lanes mix inside one vector.
         let mut coeffs = [0i32; 64];
-        for (i, &pos) in positions.iter().enumerate() {
-            coeffs[pos] = levels[i % levels.len()];
+        for _ in 0..1 + rng.below(5) {
+            coeffs[rng.below(64) as usize] = rng.range(-2048, 2048);
         }
         for set in kernels::available() {
-            let mut expect = coeffs;
-            idct_scalar(&mut expect);
-            let mut got = coeffs;
-            (set.idct)(&mut got);
-            prop_assert_eq!(expect, got);
+            assert_idct_matches(set, &coeffs, &format!("sparse case {case}"));
         }
     }
+}
 
-    #[test]
-    fn idct_out_of_range_takes_scalar_fallback(
-        vals in prop::collection::vec(-2048i32..=2047, 64),
-        hot in 0usize..64,
-        spike in 2048i32..=100_000,
-        negate in any::<bool>(),
-    ) {
+#[test]
+fn idct_out_of_range_takes_scalar_fallback() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
         // A coefficient outside the dequantiser range must route the SIMD
         // sets to the scalar fallback and still match exactly.
-        let mut coeffs = block_from(&vals);
-        coeffs[hot] = if negate { -spike - 1 } else { spike };
+        let mut coeffs = [0i32; 64];
+        for v in &mut coeffs {
+            *v = rng.range(-2048, 2048);
+        }
+        let hot = rng.below(64) as usize;
+        let spike = rng.range(2048, 100_001);
+        coeffs[hot] = if rng.next() & 1 == 1 {
+            -spike - 1
+        } else {
+            spike
+        };
         for set in kernels::available() {
-            let mut expect = coeffs;
-            idct_scalar(&mut expect);
-            let mut got = coeffs;
-            (set.idct)(&mut got);
-            prop_assert_eq!(expect, got);
+            assert_idct_matches(set, &coeffs, &format!("spike case {case}"));
         }
     }
 }
@@ -138,16 +163,14 @@ fn xorshift_bytes(seed: u64, n: usize) -> Vec<u8> {
         .collect()
 }
 
-proptest! {
-    #[test]
-    fn mc_variants_match_scalar(
-        seed in any::<u64>(),
-        wide in any::<bool>(),
-        pad in 0usize..5,
-    ) {
-        let size = if wide { 16 } else { 8 };
+#[test]
+fn mc_variants_match_scalar() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let size = if rng.next() & 1 == 1 { 16 } else { 8 };
+        let pad = rng.below(5) as usize;
         let stride = size + 1 + pad;
-        let src = xorshift_bytes(seed, size * stride + stride + 2);
+        let src = xorshift_bytes(rng.next(), size * stride + stride + 2);
         type Pair = (
             fn(&[u8], usize, &mut [u8], usize),
             fn(&KernelSet) -> fn(&[u8], usize, &mut [u8], usize),
@@ -158,56 +181,63 @@ proptest! {
             (scalar::mc_avg_v, |k: &KernelSet| k.mc_avg_v),
             (scalar::mc_avg_hv, |k: &KernelSet| k.mc_avg_hv),
         ];
-        for (reference, pick) in variants {
+        for (vi, (reference, pick)) in variants.into_iter().enumerate() {
             let mut expect = vec![0u8; size * size];
             reference(&src, stride, &mut expect, size);
             for set in kernels::available() {
                 let mut got = vec![0u8; size * size];
                 pick(set)(&src, stride, &mut got, size);
-                prop_assert_eq!(&expect, &got);
+                assert_eq!(
+                    &expect, &got,
+                    "case {case}: set={} variant={vi} size={size} stride={stride}",
+                    set.name
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn average_into_matches_scalar(
-        a in prop::collection::vec(0u8..=255, 256),
-        b in prop::collection::vec(0u8..=255, 256),
-    ) {
+#[test]
+fn average_into_matches_scalar() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let a = xorshift_bytes(rng.next(), 256);
+        let b = xorshift_bytes(rng.next(), 256);
         for set in kernels::available() {
             let mut expect = a.clone();
             scalar::average_into(&mut expect, &b);
             let mut got = a.clone();
             (set.average_into)(&mut got, &b);
-            prop_assert_eq!(&expect, &got);
+            assert_eq!(&expect, &got, "case {case}: set={}", set.name);
         }
     }
+}
 
-    #[test]
-    fn recon_kernels_match_scalar(
-        dst in prop::collection::vec(0u8..=255, 256),
-        vals in prop::collection::vec(-2000i32..=2000, 64),
-        extreme in any::<i32>(),
-        hot in 0usize..64,
-        wide_stride in any::<bool>(),
-    ) {
+#[test]
+fn recon_kernels_match_scalar() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
         // Residuals include an arbitrary i32 to prove the pack/saturate
         // chain coincides with the scalar clamp even far out of range.
-        let mut residual = block_from(&vals);
-        residual[hot] = extreme;
-        let stride = if wide_stride { 16 } else { 8 };
+        let dst = xorshift_bytes(rng.next(), 256);
+        let mut residual = [0i32; 64];
+        for v in &mut residual {
+            *v = rng.range(-2000, 2001);
+        }
+        residual[rng.below(64) as usize] = rng.next() as i32;
+        let stride = if rng.next() & 1 == 1 { 16 } else { 8 };
         for set in kernels::available() {
             let mut expect = dst.clone();
             scalar::add_residual(&mut expect, stride, &residual);
             let mut got = dst.clone();
             (set.add_residual)(&mut got, stride, &residual);
-            prop_assert_eq!(&expect, &got);
+            assert_eq!(&expect, &got, "case {case}: set={} add_residual", set.name);
 
             let mut expect = dst.clone();
             scalar::set_block(&mut expect, stride, &residual);
             let mut got = dst.clone();
             (set.set_block)(&mut got, stride, &residual);
-            prop_assert_eq!(&expect, &got);
+            assert_eq!(&expect, &got, "case {case}: set={} set_block", set.name);
         }
     }
 }

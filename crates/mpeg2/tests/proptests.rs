@@ -1,113 +1,173 @@
-//! Property-based tests on codec invariants.
+//! Property-based tests on codec invariants, driven by a seeded xorshift
+//! generator so every case is deterministic and reproducible.
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
+
 use tiledec_bitstream::{BitReader, BitWriter};
 use tiledec_mpeg2::block::{parse_block, write_block};
 use tiledec_mpeg2::quant::{dequant_intra, dequant_non_intra, quant_intra, quant_non_intra};
 use tiledec_mpeg2::tables::motion::{decode_mv_component, encode_mv_component, max_component};
 use tiledec_mpeg2::tables::quant::{DEFAULT_INTRA_MATRIX, DEFAULT_NON_INTRA_MATRIX};
 
-proptest! {
-    #[test]
-    fn mv_components_round_trip(
-        f_code in 1u8..=7,
-        pred_raw in -2048i32..2048,
-        value_raw in -2048i32..2048,
-    ) {
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in the half-open range `lo..hi`.
+    fn range(&mut self, lo: i32, hi: i32) -> i32 {
+        lo + self.below((hi - lo) as u64) as i32
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+const CASES: u64 = 256;
+
+#[test]
+fn mv_components_round_trip() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let f_code = rng.range(1, 8) as u8;
         let max = max_component(f_code);
-        let pred = pred_raw.clamp(-max, max);
-        let value = value_raw.clamp(-max, max);
+        let pred = rng.range(-2048, 2048).clamp(-max, max);
+        let value = rng.range(-2048, 2048).clamp(-max, max);
         let mut w = BitWriter::new();
         encode_mv_component(&mut w, f_code, pred, value);
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
-        prop_assert_eq!(decode_mv_component(&mut r, f_code, pred).unwrap(), value);
+        assert_eq!(
+            decode_mv_component(&mut r, f_code, pred).unwrap(),
+            value,
+            "case {case}: f_code={f_code} pred={pred}"
+        );
     }
+}
 
-    #[test]
-    fn non_intra_quant_dequant_is_contractive(
-        coeffs in prop::collection::vec(-1800i32..1800, 64),
-        scale_code in 1u8..=31,
-    ) {
+#[test]
+fn non_intra_quant_dequant_is_contractive() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
         // Dequantised values must stay within one quantisation step of the
         // original (the defining property of a mid-tread quantiser).
         let mut c = [0i32; 64];
-        c.copy_from_slice(&coeffs);
-        let scale = 2 * scale_code as u16;
+        for v in &mut c {
+            *v = rng.range(-1800, 1800);
+        }
+        let scale = 2 * rng.range(1, 32) as u16;
         let q = quant_non_intra(&c, &DEFAULT_NON_INTRA_MATRIX, scale);
         let dq = dequant_non_intra(&q, &DEFAULT_NON_INTRA_MATRIX, scale);
         for i in 0..63 {
             // step = 2*W*scale/32
             let step = 2 * DEFAULT_NON_INTRA_MATRIX[i] as i32 * scale as i32 / 32;
-            prop_assert!(
+            assert!(
                 (dq[i] - c[i]).abs() <= step + 1,
-                "i={} c={} dq={} step={}", i, c[i], dq[i], step
+                "case {case}: i={} c={} dq={} step={}",
+                i,
+                c[i],
+                dq[i],
+                step
             );
         }
     }
+}
 
-    #[test]
-    fn intra_quant_dequant_is_contractive(
-        coeffs in prop::collection::vec(-1800i32..1800, 64),
-        scale_code in 1u8..=31,
-        dc in 0i32..2040,
-    ) {
+#[test]
+fn intra_quant_dequant_is_contractive() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
         let mut c = [0i32; 64];
-        c.copy_from_slice(&coeffs);
-        c[0] = dc;
-        let scale = 2 * scale_code as u16;
+        for v in &mut c {
+            *v = rng.range(-1800, 1800);
+        }
+        c[0] = rng.range(0, 2040);
+        let scale = 2 * rng.range(1, 32) as u16;
         let q = quant_intra(&c, &DEFAULT_INTRA_MATRIX, scale, 0);
         let dq = dequant_intra(&q, &DEFAULT_INTRA_MATRIX, scale, 0);
-        prop_assert!((dq[0] - c[0]).abs() <= 4, "DC {} -> {}", c[0], dq[0]);
+        assert!(
+            (dq[0] - c[0]).abs() <= 4,
+            "case {case}: DC {} -> {}",
+            c[0],
+            dq[0]
+        );
         for i in 1..63 {
             let step = DEFAULT_INTRA_MATRIX[i] as i32 * scale as i32 / 16;
             let bound = step + 2;
             // Saturation clips very large products; skip those.
-            if c[i].abs() < 1900 && (c[i].unsigned_abs() as u64 * 16)
-                < 2047 * DEFAULT_INTRA_MATRIX[i] as u64 * scale as u64 / 16
+            if c[i].abs() < 1900
+                && (c[i].unsigned_abs() as u64 * 16)
+                    < 2047 * DEFAULT_INTRA_MATRIX[i] as u64 * scale as u64 / 16
             {
-                prop_assert!(
+                assert!(
                     (dq[i] - c[i]).abs() <= bound,
-                    "i={} c={} dq={} step={}", i, c[i], dq[i], step
+                    "case {case}: i={} c={} dq={} step={}",
+                    i,
+                    c[i],
+                    dq[i],
+                    step
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn coefficient_blocks_round_trip(
-        positions in prop::collection::btree_set(0usize..64, 1..20),
-        levels in prop::collection::vec(-2000i32..2000, 20),
-        alt in any::<bool>(),
-        luma in any::<bool>(),
-    ) {
+#[test]
+fn coefficient_blocks_round_trip() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let count = 1 + rng.below(19) as usize;
+        let mut positions = BTreeSet::new();
+        while positions.len() < count {
+            positions.insert(rng.below(64) as usize);
+        }
+        let alt = rng.flag();
+        let luma = rng.flag();
         let mut block = [0i32; 64];
-        for (pos, lvl) in positions.iter().zip(&levels) {
-            block[*pos] = if *lvl == 0 { 1 } else { *lvl };
+        for pos in &positions {
+            let lvl = rng.range(-2000, 2000);
+            block[*pos] = if lvl == 0 { 1 } else { lvl };
         }
         let mut w = BitWriter::new();
         let mut dc = 0;
-        prop_assume!(block.iter().any(|&v| v != 0));
+        assert!(block.iter().any(|&v| v != 0));
         write_block(&mut w, false, luma, alt, &mut dc, &block);
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
         let mut out = [0i32; 64];
         let mut dc = 0;
         parse_block(&mut r, false, luma, alt, &mut dc, &mut out).unwrap();
-        prop_assert_eq!(out, block);
+        assert_eq!(out, block, "case {case}");
         // The parser consumed exactly the written bits (mod padding).
-        prop_assert!(bytes.len() * 8 - r.bit_position() < 8);
+        assert!(bytes.len() * 8 - r.bit_position() < 8, "case {case}");
     }
+}
 
-    #[test]
-    fn intra_dc_chain_round_trips(
-        dcs in prop::collection::vec(0i32..2040, 1..12),
-        luma in any::<bool>(),
-    ) {
+#[test]
+fn intra_dc_chain_round_trips() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let luma = rng.flag();
+        let dcs: Vec<i32> = (0..1 + rng.below(11)).map(|_| rng.range(0, 2040)).collect();
         // A chain of intra blocks sharing a DC predictor must reproduce the
         // same absolute DC values after decode.
         let mut w = BitWriter::new();
-        let mut enc_pred = 1024; // reset value at precision 3? use 128<<? keep symmetric
+        let mut enc_pred = 1024;
         for &dc in &dcs {
             let mut block = [0i32; 64];
             block[0] = dc;
@@ -119,7 +179,7 @@ proptest! {
         for &dc in &dcs {
             let mut out = [0i32; 64];
             parse_block(&mut r, true, luma, false, &mut dec_pred, &mut out).unwrap();
-            prop_assert_eq!(out[0], dc);
+            assert_eq!(out[0], dc, "case {case}");
         }
     }
 }
