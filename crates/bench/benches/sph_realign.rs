@@ -2,13 +2,46 @@
 //! SPH headers vs re-aligning them with bit shifts. The paper chose
 //! byte-copy because realignment is "costly"; this bench measures by how
 //! much on the real splitter.
+//!
+//! The `scan` group compares the SWAR start-code scanner against the plain
+//! byte loop on the same encoded stream — both splitter passes and the
+//! decoder's outer loop are built on [`find_start_code`].
 
 use std::hint::black_box;
 use tiledec_bench::microbench::Criterion;
 use tiledec_bench::{bench_group, bench_main};
+use tiledec_bitstream::{find_start_code, find_start_code_bytewise};
 use tiledec_core::splitter::{split_picture_units, MacroblockSplitter};
 use tiledec_core::SystemConfig;
 use tiledec_workload::StreamPreset;
+
+/// Walks every start code in `data` with the given scanner.
+fn scan_all(data: &[u8], find: fn(&[u8], usize) -> Option<tiledec_bitstream::StartCode>) -> usize {
+    let mut n = 0;
+    let mut from = 0;
+    while let Some(sc) = find(data, from) {
+        n += 1;
+        from = sc.offset + 4;
+    }
+    n
+}
+
+fn bench_scanners(c: &mut Criterion) {
+    let mut preset = StreamPreset::tiny_test();
+    preset.width = 512;
+    preset.height = 256;
+    let enc = preset.generate_and_encode(6).expect("encode");
+    let data = &enc.bitstream;
+
+    let mut g = c.benchmark_group("scan");
+    g.bench_function("swar_start_codes", |b| {
+        b.iter(|| black_box(scan_all(black_box(data), find_start_code)))
+    });
+    g.bench_function("bytewise_start_codes", |b| {
+        b.iter(|| black_box(scan_all(black_box(data), find_start_code_bytewise)))
+    });
+    g.finish();
+}
 
 fn bench_sph_realign(c: &mut Criterion) {
     let mut preset = StreamPreset::tiny_test();
@@ -40,5 +73,5 @@ fn bench_sph_realign(c: &mut Criterion) {
     g.finish();
 }
 
-bench_group!(benches, bench_sph_realign);
+bench_group!(benches, bench_sph_realign, bench_scanners);
 bench_main!(benches);

@@ -13,15 +13,23 @@
 //!   0–7 bit skip recorded in the SPH header ([`BitReader::bit_position`]).
 //!
 //! All reads and writes are MSB-first, matching ISO/IEC 13818-2.
+//!
+//! The hot entry points are cache-accelerated: [`BitReader`] serves reads
+//! from a 64-bit shift register refilled 8 bytes at a time, and
+//! [`find_start_code`] skips zero-free words with a SWAR filter. The
+//! pre-cache implementations survive as differential oracles in [`slow`]
+//! and [`find_start_code_bytewise`].
 
 #![warn(missing_docs)]
 
 mod reader;
 mod scanner;
+pub mod slow;
 mod writer;
 
 pub use reader::{BitReader, BitstreamError};
-pub use scanner::{find_start_code, StartCode, StartCodeScanner};
+pub use scanner::{find_start_code, find_start_code_bytewise, StartCode, StartCodeScanner};
+pub use slow::SlowBitReader;
 pub use writer::BitWriter;
 
 /// Result alias for bitstream operations.

@@ -42,63 +42,159 @@ impl fmt::Display for BitstreamError {
 
 impl std::error::Error for BitstreamError {}
 
-/// MSB-first bit reader over a byte slice.
+/// MSB-first bit reader over a byte slice, accelerated by a 64-bit cache.
 ///
 /// Tracks its position in **bits** so callers (notably the macroblock-level
 /// splitter) can record the exact span of a syntax element and later byte-copy
-/// it into a sub-picture.
+/// it into a sub-picture. `pos` is the single source of truth for that
+/// position: the cache only ever mirrors the bits *ahead* of `pos`, so
+/// [`BitReader::bit_position`] and every error's `bit_pos` are exact at all
+/// times regardless of how full the cache is.
+///
+/// The cache is a `u64` shift register holding the next `avail` unread bits
+/// MSB-aligned (bits below `avail` are zero). [`BitReader::refill`] tops it up
+/// 8 bytes at a time with an unaligned big-endian load on the fast path and a
+/// checked byte-at-a-time loop near the end of the buffer, which makes
+/// `peek_bits`, `skip` and `read_bits` single-shift operations instead of
+/// per-byte loops. The original per-byte implementation is preserved as
+/// [`crate::slow::SlowBitReader`], the differential oracle for the property
+/// tests and micro-benchmarks.
 #[derive(Clone)]
 pub struct BitReader<'a> {
     data: &'a [u8],
-    /// Next bit to read, counted from the start of `data`.
+    /// Next bit to read, counted from the start of `data`. Always exact.
     pos: usize,
+    /// The next `avail` unread bits, MSB-aligned; bits below `avail` are zero.
+    cache: u64,
+    /// Number of valid bits in `cache` (0..=64).
+    avail: u32,
 }
 
 impl<'a> BitReader<'a> {
     /// Creates a reader positioned at the first bit of `data`.
     pub fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            cache: 0,
+            avail: 0,
+        }
     }
 
     /// Creates a reader positioned at `bit_pos` bits into `data`.
     pub fn at(data: &'a [u8], bit_pos: usize) -> Self {
-        BitReader { data, pos: bit_pos }
+        BitReader {
+            data,
+            pos: bit_pos,
+            cache: 0,
+            avail: 0,
+        }
     }
 
     /// The underlying byte slice.
+    #[inline]
     pub fn data(&self) -> &'a [u8] {
         self.data
     }
 
     /// Current position in bits from the start of the buffer.
+    #[inline]
     pub fn bit_position(&self) -> usize {
         self.pos
     }
 
     /// Remaining unread bits.
+    #[inline]
     pub fn bits_remaining(&self) -> usize {
         (self.data.len() * 8).saturating_sub(self.pos)
     }
 
     /// True when positioned on a byte boundary.
+    #[inline]
     pub fn is_byte_aligned(&self) -> bool {
         self.pos.is_multiple_of(8)
     }
 
     /// Advances to the next byte boundary (no-op if already aligned).
+    #[inline]
     pub fn align_to_byte(&mut self) {
-        self.pos = (self.pos + 7) & !7;
+        let k = (8 - (self.pos & 7)) & 7;
+        if k == 0 {
+            return;
+        }
+        if (k as u32) < self.avail {
+            self.cache <<= k;
+            self.avail -= k as u32;
+        } else {
+            self.cache = 0;
+            self.avail = 0;
+        }
+        self.pos += k;
     }
 
     /// Repositions the reader to an absolute bit offset.
     pub fn seek_to(&mut self, bit_pos: usize) {
         self.pos = bit_pos;
+        self.cache = 0;
+        self.avail = 0;
+    }
+
+    /// Tops up the bit cache from the underlying buffer.
+    ///
+    /// Purely a performance hint: after a refill the next 57+ bits (or every
+    /// remaining bit near the buffer end) are served from the cache, so a
+    /// peek→LUT→consume VLC step touches memory at most once. Reads and
+    /// skips call it automatically; hot decode loops call it once up front.
+    #[inline]
+    pub fn refill(&mut self) {
+        if self.avail > 56 {
+            return;
+        }
+        let fill = self.pos + self.avail as usize;
+        let byte = fill >> 3;
+        if byte + 8 <= self.data.len() {
+            // Fast path: unaligned 8-byte big-endian load. `frac` bits of the
+            // first byte are already consumed (or cached); shift them out so
+            // bit `fill` lands at the MSB, then append below the cached bits.
+            let frac = (fill & 7) as u32;
+            let w =
+                u64::from_be_bytes(self.data[byte..byte + 8].try_into().expect("8-byte window"))
+                    << frac;
+            self.cache |= w >> self.avail;
+            self.avail = (self.avail + 64 - frac).min(64);
+        } else {
+            self.refill_tail();
+        }
+    }
+
+    /// Checked byte-at-a-time refill for the last few bytes of the buffer.
+    #[cold]
+    fn refill_tail(&mut self) {
+        while self.avail <= 56 {
+            let fill = self.pos + self.avail as usize;
+            let byte = fill >> 3;
+            if byte >= self.data.len() {
+                return;
+            }
+            let frac = (fill & 7) as u32;
+            let b = ((self.data[byte] as u64) << 56) << frac;
+            self.cache |= b >> self.avail;
+            self.avail += 8 - frac;
+        }
     }
 
     /// Skips `n` bits without reading them.
+    #[inline]
     pub fn skip(&mut self, n: usize) -> super::Result<()> {
         if self.pos + n > self.data.len() * 8 {
             return Err(BitstreamError::UnexpectedEnd { bit_pos: self.pos });
+        }
+        if n < self.avail as usize {
+            self.cache <<= n;
+            self.avail -= n as u32;
+        } else {
+            self.cache = 0;
+            self.avail = 0;
         }
         self.pos += n;
         Ok(())
@@ -107,44 +203,37 @@ impl<'a> BitReader<'a> {
     /// Reads a single bit.
     #[inline]
     pub fn read_bit(&mut self) -> super::Result<u32> {
-        let byte = self
-            .data
-            .get(self.pos >> 3)
-            .copied()
-            .ok_or(BitstreamError::UnexpectedEnd { bit_pos: self.pos })?;
-        let bit = (byte >> (7 - (self.pos & 7))) & 1;
+        if self.avail == 0 {
+            self.refill();
+            if self.avail == 0 {
+                return Err(BitstreamError::UnexpectedEnd { bit_pos: self.pos });
+            }
+        }
+        let bit = (self.cache >> 63) as u32;
+        self.cache <<= 1;
+        self.avail -= 1;
         self.pos += 1;
-        Ok(bit as u32)
+        Ok(bit)
     }
 
-    /// Reads `n` bits (0 ≤ n ≤ 32) MSB-first.
+    /// Reads `n` bits (0 ≤ n ≤ 32) MSB-first in one shift from the cache.
     #[inline]
     pub fn read_bits(&mut self, n: u32) -> super::Result<u32> {
         debug_assert!(n <= 32);
         if self.pos + n as usize > self.data.len() * 8 {
             return Err(BitstreamError::UnexpectedEnd { bit_pos: self.pos });
         }
-        let mut v: u32 = 0;
-        let mut remaining = n;
-        while remaining > 0 {
-            let byte = self.data[self.pos >> 3];
-            let bit_in_byte = self.pos & 7;
-            let avail = 8 - bit_in_byte as u32;
-            let take = remaining.min(avail);
-            let shifted = (byte as u32) >> (avail - take);
-            let mask = if take == 32 {
-                u32::MAX
-            } else {
-                (1u32 << take) - 1
-            };
-            v = if take == 32 {
-                shifted
-            } else {
-                (v << take) | (shifted & mask)
-            };
-            self.pos += take as usize;
-            remaining -= take;
+        if n == 0 {
+            return Ok(0);
         }
+        if self.avail < n {
+            // The bounds check above guarantees the refill covers `n` bits.
+            self.refill();
+        }
+        let v = (self.cache >> (64 - n)) as u32;
+        self.cache <<= n;
+        self.avail -= n;
+        self.pos += n as usize;
         Ok(v)
     }
 
@@ -162,10 +251,25 @@ impl<'a> BitReader<'a> {
     /// Peeks at the next `n` bits (0 ≤ n ≤ 32) without consuming them.
     ///
     /// Bits past the end of the buffer read as zero; this is what VLC lookup
-    /// wants (a truncated code will then simply fail to match).
+    /// wants (a truncated code will then simply fail to match). A cache hit
+    /// is a single shift; callers on the hot path pair this with
+    /// [`BitReader::refill`] so the cold fallback never runs.
     #[inline]
     pub fn peek_bits(&self, n: u32) -> u32 {
         debug_assert!(n <= 32);
+        if n == 0 {
+            return 0;
+        }
+        if n <= self.avail {
+            return (self.cache >> (64 - n)) as u32;
+        }
+        self.peek_bits_cold(n)
+    }
+
+    /// Per-byte peek used when the cache holds fewer than `n` bits (near the
+    /// end of the buffer, or before the first refill).
+    #[cold]
+    fn peek_bits_cold(&self, n: u32) -> u32 {
         let mut v: u32 = 0;
         let mut pos = self.pos;
         let mut remaining = n;
@@ -196,11 +300,13 @@ impl<'a> BitReader<'a> {
     }
 
     /// True if at least `n` more bits can be read.
+    #[inline]
     pub fn has_bits(&self, n: usize) -> bool {
         self.pos + n <= self.data.len() * 8
     }
 
     /// Helper for VLC decode failure at the current position.
+    #[inline]
     pub fn invalid_code(&self, table: &'static str) -> BitstreamError {
         BitstreamError::InvalidCode {
             bit_pos: self.pos,
@@ -211,6 +317,7 @@ impl<'a> BitReader<'a> {
     /// True when the next bits are a byte-aligned start-code prefix
     /// (`0x000001`) at or after the current (aligned) position. Used by the
     /// slice decoder to detect end-of-slice.
+    #[inline]
     pub fn next_is_start_code(&self) -> bool {
         let byte = (self.pos + 7) >> 3;
         byte + 3 <= self.data.len()
@@ -225,6 +332,7 @@ impl fmt::Debug for BitReader<'_> {
         f.debug_struct("BitReader")
             .field("pos_bits", &self.pos)
             .field("len_bytes", &self.data.len())
+            .field("cached_bits", &self.avail)
             .finish()
     }
 }
@@ -276,6 +384,18 @@ mod tests {
     }
 
     #[test]
+    fn peek_from_warm_cache_pads_with_zero_past_end() {
+        // Force a refill first, then peek past the end: cache-resident zero
+        // padding must match the cold path's.
+        let mut r = BitReader::new(&[0b1100_0000, 0xFF]);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+        // 6 zero bits, 8 one bits, then zero padding past the end.
+        assert_eq!(r.peek_bits(20), 0xFF << 6);
+        assert_eq!(r.peek_bits(14), 0xFF);
+        assert_eq!(r.bit_position(), 2);
+    }
+
+    #[test]
     fn alignment() {
         let mut r = BitReader::new(&[0xFF, 0x0F]);
         assert!(r.is_byte_aligned());
@@ -314,5 +434,55 @@ mod tests {
         r.seek_to(37);
         assert_eq!(r.bit_position(), 37);
         assert_eq!(r.bits_remaining(), 128 - 37);
+    }
+
+    #[test]
+    fn seek_to_unaligned_position_reads_correctly() {
+        let data = [0xAB, 0xCD, 0xEF, 0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC];
+        for start in 0..32usize {
+            let mut r = BitReader::at(&data, start);
+            let mut s = BitReader::new(&data);
+            s.skip(start).unwrap();
+            assert_eq!(r.read_bits(16).unwrap(), s.read_bits(16).unwrap());
+        }
+    }
+
+    #[test]
+    fn error_positions_are_exact_mid_cache() {
+        // Consume into a warm cache, then overrun: the error position must be
+        // the exact logical bit position, not a refill boundary.
+        let data = [0xFFu8; 6];
+        let mut r = BitReader::new(&data);
+        r.read_bits(13).unwrap();
+        // read_bits64 is two 32-bit reads; the first succeeds, so the error
+        // position is 13 + 32 = 45 — same as the pre-cache reader.
+        assert_eq!(
+            r.read_bits64(64).unwrap_err(),
+            BitstreamError::UnexpectedEnd { bit_pos: 45 }
+        );
+        assert_eq!(r.bit_position(), 45);
+        assert_eq!(
+            r.skip(6).unwrap_err(),
+            BitstreamError::UnexpectedEnd { bit_pos: 45 }
+        );
+        assert_eq!(r.read_bits(3).unwrap(), 0b111);
+        assert_eq!(
+            r.read_bit().unwrap_err(),
+            BitstreamError::UnexpectedEnd { bit_pos: 48 }
+        );
+    }
+
+    #[test]
+    fn refill_is_idempotent_and_position_neutral() {
+        let data: Vec<u8> = (0..32u8).collect();
+        let mut r = BitReader::new(&data);
+        r.read_bits(11).unwrap();
+        let pos = r.bit_position();
+        let peek = r.peek_bits(32);
+        r.refill();
+        r.refill();
+        assert_eq!(r.bit_position(), pos);
+        assert_eq!(r.peek_bits(32), peek);
+        assert_eq!(r.read_bits(32).unwrap(), peek);
     }
 }

@@ -75,12 +75,67 @@ impl Iterator for StartCodeScanner<'_> {
     }
 }
 
+/// SWAR zero-byte detector: a `u64` whose high bit is set in every byte
+/// lane of `w` that equals zero (`memchr`-style, std-only).
+#[inline]
+fn zero_byte_mask(w: u64) -> u64 {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    w.wrapping_sub(LO) & !w & HI
+}
+
 /// Finds the first `00 00 01 xx` pattern at or after `from`.
+///
+/// Every start code begins with a zero byte, so the sweep loads 8 bytes at
+/// a time (unaligned little-endian `u64`) and skips whole words that the
+/// SWAR filter proves zero-free — the common case in entropy-coded payload,
+/// where zero bytes are rare. Words containing a zero fall back to a short
+/// scalar check starting at the first zero lane; the word loop only runs
+/// while a full pattern lookahead is in bounds, and the last few bytes are
+/// finished by the byte-wise reference scan. The pre-SWAR implementation is
+/// kept as [`find_start_code_bytewise`], the oracle for the property tests
+/// and the baseline for the scanner micro-bench.
+pub fn find_start_code(data: &[u8], from: usize) -> Option<StartCode> {
+    let len = data.len();
+    let mut i = from;
+    // `i + 8 + 2 <= len` keeps `data[j + 2]` in bounds for every candidate
+    // start `j` in the word (`j < i + 8`); `j + 3` is then checked per hit.
+    while i + 10 <= len {
+        let w = u64::from_le_bytes(data[i..i + 8].try_into().expect("8-byte window"));
+        let z = zero_byte_mask(w);
+        if z == 0 {
+            i += 8;
+            continue;
+        }
+        // At least one zero byte in [i, i+8): check candidate starts from
+        // the first zero lane (little-endian ⇒ lowest byte is data[i]).
+        let mut j = i + (z.trailing_zeros() >> 3) as usize;
+        let word_end = i + 8;
+        while j < word_end {
+            if data[j] == 0 && data[j + 1] == 0 && data[j + 2] == 1 {
+                if j + 4 > len {
+                    return None;
+                }
+                return Some(StartCode {
+                    offset: j,
+                    code: data[j + 3],
+                });
+            }
+            j += 1;
+        }
+        i = word_end;
+    }
+    find_start_code_bytewise(data, i)
+}
+
+/// Byte-wise reference start-code search (the pre-SWAR implementation).
 ///
 /// Skips ahead two bytes at a time on non-zero bytes, the classic
 /// start-code-search trick: if `data[i+2] != 0` no code can start at `i` or
-/// `i+1`.
-pub fn find_start_code(data: &[u8], from: usize) -> Option<StartCode> {
+/// `i+1`. Kept as the tail path of [`find_start_code`], the differential
+/// oracle for the scanner property tests, and the baseline the scanner
+/// micro-bench compares the SWAR sweep against.
+pub fn find_start_code_bytewise(data: &[u8], from: usize) -> Option<StartCode> {
     let mut i = from;
     while i + 4 <= data.len() {
         let w = &data[i..i + 4];

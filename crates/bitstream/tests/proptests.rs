@@ -2,7 +2,9 @@
 //! xorshift generator so every case is deterministic and reproducible
 //! (re-run a failure by plugging its printed case number into the seed).
 
-use tiledec_bitstream::{find_start_code, BitReader, BitWriter, StartCode};
+use tiledec_bitstream::{
+    find_start_code, find_start_code_bytewise, BitReader, BitWriter, SlowBitReader, StartCode,
+};
 
 struct Rng(u64);
 
@@ -102,6 +104,103 @@ fn scanner_matches_naive() {
             naive_find(&data, from),
             "case {case}"
         );
+    }
+}
+
+/// Differential oracle: the cached [`BitReader`] must be observationally
+/// identical to the per-byte [`SlowBitReader`] under arbitrary operation
+/// interleavings — same values, same `bit_position()` after every step, and
+/// the same error (including its `bit_pos`) on overruns. Buffer lengths are
+/// kept short (0–23 bytes) so reads routinely straddle the 8-byte refill
+/// window and the end of the buffer.
+#[test]
+fn cached_reader_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case.wrapping_add(0xD1FF));
+        let len = rng.below(24) as usize;
+        let data = rng.bytes(len);
+        let bit_len = len * 8;
+        let mut fast = BitReader::new(&data);
+        let mut slow = SlowBitReader::new(&data);
+        for step in 0..96 {
+            match rng.below(7) {
+                0 => {
+                    assert_eq!(fast.read_bit(), slow.read_bit(), "case {case} step {step}");
+                }
+                1 => {
+                    let n = rng.below(33) as u32;
+                    assert_eq!(
+                        fast.read_bits(n),
+                        slow.read_bits(n),
+                        "case {case} step {step} n {n}"
+                    );
+                }
+                2 => {
+                    let n = rng.below(33) as u32;
+                    assert_eq!(
+                        fast.peek_bits(n),
+                        slow.peek_bits(n),
+                        "case {case} step {step} n {n}"
+                    );
+                }
+                3 => {
+                    let n = rng.below(40) as usize;
+                    assert_eq!(fast.skip(n), slow.skip(n), "case {case} step {step} n {n}");
+                }
+                4 => {
+                    fast.align_to_byte();
+                    slow.align_to_byte();
+                }
+                5 => {
+                    let p = rng.below(bit_len as u64 + 17) as usize;
+                    fast.seek_to(p);
+                    slow.seek_to(p);
+                }
+                _ => {
+                    // The cache-refill hint must be position-neutral; the
+                    // reference reader has no equivalent operation.
+                    fast.refill();
+                }
+            }
+            assert_eq!(
+                fast.bit_position(),
+                slow.bit_position(),
+                "case {case} step {step}"
+            );
+            assert_eq!(
+                fast.bits_remaining(),
+                slow.bits_remaining(),
+                "case {case} step {step}"
+            );
+        }
+    }
+}
+
+/// The SWAR sweep must agree with the byte-wise reference on long, sparse
+/// buffers — the regime where the zero-free-word skip actually fires — at
+/// every successive match position, not just the first.
+#[test]
+fn swar_scanner_matches_bytewise_on_sparse_buffers() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case ^ 0x5CA2);
+        let len = rng.below(2048) as usize;
+        let data: Vec<u8> = (0..len)
+            .map(|_| match rng.below(16) {
+                0 | 1 => 0,
+                2 => 1,
+                _ => 1 + rng.below(255) as u8,
+            })
+            .collect();
+        let mut from = 0;
+        loop {
+            let a = find_start_code(&data, from);
+            let b = find_start_code_bytewise(&data, from);
+            assert_eq!(a, b, "case {case} from {from}");
+            match a {
+                Some(sc) => from = sc.offset + 1,
+                None => break,
+            }
+        }
     }
 }
 

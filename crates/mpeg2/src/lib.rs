@@ -51,6 +51,7 @@ pub mod quant;
 pub mod recon;
 pub mod slice;
 pub mod tables;
+pub mod timing;
 pub mod types;
 pub mod y4m;
 

@@ -50,16 +50,56 @@ fn chroma_table() -> &'static VlcTable<u8> {
 }
 
 /// Decodes a DC differential for a luma (`is_luma`) or chroma block.
+///
+/// Fast path: one peek wide enough for the longest size code plus the
+/// longest differential (10 + 11 = 21 bits), one table probe, one skip.
+/// Tokens straddling the end of the buffer fall back to the step-by-step
+/// path so truncation errors keep their exact bit positions.
+#[inline]
 pub fn decode_dc_differential(r: &mut BitReader<'_>, is_luma: bool) -> crate::Result<i32> {
-    let size = if is_luma {
+    let table = if is_luma {
         luma_table()
     } else {
         chroma_table()
+    };
+    r.refill();
+    let width = table.max_len() as u32 + 11;
+    let w = r.peek_bits(width);
+    let (size, len) = table.lookup(w >> 11);
+    if len == 0 {
+        return Err(r.invalid_code(table.name()).into());
     }
-    .decode(r)?;
     if size == 0 {
+        r.skip(len as usize)?;
         return Ok(0);
     }
+    if r.skip(len as usize + size as usize).is_err() {
+        return decode_dc_differential_slow(r, table, size, len);
+    }
+    let bits = ((w >> (width - len as u32 - size as u32)) & ((1 << size) - 1)) as i32;
+    let half = 1i32 << (size - 1);
+    Ok(if bits >= half {
+        bits
+    } else {
+        bits - (1 << size) + 1
+    })
+}
+
+/// Step-by-step decode for differentials straddling the end of the buffer:
+/// same read sequence as the pre-cache implementation, so every truncation
+/// error carries the exact bit position the old code reported.
+#[cold]
+fn decode_dc_differential_slow(
+    r: &mut BitReader<'_>,
+    table: &VlcTable<u8>,
+    size: u8,
+    len: u8,
+) -> crate::Result<i32> {
+    debug_assert_eq!(
+        table.lookup(r.peek_bits(table.max_len() as u32)),
+        (size, len)
+    );
+    let _ = table.decode(r)?;
     let bits = r.read_bits(size as u32)? as i32;
     let half = 1i32 << (size - 1);
     Ok(if bits >= half {

@@ -170,14 +170,81 @@ fn enc_key(v: &u16) -> usize {
     }
 }
 
+/// Table name, shared by the builder and the fast path's error report.
+const NAME: &str = "B-14 dct_coeff";
+
 fn table() -> &'static VlcTable<u16> {
     static T: OnceLock<VlcTable<u16>> = OnceLock::new();
-    T.get_or_init(|| VlcTable::build("B-14 dct_coeff", &SPECS, EOB, 2 + 32 * 48, enc_key))
+    T.get_or_init(|| VlcTable::build(NAME, &SPECS, EOB, 2 + 32 * 48, enc_key))
 }
 
 /// Decodes the next coefficient token. `first` selects the first-coefficient
 /// variant of the run-0/level-1 code.
+///
+/// Fast path: one refill, one 24-bit peek — wide enough for the longest
+/// code plus its sign bit (16 + 1) and for the full escape form
+/// (6 + 6 + 12 = 24) — then one table probe and a single skip of the whole
+/// token. Only when the token straddles the end of the buffer does it fall
+/// back to the step-by-step path, which reads exactly like the pre-cache
+/// implementation so truncation errors keep their exact bit positions.
+#[inline]
 pub fn decode_coeff(r: &mut BitReader<'_>, first: bool) -> crate::Result<Coeff> {
+    r.refill();
+    let w = r.peek_bits(24);
+    if first && (w >> 23) == 1 {
+        if r.skip(2).is_err() {
+            return decode_coeff_slow(r, first);
+        }
+        return Ok(Coeff::Run {
+            run: 0,
+            level: if (w >> 22) & 1 == 1 { -1 } else { 1 },
+        });
+    }
+    let (packed, len) = table().lookup(w >> 8);
+    if len == 0 {
+        return Err(r.invalid_code(NAME).into());
+    }
+    match packed {
+        EOB => {
+            r.skip(len as usize)?;
+            Ok(Coeff::Eob)
+        }
+        ESCAPE => {
+            if r.skip(24).is_err() {
+                return decode_coeff_slow(r, first);
+            }
+            let raw = (w & 0xFFF) as i32;
+            let level = if raw >= 2048 { raw - 4096 } else { raw };
+            if level == 0 || level == -2048 {
+                return Err(crate::Error::Syntax(format!(
+                    "forbidden escape level {level}"
+                )));
+            }
+            Ok(Coeff::Run {
+                run: ((w >> 12) & 63) as u8,
+                level,
+            })
+        }
+        _ => {
+            if r.skip(len as usize + 1).is_err() {
+                return decode_coeff_slow(r, first);
+            }
+            let mag = (packed & 0xFF) as i32;
+            let sign = (w >> (23 - len as u32)) & 1;
+            Ok(Coeff::Run {
+                run: (packed >> 8) as u8,
+                level: if sign == 1 { -mag } else { mag },
+            })
+        }
+    }
+}
+
+/// Step-by-step decode for tokens that straddle the end of the buffer:
+/// performs the same sequence of reads as the pre-cache implementation so
+/// every truncation error carries the exact bit position the old code
+/// reported (the wire-fuzz and teardown suites assert on these).
+#[cold]
+fn decode_coeff_slow(r: &mut BitReader<'_>, first: bool) -> crate::Result<Coeff> {
     if first && r.peek_bits(1) == 1 {
         r.skip(1)?;
         let sign = r.read_bit()?;

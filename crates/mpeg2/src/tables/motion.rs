@@ -63,7 +63,42 @@ pub fn encode_motion_code(w: &mut BitWriter, code: i32) {
 /// when `f_code > 1` and the code is non-zero, an `f_code − 1`-bit residual.
 /// Returns the new component value given the prediction `pred`, wrapping
 /// into the legal range.
+///
+/// Fast path: one peek wide enough for the longest motion code plus sign
+/// and residual (10 + 1 + 8 = 19 bits), one table probe, one skip. Tokens
+/// straddling the end of the buffer fall back to the step-by-step path so
+/// truncation errors keep their exact bit positions.
+#[inline]
 pub fn decode_mv_component(r: &mut BitReader<'_>, f_code: u8, pred: i32) -> crate::Result<i32> {
+    let r_size = (f_code - 1) as u32;
+    let f = 1i32 << r_size;
+    let t = table();
+    r.refill();
+    let width = t.max_len() as u32 + 1 + r_size;
+    let w = r.peek_bits(width);
+    let (mag, len) = t.lookup(w >> (1 + r_size));
+    if len == 0 {
+        return Err(r.invalid_code(t.name()).into());
+    }
+    if mag == 0 {
+        r.skip(len as usize)?;
+        return Ok(wrap_mv(pred, f));
+    }
+    if r.skip(len as usize + 1 + r_size as usize).is_err() {
+        return decode_mv_component_slow(r, f_code, pred);
+    }
+    let sign = (w >> (width - len as u32 - 1)) & 1;
+    let residual = ((w >> (width - len as u32 - 1 - r_size)) & ((1u32 << r_size) - 1)) as i32;
+    let mag = (mag as i32 - 1) * f + residual + 1;
+    let delta = if sign == 1 { -mag } else { mag };
+    Ok(wrap_mv(pred + delta, f))
+}
+
+/// Step-by-step decode for components straddling the end of the buffer:
+/// same read sequence as the pre-cache implementation, so every truncation
+/// error carries the exact bit position the old code reported.
+#[cold]
+fn decode_mv_component_slow(r: &mut BitReader<'_>, f_code: u8, pred: i32) -> crate::Result<i32> {
     let r_size = (f_code - 1) as u32;
     let f = 1i32 << r_size;
     let code = decode_motion_code(r)?;

@@ -1,8 +1,31 @@
 //! Generic prefix-code machinery: a table is built once from its entry list
-//! and provides both decode (via a flat lookup table indexed by the next
-//! `max_len` bits) and encode (via a value-indexed map).
+//! and provides both decode (via a two-level lookup keyed on the next bits)
+//! and encode (via a value-indexed map).
+//!
+//! # Two-level layout
+//!
+//! A flat `2^max_len` table is wasteful for MPEG-2's long tables: dct_coeff
+//! codes run to 16 bits but the overwhelmingly common ones fit in 8, so a
+//! flat table would spend 64 Ki entries to serve lookups that almost always
+//! need 256. Instead the root table is indexed by the next
+//! `root_bits = min(max_len, 8)` bits. A root slot is one of:
+//!
+//! * `len == 0` — invalid prefix;
+//! * `0 < len <= root_bits` — a short code, decoded in one lookup;
+//! * `len == LONG_MARK` — the prefix of one or more long codes; decode
+//!   escapes to a per-prefix subtable indexed by the remaining
+//!   `max_len - root_bits` bits (`sub_base` maps the root slot to its
+//!   subtable's offset in the flat `sub` arena).
+//!
+//! The split is exactly equivalent to the flat table — a code of length
+//! `<= root_bits` is fully determined by the root index, and a longer code
+//! by root index plus tail — so decode results, consumed bit counts, and
+//! invalid-code error positions are unchanged.
 
 use tiledec_bitstream::BitReader;
+
+/// Root-slot length marker for prefixes that escape to a second-level table.
+const LONG_MARK: u8 = u8::MAX;
 
 /// One code of a VLC table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,13 +45,20 @@ pub const fn spec<V>(value: V, code: u32, len: u8) -> VlcSpec<V> {
 
 /// A built VLC table supporting decode and encode.
 ///
-/// Decode uses a flat `2^max_len` lookup: every slot whose index starts with
-/// a code's bits maps to that code. Encode walks a dense `Vec` indexed by a
+/// Decode peeks `root_bits` bits into the root table; short codes resolve
+/// immediately and long codes escape to a second-level subtable (see the
+/// module docs for the layout). Encode walks a dense `Vec` indexed by a
 /// caller-supplied key function.
 pub struct VlcTable<V: Copy> {
     max_len: u8,
-    /// `lut[bits] = (value, len)`; `len == 0` marks an invalid prefix.
-    lut: Vec<(V, u8)>,
+    root_bits: u8,
+    /// `root[bits] = (value, len)`; `len == 0` marks an invalid prefix and
+    /// `len == LONG_MARK` a long-code escape.
+    root: Vec<(V, u8)>,
+    /// Subtable offsets into `sub`, valid only for `LONG_MARK` root slots.
+    sub_base: Vec<u32>,
+    /// Flat arena of `2^(max_len - root_bits)`-entry subtables.
+    sub: Vec<(V, u8)>,
     /// Keyed encode entries: `enc[key(value)] = (code, len)`.
     enc: Vec<Option<(u32, u8)>>,
     name: &'static str,
@@ -39,7 +69,9 @@ impl<V: Copy + PartialEq + std::fmt::Debug> VlcTable<V> {
     /// for encoding; `key_space` is the exclusive upper bound of the keys.
     ///
     /// Panics when two codes collide (one is a prefix of the other), which
-    /// turns table typos into immediate test failures.
+    /// turns table typos into immediate test failures. Collisions across
+    /// the level split — a short code that is also the root prefix of a
+    /// long code — are caught the same way.
     pub fn build(
         name: &'static str,
         specs: &[VlcSpec<V>],
@@ -52,26 +84,61 @@ impl<V: Copy + PartialEq + std::fmt::Debug> VlcTable<V> {
             max_len <= 16,
             "VLC codes longer than 16 bits are not used by MPEG-2"
         );
-        let mut lut = vec![(default, 0u8); 1 << max_len];
+        let root_bits = max_len.min(8);
+        let tail_bits = max_len - root_bits;
+        let mut root = vec![(default, 0u8); 1 << root_bits];
+        let mut sub_base = vec![0u32; 1 << root_bits];
+        let mut sub: Vec<(V, u8)> = Vec::new();
         for s in specs {
             assert!(s.len >= 1 && s.len <= max_len);
             assert!(
-                s.len == 32 || (s.code as u64) < (1u64 << s.len),
+                (s.code as u64) < (1u64 << s.len),
                 "{name}: code {:#b} wider than {} bits",
                 s.code,
                 s.len
             );
-            let shift = max_len - s.len;
-            let base = (s.code as usize) << shift;
-            for slot in lut.iter_mut().skip(base).take(1usize << shift) {
-                assert!(
-                    slot.1 == 0,
-                    "{name}: code {:#0width$b}/{} collides with an earlier entry",
-                    s.code,
-                    s.len,
-                    width = s.len as usize
-                );
-                *slot = (s.value, s.len);
+            if s.len <= root_bits {
+                let shift = root_bits - s.len;
+                let base = (s.code as usize) << shift;
+                for slot in root.iter_mut().skip(base).take(1usize << shift) {
+                    assert!(
+                        slot.1 == 0,
+                        "{name}: code {:#0width$b}/{} collides with an earlier entry",
+                        s.code,
+                        s.len,
+                        width = s.len as usize
+                    );
+                    *slot = (s.value, s.len);
+                }
+            } else {
+                let idx = (s.code >> (s.len - root_bits)) as usize;
+                if root[idx].1 == 0 {
+                    root[idx] = (default, LONG_MARK);
+                    sub_base[idx] = sub.len() as u32;
+                    sub.resize(sub.len() + (1usize << tail_bits), (default, 0u8));
+                } else {
+                    assert!(
+                        root[idx].1 == LONG_MARK,
+                        "{name}: code {:#0width$b}/{} collides with an earlier entry",
+                        s.code,
+                        s.len,
+                        width = s.len as usize
+                    );
+                }
+                let tail_len = s.len - root_bits;
+                let tail_code = (s.code as usize) & ((1usize << tail_len) - 1);
+                let shift = tail_bits - tail_len;
+                let base = sub_base[idx] as usize + (tail_code << shift);
+                for slot in sub[base..base + (1usize << shift)].iter_mut() {
+                    assert!(
+                        slot.1 == 0,
+                        "{name}: code {:#0width$b}/{} collides with an earlier entry",
+                        s.code,
+                        s.len,
+                        width = s.len as usize
+                    );
+                    *slot = (s.value, s.len);
+                }
             }
         }
         let mut enc = vec![None; key_space];
@@ -87,7 +154,10 @@ impl<V: Copy + PartialEq + std::fmt::Debug> VlcTable<V> {
         }
         VlcTable {
             max_len,
-            lut,
+            root_bits,
+            root,
+            sub_base,
+            sub,
             enc,
             name,
         }
@@ -98,16 +168,42 @@ impl<V: Copy + PartialEq + std::fmt::Debug> VlcTable<V> {
         self.max_len
     }
 
+    /// Table name, as reported in invalid-code errors.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
     /// Decodes the next code from `r`, consuming its bits.
     #[inline]
     pub fn decode(&self, r: &mut BitReader<'_>) -> crate::Result<V> {
-        let peek = r.peek_bits(self.max_len as u32);
-        let (value, len) = self.lut[peek as usize];
+        r.refill();
+        let (value, len) = self.lookup(r.peek_bits(self.max_len as u32));
         if len == 0 {
             return Err(r.invalid_code(self.name).into());
         }
         r.skip(len as usize).map_err(crate::Error::from)?;
         Ok(value)
+    }
+
+    /// Resolves `bits` — the next `max_len` bits of the stream, MSB-aligned
+    /// to bit `max_len - 1` — to `(value, code_len)`; `code_len == 0` means
+    /// no code matches. Consumes nothing: callers that peeked a wider window
+    /// (e.g. code + sign bit) decode from it and skip once.
+    #[inline]
+    pub fn lookup(&self, bits: u32) -> (V, u8) {
+        let root = bits >> (self.max_len - self.root_bits);
+        let (value, len) = self.root[root as usize];
+        if len != LONG_MARK {
+            return (value, len);
+        }
+        self.lookup_long(root as usize, bits)
+    }
+
+    /// Second-level lookup for codes longer than `root_bits`.
+    fn lookup_long(&self, root_idx: usize, bits: u32) -> (V, u8) {
+        let tail_bits = self.max_len - self.root_bits;
+        let tail = bits & ((1u32 << tail_bits) - 1);
+        self.sub[self.sub_base[root_idx] as usize + tail as usize]
     }
 
     /// Looks up the `(code, len)` pair for a value key, if the table encodes
@@ -146,6 +242,24 @@ mod tests {
         )
     }
 
+    /// Codes straddling the 8-bit root split: 1, 01, and a family of long
+    /// codes under the 0000_0000 root prefix.
+    fn two_level_table() -> VlcTable<u8> {
+        VlcTable::build(
+            "two-level",
+            &[
+                spec(0u8, 0b1, 1),
+                spec(1, 0b01, 2),
+                spec(2, 0b0000_0000_1, 9),
+                spec(3, 0b0000_0000_01, 10),
+                spec(4, 0b0000_0000_0000_0001, 16),
+            ],
+            0,
+            5,
+            |v| *v as usize,
+        )
+    }
+
     #[test]
     fn decode_reads_exact_lengths() {
         // Bits: 1 | 01 | 001 | 000 = 1 01 001 000 -> 0b1010_0100 0b0...
@@ -177,10 +291,56 @@ mod tests {
     }
 
     #[test]
+    fn two_level_round_trip_and_exact_positions() {
+        let t = two_level_table();
+        assert_eq!(t.max_len(), 16);
+        // Interleave short and long codes in one stream; positions must
+        // advance by exactly each code's length.
+        let seq = [0u8, 2, 1, 4, 3, 0];
+        let mut w = BitWriter::new();
+        let mut expect_pos = 0usize;
+        for &v in &seq {
+            let (code, len) = t.encode_key_unwrap(v as usize);
+            w.put_bits(code, len as u32);
+            expect_pos += len as usize;
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &seq {
+            assert_eq!(t.decode(&mut r).unwrap(), v);
+        }
+        assert_eq!(r.bit_position(), expect_pos);
+    }
+
+    #[test]
+    fn two_level_invalid_tail_is_invalid_code() {
+        let t = two_level_table();
+        // Root prefix 0000_0000 escapes to the subtable, but tail
+        // 0000_0010 matches no code.
+        let bytes = [0b0000_0000, 0b0000_0010];
+        let mut r = BitReader::new(&bytes);
+        assert!(t.decode(&mut r).is_err());
+        assert_eq!(r.bit_position(), 0, "a failed decode must not consume");
+    }
+
+    #[test]
     #[should_panic(expected = "collides")]
     fn prefix_collision_panics() {
         VlcTable::build("bad", &[spec(0u8, 0b1, 1), spec(1, 0b10, 2)], 0, 2, |v| {
             *v as usize
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn cross_level_collision_panics() {
+        // The 3-bit code 000 is a root-level prefix of the 9-bit code.
+        VlcTable::build(
+            "bad-cross",
+            &[spec(0u8, 0b000, 3), spec(1, 0b0000_0000_1, 9)],
+            0,
+            2,
+            |v| *v as usize,
+        );
     }
 }

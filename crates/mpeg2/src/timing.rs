@@ -1,0 +1,164 @@
+//! Lightweight per-stage wall-time accounting for the sequential decoder.
+//!
+//! The decode bench wants to report *where* a decode spends its time —
+//! start-code scanning, header parsing + variable-length decode (the
+//! entropy stage this crate's bit-cache work targets), and pixel work
+//! (dequant + IDCT + motion compensation + reconstruction) — without
+//! threading a timing context through every call. Counters are
+//! thread-local `Cell`s and collection is strictly opt-in: with timing
+//! disabled (the default, and always the case for the *timed* benchmark
+//! passes) each hook is a single thread-local flag test, so the production
+//! hot path stays allocation- and syscall-free. An instrumented pass runs
+//! separately from the timed passes and reads the split afterwards.
+//!
+//! Attribution model: the decoder times `StartCodeScanner::next_code` as
+//! **scan** and each start-code handler as a whole; the [`Reconstructor`]
+//! hooks record **pixel** time per macroblock, and the handler's remainder
+//! (everything that is not pixel work — header parsing and all VLC/bit
+//! reading) is **vld**. Slice decode interleaves entropy decode and
+//! reconstruction per macroblock, so subtracting the inner pixel spans is
+//! what isolates the entropy share.
+//!
+//! [`Reconstructor`]: crate::recon::Reconstructor
+
+use std::cell::Cell;
+use std::time::Instant;
+
+/// Per-stage wall time of one instrumented decode, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Start-code scanning (SWAR sweep in `tiledec-bitstream`).
+    pub scan_ns: u64,
+    /// Header parsing + variable-length decode (entropy stage).
+    pub vld_ns: u64,
+    /// Dequant + IDCT + motion compensation + reconstruction.
+    pub pixel_ns: u64,
+}
+
+impl StageTimes {
+    /// Total accounted time.
+    pub fn total_ns(&self) -> u64 {
+        self.scan_ns + self.vld_ns + self.pixel_ns
+    }
+}
+
+/// Stage a span's elapsed time is charged to.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Stage {
+    Scan,
+    Vld,
+    Pixel,
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static SCAN_NS: Cell<u64> = const { Cell::new(0) };
+    static VLD_NS: Cell<u64> = const { Cell::new(0) };
+    static PIXEL_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// True when stage collection is on for this thread.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Resets the counters and turns collection on for this thread.
+pub fn enable() {
+    SCAN_NS.with(|c| c.set(0));
+    VLD_NS.with(|c| c.set(0));
+    PIXEL_NS.with(|c| c.set(0));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Turns collection off and returns the accumulated stage times.
+pub fn disable_and_take() -> StageTimes {
+    ENABLED.with(|e| e.set(false));
+    StageTimes {
+        scan_ns: SCAN_NS.with(|c| c.get()),
+        vld_ns: VLD_NS.with(|c| c.get()),
+        pixel_ns: PIXEL_NS.with(|c| c.get()),
+    }
+}
+
+#[inline]
+pub(crate) fn add(stage: Stage, ns: u64) {
+    let cell = match stage {
+        Stage::Scan => &SCAN_NS,
+        Stage::Vld => &VLD_NS,
+        Stage::Pixel => &PIXEL_NS,
+    };
+    cell.with(|c| c.set(c.get() + ns));
+}
+
+/// Pixel nanoseconds accumulated so far; the decoder samples this around a
+/// start-code handler to charge the handler's *non*-pixel remainder to vld.
+#[inline]
+pub(crate) fn pixel_ns_so_far() -> u64 {
+    PIXEL_NS.with(|c| c.get())
+}
+
+/// RAII span charging its lifetime to `stage`; free when timing is off.
+pub(crate) struct StageSpan {
+    start: Option<Instant>,
+    stage: Stage,
+}
+
+impl StageSpan {
+    #[inline]
+    pub(crate) fn begin(stage: Stage) -> Self {
+        StageSpan {
+            start: enabled().then(Instant::now),
+            stage,
+        }
+    }
+}
+
+impl Drop for StageSpan {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            add(self.stage, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_spans_are_free() {
+        assert!(!enabled());
+        {
+            let _s = StageSpan::begin(Stage::Scan);
+        }
+        assert_eq!(disable_and_take(), StageTimes::default());
+    }
+
+    #[test]
+    fn spans_accumulate_into_their_stage() {
+        enable();
+        {
+            let _s = StageSpan::begin(Stage::Pixel);
+            std::hint::black_box(0u64);
+        }
+        add(Stage::Vld, 7);
+        add(Stage::Scan, 3);
+        assert_eq!(pixel_ns_so_far(), disable_and_take().pixel_ns);
+        assert!(!enabled());
+        // A second take after disable reads the same (now frozen) counters.
+        let again = disable_and_take();
+        assert_eq!(again.vld_ns, 7);
+        assert_eq!(again.scan_ns, 3);
+    }
+
+    #[test]
+    fn enable_resets_previous_counters() {
+        enable();
+        add(Stage::Vld, 1000);
+        enable();
+        let t = disable_and_take();
+        assert_eq!(t.vld_ns, 0);
+    }
+}
