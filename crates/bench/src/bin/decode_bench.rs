@@ -10,12 +10,27 @@
 //! [`tiledec_mpeg2::timing`]; stage hooks stay disabled during the timed
 //! passes. Results go to stdout (or `--out`) as JSON.
 //!
+//! A third family of passes measures the slice-parallel VLD decoder
+//! (`tiledec_core::vld_parallel`) at 1, 2, 4 and 8 workers, publishing a
+//! worker-scaling curve with per-worker utilization/imbalance and a
+//! critical-path model throughput (`model_pps`, same per-picture-max
+//! methodology as `tiled_2x2_pps` — what the decode costs once workers
+//! and coordinator overlap on enough cores; wall-clock `pps` on a
+//! single-core host shows the coordination overhead instead). When
+//! `TILEDEC_VLD_WORKERS` is set, the timed sequential passes
+//! (`scalar_pps`/`best_pps`) also run through the parallel decoder, which
+//! is how CI smoke-tests the parallel path under the regression gate.
+//!
 //! `BENCH_decode.json` at the repository root is the committed baseline.
 //! CI re-runs this binary with `--check BENCH_decode.json`, which fails
 //! if sequential pixels/sec on any preset drops more than 25% below the
-//! baseline — both `scalar_pps` and `best_pps` are gated, and when the
-//! active kernel set *is* scalar (e.g. `TILEDEC_KERNELS=scalar`) the
-//! best-kernel numbers are gated against the baseline's scalar numbers.
+//! baseline — `scalar_pps`, `best_pps` and the 4-worker `vld4_pps` point
+//! are gated, and when the active kernel set *is* scalar (e.g.
+//! `TILEDEC_KERNELS=scalar`) the best-kernel numbers are gated against
+//! the baseline's scalar numbers (the `vld4_pps` gate is skipped: its
+//! baseline is recorded under the best kernel set). A `--check` run whose
+//! `--frames` differs from the baseline's is a hard error: pps floors
+//! recorded at a different stream length gate against the wrong number.
 //! `--min-ratio` guards the SIMD-vs-scalar speedup.
 //!
 //! Usage:
@@ -55,9 +70,26 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 use tiledec_core::splitter::{split_picture_units, MacroblockSplitter};
 use tiledec_core::tile_decoder::TileDecoder;
+use tiledec_core::vld_parallel::ParallelVldDecoder;
 use tiledec_core::SystemConfig;
 use tiledec_mpeg2::kernels;
 use tiledec_workload::StreamPreset;
+
+/// Worker counts of the slice-parallel VLD scaling curve.
+const VLD_WORKER_CURVE: [usize; 4] = [1, 2, 4, 8];
+
+/// One point of the slice-parallel VLD scaling curve.
+struct VldPoint {
+    workers: usize,
+    pps: f64,
+    /// Wall-clock speedup over `best_pps` (the single-thread decode).
+    speedup: f64,
+    utilization: f64,
+    imbalance: f64,
+    /// Critical-path model throughput (per-picture max of coordinator
+    /// replay vs slowest VLD range, summed — the multi-core ceiling).
+    model_pps: f64,
+}
 
 /// One preset's measurements.
 struct PresetResult {
@@ -72,6 +104,7 @@ struct PresetResult {
     tiled_pps: f64,
     tiled_fps: f64,
     steady_allocs: u64,
+    vld_curve: Vec<VldPoint>,
     stages: tiledec_mpeg2::timing::StageTimes,
 }
 
@@ -132,28 +165,63 @@ fn main() {
         // Pixels/sec is content-dependent: early frames of a preset can be
         // cheaper or dearer per pixel than the long-run mix, so comparing a
         // short run against a baseline recorded at a different length gates
-        // against the wrong number. Warn loudly rather than silently flake.
+        // against the wrong number. Hard error: CI must never gate against
+        // a mismatched frame mix.
         if let Some(base_frames) = extract_field(&baseline, "\"frames\": ") {
             if base_frames as usize != frames {
                 eprintln!(
-                    "[check] WARNING: baseline was recorded with --frames {base_frames}, \
-                     this run used --frames {frames}; pps floors may not be comparable"
+                    "[check] FAIL: baseline was recorded with --frames {base_frames}, \
+                     this run used --frames {frames}; pps floors are not comparable \
+                     (re-run with --frames {base_frames} or regenerate the baseline)"
                 );
+                failed = true;
             }
         }
         // When the active kernel set is scalar (forced via TILEDEC_KERNELS),
         // "best" numbers are scalar numbers and must be gated against the
-        // baseline's scalar field, not its SIMD field.
+        // baseline's scalar field, not its SIMD field. The vld4 point has
+        // no scalar baseline, so it is only gated under the best kernels.
         let best_key = if best.name == "scalar" {
             "scalar_pps"
         } else {
             "best_pps"
         };
+        if best.name == "scalar" {
+            eprintln!(
+                "[check] note: active kernel set is scalar; skipping the vld4_pps gate \
+                 (its baseline is recorded under the best kernel set)"
+            );
+        }
+        // With TILEDEC_VLD_WORKERS set, the "sequential" passes above ran
+        // through the parallel decoder: their numbers measure coordination
+        // overhead, not the sequential path, so the sequential floors do
+        // not apply. The vld4_pps point is measured identically either way
+        // and remains the gate for that run.
+        let vld_forced = std::env::var("TILEDEC_VLD_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+            > 0;
+        if vld_forced {
+            eprintln!(
+                "[check] note: TILEDEC_VLD_WORKERS is set; scalar_pps/best_pps ran through \
+                 the parallel decoder and are not gated against sequential baselines"
+            );
+        }
         for r in &results {
-            let gates = [
-                ("scalar_pps", r.scalar_pps, "scalar_pps"),
-                (best_key, r.best_pps, "best_pps"),
-            ];
+            let vld4 = r
+                .vld_curve
+                .iter()
+                .find(|p| p.workers == 4)
+                .map_or(0.0, |p| p.pps);
+            let mut gates = Vec::new();
+            if !vld_forced {
+                gates.push(("scalar_pps", r.scalar_pps, "scalar_pps"));
+                gates.push((best_key, r.best_pps, "best_pps"));
+            }
+            if best.name != "scalar" {
+                gates.push(("vld4_pps", vld4, "vld4_pps"));
+            }
             for (base_key, measured, label) in gates {
                 let Some(base_pps) = extract_pps(&baseline, &r.name, base_key) else {
                     eprintln!(
@@ -213,6 +281,24 @@ fn run_preset(
     // steady-state allocation audit on the second half of the pictures.
     let (tiled_s, steady_allocs) = time_tiled(&stream);
 
+    // Slice-parallel VLD scaling curve (best kernels, best-of-5 walls).
+    let single_s = best_s;
+    let vld_curve = VLD_WORKER_CURVE
+        .iter()
+        .map(|&workers| {
+            let (wall_s, stats) = time_vld_parallel(&stream, workers);
+            let model_s = (stats.model_critical_ns as f64 * 1e-9).max(1e-12);
+            VldPoint {
+                workers,
+                pps: pixels / wall_s,
+                speedup: single_s / wall_s,
+                utilization: stats.utilization(),
+                imbalance: stats.imbalance(),
+                model_pps: pixels / model_s,
+            }
+        })
+        .collect();
+
     // Per-stage breakdown from a separate instrumented pass (the stage
     // hooks cost two clock reads per macroblock, so the timed passes above
     // run with them disabled). Uses the same kernel set as `best_pps`.
@@ -234,20 +320,46 @@ fn run_preset(
         tiled_pps: pixels / tiled_s,
         tiled_fps: frames as f64 / tiled_s,
         steady_allocs,
+        vld_curve,
         stages,
     }
 }
 
+/// Times the "sequential" decode path. Honouring `TILEDEC_VLD_WORKERS`
+/// here is what lets CI run the whole regression gate with the
+/// slice-parallel decoder substituted in (unset = plain sequential).
 fn time_sequential(stream: &[u8]) -> f64 {
+    let mut dec = ParallelVldDecoder::from_env();
     let mut bestt = f64::INFINITY;
     for _ in 0..5 {
         let t0 = Instant::now();
-        let frames = tiledec_mpeg2::decode_all(stream).expect("decode");
+        let frames = dec.decode_all(stream).expect("decode");
         let dt = t0.elapsed().as_secs_f64();
         std::hint::black_box(frames);
         bestt = bestt.min(dt);
     }
     bestt
+}
+
+/// Best-of-5 wall time of the slice-parallel decoder at `workers`, plus
+/// the stats of the fastest run.
+fn time_vld_parallel(stream: &[u8], workers: usize) -> (f64, tiledec_core::VldStats) {
+    let mut dec = ParallelVldDecoder::new(workers);
+    let mut bestt = f64::INFINITY;
+    let mut best_stats = tiledec_core::VldStats::default();
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let mut frames = 0usize;
+        dec.decode_stream(stream, |_, _| frames += 1)
+            .expect("vld_parallel decode");
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(frames);
+        if dt < bestt {
+            bestt = dt;
+            best_stats = dec.stats().clone();
+        }
+    }
+    (bestt, best_stats)
 }
 
 /// Runs the real splitter + 2×2 tile-decoder bank. Returns the summed
@@ -318,9 +430,29 @@ fn render_json(results: &[PresetResult], frames: usize, kernel: &str) -> String 
     s.push_str(&format!("  \"kernel\": \"{kernel}\",\n"));
     s.push_str(&format!("  \"available\": [{}],\n", sets.join(", ")));
     s.push_str(&format!("  \"frames\": {frames},\n"));
+    s.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
     s.push_str("  \"presets\": [\n");
     for (i, r) in results.iter().enumerate() {
         let total = r.stages.total_ns().max(1) as f64;
+        let vld4 = r
+            .vld_curve
+            .iter()
+            .find(|p| p.workers == 4)
+            .map_or(0.0, |p| p.pps);
+        let curve: Vec<String> = r
+            .vld_curve
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"workers\": {}, \"pps\": {:.0}, \"speedup\": {:.3}, \
+                     \"utilization\": {:.3}, \"imbalance\": {:.3}, \"model_pps\": {:.0}}}",
+                    p.workers, p.pps, p.speedup, p.utilization, p.imbalance, p.model_pps
+                )
+            })
+            .collect();
         s.push_str(&format!(
             concat!(
                 "    {{\"name\": \"{}\", \"width\": {}, \"height\": {}, \"frames\": {},\n",
@@ -328,6 +460,8 @@ fn render_json(results: &[PresetResult], frames: usize, kernel: &str) -> String 
                 "\"simd_ratio\": {:.3},\n",
                 "     \"tiled_2x2_pps\": {:.0}, \"tiled_2x2_fps\": {:.2}, ",
                 "\"steady_allocs\": {},\n",
+                "     \"vld4_pps\": {:.0},\n",
+                "     \"vld_parallel\": [\n      {}\n     ],\n",
                 "     \"stage_scan_ns\": {}, \"stage_vld_ns\": {}, ",
                 "\"stage_pixel_ns\": {}, \"vld_share\": {:.3}}}{}\n",
             ),
@@ -342,6 +476,8 @@ fn render_json(results: &[PresetResult], frames: usize, kernel: &str) -> String 
             r.tiled_pps,
             r.tiled_fps,
             r.steady_allocs,
+            vld4,
+            curve.join(",\n      "),
             r.stages.scan_ns,
             r.stages.vld_ns,
             r.stages.pixel_ns,

@@ -28,7 +28,9 @@ pub mod slow;
 mod writer;
 
 pub use reader::{BitReader, BitstreamError};
-pub use scanner::{find_start_code, find_start_code_bytewise, StartCode, StartCodeScanner};
+pub use scanner::{
+    find_start_code, find_start_code_bytewise, StartCode, StartCodeIndex, StartCodeScanner,
+};
 pub use slow::SlowBitReader;
 pub use writer::BitWriter;
 

@@ -157,6 +157,62 @@ pub fn find_start_code_bytewise(data: &[u8], from: usize) -> Option<StartCode> {
     None
 }
 
+/// Prebuilt index of every byte-aligned start code in a buffer.
+///
+/// One SWAR sweep ([`find_start_code`]) up front replaces repeated
+/// incremental scans when a consumer needs *random access* to stream
+/// structure. The slice-parallel VLD layer builds one per stream to
+/// enumerate picture/slice boundaries before fanning slice ranges out to
+/// worker threads, and uses [`StartCodeIndex::unit_end`] to size each
+/// range-scoped payload (a slice's entropy-coded bytes run from its start
+/// code to the next start code or the end of the buffer).
+#[derive(Debug, Clone)]
+pub struct StartCodeIndex {
+    codes: Vec<StartCode>,
+    data_len: usize,
+}
+
+impl StartCodeIndex {
+    /// Scans `data` once and records every start code in offset order.
+    pub fn build(data: &[u8]) -> Self {
+        StartCodeIndex {
+            codes: StartCodeScanner::new(data).collect(),
+            data_len: data.len(),
+        }
+    }
+
+    /// All codes, in stream order.
+    pub fn codes(&self) -> &[StartCode] {
+        &self.codes
+    }
+
+    /// Number of indexed codes.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the buffer holds no start code at all.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Index of the first code whose offset is `>= offset`, if any.
+    pub fn first_at_or_after(&self, offset: usize) -> Option<usize> {
+        let i = self.codes.partition_point(|c| c.offset < offset);
+        (i < self.codes.len()).then_some(i)
+    }
+
+    /// Exclusive end, in bytes, of the unit started by code `i`: the offset
+    /// of the next start code, or the end of the buffer for the last unit.
+    /// Returns the buffer length for an out-of-range index.
+    pub fn unit_end(&self, i: usize) -> usize {
+        self.codes
+            .get(i + 1)
+            .map(|c| c.offset)
+            .unwrap_or(self.data_len)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +285,28 @@ mod tests {
         assert_eq!(codes[2].code, 0x01);
         assert!(codes[2].is_slice());
         assert!(!codes[0].is_slice());
+    }
+
+    #[test]
+    fn index_matches_scanner_and_answers_range_queries() {
+        let mut data = vec![0x55u8; 5];
+        data.extend_from_slice(&[0x00, 0x00, 0x01, 0xB3]);
+        data.extend_from_slice(&[0x42; 3]);
+        data.extend_from_slice(&[0x00, 0x00, 0x01, 0x01]);
+        data.extend_from_slice(&[0x10, 0x20]);
+        let idx = StartCodeIndex::build(&data);
+        let scanned: Vec<_> = StartCodeScanner::new(&data).collect();
+        assert_eq!(idx.codes(), &scanned[..]);
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.first_at_or_after(0), Some(0));
+        assert_eq!(idx.first_at_or_after(5), Some(0));
+        assert_eq!(idx.first_at_or_after(6), Some(1));
+        assert_eq!(idx.first_at_or_after(13), None);
+        assert_eq!(idx.unit_end(0), 12);
+        assert_eq!(idx.unit_end(1), data.len());
+        assert_eq!(idx.unit_end(7), data.len());
+        assert!(StartCodeIndex::build(&[0xFF; 8]).is_empty());
     }
 
     #[test]

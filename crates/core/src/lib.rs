@@ -38,6 +38,7 @@ pub mod splitter;
 pub mod subpicture;
 pub mod threaded;
 pub mod tile_decoder;
+pub mod vld_parallel;
 pub mod wire;
 
 use std::fmt;
@@ -47,6 +48,7 @@ pub use simulated::SimulatedSystem;
 pub use splitter::{split_picture_units, MacroblockSplitter, SplitOutput};
 pub use threaded::{PlaybackResult, ThreadedSystem};
 pub use tile_decoder::TileDecoder;
+pub use vld_parallel::{ParallelVldDecoder, VldStats};
 
 /// Errors of the parallel decoding system.
 #[derive(Debug)]

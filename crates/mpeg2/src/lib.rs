@@ -53,9 +53,10 @@ pub mod slice;
 pub mod tables;
 pub mod timing;
 pub mod types;
+pub mod vld;
 pub mod y4m;
 
-pub use decoder::{decode_all, Decoder};
+pub use decoder::{decode_all, Decoder, InlineSlices, SliceExecutor};
 pub use encoder::{Encoder, EncoderConfig};
 pub use error::{Error, Result};
 pub use frame::{Frame, FramePool, Plane};

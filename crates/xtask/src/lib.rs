@@ -305,6 +305,7 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/simulated.rs",
     "crates/core/src/protocol.rs",
     "crates/core/src/splitter.rs",
+    "crates/core/src/vld_parallel.rs",
 ];
 
 const ALLOC_PATTERNS: &[&str] = &["vec![0", "vec! [0"];

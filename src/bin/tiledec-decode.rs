@@ -4,13 +4,16 @@
 //! ```text
 //! tiledec-decode input.m2v|input.mpg output.y4m
 //! ```
+//!
+//! Set `TILEDEC_VLD_WORKERS=N` to run entropy decode on N worker threads
+//! (slice-parallel VLD; output stays bit-exact with the sequential path).
 
 use std::fs::File;
 use std::io::BufWriter;
 use std::process::ExitCode;
 
+use tiledec::core::vld_parallel::ParallelVldDecoder;
 use tiledec::mpeg2::y4m::{Y4mHeader, Y4mWriter};
-use tiledec::mpeg2::Decoder;
 use tiledec::ps::looks_like_program_stream;
 
 fn main() -> ExitCode {
@@ -58,7 +61,11 @@ fn run() -> Result<String, String> {
     );
     let mut frames = 0usize;
     let mut write_error: Option<String> = None;
-    let summary = Decoder::new()
+    let mut decoder = ParallelVldDecoder::from_env();
+    if decoder.workers() > 0 {
+        eprintln!("slice-parallel VLD: {} workers", decoder.workers());
+    }
+    let summary = decoder
         .decode_stream(&es, |frame, _| {
             if write_error.is_none() {
                 if let Err(e) = writer.write_frame(frame) {
