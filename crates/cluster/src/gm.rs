@@ -19,6 +19,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use crate::bytes::Bytes;
 use crate::stats::TrafficMatrix;
+use crate::sync::{lock_ignore_poison, wait_ignore_poison};
 
 /// Identifies a node in the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -84,14 +85,6 @@ impl std::error::Error for RecvError {}
 /// transport, not the decode protocol).
 const POISON_WAKE: u32 = u32::MAX;
 
-/// Locks a mutex, recovering the guard if another thread panicked while
-/// holding it. The guarded state here is a plain counter that is never
-/// left mid-update, so a poisoned lock is still structurally sound — and
-/// a node must keep tearing down (poison/recycle) rather than abort.
-fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 /// Per-link credit counter: models the receiver's posted buffers.
 struct Credits {
     state: Mutex<usize>,
@@ -118,10 +111,7 @@ impl Credits {
                 *avail -= 1;
                 return true;
             }
-            avail = self
-                .cv
-                .wait(avail)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            avail = wait_ignore_poison(&self.cv, avail);
         }
     }
 

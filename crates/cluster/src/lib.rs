@@ -31,6 +31,7 @@ pub mod gm;
 pub mod modelcheck;
 pub mod sim;
 pub mod stats;
+pub mod sync;
 
 pub use bytes::Bytes;
 pub use cost::CostModel;

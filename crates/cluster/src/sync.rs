@@ -1,0 +1,69 @@
+//! Poison-recovering synchronisation helpers, shared by every threaded
+//! component (the GM transport, the slice-parallel VLD, future service
+//! layers).
+//!
+//! A node that hits an unrecoverable error must keep *tearing down* —
+//! poisoning the cluster, recycling buffers, waking peers — rather than
+//! abort, and teardown paths routinely run while another thread has
+//! panicked with a lock held. `std`'s mutex poisoning would turn that
+//! into a second panic. Every guarded structure in this workspace is a
+//! plain counter, queue handle or map that is never left mid-update
+//! across an unwind point, so the guard is still structurally sound and
+//! recovery is safe.
+//!
+//! The `cargo xtask analyze` concurrency pass enforces that threaded
+//! code locks through these helpers instead of `.lock().unwrap()` (a
+//! poisoned lock must not abort a tearing-down node) and that no second
+//! copy of them appears outside this module.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if another thread panicked while
+/// holding it (see the module docs for why recovery is sound here).
+pub fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Blocks on `cv` with `guard`, recovering the reacquired guard if the
+/// mutex was poisoned while this thread slept.
+pub fn wait_ignore_poison<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_recovers_after_holder_panics() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.lock().is_err(), "lock should be poisoned");
+        assert_eq!(*lock_ignore_poison(&m), 7);
+    }
+
+    #[test]
+    fn wait_returns_guard_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut started = lock_ignore_poison(m);
+            while !*started {
+                started = wait_ignore_poison(cv, started);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *lock_ignore_poison(m) = true;
+            cv.notify_one();
+        }
+        t.join().unwrap();
+    }
+}

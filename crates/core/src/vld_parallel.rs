@@ -53,6 +53,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use tiledec_bitstream::{BitReader, StartCode, StartCodeIndex};
+use tiledec_cluster::sync::lock_ignore_poison;
 use tiledec_mpeg2::decoder::{Decoder, SliceExecutor, StreamSummary};
 use tiledec_mpeg2::headers;
 use tiledec_mpeg2::motion::FrameRefs;
@@ -75,10 +76,6 @@ const LOOKAHEAD: usize = 2;
 /// How long the coordinator waits for a worker recording before decoding
 /// the slice inline. Generous: only a wedged worker thread ever trips it.
 const RESULT_TIMEOUT: Duration = Duration::from_secs(10);
-
-fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
 
 /// One planned slice: where its start code begins and which macroblock row
 /// it covers.

@@ -14,7 +14,11 @@
 //! always get the scalar set.
 
 pub mod scalar;
-#[cfg(target_arch = "x86_64")]
+// Miri interprets MIR and cannot execute `#[target_feature]` SIMD fns;
+// under Miri only the scalar set exists, which keeps the VLD and
+// bitstream suites runnable there without touching decode semantics
+// (kernel sets are bit-exact by contract).
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 pub mod x86;
 
 use std::sync::atomic::{AtomicPtr, Ordering};
@@ -101,7 +105,7 @@ fn default_set() -> &'static KernelSet {
 pub fn available() -> Vec<&'static KernelSet> {
     #[allow(unused_mut)]
     let mut sets = vec![&SCALAR];
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         if std::arch::is_x86_feature_detected!("sse2") {
             sets.push(&x86::SSE2);

@@ -96,6 +96,8 @@ fn idct_avx2(block: &mut [i32; 64]) {
 /// `[-256, 255]` output clamp.
 macro_rules! derived_helpers {
     ($feat:literal) => {
+        // SAFETY: unsafe only for the #[target_feature] requirement; called from
+        // same-feature fns or behind the dispatch wrappers' runtime checks.
         #[target_feature(enable = $feat)]
         #[inline]
         unsafe fn v_mulc(a: V, c: i32) -> V {
@@ -103,6 +105,8 @@ macro_rules! derived_helpers {
         }
 
         /// Exact 32-bit `(181 * s + 128) >> 8` (see module docs).
+        // SAFETY: unsafe only for the #[target_feature] requirement; called from
+        // same-feature fns or behind the dispatch wrappers' runtime checks.
         #[target_feature(enable = $feat)]
         #[inline]
         unsafe fn v_mul181r(s: V) -> V {
@@ -114,6 +118,8 @@ macro_rules! derived_helpers {
             v_add(hi, lo)
         }
 
+        // SAFETY: unsafe only for the #[target_feature] requirement; called from
+        // same-feature fns or behind the dispatch wrappers' runtime checks.
         #[target_feature(enable = $feat)]
         #[inline]
         unsafe fn v_clamp256(v: V) -> V {
@@ -256,12 +262,16 @@ mod sse2v {
 
     pub(super) type V = (__m128i, __m128i);
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn v_splat(v: i32) -> V {
         (_mm_set1_epi32(v), _mm_set1_epi32(v))
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn v_load(p: *const i32) -> V {
@@ -271,6 +281,8 @@ mod sse2v {
         )
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn v_store(p: *mut i32, a: V) {
@@ -278,12 +290,16 @@ mod sse2v {
         _mm_storeu_si128(p.add(4) as *mut __m128i, a.1);
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn v_add(a: V, b: V) -> V {
         (_mm_add_epi32(a.0, b.0), _mm_add_epi32(a.1, b.1))
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn v_sub(a: V, b: V) -> V {
@@ -293,6 +309,8 @@ mod sse2v {
     /// SSE2 lacks `pmulld`; build a 32-bit low multiply out of the two
     /// even/odd 32×32→64 unsigned multiplies (low halves are the same
     /// for signed operands).
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn mullo128(a: __m128i, b: __m128i) -> __m128i {
@@ -303,36 +321,48 @@ mod sse2v {
         _mm_unpacklo_epi32(even, odd)
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn v_mullo(a: V, b: V) -> V {
         (mullo128(a.0, b.0), mullo128(a.1, b.1))
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn v_shl<const N: i32>(a: V) -> V {
         (_mm_slli_epi32::<N>(a.0), _mm_slli_epi32::<N>(a.1))
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn v_sra<const N: i32>(a: V) -> V {
         (_mm_srai_epi32::<N>(a.0), _mm_srai_epi32::<N>(a.1))
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn v_and(a: V, b: V) -> V {
         (_mm_and_si128(a.0, b.0), _mm_and_si128(a.1, b.1))
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn v_or(a: V, b: V) -> V {
         (_mm_or_si128(a.0, b.0), _mm_or_si128(a.1, b.1))
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn v_eq0(a: V) -> V {
@@ -340,6 +370,8 @@ mod sse2v {
         (_mm_cmpeq_epi32(a.0, z), _mm_cmpeq_epi32(a.1, z))
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn sel128(m: __m128i, a: __m128i, b: __m128i) -> __m128i {
@@ -347,12 +379,16 @@ mod sse2v {
     }
 
     /// Lanewise `mask ? a : b` (mask lanes are all-ones or all-zeros).
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn v_sel(m: V, a: V, b: V) -> V {
         (sel128(m.0, a.0, b.0), sel128(m.1, a.1, b.1))
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn v_min(a: V, b: V) -> V {
@@ -360,6 +396,8 @@ mod sse2v {
         (sel128(m.0, b.0, a.0), sel128(m.1, b.1, a.1))
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn v_max(a: V, b: V) -> V {
@@ -368,6 +406,8 @@ mod sse2v {
     }
 
     /// Transposes a 4×4 i32 tile held in four registers.
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn tr4(
@@ -389,6 +429,8 @@ mod sse2v {
     }
 
     /// 8×8 transpose as four 4×4 quadrant transposes.
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn transpose8(r: &mut [V; 8]) {
@@ -410,6 +452,8 @@ mod sse2v {
 
     /// SSE2 IDCT. Caller must ensure every coefficient is in
     /// `[-2048, 2047]` (32-bit overflow freedom; see module docs).
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "sse2")]
     pub(super) unsafe fn idct(block: &mut [i32; 64]) {
         idct_body!(block)
@@ -422,66 +466,88 @@ mod avx2v {
 
     pub(super) type V = __m256i;
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn v_splat(v: i32) -> V {
         _mm256_set1_epi32(v)
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn v_load(p: *const i32) -> V {
         _mm256_loadu_si256(p as *const __m256i)
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn v_store(p: *mut i32, a: V) {
         _mm256_storeu_si256(p as *mut __m256i, a);
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn v_add(a: V, b: V) -> V {
         _mm256_add_epi32(a, b)
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn v_sub(a: V, b: V) -> V {
         _mm256_sub_epi32(a, b)
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn v_mullo(a: V, b: V) -> V {
         _mm256_mullo_epi32(a, b)
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn v_shl<const N: i32>(a: V) -> V {
         _mm256_slli_epi32::<N>(a)
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn v_sra<const N: i32>(a: V) -> V {
         _mm256_srai_epi32::<N>(a)
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn v_and(a: V, b: V) -> V {
         _mm256_and_si256(a, b)
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn v_or(a: V, b: V) -> V {
         _mm256_or_si256(a, b)
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn v_eq0(a: V) -> V {
@@ -489,18 +555,24 @@ mod avx2v {
     }
 
     /// Lanewise `mask ? a : b` (mask lanes are all-ones or all-zeros).
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn v_sel(m: V, a: V, b: V) -> V {
         _mm256_blendv_epi8(b, a, m)
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn v_min(a: V, b: V) -> V {
         _mm256_min_epi32(a, b)
     }
 
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn v_max(a: V, b: V) -> V {
@@ -509,6 +581,8 @@ mod avx2v {
 
     /// Full 8×8 i32 transpose: 32-bit unpacks, 64-bit unpacks, then a
     /// cross-lane 128-bit permute.
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn transpose8(r: &mut [V; 8]) {
@@ -542,6 +616,8 @@ mod avx2v {
 
     /// AVX2 IDCT. Caller must ensure AVX2 is available and every
     /// coefficient is in `[-2048, 2047]` (see module docs).
+    // SAFETY: unsafe only for the #[target_feature] requirement; called from
+    // same-feature fns or behind the dispatch wrappers' runtime checks.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn idct(block: &mut [i32; 64]) {
         idct_body!(block)
@@ -596,6 +672,8 @@ fn mc_avg_hv_sse2(src: &[u8], src_stride: usize, dst: &mut [u8], size: usize) {
 
 /// `pavgb` of rows `(y, x)` and `(y, x+1)`; rounding matches the scalar
 /// `(a + b + 1) >> 1` exactly.
+// SAFETY: unsafe only for the #[target_feature] requirement; called from
+// same-feature fns or behind the dispatch wrappers' runtime checks.
 #[target_feature(enable = "sse2")]
 unsafe fn mc_avg_h_impl(src: &[u8], stride: usize, dst: &mut [u8], size: usize) {
     let sp = src.as_ptr();
@@ -615,6 +693,8 @@ unsafe fn mc_avg_h_impl(src: &[u8], stride: usize, dst: &mut [u8], size: usize) 
     }
 }
 
+// SAFETY: unsafe only for the #[target_feature] requirement; called from
+// same-feature fns or behind the dispatch wrappers' runtime checks.
 #[target_feature(enable = "sse2")]
 unsafe fn mc_avg_v_impl(src: &[u8], stride: usize, dst: &mut [u8], size: usize) {
     let sp = src.as_ptr();
@@ -636,6 +716,8 @@ unsafe fn mc_avg_v_impl(src: &[u8], stride: usize, dst: &mut [u8], size: usize) 
 
 /// Widening `(a + b + c + d + 2) >> 2`. Max sum is `4·255 + 2`, well
 /// inside 16 bits, so the logical 16-bit shift is exact.
+// SAFETY: unsafe only for the #[target_feature] requirement; called from
+// same-feature fns or behind the dispatch wrappers' runtime checks.
 #[target_feature(enable = "sse2")]
 unsafe fn mc_avg_hv_impl(src: &[u8], stride: usize, dst: &mut [u8], size: usize) {
     let sp = src.as_ptr();
@@ -723,6 +805,8 @@ fn set_block_sse2(dst: &mut [u8], stride: usize, samples: &[i32; 64]) {
 /// `packssdw` + `adds_epi16` + `packus_epi16`: both saturations coincide
 /// with the scalar `clamp(dst + residual, 0, 255)` for every `i32`
 /// residual (a residual beyond ±32767 is already past the u8 clamp).
+// SAFETY: unsafe only for the #[target_feature] requirement; called from
+// same-feature fns or behind the dispatch wrappers' runtime checks.
 #[target_feature(enable = "sse2")]
 unsafe fn add_residual_impl(dst: &mut [u8], stride: usize, residual: &[i32; 64]) {
     let zero = _mm_setzero_si128();
@@ -742,6 +826,8 @@ unsafe fn add_residual_impl(dst: &mut [u8], stride: usize, residual: &[i32; 64])
     }
 }
 
+// SAFETY: unsafe only for the #[target_feature] requirement; called from
+// same-feature fns or behind the dispatch wrappers' runtime checks.
 #[target_feature(enable = "sse2")]
 unsafe fn set_block_impl(dst: &mut [u8], stride: usize, samples: &[i32; 64]) {
     let rp = samples.as_ptr();

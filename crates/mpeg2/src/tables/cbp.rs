@@ -11,7 +11,7 @@ use tiledec_bitstream::{BitReader, BitWriter};
 
 use super::vlc::{spec, VlcSpec, VlcTable};
 
-const SPECS: [VlcSpec<u8>; 64] = [
+pub(crate) const SPECS: [VlcSpec<u8>; 64] = [
     spec(60, 0b111, 3),
     spec(4, 0b1101, 4),
     spec(8, 0b1100, 4),
@@ -78,7 +78,7 @@ const SPECS: [VlcSpec<u8>; 64] = [
     spec(0, 0b0000_0000_1, 9),
 ];
 
-fn table() -> &'static VlcTable<u8> {
+pub(crate) fn table() -> &'static VlcTable<u8> {
     static T: OnceLock<VlcTable<u8>> = OnceLock::new();
     T.get_or_init(|| VlcTable::build("B-9 cbp", &SPECS, 0, 64, |v| *v as usize))
 }

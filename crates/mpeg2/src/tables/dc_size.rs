@@ -8,7 +8,7 @@ use tiledec_bitstream::{BitReader, BitWriter};
 use super::vlc::{spec, VlcSpec, VlcTable};
 
 /// Table B-12: luminance DC size.
-const LUMA_SPECS: [VlcSpec<u8>; 12] = [
+pub(crate) const LUMA_SPECS: [VlcSpec<u8>; 12] = [
     spec(0, 0b100, 3),
     spec(1, 0b00, 2),
     spec(2, 0b01, 2),
@@ -24,7 +24,7 @@ const LUMA_SPECS: [VlcSpec<u8>; 12] = [
 ];
 
 /// Table B-13: chrominance DC size.
-const CHROMA_SPECS: [VlcSpec<u8>; 12] = [
+pub(crate) const CHROMA_SPECS: [VlcSpec<u8>; 12] = [
     spec(0, 0b00, 2),
     spec(1, 0b01, 2),
     spec(2, 0b10, 2),
@@ -39,12 +39,12 @@ const CHROMA_SPECS: [VlcSpec<u8>; 12] = [
     spec(11, 0b1111_1111_11, 10),
 ];
 
-fn luma_table() -> &'static VlcTable<u8> {
+pub(crate) fn luma_table() -> &'static VlcTable<u8> {
     static T: OnceLock<VlcTable<u8>> = OnceLock::new();
     T.get_or_init(|| VlcTable::build("B-12 dc_size_luma", &LUMA_SPECS, 0, 12, |v| *v as usize))
 }
 
-fn chroma_table() -> &'static VlcTable<u8> {
+pub(crate) fn chroma_table() -> &'static VlcTable<u8> {
     static T: OnceLock<VlcTable<u8>> = OnceLock::new();
     T.get_or_init(|| VlcTable::build("B-13 dc_size_chroma", &CHROMA_SPECS, 0, 12, |v| *v as usize))
 }

@@ -41,7 +41,7 @@ pub const ESCAPE_CODE: u32 = 0b0000_01;
 pub const ESCAPE_LEN: u8 = 6;
 
 #[rustfmt::skip]
-const SPECS: [VlcSpec<u16>; 113] = [
+pub(crate) const SPECS: [VlcSpec<u16>; 113] = [
     spec(EOB,        0b10, 2),
     spec(rl(0, 1),   0b11, 2),
     spec(ESCAPE,     ESCAPE_CODE, ESCAPE_LEN),
@@ -173,7 +173,7 @@ fn enc_key(v: &u16) -> usize {
 /// Table name, shared by the builder and the fast path's error report.
 const NAME: &str = "B-14 dct_coeff";
 
-fn table() -> &'static VlcTable<u16> {
+pub(crate) fn table() -> &'static VlcTable<u16> {
     static T: OnceLock<VlcTable<u16>> = OnceLock::new();
     T.get_or_init(|| VlcTable::build(NAME, &SPECS, EOB, 2 + 32 * 48, enc_key))
 }

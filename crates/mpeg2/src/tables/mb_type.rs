@@ -29,13 +29,13 @@ const fn flags(quant: bool, fwd: bool, bwd: bool, pattern: bool, intra: bool) ->
 }
 
 /// Table B-2 (I pictures).
-const I_SPECS: [VlcSpec<MbFlags>; 2] = [
+pub(crate) const I_SPECS: [VlcSpec<MbFlags>; 2] = [
     spec(flags(false, false, false, false, true), 0b1, 1),
     spec(flags(true, false, false, false, true), 0b01, 2),
 ];
 
 /// Table B-3 (P pictures).
-const P_SPECS: [VlcSpec<MbFlags>; 7] = [
+pub(crate) const P_SPECS: [VlcSpec<MbFlags>; 7] = [
     spec(flags(false, true, false, true, false), 0b1, 1),
     spec(flags(false, false, false, true, false), 0b01, 2),
     spec(flags(false, true, false, false, false), 0b001, 3),
@@ -46,7 +46,7 @@ const P_SPECS: [VlcSpec<MbFlags>; 7] = [
 ];
 
 /// Table B-4 (B pictures).
-const B_SPECS: [VlcSpec<MbFlags>; 11] = [
+pub(crate) const B_SPECS: [VlcSpec<MbFlags>; 11] = [
     spec(flags(false, true, true, false, false), 0b10, 2),
     spec(flags(false, true, true, true, false), 0b11, 2),
     spec(flags(false, false, true, false, false), 0b010, 3),
@@ -60,7 +60,7 @@ const B_SPECS: [VlcSpec<MbFlags>; 11] = [
     spec(flags(true, false, false, false, true), 0b0000_01, 6),
 ];
 
-fn table(kind: PictureKind) -> &'static VlcTable<MbFlags> {
+pub(crate) fn table(kind: PictureKind) -> &'static VlcTable<MbFlags> {
     static I: OnceLock<VlcTable<MbFlags>> = OnceLock::new();
     static P: OnceLock<VlcTable<MbFlags>> = OnceLock::new();
     static B: OnceLock<VlcTable<MbFlags>> = OnceLock::new();

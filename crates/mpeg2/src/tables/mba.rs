@@ -16,7 +16,7 @@ pub const ESCAPE_VALUE: u32 = 33;
 /// Sentinel decoded for the escape code.
 const ESCAPE_SENTINEL: u32 = 0;
 
-const SPECS: [VlcSpec<u32>; 34] = [
+pub(crate) const SPECS: [VlcSpec<u32>; 34] = [
     spec(1, 0b1, 1),
     spec(2, 0b011, 3),
     spec(3, 0b010, 3),
@@ -53,7 +53,7 @@ const SPECS: [VlcSpec<u32>; 34] = [
     spec(ESCAPE_SENTINEL, ESCAPE_CODE, ESCAPE_LEN),
 ];
 
-fn table() -> &'static VlcTable<u32> {
+pub(crate) fn table() -> &'static VlcTable<u32> {
     static T: OnceLock<VlcTable<u32>> = OnceLock::new();
     T.get_or_init(|| VlcTable::build("B-1 mba", &SPECS, u32::MAX, 34, |v| *v as usize))
 }

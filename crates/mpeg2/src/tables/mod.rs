@@ -14,6 +14,7 @@ pub mod mba;
 pub mod motion;
 pub mod quant;
 pub mod scan;
+pub mod verify;
 pub mod vlc;
 
 pub use vlc::VlcTable;

@@ -11,7 +11,7 @@ use tiledec_bitstream::{BitReader, BitWriter};
 use super::vlc::{spec, VlcSpec, VlcTable};
 
 /// Decoded motion code: magnitude 0–16 (sign handled separately).
-const SPECS: [VlcSpec<u8>; 17] = [
+pub(crate) const SPECS: [VlcSpec<u8>; 17] = [
     spec(0, 0b1, 1),
     spec(1, 0b01, 2),
     spec(2, 0b001, 3),
@@ -31,7 +31,7 @@ const SPECS: [VlcSpec<u8>; 17] = [
     spec(16, 0b0000_0011_00, 10),
 ];
 
-fn table() -> &'static VlcTable<u8> {
+pub(crate) fn table() -> &'static VlcTable<u8> {
     static T: OnceLock<VlcTable<u8>> = OnceLock::new();
     T.get_or_init(|| VlcTable::build("B-10 motion_code", &SPECS, 0, 17, |v| *v as usize))
 }

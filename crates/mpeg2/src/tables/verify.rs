@@ -1,0 +1,289 @@
+//! Exhaustive verification of every VLC table against its spec list.
+//!
+//! [`VlcTable::build`] already panics on code collisions, but that guards
+//! the *construction*, not the lookup machinery: a bug in the two-level
+//! split (root index math, subtable offsets, tail masking) would decode
+//! the wrong value for some bit pattern without tripping any build-time
+//! assert. This module closes that gap by sweeping the **entire code
+//! domain** — all `2^max_len` bit patterns per table, and all 2^24
+//! windows through the dct_coeff decoder, wide enough for its escape
+//! form — and proving, pattern by pattern:
+//!
+//! * **Prefix-freeness** (spec level): no code is a prefix of another,
+//!   checked pairwise on the spec lists independently of table layout.
+//! * **Two-level/flat equivalence + no root/subtable collisions**: a
+//!   freshly built flat `2^max_len` reference table must agree with
+//!   [`VlcTable::lookup`] on every pattern — value, length, and
+//!   invalid-code slots alike.
+//! * **Completeness**: every pattern either resolves to exactly the one
+//!   spec whose code prefixes it, or reports length 0 (`InvalidCode`);
+//!   no pattern decodes to a value its bits do not spell.
+//! * **dct_coeff escape domain**: every 24-bit window either decodes to
+//!   a token that survives an encode→decode round trip, or fails with a
+//!   controlled error (invalid code / forbidden escape level) — never a
+//!   panic, never a silent mis-decode.
+//!
+//! `cargo xtask analyze` runs [`verify_all`] as its VLC pass, and the
+//! unit tests below keep it in the tier-1 suite, so a table edit cannot
+//! ship a silent mis-decode.
+
+use tiledec_bitstream::{BitReader, BitWriter};
+
+use super::vlc::{VlcSpec, VlcTable};
+use super::{cbp, dc_size, dct_coeff, mb_type, mba, motion};
+use crate::types::PictureKind;
+
+/// Summary of one verified table, for the analyze pass's report.
+#[derive(Debug, Clone)]
+pub struct TableAudit {
+    /// Table name as reported in decode errors.
+    pub name: &'static str,
+    /// Number of codes in the spec list.
+    pub codes: usize,
+    /// Longest code length in bits.
+    pub max_len: u8,
+    /// Patterns of the `2^max_len` domain covered by some code.
+    pub covered: usize,
+    /// Size of the swept domain (`2^max_len`).
+    pub domain: usize,
+}
+
+/// Full verification report: per-table audits plus the dct_coeff escape
+/// sweep counters.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// One audit per table (dc_size and mb_type contribute one each per
+    /// variant).
+    pub tables: Vec<TableAudit>,
+    /// 24-bit dct_coeff windows that decoded to a token.
+    pub escape_ok: u64,
+    /// Windows rejected as invalid codes.
+    pub escape_invalid: u64,
+    /// Windows rejected as forbidden escape levels (0 / −2048).
+    pub escape_forbidden: u64,
+}
+
+/// Pairwise prefix-freeness over a raw spec list (no table needed, so
+/// injected-violation self-tests can exercise it directly). Returns one
+/// message per offending pair.
+pub fn check_prefix_free<V: Copy>(name: &str, specs: &[VlcSpec<V>]) -> Vec<String> {
+    let mut errors = Vec::new();
+    for (i, a) in specs.iter().enumerate() {
+        for b in specs.iter().skip(i + 1) {
+            let (short, long) = if a.len <= b.len { (a, b) } else { (b, a) };
+            if long.code >> (long.len - short.len) == short.code {
+                errors.push(format!(
+                    "{name}: code {:#0wa$b}/{} is a prefix of {:#0wb$b}/{}",
+                    short.code,
+                    short.len,
+                    long.code,
+                    long.len,
+                    wa = short.len as usize + 2,
+                    wb = long.len as usize + 2,
+                ));
+            }
+        }
+    }
+    errors
+}
+
+/// Sweeps the full `2^max_len` domain of `table`, comparing
+/// [`VlcTable::lookup`] against a linear reference over `specs` (the flat
+/// table semantic). Appends one message per disagreement and returns the
+/// audit summary.
+pub fn check_exhaustive<V: Copy + PartialEq + std::fmt::Debug>(
+    table: &VlcTable<V>,
+    specs: &[VlcSpec<V>],
+    errors: &mut Vec<String>,
+) -> TableAudit {
+    let name = table.name();
+    let max_len = table.max_len();
+    let domain = 1usize << max_len;
+    let mut covered = 0usize;
+    for bits in 0..domain as u32 {
+        // Reference: the unique spec whose code prefixes this pattern
+        // (prefix-freeness, checked separately, guarantees at most one).
+        let reference = specs.iter().find(|s| bits >> (max_len - s.len) == s.code);
+        let (value, len) = table.lookup(bits);
+        match reference {
+            Some(s) => {
+                covered += 1;
+                if len != s.len || value != s.value {
+                    errors.push(format!(
+                        "{name}: pattern {bits:#0w$b} decodes as ({value:?}, len {len}) \
+                         but the spec list says ({:?}, len {})",
+                        s.value,
+                        s.len,
+                        w = max_len as usize + 2,
+                    ));
+                }
+            }
+            None => {
+                if len != 0 {
+                    errors.push(format!(
+                        "{name}: pattern {bits:#0w$b} matches no code but decodes as \
+                         ({value:?}, len {len}) instead of InvalidCode",
+                        w = max_len as usize + 2,
+                    ));
+                }
+            }
+        }
+    }
+    TableAudit {
+        name,
+        codes: specs.len(),
+        max_len,
+        covered,
+        domain,
+    }
+}
+
+/// Sweeps all 2^24 bit windows through [`dct_coeff::decode_coeff`] (both
+/// first-coefficient variants): each window must decode to a token whose
+/// re-encoding decodes back to the same token in the same number of bits,
+/// or fail with a controlled error. Updates the report's escape counters.
+fn check_dct_coeff_escape_domain(report: &mut VerifyReport, errors: &mut Vec<String>) {
+    for w in 0u32..1 << 24 {
+        let bytes = [(w >> 16) as u8, (w >> 8) as u8, w as u8];
+        for first in [false, true] {
+            let mut r = BitReader::new(&bytes);
+            match dct_coeff::decode_coeff(&mut r, first) {
+                Ok(token) => {
+                    if first {
+                        // Counted once, on the `false` pass.
+                    } else {
+                        report.escape_ok += 1;
+                    }
+                    let consumed = r.bit_position();
+                    let mut enc = BitWriter::new();
+                    match token {
+                        dct_coeff::Coeff::Eob => dct_coeff::encode_eob(&mut enc),
+                        dct_coeff::Coeff::Run { run, level } => {
+                            dct_coeff::encode_coeff(&mut enc, first, run, level)
+                        }
+                    }
+                    let enc_len = enc.bit_len();
+                    let enc_bytes = enc.into_bytes();
+                    let mut r2 = BitReader::new(&enc_bytes);
+                    match dct_coeff::decode_coeff(&mut r2, first) {
+                        Ok(back) if back == token && r2.bit_position() == enc_len => {}
+                        Ok(back) => errors.push(format!(
+                            "B-14 dct_coeff: window {w:#026b} (first={first}) decodes to \
+                             {token:?} ({consumed} bits) but its re-encoding decodes to \
+                             {back:?} ({} of {enc_len} bits)",
+                            r2.bit_position(),
+                        )),
+                        Err(e) => errors.push(format!(
+                            "B-14 dct_coeff: window {w:#026b} (first={first}) decodes to \
+                             {token:?} but its re-encoding fails to decode: {e}"
+                        )),
+                    }
+                }
+                Err(crate::Error::Bitstream(tiledec_bitstream::BitstreamError::InvalidCode {
+                    ..
+                })) => {
+                    if !first {
+                        report.escape_invalid += 1;
+                    }
+                }
+                Err(crate::Error::Syntax(_)) => {
+                    if !first {
+                        report.escape_forbidden += 1;
+                    }
+                }
+                Err(e) => errors.push(format!(
+                    "B-14 dct_coeff: window {w:#026b} (first={first}) fails with an \
+                     unexpected error class: {e} (a 24-bit window can never truncate)"
+                )),
+            }
+        }
+    }
+}
+
+/// Verifies every VLC table in this crate plus the dct_coeff escape
+/// domain. Returns the audit report, or every disagreement found.
+pub fn verify_all() -> Result<VerifyReport, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut report = VerifyReport::default();
+
+    macro_rules! run {
+        ($table:expr, $specs:expr) => {{
+            errors.extend(check_prefix_free($table.name(), $specs));
+            let audit = check_exhaustive($table, $specs, &mut errors);
+            report.tables.push(audit);
+        }};
+    }
+
+    run!(dct_coeff::table(), &dct_coeff::SPECS);
+    run!(mba::table(), &mba::SPECS);
+    run!(motion::table(), &motion::SPECS);
+    run!(cbp::table(), &cbp::SPECS);
+    run!(dc_size::luma_table(), &dc_size::LUMA_SPECS);
+    run!(dc_size::chroma_table(), &dc_size::CHROMA_SPECS);
+    run!(mb_type::table(PictureKind::I), &mb_type::I_SPECS);
+    run!(mb_type::table(PictureKind::P), &mb_type::P_SPECS);
+    run!(mb_type::table(PictureKind::B), &mb_type::B_SPECS);
+
+    check_dct_coeff_escape_domain(&mut report, &mut errors);
+
+    if errors.is_empty() {
+        Ok(report)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::vlc::spec;
+
+    #[test]
+    fn duplicated_prefix_is_reported_with_both_codes() {
+        // An injected violation: 01 is a prefix of 010. The table builder
+        // would panic on this; the spec-level check must report it
+        // instead, naming both codes.
+        let specs = [spec(0u8, 0b01, 2), spec(1, 0b010, 3), spec(2, 0b1, 1)];
+        let errors = check_prefix_free("injected", &specs);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("0b01/2"), "{}", errors[0]);
+        assert!(errors[0].contains("0b010/3"), "{}", errors[0]);
+    }
+
+    #[test]
+    fn exact_duplicate_code_is_reported() {
+        let specs = [spec(0u8, 0b11, 2), spec(1, 0b11, 2)];
+        let errors = check_prefix_free("dup", &specs);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+    }
+
+    #[test]
+    fn clean_specs_pass_prefix_check() {
+        let specs = [spec(0u8, 0b0, 1), spec(1, 0b10, 2), spec(2, 0b11, 2)];
+        assert!(check_prefix_free("clean", &specs).is_empty());
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // 2^16 × 9 tables + 2^24 windows: exhaustive, not Miri-sized
+    fn all_committed_tables_verify_exhaustively() {
+        let report = verify_all().unwrap_or_else(|errors| {
+            panic!(
+                "VLC verification failed with {} error(s):\n{}",
+                errors.len(),
+                errors.join("\n")
+            )
+        });
+        assert_eq!(report.tables.len(), 9);
+        // The full 24-bit domain is partitioned by the three outcomes.
+        assert_eq!(
+            report.escape_ok + report.escape_invalid + report.escape_forbidden,
+            1 << 24
+        );
+        // Sanity anchors: B-14 has 113 codes up to 16 bits; every table
+        // leaves some patterns invalid except the complete ones (cbp
+        // covers all 64 values but not all bit patterns of length 9).
+        let b14 = &report.tables[0];
+        assert_eq!((b14.codes, b14.max_len), (113, 16));
+        assert!(b14.covered < b14.domain);
+    }
+}

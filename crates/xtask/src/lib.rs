@@ -1,610 +1,90 @@
-//! Static-analysis passes behind `cargo xtask lint`.
+//! Repo-local static analysis behind `cargo xtask` (no external tooling).
 //!
-//! Three checks keep the cluster protocol honest without any external
-//! tooling:
+//! Two commands share one engine:
 //!
-//! 1. **Panic allowlist** — wire-facing modules must not grow new
-//!    `unwrap()`/`expect()`/`panic!()` sites: a malformed or adversarial
-//!    message must surface as a [`CoreError`], never a node abort. The few
-//!    justified sites are frozen in `crates/xtask/panic-allowlist.txt`.
-//! 2. **TAG exhaustiveness** — every `TAG_*` constant defined in
-//!    `protocol.rs` must be handled by the node state machines and listed
-//!    in the protocol doc table; every `TAG_*` token used anywhere must be
-//!    defined.
-//! 3. **Doc coverage** — every `pub` item in the core and cluster crates
-//!    carries a doc comment.
-//! 4. **Hot-path allocation budget** — the per-picture decode modules
-//!    must not grow new `vec![0`-style heap allocations: the steady-state
-//!    hot path is allocation-free by contract (see the counting-allocator
-//!    test in `crates/core/tests/alloc_steady.rs`), and buffers come from
-//!    [`FramePool`]/`BufferPool` or stack arrays instead. Justified sites
-//!    are frozen in `crates/xtask/alloc-allowlist.txt`.
+//! * **`cargo xtask lint`** — the fast wire-protocol gates ([`lint`]):
+//!   panic allowlist, TAG exhaustiveness, doc coverage, hot-path
+//!   allocation budget. Runs in milliseconds; kept as a subset for quick
+//!   pre-commit runs.
+//! * **`cargo xtask analyze`** — everything `lint` does, plus the
+//!   whole-workspace passes:
+//!   - [`unsafe_audit`] — every `unsafe` site needs an adjacent
+//!     `// SAFETY:` justification, must live under the SIMD kernel tree
+//!     (or an explicitly reviewed file), and is frozen in a per-file
+//!     inventory so new unsafe cannot appear silently.
+//!   - [`concurrency`] — no raw `.lock().unwrap()` (the shared
+//!     poison-recovering helper is mandatory and must stay in one
+//!     place), and no `MutexGuard` held across a blocking
+//!     send/recv/join/spawn.
+//!   - [`panic_surface`] — frozen budgets for `[]` indexing and
+//!     unchecked arithmetic in the wire-facing / hot-path modules.
+//!   - **VLC verification** — `tiledec_mpeg2::tables::verify` sweeps the
+//!     full bit-pattern domain of every Annex-B table (and the 2^24
+//!     dct_coeff escape windows), proving prefix-freeness, two-level/flat
+//!     equivalence and completeness on every run.
 //!
-//!    [`FramePool`]: ../tiledec_mpeg2/frame/struct.FramePool.html
-//!
-//! All passes work on a lexed view of the source (comments and string
-//! literals blanked out) so they cannot be fooled by text inside either.
-//!
-//! [`CoreError`]: ../tiledec_core/enum.CoreError.html
+//! All passes work on the lexed source view from [`scan`] (comments and
+//! string literals blanked out), report uniform `file:line` findings,
+//! and freeze their justified exceptions in `<pass>-allowlist.txt` files
+//! next to this crate, so every exception is reviewed in a diff.
 
-use std::collections::{BTreeMap, BTreeSet};
-use std::fmt;
-use std::path::{Path, PathBuf};
+pub mod concurrency;
+pub mod lint;
+pub mod panic_surface;
+pub mod scan;
+pub mod unsafe_audit;
 
-/// One lint finding, pointing at a file/line with an explanation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Finding {
-    /// Workspace-relative path.
-    pub file: String,
-    /// 1-based line number (0 = whole file).
-    pub line: usize,
-    /// What is wrong and how to fix it.
-    pub message: String,
+pub use lint::{
+    check_alloc_allowlist, check_doc_coverage, check_panic_allowlist, check_tag_exhaustiveness,
+    find_alloc_sites, find_panic_sites, run_lint, HOT_PATH_FILES,
+};
+pub use scan::{
+    collect_rs_files, collect_workspace_files, mask_test_modules, parse_allowlist,
+    strip_comments_and_strings, Finding,
+};
+
+use std::path::Path;
+
+/// Result of a full `cargo xtask analyze` run: the findings (empty on a
+/// clean tree) plus the positive evidence the summary prints.
+pub struct AnalyzeReport {
+    /// Every finding from every pass.
+    pub findings: Vec<Finding>,
+    /// The VLC verification report (`None` only if verification itself
+    /// errored, in which case `findings` says why).
+    pub vlc: Option<tiledec_mpeg2::tables::verify::VerifyReport>,
+    /// Workspace-wide `unsafe` census for the summary line.
+    pub unsafe_stats: unsafe_audit::UnsafeStats,
 }
 
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.line > 0 {
-            write!(f, "{}:{}: {}", self.file, self.line, self.message)
-        } else {
-            write!(f, "{}: {}", self.file, self.message)
-        }
-    }
-}
+/// Runs every analysis pass over a workspace root.
+pub fn run_analyze(root: &Path) -> Result<AnalyzeReport, String> {
+    let mut findings = run_lint(root)?;
 
-/// Replaces the contents of comments, string/char literals and doc
-/// comments with spaces, preserving every newline so line numbers map
-/// 1:1 onto the original source.
-pub fn strip_comments_and_strings(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out = Vec::with_capacity(b.len());
-    let mut i = 0;
-    while i < b.len() {
-        match b[i] {
-            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
-                while i < b.len() && b[i] != b'\n' {
-                    out.push(b' ');
-                    i += 1;
-                }
-            }
-            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
-                let mut depth = 1;
-                out.extend_from_slice(b"  ");
-                i += 2;
-                while i < b.len() && depth > 0 {
-                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                        depth += 1;
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                        depth -= 1;
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else {
-                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-            }
-            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
-                // Raw string r"..." / r#"..."# (any hash count).
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while j < b.len() && b[j] == b'#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < b.len() && b[j] == b'"' {
-                    out.extend(std::iter::repeat_n(b' ', j - i + 1));
-                    i = j + 1;
-                    'raw: while i < b.len() {
-                        if b[i] == b'"' {
-                            let mut k = 0;
-                            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
-                                k += 1;
-                            }
-                            if k == hashes {
-                                out.extend(std::iter::repeat_n(b' ', hashes + 1));
-                                i += 1 + hashes;
-                                break 'raw;
-                            }
-                        }
-                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                } else {
-                    out.push(b[i]);
-                    i += 1;
-                }
-            }
-            b'"' => {
-                out.push(b' ');
-                i += 1;
-                while i < b.len() {
-                    if b[i] == b'\\' && i + 1 < b.len() {
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else if b[i] == b'"' {
-                        out.push(b' ');
-                        i += 1;
-                        break;
-                    } else {
-                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-            }
-            b'\'' => {
-                // Char literal vs lifetime: a literal closes with ' within
-                // a couple of characters; a lifetime never closes.
-                let close = if i + 2 < b.len() && b[i + 1] == b'\\' {
-                    // Escaped char: find the closing quote.
-                    (i + 2..b.len().min(i + 8)).find(|&j| b[j] == b'\'')
-                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
-                    Some(i + 2)
-                } else {
-                    None
-                };
-                if let Some(end) = close {
-                    out.extend(std::iter::repeat_n(b' ', end - i + 1));
-                    i = end + 1;
-                } else {
-                    out.push(b[i]);
-                    i += 1;
-                }
-            }
-            c => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
+    let files = collect_workspace_files(root)?;
+    findings.extend(unsafe_audit::run_unsafe_audit(root, &files)?);
+    findings.extend(concurrency::run_concurrency(root, &files)?);
+    findings.extend(panic_surface::run_panic_surface(root, &files)?);
 
-/// Blanks out the bodies of `#[cfg(test)]`-gated items (test modules) in
-/// already-stripped source, so panic sites inside tests are not counted.
-pub fn mask_test_modules(stripped: &str) -> String {
-    let b = stripped.as_bytes();
-    let mut out = stripped.as_bytes().to_vec();
-    let mut i = 0;
-    while let Some(pos) = stripped[i..].find("#[cfg(test)]") {
-        let start = i + pos;
-        // Find the opening brace of the gated item.
-        let Some(open_rel) = stripped[start..].find('{') else {
-            break;
-        };
-        let mut depth = 0usize;
-        let mut j = start + open_rel;
-        while j < b.len() {
-            match b[j] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        for cell in out.iter_mut().take(j.min(b.len())).skip(start) {
-            if *cell != b'\n' {
-                *cell = b' ';
-            }
-        }
-        i = j.min(b.len());
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-const PANIC_PATTERNS: &[&str] = &[
-    ".unwrap()",
-    ".expect(",
-    "panic!(",
-    "unreachable!(",
-    "todo!(",
-    "unimplemented!(",
-];
-
-/// Finds panic-capable call sites in one file (test modules excluded).
-/// Returns `(line, pattern)` pairs.
-pub fn find_panic_sites(src: &str) -> Vec<(usize, &'static str)> {
-    let masked = mask_test_modules(&strip_comments_and_strings(src));
-    let mut sites = Vec::new();
-    for (lineno, line) in masked.lines().enumerate() {
-        for pat in PANIC_PATTERNS {
-            let mut from = 0;
-            while let Some(p) = line[from..].find(pat) {
-                sites.push((lineno + 1, *pat));
-                from += p + pat.len();
-            }
-        }
-    }
-    sites
-}
-
-/// Parses `panic-allowlist.txt`: `<path> <count>` per line, `#` comments.
-pub fn parse_allowlist(text: &str) -> Result<BTreeMap<String, usize>, String> {
-    let mut map = BTreeMap::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        let (Some(path), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
-            return Err(format!(
-                "allowlist line {}: expected '<path> <count>'",
-                lineno + 1
-            ));
-        };
-        let count: usize = count
-            .parse()
-            .map_err(|_| format!("allowlist line {}: bad count '{count}'", lineno + 1))?;
-        map.insert(path.to_string(), count);
-    }
-    Ok(map)
-}
-
-/// Checks panic sites in `files` (path → contents) against the allowlist.
-pub fn check_panic_allowlist(
-    files: &[(String, String)],
-    allowlist: &BTreeMap<String, usize>,
-) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let mut seen = BTreeSet::new();
-    for (path, src) in files {
-        seen.insert(path.clone());
-        let sites = find_panic_sites(src);
-        let allowed = allowlist.get(path).copied().unwrap_or(0);
-        if sites.len() > allowed {
-            for (line, pat) in &sites {
+    let vlc = match tiledec_mpeg2::tables::verify::verify_all() {
+        Ok(report) => Some(report),
+        Err(errors) => {
+            for message in errors {
                 findings.push(Finding {
-                    file: path.clone(),
-                    line: *line,
-                    message: format!(
-                        "`{pat}` in protocol code: this must return a CoreError, not abort \
-                         the node ({} sites found, {allowed} allowed — see \
-                         crates/xtask/panic-allowlist.txt)",
-                        sites.len()
-                    ),
-                });
-            }
-        } else if sites.len() < allowed {
-            findings.push(Finding {
-                file: path.clone(),
-                line: 0,
-                message: format!(
-                    "allowlist permits {allowed} panic sites but only {} remain — \
-                     lower the budget in crates/xtask/panic-allowlist.txt",
-                    sites.len()
-                ),
-            });
-        }
-    }
-    for path in allowlist.keys() {
-        if !seen.contains(path) {
-            findings.push(Finding {
-                file: path.clone(),
-                line: 0,
-                message: "allowlisted file does not exist — remove the stale entry".into(),
-            });
-        }
-    }
-    findings
-}
-
-/// Per-picture hot-path modules covered by the allocation budget: these
-/// run once per decoded picture (or per wire message) in steady state,
-/// and `crates/core/tests/alloc_steady.rs` proves them allocation-free.
-pub const HOT_PATH_FILES: &[&str] = &[
-    "crates/core/src/tile_decoder.rs",
-    "crates/core/src/wire.rs",
-    "crates/core/src/simulated.rs",
-    "crates/core/src/protocol.rs",
-    "crates/core/src/splitter.rs",
-    "crates/core/src/vld_parallel.rs",
-];
-
-const ALLOC_PATTERNS: &[&str] = &["vec![0", "vec! [0"];
-
-/// Finds `vec![0...]`-style zero-fill heap allocations in one file
-/// (test modules excluded). Returns `(line, pattern)` pairs.
-pub fn find_alloc_sites(src: &str) -> Vec<(usize, &'static str)> {
-    let masked = mask_test_modules(&strip_comments_and_strings(src));
-    let mut sites = Vec::new();
-    for (lineno, line) in masked.lines().enumerate() {
-        for pat in ALLOC_PATTERNS {
-            let mut from = 0;
-            while let Some(p) = line[from..].find(pat) {
-                sites.push((lineno + 1, *pat));
-                from += p + pat.len();
-            }
-        }
-    }
-    sites
-}
-
-/// Checks zero-fill allocation sites in the hot-path subset of `files`
-/// against `alloc-allowlist.txt` budgets (same format as the panic
-/// allowlist). Files outside [`HOT_PATH_FILES`] are ignored.
-pub fn check_alloc_allowlist(
-    files: &[(String, String)],
-    allowlist: &BTreeMap<String, usize>,
-) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let mut seen = BTreeSet::new();
-    for (path, src) in files {
-        if !HOT_PATH_FILES.contains(&path.as_str()) {
-            continue;
-        }
-        seen.insert(path.clone());
-        let sites = find_alloc_sites(src);
-        let allowed = allowlist.get(path).copied().unwrap_or(0);
-        if sites.len() > allowed {
-            for (line, pat) in &sites {
-                findings.push(Finding {
-                    file: path.clone(),
-                    line: *line,
-                    message: format!(
-                        "`{pat}` in a per-picture hot-path module: steady-state decode \
-                         must not heap-allocate — reuse a pooled buffer (FramePool / \
-                         BufferPool) or a stack array ({} sites found, {allowed} allowed \
-                         — see crates/xtask/alloc-allowlist.txt)",
-                        sites.len()
-                    ),
-                });
-            }
-        } else if sites.len() < allowed {
-            findings.push(Finding {
-                file: path.clone(),
-                line: 0,
-                message: format!(
-                    "alloc allowlist permits {allowed} sites but only {} remain — \
-                     lower the budget in crates/xtask/alloc-allowlist.txt",
-                    sites.len()
-                ),
-            });
-        }
-    }
-    for path in allowlist.keys() {
-        if !seen.contains(path) {
-            findings.push(Finding {
-                file: path.clone(),
-                line: 0,
-                message: "alloc-allowlisted file is not a scanned hot-path module — \
-                          remove the stale entry"
-                    .into(),
-            });
-        }
-    }
-    findings
-}
-
-/// Extracts `TAG_*` identifiers from text.
-fn tag_tokens(text: &str) -> BTreeSet<String> {
-    let mut out = BTreeSet::new();
-    let b = text.as_bytes();
-    let mut i = 0;
-    while let Some(p) = text[i..].find("TAG_") {
-        let start = i + p;
-        // Must not be part of a longer identifier on the left.
-        let standalone =
-            start == 0 || !(b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_');
-        let mut end = start + 4;
-        while end < b.len() && (b[end].is_ascii_alphanumeric() || b[end] == b'_') {
-            end += 1;
-        }
-        if standalone && end > start + 4 {
-            out.insert(text[start..end].to_string());
-        }
-        i = end;
-    }
-    out
-}
-
-/// Cross-checks `TAG_*` constants between the wire protocol definition,
-/// its doc table, and the node state machines.
-///
-/// * `protocol_src` — contents of `crates/core/src/protocol.rs`.
-/// * `machines_src` — contents of `crates/core/src/machines.rs`.
-/// * `all_sources` — every scanned file, to catch uses of undefined tags.
-pub fn check_tag_exhaustiveness(
-    protocol_src: &str,
-    machines_src: &str,
-    all_sources: &[(String, String)],
-) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let stripped = strip_comments_and_strings(protocol_src);
-    let mut defined = BTreeSet::new();
-    for line in stripped.lines() {
-        let t = line.trim_start();
-        if let Some(rest) = t.strip_prefix("pub const TAG_") {
-            if let Some(name) = rest.split(':').next() {
-                defined.insert(format!("TAG_{}", name.trim()));
-            }
-        }
-    }
-    if defined.is_empty() {
-        findings.push(Finding {
-            file: "crates/core/src/protocol.rs".into(),
-            line: 0,
-            message: "no `pub const TAG_*` definitions found — check moved?".into(),
-        });
-        return findings;
-    }
-    let in_machines = tag_tokens(&strip_comments_and_strings(machines_src));
-    let doc_table: String = protocol_src
-        .lines()
-        .filter(|l| l.trim_start().starts_with("//!"))
-        .collect::<Vec<_>>()
-        .join("\n");
-    let in_doc = tag_tokens(&doc_table);
-    for tag in &defined {
-        if !in_machines.contains(tag) {
-            findings.push(Finding {
-                file: "crates/core/src/machines.rs".into(),
-                line: 0,
-                message: format!(
-                    "{tag} is defined in protocol.rs but never handled by the node \
-                     state machines — unhandled wire messages deadlock the pipeline"
-                ),
-            });
-        }
-        if !in_doc.contains(tag) {
-            findings.push(Finding {
-                file: "crates/core/src/protocol.rs".into(),
-                line: 0,
-                message: format!("{tag} is missing from the protocol doc table"),
-            });
-        }
-    }
-    for (path, src) in all_sources {
-        for tag in tag_tokens(&strip_comments_and_strings(src)) {
-            if !defined.contains(&tag) {
-                findings.push(Finding {
-                    file: path.clone(),
+                    file: "crates/mpeg2/src/tables".into(),
                     line: 0,
-                    message: format!("{tag} is used but not defined in protocol.rs"),
+                    message,
                 });
             }
+            None
         }
-    }
-    findings
-}
-
-const DOC_ITEM_PREFIXES: &[&str] = &[
-    "pub fn ",
-    "pub const ",
-    "pub static ",
-    "pub struct ",
-    "pub enum ",
-    "pub trait ",
-    "pub type ",
-    "pub mod ",
-    "pub unsafe fn ",
-    "pub async fn ",
-];
-
-/// Requires a `///` doc comment on every `pub` item (skips re-exports and
-/// restricted visibility; test modules are excluded).
-pub fn check_doc_coverage(path: &str, src: &str) -> Vec<Finding> {
-    let masked = mask_test_modules(&strip_comments_and_strings(src));
-    let original: Vec<&str> = src.lines().collect();
-    let mut findings = Vec::new();
-    for (idx, line) in masked.lines().enumerate() {
-        let t = line.trim_start();
-        if !DOC_ITEM_PREFIXES.iter().any(|p| t.starts_with(p)) {
-            continue;
-        }
-        // Out-of-line `pub mod foo;`: the module file's own `//!` docs are
-        // what rustdoc shows; requiring a second `///` here would just
-        // duplicate them.
-        if t.starts_with("pub mod ") && t.trim_end().ends_with(';') {
-            continue;
-        }
-        // Walk upward over attributes and derive lines to the nearest
-        // non-attribute line, which must be a doc comment.
-        let mut j = idx;
-        let mut documented = false;
-        while j > 0 {
-            j -= 1;
-            let up = original[j].trim_start();
-            if up.starts_with("#[")
-                || up.starts_with("#!")
-                || up.ends_with(']') && up.starts_with(')')
-            {
-                continue;
-            }
-            documented = up.starts_with("///") || up.starts_with("#[doc");
-            break;
-        }
-        if !documented {
-            let item = line.trim().split('(').next().unwrap_or("").trim();
-            findings.push(Finding {
-                file: path.to_string(),
-                line: idx + 1,
-                message: format!("public item `{item}` has no doc comment"),
-            });
-        }
-    }
-    findings
-}
-
-/// Recursively collects `.rs` files under `dir`, returning
-/// workspace-relative paths with their contents.
-pub fn collect_rs_files(root: &Path, dir: &str) -> std::io::Result<Vec<(String, String)>> {
-    let mut out = Vec::new();
-    let mut stack = vec![root.join(dir)];
-    while let Some(d) = stack.pop() {
-        let mut entries: Vec<PathBuf> = std::fs::read_dir(&d)?
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .collect();
-        entries.sort();
-        for p in entries {
-            if p.is_dir() {
-                stack.push(p);
-            } else if p.extension().is_some_and(|e| e == "rs") {
-                let rel = p
-                    .strip_prefix(root)
-                    .unwrap_or(&p)
-                    .to_string_lossy()
-                    .replace('\\', "/");
-                out.push((rel, std::fs::read_to_string(&p)?));
-            }
-        }
-    }
-    out.sort();
-    Ok(out)
-}
-
-/// Runs every lint pass over a workspace root. Returns all findings.
-pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
-    let mut files = Vec::new();
-    for dir in ["crates/core/src", "crates/cluster/src"] {
-        files.extend(collect_rs_files(root, dir).map_err(|e| format!("reading {dir}: {e}"))?);
-    }
-    let allowlist_path = root.join("crates/xtask/panic-allowlist.txt");
-    let allowlist_text = std::fs::read_to_string(&allowlist_path)
-        .map_err(|e| format!("reading {}: {e}", allowlist_path.display()))?;
-    let allowlist = parse_allowlist(&allowlist_text)?;
-
-    let mut findings = check_panic_allowlist(&files, &allowlist);
-
-    let alloc_path = root.join("crates/xtask/alloc-allowlist.txt");
-    let alloc_text = std::fs::read_to_string(&alloc_path)
-        .map_err(|e| format!("reading {}: {e}", alloc_path.display()))?;
-    let alloc_allowlist = parse_allowlist(&alloc_text)?;
-    findings.extend(check_alloc_allowlist(&files, &alloc_allowlist));
-
-    let get = |name: &str| {
-        files
-            .iter()
-            .find(|(p, _)| p == name)
-            .map(|(_, s)| s.as_str())
     };
-    match (
-        get("crates/core/src/protocol.rs"),
-        get("crates/core/src/machines.rs"),
-    ) {
-        (Some(proto), Some(mach)) => {
-            findings.extend(check_tag_exhaustiveness(proto, mach, &files));
-        }
-        _ => {
-            findings.push(Finding {
-                file: "crates/core/src".into(),
-                line: 0,
-                message: "protocol.rs or machines.rs missing — tag check skipped".into(),
-            });
-        }
-    }
 
-    for (path, src) in &files {
-        findings.extend(check_doc_coverage(path, src));
-    }
-    Ok(findings)
+    Ok(AnalyzeReport {
+        findings,
+        vlc,
+        unsafe_stats: unsafe_audit::unsafe_stats(&files),
+    })
 }
 
 #[cfg(test)]
@@ -612,139 +92,27 @@ mod tests {
     use super::*;
 
     #[test]
-    fn stripping_blanks_comments_strings_and_chars() {
-        let src = "let a = \"x.unwrap()\"; // .unwrap()\nlet b = 'c'; /* panic!( */\n";
-        let s = strip_comments_and_strings(src);
-        assert!(!s.contains("unwrap"));
-        assert!(!s.contains("panic"));
-        assert_eq!(s.lines().count(), src.lines().count());
-    }
-
-    #[test]
-    fn raw_strings_and_lifetimes_survive_lexing() {
-        let src = "fn f<'a>(x: &'a str) { let r = r#\"panic!(\"#; }";
-        let s = strip_comments_and_strings(src);
-        assert!(!s.contains("panic"));
-        assert!(s.contains("fn f<'a>"));
-    }
-
-    #[test]
-    fn panic_sites_in_test_modules_are_ignored() {
-        let src =
-            "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
-        let sites = find_panic_sites(src);
-        assert_eq!(sites, vec![(1, ".unwrap()")]);
-    }
-
-    #[test]
-    fn new_unwrap_in_protocol_rs_fails_with_clear_message() {
-        // The gate this lint exists for: someone adds an unwrap() to the
-        // wire decoder and the build must fail naming the file.
-        let files = vec![(
-            "crates/core/src/protocol.rs".to_string(),
-            "pub fn decode(p: &[u8]) -> u32 { p.first().copied().unwrap().into() }\n".to_string(),
-        )];
-        let findings = check_panic_allowlist(&files, &BTreeMap::new());
-        assert_eq!(findings.len(), 1);
-        let msg = findings[0].to_string();
-        assert!(
-            msg.contains("crates/core/src/protocol.rs:1"),
-            "message: {msg}"
-        );
-        assert!(msg.contains("CoreError"), "message: {msg}");
-    }
-
-    #[test]
-    fn allowlist_over_budget_is_reported_for_tightening() {
-        let files = vec![("a.rs".to_string(), "fn f() {}\n".to_string())];
-        let mut allow = BTreeMap::new();
-        allow.insert("a.rs".to_string(), 3);
-        let findings = check_panic_allowlist(&files, &allow);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("lower the budget"));
-    }
-
-    #[test]
-    fn undefined_and_unhandled_tags_are_caught() {
-        let proto = "//! | [`TAG_A`] | x |\npub const TAG_A: u32 = 1;\npub const TAG_B: u32 = 2;\n";
-        let machines = "match tag { TAG_A => {} }\n";
-        let uses = vec![("x.rs".to_string(), "send(TAG_ROGUE, ..)".to_string())];
-        let findings = check_tag_exhaustiveness(proto, machines, &uses);
-        let text: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
-        assert!(
-            text.iter()
-                .any(|m| m.contains("TAG_B") && m.contains("never handled")),
-            "{text:?}"
-        );
-        assert!(
-            text.iter()
-                .any(|m| m.contains("TAG_B") && m.contains("doc table")),
-            "{text:?}"
-        );
-        assert!(text.iter().any(|m| m.contains("TAG_ROGUE")), "{text:?}");
-    }
-
-    #[test]
-    fn undocumented_pub_items_are_caught_through_attributes() {
-        let src = "/// Documented.\npub fn ok() {}\n#[derive(Debug)]\npub struct Bad;\n";
-        let findings = check_doc_coverage("x.rs", src);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("pub struct Bad"));
-    }
-
-    #[test]
-    fn new_zero_fill_vec_in_hot_path_fails_with_pool_hint() {
-        // The gate this lint exists for: someone re-introduces a
-        // per-picture `vec![0u8; n]` into the tile decoder and the build
-        // must fail pointing at the pooled alternatives.
-        let files = vec![(
-            "crates/core/src/tile_decoder.rs".to_string(),
-            "fn f(n: usize) -> Vec<u8> { vec![0u8; n] }\n".to_string(),
-        )];
-        let findings = check_alloc_allowlist(&files, &BTreeMap::new());
-        assert_eq!(findings.len(), 1);
-        let msg = findings[0].to_string();
-        assert!(
-            msg.contains("crates/core/src/tile_decoder.rs:1"),
-            "message: {msg}"
-        );
-        assert!(msg.contains("FramePool"), "message: {msg}");
-    }
-
-    #[test]
-    fn alloc_lint_ignores_tests_and_non_hot_path_files() {
-        let hot = "crates/core/src/wire.rs".to_string();
-        let src =
-            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = vec![0u8; 4]; }\n}\n";
-        let cold = (
-            "crates/core/src/subpicture.rs".to_string(),
-            "fn f() -> Vec<u8> { vec![0u8; 8] }\n".to_string(),
-        );
-        let findings = check_alloc_allowlist(&[(hot, src.to_string()), cold], &BTreeMap::new());
-        assert!(findings.is_empty(), "{findings:?}");
-    }
-
-    #[test]
-    fn stale_alloc_allowlist_entry_is_reported() {
-        let mut allow = BTreeMap::new();
-        allow.insert("crates/core/src/gone.rs".to_string(), 1);
-        let findings = check_alloc_allowlist(&[], &allow);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("stale"));
-    }
-
-    #[test]
-    fn real_tree_passes_lint() {
+    fn real_tree_passes_analyze() {
+        // The acceptance gate for the whole suite: every pass — lint,
+        // unsafe audit, concurrency, panic surface, exhaustive VLC
+        // verification — must be clean on the committed tree.
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-        let findings = run_lint(&root).expect("lint run");
+        let report = run_analyze(&root).expect("analyze run");
         assert!(
-            findings.is_empty(),
-            "lint must pass on the committed tree:\n{}",
-            findings
+            report.findings.is_empty(),
+            "analyze must pass on the committed tree:\n{}",
+            report
+                .findings
                 .iter()
                 .map(|f| f.to_string())
                 .collect::<Vec<_>>()
                 .join("\n")
+        );
+        let vlc = report.vlc.expect("vlc report");
+        assert_eq!(vlc.tables.len(), 9);
+        assert!(
+            report.unsafe_stats.sites > 0,
+            "kernels are unsafe by design"
         );
     }
 }

@@ -1,7 +1,16 @@
 //! `cargo xtask <command>` — repo-local tooling (no external deps).
 
+use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Prints to stdout, swallowing broken-pipe errors so `xtask ... | head`
+/// exits cleanly instead of panicking mid-summary.
+macro_rules! out {
+    ($($arg:tt)*) => {
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    };
+}
 
 fn workspace_root() -> PathBuf {
     // CARGO_MANIFEST_DIR = <root>/crates/xtask whenever run via cargo.
@@ -11,40 +20,88 @@ fn workspace_root() -> PathBuf {
     }
 }
 
+const USAGE: &str = "usage: cargo xtask <lint|analyze>\n\n  \
+    lint     fast wire-protocol gates (panic allowlist, TAG exhaustiveness,\n           \
+    doc coverage, hot-path alloc budget)\n  \
+    analyze  everything lint does, plus the unsafe/SAFETY audit, concurrency\n           \
+    lints, panic-surface budgets and exhaustive VLC-table verification";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("analyze") => analyze(),
         Some(other) => {
-            eprintln!("unknown command `{other}`\n\nusage: cargo xtask lint");
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }
+}
+
+fn report(findings: &[xtask::Finding], what: &str) -> ExitCode {
+    for f in findings {
+        eprintln!("error: {f}");
+    }
+    eprintln!("\nxtask {what}: {} finding(s)", findings.len());
+    ExitCode::FAILURE
 }
 
 fn lint() -> ExitCode {
     let root = workspace_root();
     match xtask::run_lint(&root) {
         Ok(findings) if findings.is_empty() => {
-            println!(
+            out!(
                 "xtask lint: ok (panic allowlist, TAG exhaustiveness, doc coverage, \
                  hot-path alloc budget)"
             );
             ExitCode::SUCCESS
         }
-        Ok(findings) => {
-            for f in &findings {
-                eprintln!("error: {f}");
-            }
-            eprintln!("\nxtask lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
-        }
+        Ok(findings) => report(&findings, "lint"),
         Err(e) => {
             eprintln!("xtask lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn analyze() -> ExitCode {
+    let root = workspace_root();
+    match xtask::run_analyze(&root) {
+        Ok(r) if r.findings.is_empty() => {
+            out!("xtask analyze: ok");
+            out!(
+                "  lint: panic allowlist, TAG exhaustiveness, doc coverage, \
+                 hot-path alloc budget"
+            );
+            out!(
+                "  unsafe audit: {} sites in {} files, all SAFETY-annotated and inventoried",
+                r.unsafe_stats.sites,
+                r.unsafe_stats.files
+            );
+            out!("  concurrency: lock hygiene and guard lifetimes within budget");
+            out!("  panic surface: index/arithmetic budgets within budget");
+            if let Some(vlc) = &r.vlc {
+                let codes: usize = vlc.tables.iter().map(|t| t.codes).sum();
+                let domain: usize = vlc.tables.iter().map(|t| t.domain).sum();
+                out!(
+                    "  vlc: {} tables exhaustively verified ({codes} codes, {domain} \
+                     patterns swept); dct_coeff 2^24 escape domain: {} ok / {} invalid \
+                     / {} forbidden",
+                    vlc.tables.len(),
+                    vlc.escape_ok,
+                    vlc.escape_invalid,
+                    vlc.escape_forbidden
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(r) => report(&r.findings, "analyze"),
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
             ExitCode::FAILURE
         }
     }

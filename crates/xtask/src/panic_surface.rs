@@ -1,0 +1,211 @@
+//! Panic-surface extension of the lint's panic-allowlist pass: `[]`
+//! indexing and unchecked arithmetic in the wire-facing and hot-path
+//! modules.
+//!
+//! These modules parse bytes that arrive off the wire and compute frame
+//! and slice indices from them; an out-of-bounds `[]` or a debug-mode
+//! overflow is a remotely triggerable node abort, the exact failure mode
+//! the panic allowlist exists to prevent. Neither can be banned outright
+//! — indexing against locally proven bounds is idiomatic — so both are
+//! **frozen budgets**: the committed counts live in
+//! `crates/xtask/index-allowlist.txt` and `crates/xtask/arith-allowlist.txt`,
+//! and any growth fails the build until the new site is reviewed (prefer
+//! `.get()` / `checked_*` / `saturating_*` with an error path) and the
+//! budget deliberately extended.
+//!
+//! Detection is token-boundary based on the lexed view: `expr[..]` counts
+//! (previous non-space byte ends an expression) while `#[attr]`, `&[u8]`
+//! and `vec![..]` do not; `a + b`, `a - b`, `a * b` and their compound
+//! forms count while `->`, unary minus, `*const`/`*mut` pointers and
+//! dereferences do not. Trait-object `+` bounds on a `dyn` line are
+//! skipped. The heuristic intentionally over-counts odd corners rather
+//! than under-count: false positives sit harmlessly inside the frozen
+//! budget, and the gate is about *growth*.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::lint::HOT_PATH_FILES;
+use crate::scan::{
+    check_budget, is_expr_end, mask_test_modules, strip_comments_and_strings, Finding,
+};
+
+/// Files covered by the index/arithmetic budgets: the per-picture hot
+/// path plus the modules that parse wire bytes and drive the node state
+/// machines.
+pub fn panic_surface_files() -> Vec<&'static str> {
+    let mut v = HOT_PATH_FILES.to_vec();
+    v.push("crates/core/src/machines.rs");
+    v.push("crates/cluster/src/gm.rs");
+    v
+}
+
+fn prev_non_space(b: &[u8], mut i: usize) -> Option<u8> {
+    while i > 0 {
+        i -= 1;
+        if b[i] != b' ' {
+            return Some(b[i]);
+        }
+    }
+    None
+}
+
+fn next_word(line: &str, from: usize) -> &str {
+    let rest = line[from.min(line.len())..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    &rest[..end]
+}
+
+/// Finds `expr[...]` indexing sites in already-masked source.
+pub fn find_index_sites(masked: &str) -> Vec<(usize, String)> {
+    let mut sites = Vec::new();
+    for (lineno, line) in masked.lines().enumerate() {
+        let b = line.as_bytes();
+        for (i, &c) in b.iter().enumerate() {
+            if c == b'[' && prev_non_space(b, i).is_some_and(is_expr_end) {
+                sites.push((lineno + 1, "[]".to_string()));
+            }
+        }
+    }
+    sites
+}
+
+/// Finds unchecked `+`/`-`/`*` (and compound-assignment) sites in
+/// already-masked source.
+pub fn find_arith_sites(masked: &str) -> Vec<(usize, String)> {
+    let mut sites = Vec::new();
+    for (lineno, line) in masked.lines().enumerate() {
+        let b = line.as_bytes();
+        let mut i = 0;
+        while i < b.len() {
+            let c = b[i];
+            let binary =
+                matches!(c, b'+' | b'-' | b'*') && prev_non_space(b, i).is_some_and(is_expr_end);
+            if binary {
+                let next = b.get(i + 1).copied().unwrap_or(b' ');
+                let arrow = c == b'-' && next == b'>';
+                let pointer_type = c == b'*' && matches!(next_word(line, i + 1), "const" | "mut");
+                // `dyn A + B` trait bounds: not arithmetic.
+                let trait_bound = c == b'+' && line[..i].contains("dyn ");
+                if !arrow && !pointer_type && !trait_bound {
+                    let op = if next == b'=' {
+                        format!("{}=", c as char)
+                    } else {
+                        (c as char).to_string()
+                    };
+                    sites.push((lineno + 1, op));
+                }
+                if next == b'=' || arrow {
+                    i += 1;
+                }
+            }
+            i += 1;
+        }
+    }
+    sites
+}
+
+/// Checks the index and arithmetic budgets over `files`.
+pub fn check_panic_surface(
+    files: &[(String, String)],
+    index_allowlist: &BTreeMap<String, usize>,
+    arith_allowlist: &BTreeMap<String, usize>,
+) -> Vec<Finding> {
+    let scope = panic_surface_files();
+    let mut index_sites = BTreeMap::new();
+    let mut arith_sites = BTreeMap::new();
+    for (path, src) in files {
+        if !scope.contains(&path.as_str()) {
+            continue;
+        }
+        let masked = mask_test_modules(&strip_comments_and_strings(src));
+        index_sites.insert(path.clone(), find_index_sites(&masked));
+        arith_sites.insert(path.clone(), find_arith_sites(&masked));
+    }
+    let mut findings = check_budget(
+        &index_sites,
+        index_allowlist,
+        "crates/xtask/index-allowlist.txt",
+        |_, n, allowed| {
+            format!(
+                "new `[]` indexing in a wire-facing/hot-path module ({n} sites, \
+                 {allowed} budgeted): out-of-bounds panics here are remotely \
+                 triggerable node aborts — prefer `.get()`/`.get_mut()` with an \
+                 error path, or review and bump crates/xtask/index-allowlist.txt"
+            )
+        },
+    );
+    findings.extend(check_budget(
+        &arith_sites,
+        arith_allowlist,
+        "crates/xtask/arith-allowlist.txt",
+        |op, n, allowed| {
+            format!(
+                "new unchecked `{op}` arithmetic in a wire-facing/hot-path module \
+                 ({n} sites, {allowed} budgeted): overflow panics in debug and wraps \
+                 in release — prefer checked_/saturating_/wrapping_ with explicit \
+                 intent, or review and bump crates/xtask/arith-allowlist.txt"
+            )
+        },
+    ));
+    findings
+}
+
+/// Runs the panic-surface budgets over a workspace root with its
+/// committed allowlists.
+pub fn run_panic_surface(root: &Path, files: &[(String, String)]) -> Result<Vec<Finding>, String> {
+    let index = crate::scan::load_allowlist(root, "crates/xtask/index-allowlist.txt")?;
+    let arith = crate::scan::load_allowlist(root, "crates/xtask/arith-allowlist.txt")?;
+    Ok(check_panic_surface(files, &index, &arith))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_distinguished_from_attributes_types_and_macros() {
+        let src = "#[derive(Debug)]\nfn f(p: &[u8], t: [i32; 4]) -> u8 {\n    let v = vec![0u8; 4];\n    p[0] + t[1] as u8\n}\n";
+        let sites = find_index_sites(&mask_test_modules(&strip_comments_and_strings(src)));
+        // Only p[0] and t[1] are real index expressions.
+        assert_eq!(sites, vec![(4, "[]".into()), (4, "[]".into())]);
+    }
+
+    #[test]
+    fn arithmetic_excludes_arrows_pointers_and_unary() {
+        let src = "fn f(a: u32, b: u32) -> u32 {\n    let p: *const u8 = q as *const u8;\n    let n = -5i32;\n    a + b\n}\n";
+        let sites = find_arith_sites(&mask_test_modules(&strip_comments_and_strings(src)));
+        assert_eq!(sites, vec![(4, "+".into())]);
+    }
+
+    #[test]
+    fn compound_assignment_counts_once() {
+        let src = "fn f(mut a: u32) { a += 2; a *= 3; }\n";
+        let sites = find_arith_sites(&strip_comments_and_strings(src));
+        assert_eq!(sites, vec![(1, "+=".into()), (1, "*=".into())]);
+    }
+
+    #[test]
+    fn new_indexing_in_wire_module_fails_with_get_hint() {
+        let files = vec![(
+            "crates/core/src/wire.rs".to_string(),
+            "pub fn tag(p: &[u8]) -> u8 { p[0] }\n".to_string(),
+        )];
+        let findings = check_panic_surface(&files, &BTreeMap::new(), &BTreeMap::new());
+        assert_eq!(findings.len(), 1);
+        let msg = findings[0].to_string();
+        assert!(msg.contains("wire.rs:1"), "{msg}");
+        assert!(msg.contains(".get()"), "{msg}");
+    }
+
+    #[test]
+    fn files_outside_the_surface_are_ignored() {
+        let files = vec![(
+            "crates/mpeg2/src/idct.rs".to_string(),
+            "pub fn f(b: &mut [i32; 64]) { b[0] = b[1] * 2 + 1; }\n".to_string(),
+        )];
+        assert!(check_panic_surface(&files, &BTreeMap::new(), &BTreeMap::new()).is_empty());
+    }
+}

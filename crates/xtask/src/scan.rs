@@ -1,0 +1,363 @@
+//! Shared token-level Rust scanner: every analysis pass works on a lexed
+//! view of the source produced here, so no pass can be fooled by text
+//! inside comments or string literals, and all of them report findings in
+//! the same `file:line` shape against the same allowlist format.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding, pointing at a file/line with an explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number (0 = whole file).
+    pub line: usize,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.file, self.line, self.message)
+        } else {
+            write!(f, "{}: {}", self.file, self.message)
+        }
+    }
+}
+
+/// Replaces the contents of comments, string/char literals and doc
+/// comments with spaces, preserving every newline so line numbers map
+/// 1:1 onto the original source.
+pub fn strip_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string r"..." / r#"..."# (any hash count).
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                    i = j + 1;
+                    'raw: while i < b.len() {
+                        if b[i] == b'"' {
+                            let mut k = 0;
+                            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal closes with ' within
+                // a couple of characters; a lifetime never closes.
+                let close = if i + 2 < b.len() && b[i + 1] == b'\\' {
+                    // Escaped char: find the closing quote.
+                    (i + 2..b.len().min(i + 8)).find(|&j| b[j] == b'\'')
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                if let Some(end) = close {
+                    out.extend(std::iter::repeat_n(b' ', end - i + 1));
+                    i = end + 1;
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Blanks out the bodies of `#[cfg(test)]`-gated items (test modules) in
+/// already-stripped source, so sites inside tests are not counted.
+pub fn mask_test_modules(stripped: &str) -> String {
+    let b = stripped.as_bytes();
+    let mut out = stripped.as_bytes().to_vec();
+    let mut i = 0;
+    while let Some(pos) = stripped[i..].find("#[cfg(test)]") {
+        let start = i + pos;
+        // Find the opening brace of the gated item.
+        let Some(open_rel) = stripped[start..].find('{') else {
+            break;
+        };
+        let mut depth = 0usize;
+        let mut j = start + open_rel;
+        while j < b.len() {
+            match b[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for cell in out.iter_mut().take(j.min(b.len())).skip(start) {
+            if *cell != b'\n' {
+                *cell = b' ';
+            }
+        }
+        i = j.min(b.len());
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Whether byte `c` can end an indexable expression or identifier — the
+/// token-boundary test shared by the site finders.
+pub fn is_expr_end(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b')' || c == b']'
+}
+
+/// Finds `(line, pattern)` occurrences of literal `patterns` in already
+/// stripped (and usually test-masked) source.
+pub fn find_pattern_sites(masked: &str, patterns: &[&'static str]) -> Vec<(usize, &'static str)> {
+    let mut sites = Vec::new();
+    for (lineno, line) in masked.lines().enumerate() {
+        for pat in patterns {
+            let mut from = 0;
+            while let Some(p) = line[from..].find(pat) {
+                sites.push((lineno + 1, *pat));
+                from += p + pat.len();
+            }
+        }
+    }
+    sites
+}
+
+/// Parses an allowlist file: `<path> <count>` per line, `#` comments.
+pub fn parse_allowlist(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut map = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(path), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "allowlist line {}: expected '<path> <count>'",
+                lineno + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("allowlist line {}: bad count '{count}'", lineno + 1))?;
+        map.insert(path.to_string(), count);
+    }
+    Ok(map)
+}
+
+/// Reads and parses an allowlist file under the workspace root.
+pub fn load_allowlist(root: &Path, rel: &str) -> Result<BTreeMap<String, usize>, String> {
+    let path = root.join(rel);
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    parse_allowlist(&text).map_err(|e| format!("{rel}: {e}"))
+}
+
+/// Checks per-file site counts against a frozen budget, emitting the same
+/// three error shapes every budgeted pass uses: over budget (each site
+/// listed), under budget (tighten the allowlist), and stale entries.
+///
+/// `sites` maps path → located sites; `describe` renders the per-site
+/// message given `(sites_found, allowed)`.
+pub fn check_budget(
+    sites: &BTreeMap<String, Vec<(usize, String)>>,
+    allowlist: &BTreeMap<String, usize>,
+    allowlist_file: &str,
+    describe: impl Fn(&str, usize, usize) -> String,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (path, found) in sites {
+        let allowed = allowlist.get(path).copied().unwrap_or(0);
+        if found.len() > allowed {
+            for (line, what) in found {
+                findings.push(Finding {
+                    file: path.clone(),
+                    line: *line,
+                    message: describe(what, found.len(), allowed),
+                });
+            }
+        } else if found.len() < allowed {
+            findings.push(Finding {
+                file: path.clone(),
+                line: 0,
+                message: format!(
+                    "allowlist permits {allowed} sites but only {} remain — \
+                     lower the budget in {allowlist_file}",
+                    found.len()
+                ),
+            });
+        }
+    }
+    for path in allowlist.keys() {
+        if !sites.contains_key(path) {
+            findings.push(Finding {
+                file: path.clone(),
+                line: 0,
+                message: format!(
+                    "allowlisted file is not part of this pass's scan set — \
+                     remove the stale entry from {allowlist_file}"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Recursively collects `.rs` files under `dir`, returning
+/// workspace-relative paths with their contents. A missing directory
+/// yields no files (workspace layouts differ between checkouts).
+pub fn collect_rs_files(root: &Path, dir: &str) -> std::io::Result<Vec<(String, String)>> {
+    let top = root.join(dir);
+    if !top.is_dir() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    let mut stack = vec![top];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&d)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(&p)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                out.push((rel, std::fs::read_to_string(&p)?));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Collects every `.rs` file of the workspace (all crates plus the root
+/// binary/tests/examples trees).
+pub fn collect_workspace_files(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut files = Vec::new();
+    for dir in ["crates", "src", "tests", "examples"] {
+        files.extend(collect_rs_files(root, dir).map_err(|e| format!("reading {dir}: {e}"))?);
+    }
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripping_blanks_comments_strings_and_chars() {
+        let src = "let a = \"x.unwrap()\"; // .unwrap()\nlet b = 'c'; /* panic!( */\n";
+        let s = strip_comments_and_strings(src);
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("panic"));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_survive_lexing() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"panic!(\"#; }";
+        let s = strip_comments_and_strings(src);
+        assert!(!s.contains("panic"));
+        assert!(s.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn budget_check_reports_over_under_and_stale() {
+        let mut sites = BTreeMap::new();
+        sites.insert("over.rs".to_string(), vec![(3, "x".to_string())]);
+        sites.insert("under.rs".to_string(), Vec::new());
+        let mut allow = BTreeMap::new();
+        allow.insert("under.rs".to_string(), 2);
+        allow.insert("gone.rs".to_string(), 1);
+        let f = check_budget(&sites, &allow, "list.txt", |w, n, a| {
+            format!("{w} ({n} found, {a} allowed)")
+        });
+        let text: Vec<String> = f.iter().map(|x| x.to_string()).collect();
+        assert!(text.iter().any(|m| m.starts_with("over.rs:3:")), "{text:?}");
+        assert!(
+            text.iter().any(|m| m.contains("lower the budget")),
+            "{text:?}"
+        );
+        assert!(text.iter().any(|m| m.contains("stale")), "{text:?}");
+    }
+}
