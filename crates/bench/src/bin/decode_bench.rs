@@ -21,6 +21,22 @@
 //! (`scalar_pps`/`best_pps`) also run through the parallel decoder, which
 //! is how CI smoke-tests the parallel path under the regression gate.
 //!
+//! A fourth pass, `mc_locality`, isolates the reference-frame storage
+//! layout against two byte-identical HD reference frames — one
+//! macroblock-tiled, one row-major. Two sweeps run identically against
+//! both layouts. The gated one is block-granular reference I/O: aligned
+//! 16×16 extract + insert at pseudo-random macroblock positions — the
+//! MEI halo-exchange/recon-store primitive the tiled layout exists for —
+//! published as `mc_block_*` (`mc_block_ratio` > 1 means tiled wins).
+//! The second is a random-MV interpolated-prediction sweep, published as
+//! `mc_predict_*` for transparency but not gated: a 17×17 half-pel
+//! footprint never fits a 16×16 tile, so tiled prediction always
+//! gathers while row-major borrows zero-copy, and the ratio sits below
+//! 1 by design (which is why the sequential decoder keeps row-major
+//! frames). The `--check` gate holds `mc_block_tiled_pps` and
+//! `mc_block_ratio` to the same 25% floor as the throughput numbers
+//! (best-kernel runs only, like `vld4_pps`).
+//!
 //! `BENCH_decode.json` at the repository root is the committed baseline.
 //! CI re-runs this binary with `--check BENCH_decode.json`, which fails
 //! if sequential pixels/sec on any preset drops more than 25% below the
@@ -79,6 +95,9 @@ use tiledec_core::tile_decoder::TileDecoder;
 use tiledec_core::vld_parallel::ParallelVldDecoder;
 use tiledec_core::SystemConfig;
 use tiledec_mpeg2::kernels;
+use tiledec_mpeg2::motion::{predict, FrameRefs, PlanePick, RefPick};
+use tiledec_mpeg2::types::MotionVector;
+use tiledec_mpeg2::Frame;
 use tiledec_workload::StreamPreset;
 
 /// Worker counts of the slice-parallel VLD scaling curve.
@@ -95,6 +114,176 @@ struct VldPoint {
     /// Critical-path model throughput (per-picture max of coordinator
     /// replay vs slowest VLD range, summed — the multi-core ceiling).
     model_pps: f64,
+}
+
+/// Tiled-vs-row-major reference-frame locality sweeps: identical
+/// workloads run against two byte-identical reference frames that differ
+/// only in storage layout.
+struct McLocality {
+    width: usize,
+    height: usize,
+    /// Block-I/O pixels/sec out of the macroblock-tiled reference
+    /// (aligned 16×16 extract + insert at random positions — the MEI
+    /// halo-exchange primitive). Gated by `--check`.
+    block_tiled_pps: f64,
+    /// Block-I/O pixels/sec out of the row-major reference.
+    block_row_major_pps: f64,
+    /// `block_tiled_pps / block_row_major_pps` — the locality win the
+    /// tiled layout is built for (> 1 means tiled wins). Gated.
+    block_ratio: f64,
+    /// Predicted pixels/sec out of the tiled reference on the random-MV
+    /// interpolation sweep. Informational only.
+    predict_tiled_pps: f64,
+    /// Predicted pixels/sec out of the row-major reference.
+    predict_row_major_pps: f64,
+    /// Predict-sweep ratio; < 1 by design (half-pel footprints straddle
+    /// tiles and gather, while row-major borrows zero-copy). Not gated.
+    predict_ratio: f64,
+}
+
+/// Runs the locality sweeps on an HD-sized reference (working set well
+/// past L2, the regime the tiled layout targets).
+///
+/// Block sweep (gated): visits every macroblock in pseudo-random order
+/// and performs an aligned 16×16 luma extract + insert — exactly what
+/// the tile decoders do when serving and applying MEI halo rows and
+/// storing reconstructed macroblocks. Tiled storage turns each into a
+/// single contiguous 256-byte memcpy; row-major strides 16 cache lines.
+///
+/// Predict sweep (informational): every macroblock issues one luma and
+/// two chroma predictions with a pseudo-random vector — a mix of
+/// zero-motion, short tile-interior motion and long tile-straddling
+/// motion, including picture-edge clamps — identically against both
+/// layouts.
+fn run_mc_locality(best: &'static kernels::KernelSet) -> McLocality {
+    const W: usize = 1920;
+    const H: usize = 1088;
+    kernels::set_active(best);
+    let mut s = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut noise = vec![0u8; W * H];
+    for v in &mut noise {
+        *v = next() as u8;
+    }
+    let chroma: Vec<u8> = noise.iter().take(W * H / 4).copied().collect();
+    let mut tiled = Frame::zeroed_tiled(W, H);
+    let mut row_major = Frame::black(W, H);
+    for f in [&mut tiled, &mut row_major] {
+        f.y.insert(0, 0, W, H, &noise);
+        f.cb.insert(0, 0, W / 2, H / 2, &chroma);
+        f.cr.insert(0, 0, W / 2, H / 2, &chroma);
+    }
+    // One vector per macroblock, reused across passes and layouts: ~25%
+    // zero motion, the rest uniform in ±64 half-pel with random parity.
+    let mvs: Vec<MotionVector> = (0..(W / 16) * (H / 16))
+        .map(|_| {
+            if next() % 4 == 0 {
+                MotionVector::ZERO
+            } else {
+                MotionVector::new((next() % 129) as i16 - 64, (next() % 129) as i16 - 64)
+            }
+        })
+        .collect();
+    // Pseudo-random macroblock visit order, shared by both layouts and
+    // sweeps: halo exchange is demand-driven, not raster-ordered.
+    let mut order: Vec<(usize, usize)> = (0..H / 16)
+        .flat_map(|mby| (0..W / 16).map(move |mbx| (mbx, mby)))
+        .collect();
+    for i in (1..order.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let block_sweep = |frame: &mut Frame| -> f64 {
+        let mut blk = [0u8; 256];
+        let mut best_s = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for &(mbx, mby) in &order {
+                frame.y.extract_into(mbx * 16, mby * 16, 16, 16, &mut blk);
+                std::hint::black_box(&blk);
+                frame.y.insert(mbx * 16, mby * 16, 16, 16, &blk);
+            }
+            best_s = best_s.min(t0.elapsed().as_secs_f64());
+        }
+        // 256 pixels read + 256 written per macroblock visit.
+        (order.len() * 512) as f64 / best_s
+    };
+    let predict_sweep = |frame: &Frame| -> f64 {
+        let refs = FrameRefs {
+            fwd: frame,
+            bwd: frame,
+        };
+        let mut out_y = [0u8; 256];
+        let mut out_c = [0u8; 64];
+        let mut best_s = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            let mut i = 0usize;
+            for mby in 0..H / 16 {
+                for mbx in 0..W / 16 {
+                    let mv = mvs[i];
+                    i += 1;
+                    predict(
+                        &refs,
+                        RefPick::Forward,
+                        PlanePick::Y,
+                        mbx * 16,
+                        mby * 16,
+                        16,
+                        mv,
+                        &mut out_y,
+                    );
+                    predict(
+                        &refs,
+                        RefPick::Forward,
+                        PlanePick::Cb,
+                        mbx * 8,
+                        mby * 8,
+                        8,
+                        mv,
+                        &mut out_c,
+                    );
+                    predict(
+                        &refs,
+                        RefPick::Forward,
+                        PlanePick::Cr,
+                        mbx * 8,
+                        mby * 8,
+                        8,
+                        mv,
+                        &mut out_c,
+                    );
+                    std::hint::black_box(&out_y);
+                    std::hint::black_box(&out_c);
+                }
+            }
+            best_s = best_s.min(t0.elapsed().as_secs_f64());
+        }
+        let pixels = (mvs.len() * (256 + 64 + 64)) as f64;
+        pixels / best_s
+    };
+    // Row-major first, tiled second in each sweep: if anything the
+    // ordering warms shared state in row-major's favour, so a tiled win
+    // is not a warm-up artifact.
+    let predict_row_major_pps = predict_sweep(&row_major);
+    let predict_tiled_pps = predict_sweep(&tiled);
+    let block_row_major_pps = block_sweep(&mut row_major);
+    let block_tiled_pps = block_sweep(&mut tiled);
+    McLocality {
+        width: W,
+        height: H,
+        block_tiled_pps,
+        block_row_major_pps,
+        block_ratio: block_tiled_pps / block_row_major_pps,
+        predict_tiled_pps,
+        predict_row_major_pps,
+        predict_ratio: predict_tiled_pps / predict_row_major_pps,
+    }
 }
 
 /// One preset's measurements.
@@ -159,7 +348,10 @@ fn main() {
         results.push(run_preset(name, preset, frames, best));
     }
 
-    let json = render_json(&results, frames, best.name);
+    eprintln!("[decode_bench] mc_locality sweeps (1920x1088, tiled vs row-major)");
+    let mc = run_mc_locality(best);
+
+    let json = render_json(&results, &mc, frames, best.name);
     match &out_path {
         Some(p) => std::fs::write(p, &json).expect("write --out"),
         None => println!("{json}"),
@@ -250,6 +442,35 @@ fn main() {
                     );
                 }
             }
+        }
+        // The MC locality group is gated under the best kernel set only:
+        // its baseline, like vld4_pps, is recorded under host SIMD. Only
+        // the block-I/O numbers gate; the predict sweep is informational.
+        if best.name != "scalar" {
+            for (key, measured) in [
+                ("mc_block_tiled_pps", mc.block_tiled_pps),
+                ("mc_block_ratio", mc.block_ratio),
+            ] {
+                let Some(base) = extract_field(&baseline, &format!("\"{key}\": ")) else {
+                    eprintln!("[check] baseline has no {key}, skipping");
+                    continue;
+                };
+                let floor = base * 0.75;
+                if measured < floor {
+                    eprintln!(
+                        "[check] FAIL mc_locality {key}: {measured:.3} is more than 25% \
+                         below baseline {base:.3}"
+                    );
+                    failed = true;
+                } else {
+                    eprintln!("[check] ok mc_locality {key}: {measured:.3} vs baseline {base:.3}");
+                }
+            }
+        } else {
+            eprintln!(
+                "[check] note: active kernel set is scalar; skipping the mc_locality gates \
+                 (baseline recorded under the best kernel set)"
+            );
         }
     }
     if let Some(min) = min_ratio {
@@ -426,7 +647,7 @@ fn time_tiled(stream: &[u8]) -> (f64, u64) {
     (wall, steady_allocs)
 }
 
-fn render_json(results: &[PresetResult], frames: usize, kernel: &str) -> String {
+fn render_json(results: &[PresetResult], mc: &McLocality, frames: usize, kernel: &str) -> String {
     let sets: Vec<String> = kernels::available()
         .iter()
         .map(|s| format!("\"{}\"", s.name))
@@ -491,7 +712,23 @@ fn render_json(results: &[PresetResult], frames: usize, kernel: &str) -> String 
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"mc_locality\": {{\"width\": {}, \"height\": {},\n   \
+         \"mc_block_tiled_pps\": {:.0}, \"mc_block_row_major_pps\": {:.0}, \
+         \"mc_block_ratio\": {:.3},\n   \
+         \"mc_predict_tiled_pps\": {:.0}, \"mc_predict_row_major_pps\": {:.0}, \
+         \"mc_predict_ratio\": {:.3}}}\n",
+        mc.width,
+        mc.height,
+        mc.block_tiled_pps,
+        mc.block_row_major_pps,
+        mc.block_ratio,
+        mc.predict_tiled_pps,
+        mc.predict_row_major_pps,
+        mc.predict_ratio
+    ));
+    s.push_str("}\n");
     s
 }
 

@@ -648,6 +648,9 @@ impl DecoderMachine {
                 self.d
             ));
         };
+        // Warm the halo tiles the pixel pass is about to read: the MEI
+        // RECV list names exactly this picture's remote reference blocks.
+        self.dec.prefetch_references(ctx.kind, &ctx.mei);
         let tiles = self
             .dec
             .decode(&ctx.subpicture)

@@ -169,6 +169,9 @@ impl SimulatedSystem {
                     decode_s = decode_s.min(t0.elapsed().as_secs_f64());
                 }
                 let t0 = Instant::now();
+                // MEI-driven prefetch of this picture's halo reference
+                // tiles, timed with the decode it accelerates.
+                dec.prefetch_references(kind, &out.mei[d]);
                 let displayable = dec.decode(sp)?;
                 decode_s = decode_s.min(t0.elapsed().as_secs_f64());
                 if self.verify {

@@ -86,7 +86,6 @@ impl ReferenceFetcher for BandRefs<'_> {
             PlanePick::Cb => (&frame.cb, 2),
             PlanePick::Cr => (&frame.cr, 2),
         };
-        let cx = x0.clamp(0, (p.width() - w) as i32) as usize;
         let cy = y0.clamp(0, (p.height() - h) as i32) as usize;
         for row in 0..h {
             let luma_y = (cy + row) * luma_scale;
@@ -96,9 +95,10 @@ impl ReferenceFetcher for BandRefs<'_> {
                 self.traffic.record(1 + owner, 1 + self.band, w as u64);
                 *self.remote_bytes.borrow_mut() += w as u64;
             }
-            let src = &p.row(cy + row)[cx..cx + w];
-            out[row * w..(row + 1) * w].copy_from_slice(src);
         }
+        // The pixel copy itself is layout-generic (reference frames are
+        // macroblock-tiled); accounting above stays per logical row.
+        p.fetch_clamped(x0, y0, w, h, out);
         let _ = self.picture_width;
     }
 }
@@ -180,7 +180,10 @@ pub fn run_slice_level(
 
         // Decode bands (in-process; each band's slices through a
         // fetch-accounting reconstructor writing one shared frame).
-        let mut current = Frame::zeroed(frame_w, frame_h);
+        // Macroblock-tiled like every decode-path current frame, so the
+        // accounting baseline measures the same memory layout the real
+        // decoders use.
+        let mut current = Frame::zeroed_tiled(frame_w, frame_h);
         {
             let placeholder = Frame::zeroed(16, 16);
             let (fwd, bwd): (&Frame, &Frame) = match info.kind {

@@ -240,6 +240,38 @@ impl TileDecoder {
         }
     }
 
+    /// Issues software prefetches for every reference macroblock named in
+    /// the picture's MEI RECV list, warming the halo tiles the upcoming
+    /// pixel pass will read. The MEI buffer enumerates *exactly* the
+    /// remote reference blocks this tile's motion compensation needs
+    /// (that is what the exchange protocol ships), so it doubles as a
+    /// local prefetch schedule — call it right before
+    /// [`decode`](TileDecoder::decode). Purely advisory: dispatches
+    /// through the active kernel set (`_mm_prefetch` on x86, no-op on
+    /// scalar) and never affects output.
+    pub fn prefetch_references(&self, kind: PictureKind, mei: &MeiBuffer) {
+        for i in mei.recvs() {
+            let MeiInstruction::Recv {
+                mb_x, mb_y, slot, ..
+            } = *i
+            else {
+                continue;
+            };
+            let Ok(frame) = self.reference(kind, slot) else {
+                continue;
+            };
+            let (px, py) = (mb_x as u32 * 16, mb_y as u32 * 16);
+            if !self.ext_rect.contains(px, py) {
+                continue;
+            }
+            let lx = (px - self.ext_rect.x0) as i32;
+            let ly = (py - self.ext_rect.y0) as i32;
+            frame.y.prefetch_rect(lx, ly, 16, 16);
+            frame.cb.prefetch_rect(lx / 2, ly / 2, 8, 8);
+            frame.cr.prefetch_rect(lx / 2, ly / 2, 8, 8);
+        }
+    }
+
     /// Decodes a sub-picture. Any blocks required from peers must have
     /// been applied first. Returns the tile that becomes displayable, if
     /// any: B tiles immediately, reference tiles deferred one picture.
@@ -249,9 +281,12 @@ impl TileDecoder {
     /// [`DisplayTile`] has been consumed.
     pub fn decode(&mut self, sp: &SubPicture) -> Result<Option<DisplayTile>> {
         let kind = sp.info.kind;
+        // Working frames are macroblock-tiled: reconstructed macroblocks
+        // land as whole contiguous tiles, and once this frame becomes a
+        // reference, motion compensation reads it tile-locally.
         let mut current = self
             .pool
-            .acquire_zeroed(self.ext_rect.w as usize, self.ext_rect.h as usize);
+            .acquire_zeroed_tiled(self.ext_rect.w as usize, self.ext_rect.h as usize);
         {
             static PLACEHOLDER: std::sync::OnceLock<Frame> = std::sync::OnceLock::new();
             let placeholder = PLACEHOLDER.get_or_init(|| Frame::zeroed(16, 16));
@@ -472,12 +507,9 @@ impl ReferenceFetcher for TileRefs<'_> {
         };
         // MEI pre-calculation guarantees coverage for conforming streams;
         // clamp (deterministically) rather than panic on corrupt input.
-        let cx = (lx.max(0) as usize).min(p.width() - w);
-        let cy = (ly.max(0) as usize).min(p.height() - h);
-        for row in 0..h {
-            let src = &p.row(cy + row)[cx..cx + w];
-            out[row * w..(row + 1) * w].copy_from_slice(src);
-        }
+        // The gather crosses storage-tile boundaries when the reference
+        // frame is macroblock-tiled.
+        p.fetch_clamped(lx, ly, w, h, out);
     }
 
     fn region(
@@ -502,19 +534,15 @@ impl ReferenceFetcher for TileRefs<'_> {
         };
         let lx = x0 - ex;
         let ly = y0 - ey;
-        if lx < 0 || ly < 0 {
-            return None;
-        }
-        let (lx, ly) = (lx as usize, ly as usize);
         let p = match plane {
             PlanePick::Y => &frame.y,
             PlanePick::Cb => &frame.cb,
             PlanePick::Cr => &frame.cr,
         };
-        if lx + w > p.width() || ly + h > p.height() {
-            return None;
-        }
-        Some((&p.data()[ly * p.stride() + lx..], p.stride()))
+        // On tiled reference storage the borrow additionally requires the
+        // footprint to sit inside one storage tile; everything else takes
+        // the `fetch` gather above.
+        p.region_at(lx, ly, w, h)
     }
 }
 

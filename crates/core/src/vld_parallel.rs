@@ -70,6 +70,12 @@ pub const VLD_WORKERS_ENV: &str = "TILEDEC_VLD_WORKERS";
 /// Upper bound on the worker count accepted from the environment.
 const MAX_WORKERS: usize = 64;
 
+/// Auto-tuned decoders fall back to sequential decode when every picture
+/// is below this many macroblocks: on tiny pictures the record/replay
+/// round trip costs more than it hides (the 128×96 `tiny` bench preset
+/// measured a 0.805× one-worker "speedup" before this gate).
+const MIN_AUTO_PARALLEL_MBS: u32 = 128;
+
 /// Pictures dispatched ahead of the one being reconstructed.
 const LOOKAHEAD: usize = 2;
 
@@ -551,27 +557,71 @@ impl SliceExecutor for Coordinator<'_> {
 #[derive(Debug, Default)]
 pub struct ParallelVldDecoder {
     workers: usize,
+    auto_tune: bool,
     last_stats: VldStats,
 }
 
 impl ParallelVldDecoder {
     /// Creates a decoder with `workers` VLD threads. Zero workers means
-    /// the plain sequential path.
+    /// the plain sequential path. The count is honoured exactly (no
+    /// auto-tuning) so tests and benchmarks can pin the parallel
+    /// machinery; use [`auto_tuned`](Self::auto_tuned) or
+    /// [`from_env`](Self::from_env) to let the decoder decline
+    /// parallelism that cannot pay off.
     pub fn new(workers: usize) -> Self {
         ParallelVldDecoder {
             workers: workers.min(MAX_WORKERS),
+            auto_tune: false,
             last_stats: VldStats::default(),
         }
     }
 
+    /// Like [`new`](Self::new), but `workers` is treated as an upper
+    /// bound: per stream, the count is clamped to the widest picture's
+    /// slice-row count (extra workers would only idle), and pictures
+    /// below [`MIN_AUTO_PARALLEL_MBS`] macroblocks decode sequentially
+    /// (the record/replay round trip costs more than it hides).
+    pub fn auto_tuned(workers: usize) -> Self {
+        ParallelVldDecoder {
+            auto_tune: true,
+            ..Self::new(workers)
+        }
+    }
+
     /// Reads the worker count from [`VLD_WORKERS_ENV`] (unset, empty or
-    /// unparsable = 0 = sequential).
+    /// unparsable = 0 = sequential). The count is an auto-tuned upper
+    /// bound, per [`auto_tuned`](Self::auto_tuned).
     pub fn from_env() -> Self {
         let workers = std::env::var(VLD_WORKERS_ENV)
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .unwrap_or(0);
-        Self::new(workers)
+        Self::auto_tuned(workers)
+    }
+
+    /// Auto-tuning decision for one planned stream: zero (sequential)
+    /// when every picture is tiny, otherwise the configured count
+    /// clamped to the widest picture's slice-row count.
+    fn auto_workers(&self, plan: &Plan) -> usize {
+        let mut max_rows = 0usize;
+        let mut max_mbs = 0u32;
+        for p in &plan.pictures {
+            let mut rows = 0usize;
+            let mut last = None;
+            for s in &p.slices {
+                if last != Some(s.row) {
+                    rows = rows.saturating_add(1);
+                    last = Some(s.row);
+                }
+            }
+            max_rows = max_rows.max(rows);
+            max_mbs = max_mbs.max(p.seq.mb_width().saturating_mul(p.seq.mb_height()));
+        }
+        if max_mbs < MIN_AUTO_PARALLEL_MBS {
+            0
+        } else {
+            self.workers.min(max_rows)
+        }
     }
 
     /// Configured worker count.
@@ -604,7 +654,12 @@ impl ParallelVldDecoder {
             return result;
         }
         let plan = Plan::build(data);
-        if plan.slice_count() == 0 {
+        let workers = if self.auto_tune {
+            self.auto_workers(&plan)
+        } else {
+            self.workers
+        };
+        if plan.slice_count() == 0 || workers == 0 {
             let result = Decoder::new().decode_stream(data, on_frame);
             self.last_stats = VldStats {
                 wall_ns: start.elapsed().as_nanos() as u64,
@@ -612,7 +667,6 @@ impl ParallelVldDecoder {
             };
             return result;
         }
-        let workers = self.workers;
         let (result, stats) = thread::scope(|s| {
             let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
             let (res_tx, res_rx) = std::sync::mpsc::channel::<RangeResult>();

@@ -247,6 +247,65 @@ fn stats_reflect_parallel_work() {
 }
 
 #[test]
+fn auto_tuning_declines_tiny_pictures() {
+    // Every random_stream size tops out at 128×96 = 48 macroblocks per
+    // picture — below the auto-parallel threshold — so an auto-tuned
+    // decoder must take the sequential path (and still be bit-exact).
+    let data = random_stream(0);
+    let (seq_frames, seq_result) = decode_sequential(&data);
+    let mut dec = ParallelVldDecoder::auto_tuned(8);
+    let mut frames = Vec::new();
+    let result = dec
+        .decode_stream(&data, |f: &Frame, _: &PictureInfo| frames.push(f.clone()))
+        .map(|s| s.pictures);
+    assert_eq!(result, seq_result);
+    assert_eq!(frames.len(), seq_frames.len());
+    for (a, b) in frames.iter().zip(&seq_frames) {
+        assert!(a == b);
+    }
+    let stats = dec.stats();
+    assert_eq!(stats.workers, 0, "tiny pictures must decode sequentially");
+    assert!(stats.busy_ns.is_empty());
+}
+
+#[test]
+fn auto_tuning_clamps_workers_to_slice_rows() {
+    // 704×48: 44×3 = 132 macroblocks clears the size threshold, but the
+    // picture has only 3 slice rows — 8 configured workers clamp to 3.
+    let mut cfg = EncoderConfig::for_size(704, 48);
+    cfg.gop_size = 4;
+    cfg.b_frames = 1;
+    cfg.qscale = 8;
+    let enc = Encoder::new(cfg).expect("config");
+    let mut frames = Vec::new();
+    for t in 0..6usize {
+        let mut f = Frame::black(704, 48);
+        for yy in 0..48 {
+            for xx in 0..704 {
+                f.y.set(xx, yy, ((xx * 3 + yy * 11 + t * 5) % 200) as u8);
+            }
+        }
+        frames.push(f);
+    }
+    let data = enc.encode(&frames).expect("encode");
+    let (seq_frames, seq_result) = decode_sequential(&data);
+    let mut dec = ParallelVldDecoder::auto_tuned(8);
+    let mut out = Vec::new();
+    let result = dec
+        .decode_stream(&data, |f: &Frame, _: &PictureInfo| out.push(f.clone()))
+        .map(|s| s.pictures);
+    assert_eq!(result, seq_result);
+    assert_eq!(out.len(), seq_frames.len());
+    for (a, b) in out.iter().zip(&seq_frames) {
+        assert!(a == b);
+    }
+    let stats = dec.stats();
+    assert_eq!(stats.workers, 3, "workers must clamp to the 3 slice rows");
+    assert_eq!(stats.busy_ns.len(), 3);
+    assert!(stats.planned_slices > 0);
+}
+
+#[test]
 fn zero_workers_is_the_sequential_path() {
     let data = random_stream(2);
     let (seq_frames, seq_result) = decode_sequential(&data);

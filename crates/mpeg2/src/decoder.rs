@@ -162,6 +162,13 @@ impl Decoder {
                         .as_ref()
                         .ok_or(Error::Syntax("picture before sequence header".into()))?;
                     let info = headers::parse_picture_header(&mut r)?;
+                    // Row-major, deliberately: the sequential decoder's hot
+                    // loop is interpolated prediction, whose 17x17 half-pel
+                    // footprint never fits a 16x16 tile, so tiled frames
+                    // would gather on every fetch while row-major serves a
+                    // zero-copy interior borrow. Tiled frames pay off in the
+                    // cluster paths (tile_decoder/slice_level) where halo
+                    // exchange and recon stores move whole aligned blocks.
                     let frame =
                         Frame::zeroed(seq.mb_width() as usize * 16, seq.mb_height() as usize * 16);
                     self.current = Some((info, frame, false, false));

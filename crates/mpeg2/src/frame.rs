@@ -1,32 +1,97 @@
-//! Planar image buffers (4:2:0).
+//! Planar image buffers (4:2:0) with selectable storage layout.
+//!
+//! Reference frames are read by motion compensation in 2D blocks (16×16
+//! luma, 8×8 chroma, +1 row/column at half-pel phases). With classic
+//! row-major storage every such fetch touches one cache line per row —
+//! 16–17 scattered lines, most of which the fetch uses only partially.
+//! [`Layout::Tiled`] stores the plane as macroblock-sized tiles (16×16
+//! luma, 8×8 chroma), each tile contiguous (row-major within the tile,
+//! tiles in raster order, edge tiles zero-padded), so an aligned block
+//! fetch is a single contiguous 256-byte read and an arbitrary fetch
+//! touches at most four contiguous tiles. See DESIGN.md §"Reference-frame
+//! memory architecture" for the addressing math and the measured effect
+//! (`mc_locality` in `BENCH_decode.json`).
+//!
+//! The layout is an address transform, not a format: all logical-pixel
+//! APIs (`get`/`set`/`blit_from`/`extract_into`/`insert`) work on either
+//! layout, planes of different layouts compare and hash by logical pixels
+//! (padding excluded), and the decoders stay bit-exact — enforced by
+//! differential tests against the independent [`RowMajorPlane`] oracle.
 
-/// A single 8-bit image plane with an explicit stride.
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// Storage layout of a [`Plane`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// `height` rows of `width` contiguous bytes (classic raster order).
+    RowMajor,
+    /// Square tiles of `1 << shift` pixels per side, each stored
+    /// contiguously in row-major order, tiles in raster order. Edge tiles
+    /// are padded to full size; padding bytes are zero and excluded from
+    /// equality/hashing.
+    Tiled {
+        /// log2 of the tile side length.
+        shift: u8,
+    },
+}
+
+/// Tile side shift for luma planes: 16×16, one macroblock per tile.
+pub const LUMA_TILE_SHIFT: u8 = 4;
+/// Tile side shift for 4:2:0 chroma planes: 8×8, one block per tile.
+pub const CHROMA_TILE_SHIFT: u8 = 3;
+
+/// A single 8-bit image plane.
+#[derive(Clone)]
 pub struct Plane {
     width: usize,
     height: usize,
+    /// Distance in bytes between vertically adjacent pixels of one
+    /// contiguous storage segment: the row stride for [`Layout::RowMajor`],
+    /// the tile side length for [`Layout::Tiled`].
     stride: usize,
+    /// Tiles per tile-row ([`Layout::Tiled`] only; 0 for row-major).
+    tiles_x: usize,
+    layout: Layout,
     data: Vec<u8>,
 }
 
 impl Plane {
-    /// Creates a zero-filled plane with `stride == width`.
+    /// Creates a zero-filled row-major plane with `stride == width`.
     pub fn new(width: usize, height: usize) -> Self {
         Plane {
             width,
             height,
             stride: width,
+            tiles_x: 0,
+            layout: Layout::RowMajor,
             data: vec![0; width * height],
         }
     }
 
-    /// Creates a plane filled with `value`.
+    /// Creates a row-major plane filled with `value`.
     pub fn filled(width: usize, height: usize, value: u8) -> Self {
         Plane {
             width,
             height,
             stride: width,
+            tiles_x: 0,
+            layout: Layout::RowMajor,
             data: vec![value; width * height],
+        }
+    }
+
+    /// Creates a zero-filled tiled plane with `1 << tile_shift` pixel
+    /// tiles. Dimensions need not be tile multiples; edge tiles are
+    /// zero-padded to full size.
+    pub fn new_tiled(width: usize, height: usize, tile_shift: u8) -> Self {
+        let t = 1usize << tile_shift;
+        let tiles_x = width.div_ceil(t);
+        let tiles_y = height.div_ceil(t);
+        Plane {
+            width,
+            height,
+            stride: t,
+            tiles_x,
+            layout: Layout::Tiled { shift: tile_shift },
+            data: vec![0; tiles_x * tiles_y * t * t],
         }
     }
 
@@ -40,45 +105,111 @@ impl Plane {
         self.height
     }
 
-    /// Row stride in bytes.
+    /// Storage-segment stride in bytes: the row stride for row-major
+    /// planes, the tile side length for tiled planes. This is the stride
+    /// that goes with a slice returned by [`region_at`](Plane::region_at).
     pub fn stride(&self) -> usize {
         self.stride
     }
 
-    /// Raw pixel data, `height` rows of `stride` bytes.
+    /// Storage layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// True when the plane uses tiled storage.
+    pub fn is_tiled(&self) -> bool {
+        matches!(self.layout, Layout::Tiled { .. })
+    }
+
+    /// Raw backing bytes in storage order (row-major rows, or whole tiles
+    /// in raster order — including edge-tile padding).
     pub fn data(&self) -> &[u8] {
         &self.data
     }
 
-    /// Mutable raw pixel data.
+    /// Mutable raw backing bytes in storage order.
     pub fn data_mut(&mut self) -> &mut [u8] {
         &mut self.data
     }
 
-    /// One pixel row.
+    /// Byte offset of logical pixel (`x`, `y`) in [`data`](Plane::data).
+    #[inline(always)]
+    fn index_of(&self, x: usize, y: usize) -> usize {
+        match self.layout {
+            Layout::RowMajor => y * self.stride + x,
+            Layout::Tiled { shift } => {
+                let s = shift as usize;
+                let m = (1usize << s) - 1;
+                (((y >> s) * self.tiles_x + (x >> s)) << (2 * s)) | ((y & m) << s) | (x & m)
+            }
+        }
+    }
+
+    /// Bytes stored contiguously to the right of logical `x` within one
+    /// row, ignoring the plane's logical width (callers clip).
+    #[inline(always)]
+    fn storage_run(&self, x: usize) -> usize {
+        match self.layout {
+            Layout::RowMajor => self.width - x,
+            Layout::Tiled { shift } => {
+                let t = 1usize << shift;
+                t - (x & (t - 1))
+            }
+        }
+    }
+
+    /// One pixel row. Only valid on row-major planes — a tiled row is not
+    /// contiguous; use [`row_segments`](Plane::row_segments) there.
     pub fn row(&self, y: usize) -> &[u8] {
+        assert!(
+            !self.is_tiled(),
+            "Plane::row on a tiled plane; use row_segments()/extract_into()"
+        );
         &self.data[y * self.stride..y * self.stride + self.width]
     }
 
-    /// One mutable pixel row.
+    /// One mutable pixel row (row-major planes only, like
+    /// [`row`](Plane::row)).
     pub fn row_mut(&mut self, y: usize) -> &mut [u8] {
+        assert!(
+            !self.is_tiled(),
+            "Plane::row_mut on a tiled plane; use insert()/blit_from()"
+        );
         let s = self.stride;
         let w = self.width;
         &mut self.data[y * s..y * s + w]
     }
 
+    /// The contiguous storage segments that make up pixel row `y`, left to
+    /// right. A row-major plane yields one `width`-byte slice; a tiled
+    /// plane yields one slice per crossed tile (all `tile_dim` long except
+    /// possibly the first and last).
+    pub fn row_segments(&self, y: usize) -> RowSegments<'_> {
+        assert!(y < self.height, "row out of bounds");
+        RowSegments {
+            plane: self,
+            y,
+            x: 0,
+        }
+    }
+
     /// Pixel accessor (debug/test convenience; not for hot paths).
     pub fn get(&self, x: usize, y: usize) -> u8 {
-        self.data[y * self.stride + x]
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[self.index_of(x, y)]
     }
 
     /// Pixel setter (debug/test convenience; not for hot paths).
     pub fn set(&mut self, x: usize, y: usize, v: u8) {
-        self.data[y * self.stride + x] = v;
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = self.index_of(x, y);
+        self.data[i] = v;
     }
 
     /// Copies a `w × h` rectangle from `src` at (`sx`, `sy`) to (`dx`, `dy`)
-    /// in `self`. Panics if either rectangle is out of bounds.
+    /// in `self`. The planes may use different layouts. Panics if either
+    /// rectangle is out of bounds.
     #[allow(clippy::too_many_arguments)] // two rects are clearer unpacked
     pub fn blit_from(
         &mut self,
@@ -99,57 +230,364 @@ impl Plane {
             "dest rect out of bounds"
         );
         for row in 0..h {
-            let s0 = (sy + row) * src.stride + sx;
-            let d0 = (dy + row) * self.stride + dx;
-            self.data[d0..d0 + w].copy_from_slice(&src.data[s0..s0 + w]);
+            let mut done = 0;
+            while done < w {
+                let n = (w - done)
+                    .min(src.storage_run(sx + done))
+                    .min(self.storage_run(dx + done));
+                let s0 = src.index_of(sx + done, sy + row);
+                let d0 = self.index_of(dx + done, dy + row);
+                self.data[d0..d0 + n].copy_from_slice(&src.data[s0..s0 + n]);
+                done += n;
+            }
         }
     }
 
-    /// Copies a `w × h` rectangle out of the plane into a tightly packed
-    /// buffer (`w` stride).
-    pub fn extract(&self, x: usize, y: usize, w: usize, h: usize) -> Vec<u8> {
-        let mut out = vec![0u8; w * h];
-        self.extract_into(x, y, w, h, &mut out);
-        out
-    }
-
-    /// Allocation-free [`extract`](Plane::extract): copies the rectangle
-    /// into a caller-provided `w × h` buffer.
+    /// Copies a `w × h` rectangle into a caller-provided tightly packed
+    /// `w`-stride buffer. A whole aligned tile extracts as one `memcpy`.
     pub fn extract_into(&self, x: usize, y: usize, w: usize, h: usize, out: &mut [u8]) {
         assert!(
             x + w <= self.width && y + h <= self.height,
             "rect out of bounds"
         );
         assert_eq!(out.len(), w * h);
+        if let Layout::Tiled { shift } = self.layout {
+            let t = 1usize << shift;
+            // Whole-tile fast path: the rect IS one full tile's storage.
+            if w == t && h == t && x & (t - 1) == 0 && y & (t - 1) == 0 {
+                let base = self.index_of(x, y);
+                out.copy_from_slice(&self.data[base..base + t * t]);
+                return;
+            }
+        }
         for row in 0..h {
-            let s0 = (y + row) * self.stride + x;
-            out[row * w..(row + 1) * w].copy_from_slice(&self.data[s0..s0 + w]);
+            let mut done = 0;
+            while done < w {
+                let n = (w - done).min(self.storage_run(x + done));
+                let s0 = self.index_of(x + done, y + row);
+                out[row * w + done..row * w + done + n].copy_from_slice(&self.data[s0..s0 + n]);
+                done += n;
+            }
         }
     }
 
-    /// Overwrites every byte of the plane with `value` (stride padding
-    /// included), reusing the existing allocation.
+    /// Overwrites every byte of the backing storage with `value` (padding
+    /// included, keeping it canonical), reusing the existing allocation.
     pub fn fill(&mut self, value: u8) {
         self.data.fill(value);
     }
 
     /// Writes a tightly packed `w × h` buffer into the plane at (`x`, `y`).
+    /// A whole aligned tile inserts as one `memcpy` — this is the path a
+    /// reconstructed macroblock takes into a tiled current frame.
     pub fn insert(&mut self, x: usize, y: usize, w: usize, h: usize, pixels: &[u8]) {
         assert!(
             x + w <= self.width && y + h <= self.height,
             "rect out of bounds"
         );
         assert_eq!(pixels.len(), w * h);
+        if let Layout::Tiled { shift } = self.layout {
+            let t = 1usize << shift;
+            if w == t && h == t && x & (t - 1) == 0 && y & (t - 1) == 0 {
+                let base = self.index_of(x, y);
+                self.data[base..base + t * t].copy_from_slice(pixels);
+                return;
+            }
+        }
         for row in 0..h {
-            let d0 = (y + row) * self.stride + x;
-            self.data[d0..d0 + w].copy_from_slice(&pixels[row * w..(row + 1) * w]);
+            let mut done = 0;
+            while done < w {
+                let n = (w - done).min(self.storage_run(x + done));
+                let d0 = self.index_of(x + done, y + row);
+                self.data[d0..d0 + n].copy_from_slice(&pixels[row * w + done..row * w + done + n]);
+                done += n;
+            }
+        }
+    }
+
+    /// Copies a `w × h` region at (`x0`, `y0`) into `out` (tightly packed,
+    /// stride `w`), clamping the region into the plane (deterministic edge
+    /// extension for non-conforming motion vectors). This is the gather
+    /// path every [`ReferenceFetcher`](crate::motion::ReferenceFetcher)
+    /// funnels through.
+    pub fn fetch_clamped(&self, x0: i32, y0: i32, w: usize, h: usize, out: &mut [u8]) {
+        let cx = x0.clamp(0, (self.width - w) as i32) as usize;
+        let cy = y0.clamp(0, (self.height - h) as i32) as usize;
+        debug_assert_eq!(out.len(), w * h);
+        for row in 0..h {
+            let mut done = 0;
+            while done < w {
+                let n = (w - done).min(self.storage_run(cx + done));
+                let s0 = self.index_of(cx + done, cy + row);
+                out[row * w + done..row * w + done + n].copy_from_slice(&self.data[s0..s0 + n]);
+                done += n;
+            }
+        }
+    }
+
+    /// Zero-copy borrow of a `w × h` region when its pixels are contiguous
+    /// rows at a fixed stride in backing storage: any fully interior
+    /// region of a row-major plane, or a region of a tiled plane that
+    /// falls entirely inside one tile. Returns the slice starting at the
+    /// region's top-left pixel plus the storage stride, exactly the pair
+    /// [`ReferenceFetcher::region`](crate::motion::ReferenceFetcher::region)
+    /// hands to the half-pel kernels. `None` means the caller must gather
+    /// with [`fetch_clamped`](Plane::fetch_clamped).
+    pub fn region_at(&self, x0: i32, y0: i32, w: usize, h: usize) -> Option<(&[u8], usize)> {
+        debug_assert!(w > 0 && h > 0);
+        if x0 < 0 || y0 < 0 {
+            return None;
+        }
+        let (x, y) = (x0 as usize, y0 as usize);
+        if x + w > self.width || y + h > self.height {
+            return None;
+        }
+        match self.layout {
+            Layout::RowMajor => Some((&self.data[y * self.stride + x..], self.stride)),
+            Layout::Tiled { shift } => {
+                let m = (1usize << shift) - 1;
+                // Must not straddle a tile boundary in either axis.
+                if (x & !m) != ((x + w - 1) & !m) || (y & !m) != ((y + h - 1) & !m) {
+                    return None;
+                }
+                Some((&self.data[self.index_of(x, y)..], self.stride))
+            }
+        }
+    }
+
+    /// Tile side length in pixels. Panics on a row-major plane.
+    pub fn tile_dim(&self) -> usize {
+        match self.layout {
+            Layout::Tiled { shift } => 1 << shift,
+            Layout::RowMajor => panic!("tile_dim on a row-major plane"),
+        }
+    }
+
+    /// Tiles per tile-row (tiled planes only).
+    pub fn tiles_x(&self) -> usize {
+        self.tiles_x
+    }
+
+    /// One whole storage tile as a contiguous `tile_dim²` slice.
+    pub fn tile(&self, tx: usize, ty: usize) -> &[u8] {
+        let t = self.tile_dim();
+        let base = (ty * self.tiles_x + tx) * t * t;
+        &self.data[base..base + t * t]
+    }
+
+    /// One whole storage tile, mutable.
+    pub fn tile_mut(&mut self, tx: usize, ty: usize) -> &mut [u8] {
+        let t = self.tile_dim();
+        let base = (ty * self.tiles_x + tx) * t * t;
+        &mut self.data[base..base + t * t]
+    }
+
+    /// Issues software prefetches for the storage backing a `w × h` region
+    /// at (`x0`, `y0`), clamped into the plane the same way
+    /// [`fetch_clamped`](Plane::fetch_clamped) clamps. Dispatches through
+    /// the active kernel set (`_mm_prefetch` on x86, no-op on scalar), so
+    /// it never faults and costs nothing where unsupported.
+    pub fn prefetch_rect(&self, x0: i32, y0: i32, w: usize, h: usize) {
+        if w == 0 || h == 0 || w > self.width || h > self.height {
+            return;
+        }
+        let x = x0.clamp(0, (self.width - w) as i32) as usize;
+        let y = y0.clamp(0, (self.height - h) as i32) as usize;
+        let k = crate::kernels::active();
+        match self.layout {
+            Layout::Tiled { shift } => {
+                let s = shift as usize;
+                let t = 1usize << s;
+                for ty in (y >> s)..=((y + h - 1) >> s) {
+                    for tx in (x >> s)..=((x + w - 1) >> s) {
+                        let base = (ty * self.tiles_x + tx) * t * t;
+                        (k.prefetch)(&self.data[base..base + t * t]);
+                    }
+                }
+            }
+            Layout::RowMajor => {
+                for row in y..y + h {
+                    let i = row * self.stride + x;
+                    (k.prefetch)(&self.data[i..i + w]);
+                }
+            }
+        }
+    }
+}
+
+/// Iterator over the contiguous storage segments of one pixel row; see
+/// [`Plane::row_segments`].
+pub struct RowSegments<'a> {
+    plane: &'a Plane,
+    y: usize,
+    x: usize,
+}
+
+impl<'a> Iterator for RowSegments<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.x >= self.plane.width {
+            return None;
+        }
+        let n = (self.plane.width - self.x).min(self.plane.storage_run(self.x));
+        let i = self.plane.index_of(self.x, self.y);
+        self.x += n;
+        Some(&self.plane.data[i..i + n])
+    }
+}
+
+/// Compares one logical pixel row of two equal-width planes, walking both
+/// planes' storage segments in lockstep (no allocation, any layout mix).
+fn rows_equal(a: &Plane, b: &Plane, y: usize) -> bool {
+    let mut x = 0;
+    while x < a.width {
+        let n = (a.width - x).min(a.storage_run(x)).min(b.storage_run(x));
+        let ia = a.index_of(x, y);
+        let ib = b.index_of(x, y);
+        if a.data[ia..ia + n] != b.data[ib..ib + n] {
+            return false;
+        }
+        x += n;
+    }
+    true
+}
+
+impl PartialEq for Plane {
+    /// Logical-pixel equality: layout and edge-tile padding are invisible.
+    /// Same-layout planes short-circuit to a whole-buffer compare (padding
+    /// is canonical — always the last `fill` value, zero from
+    /// construction — so it never distinguishes logically equal planes).
+    fn eq(&self, other: &Self) -> bool {
+        if self.width != other.width || self.height != other.height {
+            return false;
+        }
+        if self.layout == other.layout {
+            return self.data == other.data;
+        }
+        (0..self.height).all(|y| rows_equal(self, other, y))
+    }
+}
+
+impl Eq for Plane {}
+
+impl std::hash::Hash for Plane {
+    /// Layout-independent hash over the logical pixel stream. Pixels are
+    /// gathered into fixed 256-byte chunks before each `Hasher::write`, so
+    /// the write-call sequence (not just the byte stream) is identical for
+    /// every layout — equal planes hash equal under *any* `Hasher`, not
+    /// only byte-stream-transparent ones like SipHash.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.width.hash(state);
+        self.height.hash(state);
+        let mut buf = [0u8; 256];
+        let mut fill = 0;
+        for y in 0..self.height {
+            for seg in self.row_segments(y) {
+                let mut s = seg;
+                while !s.is_empty() {
+                    let n = (buf.len() - fill).min(s.len());
+                    buf[fill..fill + n].copy_from_slice(&s[..n]);
+                    fill += n;
+                    s = &s[n..];
+                    if fill == buf.len() {
+                        state.write(&buf);
+                        fill = 0;
+                    }
+                }
+            }
+        }
+        if fill > 0 {
+            state.write(&buf[..fill]);
         }
     }
 }
 
 impl std::fmt::Debug for Plane {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Plane({}x{})", self.width, self.height)
+        match self.layout {
+            Layout::RowMajor => write!(f, "Plane({}x{})", self.width, self.height),
+            Layout::Tiled { shift } => write!(
+                f,
+                "Plane({}x{}, {t}x{t} tiled)",
+                self.width,
+                self.height,
+                t = 1usize << shift
+            ),
+        }
+    }
+}
+
+/// Independent row-major reference implementation, kept deliberately naive
+/// (no shared code with [`Plane`]) as the ground-truth oracle for the
+/// tiled-layout differential property tests in
+/// `crates/mpeg2/tests/kernel_exactness.rs`.
+#[derive(Clone)]
+pub struct RowMajorPlane {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl RowMajorPlane {
+    /// Creates a zero-filled `width × height` oracle plane.
+    pub fn new(width: usize, height: usize) -> Self {
+        RowMajorPlane {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
+    }
+
+    /// Plane width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Plane height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel accessor.
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Pixel setter.
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Writes a packed `w × h` buffer at (`x`, `y`).
+    pub fn insert(&mut self, x: usize, y: usize, w: usize, h: usize, pixels: &[u8]) {
+        assert!(x + w <= self.width && y + h <= self.height);
+        assert_eq!(pixels.len(), w * h);
+        for row in 0..h {
+            for col in 0..w {
+                self.data[(y + row) * self.width + x + col] = pixels[row * w + col];
+            }
+        }
+    }
+
+    /// Clamped gather, pixel by pixel — the semantics
+    /// [`Plane::fetch_clamped`] must reproduce.
+    pub fn fetch_clamped(&self, x0: i32, y0: i32, w: usize, h: usize, out: &mut [u8]) {
+        let cx = x0.clamp(0, (self.width - w) as i32) as usize;
+        let cy = y0.clamp(0, (self.height - h) as i32) as usize;
+        for row in 0..h {
+            for col in 0..w {
+                out[row * w + col] = self.data[(cy + row) * self.width + cx + col];
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for RowMajorPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RowMajorPlane({}x{})", self.width, self.height)
     }
 }
 
@@ -165,7 +603,8 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// Creates a black (Y=16 equivalent 0, chroma neutral 128) frame.
+    /// Creates a black (Y=16 equivalent 0, chroma neutral 128) row-major
+    /// frame.
     pub fn black(width: usize, height: usize) -> Self {
         assert!(
             width.is_multiple_of(2) && height.is_multiple_of(2),
@@ -178,8 +617,8 @@ impl Frame {
         }
     }
 
-    /// Creates an all-zero frame (used for reference slots before the first
-    /// I picture).
+    /// Creates an all-zero row-major frame (used for reference slots
+    /// before the first I picture).
     pub fn zeroed(width: usize, height: usize) -> Self {
         assert!(
             width.is_multiple_of(2) && height.is_multiple_of(2),
@@ -190,6 +629,27 @@ impl Frame {
             cb: Plane::new(width / 2, height / 2),
             cr: Plane::new(width / 2, height / 2),
         }
+    }
+
+    /// Creates an all-zero macroblock-tiled frame: 16×16 luma tiles, 8×8
+    /// chroma tiles. This is the layout decoders use for current and
+    /// reference frames, so motion compensation reads whole tiles instead
+    /// of striding rows.
+    pub fn zeroed_tiled(width: usize, height: usize) -> Self {
+        assert!(
+            width.is_multiple_of(2) && height.is_multiple_of(2),
+            "4:2:0 needs even dimensions"
+        );
+        Frame {
+            y: Plane::new_tiled(width, height, LUMA_TILE_SHIFT),
+            cb: Plane::new_tiled(width / 2, height / 2, CHROMA_TILE_SHIFT),
+            cr: Plane::new_tiled(width / 2, height / 2, CHROMA_TILE_SHIFT),
+        }
+    }
+
+    /// True when the frame's planes use tiled storage.
+    pub fn is_tiled(&self) -> bool {
+        self.y.is_tiled()
     }
 
     /// Luma width in pixels.
@@ -229,9 +689,19 @@ impl Frame {
 fn plane_sse(a: &Plane, b: &Plane) -> (u64, u64) {
     let mut sse = 0u64;
     for y in 0..a.height() {
-        for (&pa, &pb) in a.row(y).iter().zip(b.row(y)) {
-            let d = pa as i64 - pb as i64;
-            sse += (d * d) as u64;
+        // Walk both planes' storage segments in lockstep (layouts may
+        // differ, e.g. a tiled decode compared against a row-major
+        // reference frame).
+        let mut x = 0;
+        while x < a.width() {
+            let n = (a.width() - x).min(a.storage_run(x)).min(b.storage_run(x));
+            let ia = a.index_of(x, y);
+            let ib = b.index_of(x, y);
+            for (&pa, &pb) in a.data[ia..ia + n].iter().zip(&b.data[ib..ib + n]) {
+                let d = pa as i64 - pb as i64;
+                sse += (d * d) as u64;
+            }
+            x += n;
         }
     }
     (sse, (a.width() * a.height()) as u64)
@@ -275,19 +745,33 @@ impl FramePool {
         FramePool::default()
     }
 
-    /// Returns an all-zero `width × height` frame, reusing a pooled
-    /// allocation of matching dimensions when one is available.
+    /// Returns an all-zero row-major `width × height` frame, reusing a
+    /// pooled allocation of matching dimensions *and layout* when one is
+    /// available.
     pub fn acquire_zeroed(&mut self, width: usize, height: usize) -> Frame {
+        self.acquire(width, height, false)
+    }
+
+    /// Returns an all-zero macroblock-tiled `width × height` frame
+    /// (see [`Frame::zeroed_tiled`]), reusing a matching pooled
+    /// allocation when one is available.
+    pub fn acquire_zeroed_tiled(&mut self, width: usize, height: usize) -> Frame {
+        self.acquire(width, height, true)
+    }
+
+    fn acquire(&mut self, width: usize, height: usize, tiled: bool) -> Frame {
         if let Some(pos) = self
             .free
             .iter()
-            .position(|f| f.width() == width && f.height() == height)
+            .position(|f| f.width() == width && f.height() == height && f.is_tiled() == tiled)
         {
             let mut f = self.free.swap_remove(pos);
             f.y.fill(0);
             f.cb.fill(0);
             f.cr.fill(0);
             f
+        } else if tiled {
+            Frame::zeroed_tiled(width, height)
         } else {
             Frame::zeroed(width, height)
         }
@@ -349,9 +833,107 @@ mod tests {
         let mut p = Plane::new(32, 16);
         let patch: Vec<u8> = (0..64).collect();
         p.insert(8, 4, 8, 8, &patch);
-        assert_eq!(p.extract(8, 4, 8, 8), patch);
+        let mut back = vec![0u8; 64];
+        p.extract_into(8, 4, 8, 8, &mut back);
+        assert_eq!(back, patch);
         assert_eq!(p.get(8, 4), 0);
         assert_eq!(p.get(15, 11), 63);
+    }
+
+    /// Every logical-pixel op must behave identically on tiled storage —
+    /// checked against the independent RowMajorPlane oracle, on dimensions
+    /// that are not tile multiples (40×24 ⇒ padded edge tiles).
+    #[test]
+    fn tiled_plane_matches_oracle() {
+        let (w, h) = (40, 24);
+        let mut tiled = Plane::new_tiled(w, h, LUMA_TILE_SHIFT);
+        let mut oracle = RowMajorPlane::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let v = ((x * 7 + y * 13) % 251) as u8;
+                tiled.set(x, y, v);
+                oracle.set(x, y, v);
+            }
+        }
+        for y in 0..h {
+            for x in 0..w {
+                assert_eq!(tiled.get(x, y), oracle.get(x, y), "({x},{y})");
+            }
+        }
+        // Packed rect round trip across tile boundaries.
+        let patch: Vec<u8> = (0..15 * 9).map(|i| (i % 250) as u8).collect();
+        tiled.insert(9, 7, 15, 9, &patch);
+        oracle.insert(9, 7, 15, 9, &patch);
+        let mut got = vec![0u8; 15 * 9];
+        tiled.extract_into(9, 7, 15, 9, &mut got);
+        assert_eq!(got, patch);
+        // Clamped gather, interior and hanging off every edge.
+        for &(x0, y0) in &[(-5i32, -3i32), (3, 2), (30, 10), (90, 90), (16, 16)] {
+            let mut a = vec![0u8; 17 * 17];
+            let mut b = vec![0u8; 17 * 17];
+            tiled.fetch_clamped(x0, y0, 17, 17, &mut a);
+            oracle.fetch_clamped(x0, y0, 17, 17, &mut b);
+            assert_eq!(a, b, "fetch at ({x0},{y0})");
+        }
+    }
+
+    #[test]
+    fn row_segments_concatenate_to_the_logical_row() {
+        let (w, h) = (40, 24);
+        let mut tiled = Plane::new_tiled(w, h, LUMA_TILE_SHIFT);
+        let mut rm = Plane::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let v = ((x * 3 + y * 11) % 253) as u8;
+                tiled.set(x, y, v);
+                rm.set(x, y, v);
+            }
+        }
+        for y in 0..h {
+            let cat: Vec<u8> = tiled.row_segments(y).flatten().copied().collect();
+            assert_eq!(cat, rm.row(y), "row {y}");
+            // Tiled rows split at 16-pixel tile boundaries: 16 + 16 + 8.
+            let lens: Vec<usize> = tiled.row_segments(y).map(|s| s.len()).collect();
+            assert_eq!(lens, vec![16, 16, 8]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tiled plane")]
+    fn row_on_tiled_plane_panics() {
+        let p = Plane::new_tiled(32, 32, LUMA_TILE_SHIFT);
+        let _ = p.row(0);
+    }
+
+    #[test]
+    fn region_at_borrows_only_unstraddled_regions() {
+        let mut p = Plane::new_tiled(64, 64, LUMA_TILE_SHIFT);
+        for y in 0..64 {
+            for x in 0..64 {
+                p.set(x, y, ((x + y * 64) % 255) as u8);
+            }
+        }
+        // Whole aligned tile: contiguous borrow at tile stride.
+        let (s, stride) = p.region_at(16, 32, 16, 16).expect("aligned tile");
+        assert_eq!(stride, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                assert_eq!(s[y * stride + x], p.get(16 + x, 32 + y));
+            }
+        }
+        // Sub-tile region that stays inside one tile.
+        let (s, stride) = p.region_at(20, 36, 8, 8).expect("in-tile sub-region");
+        assert_eq!(s[0], p.get(20, 36));
+        assert_eq!(s[7 * stride + 7], p.get(27, 43));
+        // Straddles in x, straddles in y, out of bounds: all gather paths.
+        assert!(p.region_at(10, 0, 16, 16).is_none());
+        assert!(p.region_at(0, 10, 16, 16).is_none());
+        assert!(p.region_at(-1, 0, 16, 16).is_none());
+        assert!(p.region_at(49, 0, 16, 16).is_none());
+        // Row-major planes still borrow any interior region.
+        let rm = Plane::new(64, 64);
+        let (_, stride) = rm.region_at(10, 10, 17, 17).expect("interior");
+        assert_eq!(stride, 64);
     }
 
     #[test]
@@ -369,11 +951,100 @@ mod tests {
     }
 
     #[test]
+    fn blit_round_trips_across_layouts() {
+        let (w, h) = (48, 32);
+        let mut rm = Plane::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                rm.set(x, y, ((x * 5 + y * 9) % 247) as u8);
+            }
+        }
+        let mut tiled = Plane::new_tiled(w, h, LUMA_TILE_SHIFT);
+        tiled.blit_from(&rm, 0, 0, 0, 0, w, h);
+        assert_eq!(tiled, rm);
+        let mut back = Plane::new(w, h);
+        back.blit_from(&tiled, 0, 0, 0, 0, w, h);
+        assert_eq!(back.data(), rm.data());
+        // Unaligned sub-rect through a tile boundary.
+        let mut dst = Plane::new_tiled(20, 20, CHROMA_TILE_SHIFT);
+        dst.blit_from(&rm, 7, 5, 3, 2, 13, 11);
+        for y in 0..11 {
+            for x in 0..13 {
+                assert_eq!(dst.get(3 + x, 2 + y), rm.get(7 + x, 5 + y));
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "out of bounds")]
     fn blit_panics_out_of_bounds() {
         let src = Plane::new(8, 8);
         let mut dst = Plane::new(8, 8);
         dst.blit_from(&src, 4, 4, 4, 4, 8, 8);
+    }
+
+    #[test]
+    fn equality_and_hash_are_layout_independent() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let (w, h) = (40, 24);
+        let mut rm = Plane::new(w, h);
+        let mut tiled = Plane::new_tiled(w, h, LUMA_TILE_SHIFT);
+        for y in 0..h {
+            for x in 0..w {
+                let v = ((x * 31 + y * 17) % 256) as u8;
+                rm.set(x, y, v);
+                tiled.set(x, y, v);
+            }
+        }
+        let hash = |p: &Plane| {
+            let mut s = DefaultHasher::new();
+            p.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(rm, tiled);
+        assert_eq!(tiled, rm);
+        assert_eq!(hash(&rm), hash(&tiled), "equal planes must hash equal");
+        tiled.set(39, 23, tiled.get(39, 23).wrapping_add(1));
+        assert_ne!(rm, tiled);
+    }
+
+    #[test]
+    fn tile_accessors_expose_contiguous_storage() {
+        let mut p = Plane::new_tiled(40, 24, LUMA_TILE_SHIFT);
+        for y in 0..24 {
+            for x in 0..40 {
+                p.set(x, y, ((x ^ y) % 256) as u8);
+            }
+        }
+        let mut expect = vec![0u8; 256];
+        p.extract_into(16, 0, 16, 16, &mut expect);
+        assert_eq!(p.tile(1, 0), &expect[..]);
+        // Edge tile (x ≥ 32): logical 8 columns, padded to 16.
+        let t = p.tile(2, 0);
+        assert_eq!(t.len(), 256);
+        assert_eq!(t[0], p.get(32, 0));
+        assert_eq!(t[16], p.get(32, 1));
+        assert_eq!(&t[8..16], &[0u8; 8], "padding columns stay zero");
+        // tile_mut round-trips.
+        p.tile_mut(1, 0)[0] = 99;
+        assert_eq!(p.get(16, 0), 99);
+    }
+
+    #[test]
+    fn prefetch_rect_is_safe_on_both_layouts() {
+        // Behavior is a no-op (scalar) or a cache hint (x86); the test is
+        // that clamping keeps every touched slice in bounds.
+        let p = Plane::new_tiled(40, 24, LUMA_TILE_SHIFT);
+        p.prefetch_rect(-5, -5, 17, 17);
+        p.prefetch_rect(35, 20, 17, 17);
+        p.prefetch_rect(8, 8, 16, 16);
+        let rm = Plane::new(40, 24);
+        rm.prefetch_rect(-5, -5, 17, 17);
+        rm.prefetch_rect(100, 100, 17, 17);
+        // Degenerate sizes bail out instead of clamping nonsense.
+        p.prefetch_rect(0, 0, 0, 16);
+        p.prefetch_rect(0, 0, 64, 64);
     }
 
     #[test]
@@ -392,6 +1063,22 @@ mod tests {
             c.y.set(x, 0, 50);
         }
         assert!(a.psnr_luma(&b) > a.psnr_luma(&c));
+    }
+
+    #[test]
+    fn psnr_works_across_layouts() {
+        let mut rm = Frame::black(32, 32);
+        let mut tiled = Frame::zeroed_tiled(32, 32);
+        for y in 0..32 {
+            for x in 0..32 {
+                rm.y.set(x, y, ((x + y) % 200) as u8);
+                tiled.y.set(x, y, ((x + y) % 200) as u8);
+            }
+        }
+        // Chroma differs (black=128 vs zeroed=0) so combined PSNR is
+        // finite while luma matches exactly.
+        assert_eq!(rm.psnr_luma(&tiled), f64::INFINITY);
+        assert!(rm.psnr(&tiled).is_finite());
     }
 
     #[test]
@@ -423,6 +1110,20 @@ mod tests {
     }
 
     #[test]
+    fn frame_pool_matches_layout_not_just_dimensions() {
+        let mut pool = FramePool::new();
+        pool.release(Frame::zeroed_tiled(32, 16));
+        // Row-major request must not surface the tiled frame.
+        let f = pool.acquire_zeroed(32, 16);
+        assert!(!f.is_tiled());
+        assert_eq!(pool.len(), 1);
+        // Tiled request recycles it.
+        let t = pool.acquire_zeroed_tiled(32, 16);
+        assert!(t.is_tiled());
+        assert!(pool.is_empty());
+    }
+
+    #[test]
     fn frame_pool_is_identity_transparent() {
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
@@ -440,7 +1141,7 @@ mod tests {
     }
 
     #[test]
-    fn extract_into_matches_extract() {
+    fn extract_into_matches_pixel_reads() {
         let mut p = Plane::new(32, 16);
         for y in 0..16 {
             for x in 0..32 {
@@ -449,7 +1150,11 @@ mod tests {
         }
         let mut out = vec![0u8; 48];
         p.extract_into(7, 2, 8, 6, &mut out);
-        assert_eq!(out, p.extract(7, 2, 8, 6));
+        for y in 0..6 {
+            for x in 0..8 {
+                assert_eq!(out[y * 8 + x], p.get(7 + x, 2 + y));
+            }
+        }
     }
 
     #[test]
@@ -458,5 +1163,17 @@ mod tests {
         assert_eq!(f.cb.get(3, 3), 128);
         assert_eq!(f.cr.get(7, 7), 128);
         assert_eq!(f.cb.width(), 8);
+    }
+
+    #[test]
+    fn zeroed_tiled_geometry() {
+        let f = Frame::zeroed_tiled(48, 32);
+        assert!(f.is_tiled());
+        assert_eq!(f.y.tile_dim(), 16);
+        assert_eq!(f.cb.tile_dim(), 8);
+        assert_eq!(f.y.tiles_x(), 3);
+        assert_eq!(f.cb.width(), 24);
+        // 3×2 luma tiles of 256 bytes.
+        assert_eq!(f.y.data().len(), 3 * 2 * 256);
     }
 }

@@ -51,6 +51,12 @@ pub struct KernelSet {
     pub add_residual: fn(dst: &mut [u8], stride: usize, residual: &[i32; 64]),
     /// Stores an 8×8 intra block, clamping samples to `[0, 255]`.
     pub set_block: fn(dst: &mut [u8], stride: usize, samples: &[i32; 64]),
+    /// Software-prefetch hint covering `bytes` (one request per cache
+    /// line). Purely advisory — a no-op on the scalar set — and never
+    /// observable in output, so it is exempt from the bit-exactness
+    /// property tests. Used by `Plane::prefetch_rect` to warm reference
+    /// tiles named in a picture's MEI block list before its pixel pass.
+    pub prefetch: fn(bytes: &[u8]),
 }
 
 /// The portable scalar baseline (always available, every arch).
@@ -64,6 +70,7 @@ pub static SCALAR: KernelSet = KernelSet {
     average_into: scalar::average_into,
     add_residual: scalar::add_residual,
     set_block: scalar::set_block,
+    prefetch: scalar::prefetch,
 };
 
 static ACTIVE: AtomicPtr<KernelSet> = AtomicPtr::new(std::ptr::null_mut());

@@ -75,6 +75,10 @@ pub fn add_residual(dst: &mut [u8], stride: usize, residual: &[i32; 64]) {
     }
 }
 
+/// Prefetch hint: the portable set has no cache-control primitive, so
+/// this is a deliberate no-op (prefetching is advisory by contract).
+pub fn prefetch(_bytes: &[u8]) {}
+
 /// Stores an 8×8 intra block, clamping each sample to `[0, 255]`.
 pub fn set_block(dst: &mut [u8], stride: usize, samples: &[i32; 64]) {
     for row in 0..8 {

@@ -44,6 +44,7 @@ pub static SSE2: KernelSet = KernelSet {
     average_into: average_into_sse2,
     add_residual: add_residual_sse2,
     set_block: set_block_sse2,
+    prefetch: prefetch_t0,
 };
 
 /// AVX2 kernel set: the IDCT runs all 8 rows (then all 8 columns) in one
@@ -60,7 +61,25 @@ pub static AVX2: KernelSet = KernelSet {
     average_into: average_into_sse2,
     add_residual: add_residual_sse2,
     set_block: set_block_sse2,
+    prefetch: prefetch_t0,
 };
+
+/// Requests `bytes` into all cache levels, one `prefetcht0` per 64-byte
+/// line. The hint is advisory (never faults, even on unmapped addresses)
+/// and has no architectural effect, so it needs no bit-exactness proof.
+fn prefetch_t0(bytes: &[u8]) {
+    let mut p = bytes.as_ptr();
+    // SAFETY: `_mm_prefetch` is SSE (x86-64 baseline) and is defined for
+    // *any* address — it cannot fault or load — so passing pointers within
+    // (or one line past) a live slice is trivially sound.
+    unsafe {
+        let end = p.add(bytes.len());
+        while p < end {
+            _mm_prefetch::<_MM_HINT_T0>(p as *const i8);
+            p = p.add(64);
+        }
+    }
+}
 
 /// Coefficient range for which the 32-bit lane IDCT is overflow-free.
 /// Matches the dequantiser's saturation range, so decode always qualifies.

@@ -59,5 +59,5 @@ pub mod y4m;
 pub use decoder::{decode_all, Decoder, InlineSlices, SliceExecutor};
 pub use encoder::{Encoder, EncoderConfig};
 pub use error::{Error, Result};
-pub use frame::{Frame, FramePool, Plane};
+pub use frame::{Frame, FramePool, Layout, Plane, RowMajorPlane};
 pub use types::{MotionVector, PictureKind, SequenceInfo};

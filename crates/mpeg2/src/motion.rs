@@ -103,12 +103,11 @@ impl ReferenceFetcher for FrameRefs<'_> {
         // Conforming streams never reference outside the picture; for
         // robustness against corrupt input the region is clamped to the
         // plane instead of panicking (deterministic edge extension).
-        let cx = x0.clamp(0, (p.width() - w) as i32) as usize;
-        let cy = y0.clamp(0, (p.height() - h) as i32) as usize;
-        for row in 0..h {
-            let src = &p.row(cy + row)[cx..cx + w];
-            out[row * w..(row + 1) * w].copy_from_slice(src);
-        }
+        // `fetch_clamped` gathers across storage-tile boundaries when the
+        // plane is macroblock-tiled (at most four contiguous tiles for a
+        // 17×17 half-pel footprint) and degenerates to row copies on
+        // row-major planes.
+        p.fetch_clamped(x0, y0, w, h, out);
     }
 
     fn region(
@@ -130,15 +129,10 @@ impl ReferenceFetcher for FrameRefs<'_> {
             PlanePick::Cr => &frame.cr,
         };
         // Borrow only when fully interior — the same coordinates `fetch`
-        // would copy without clamping.
-        if x0 < 0 || y0 < 0 {
-            return None;
-        }
-        let (x0, y0) = (x0 as usize, y0 as usize);
-        if x0 + w > p.width() || y0 + h > p.height() {
-            return None;
-        }
-        Some((&p.data()[y0 * p.stride() + x0..], p.stride()))
+        // would copy without clamping — and, on a tiled plane, only when
+        // the footprint sits inside one storage tile (aligned full-pel
+        // fetches such as zero-motion skips); anything else gathers.
+        p.region_at(x0, y0, w, h)
     }
 }
 
@@ -172,6 +166,10 @@ pub fn predict(
         apply_halfpel(k, half_x, half_y, src, stride, out, size);
         return;
     }
+    // Straddle/clamp gather path: footprints that cross a storage-tile
+    // boundary (or the picture edge) are gathered into this stack scratch
+    // — zero steady-state heap traffic, sized for the worst 17×17 luma
+    // half-pel footprint.
     let mut tmp = [0u8; 17 * 17];
     let tmp = &mut tmp[..fw * fh];
     fetch.fetch(which, plane, src_x, src_y, fw, fh, tmp);

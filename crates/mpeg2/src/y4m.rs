@@ -172,7 +172,12 @@ impl<W: Write> Y4mWriter<W> {
         writeln!(self.inner, "FRAME").map_err(io)?;
         for plane in [&frame.y, &frame.cb, &frame.cr] {
             for y in 0..plane.height() {
-                self.inner.write_all(plane.row(y)).map_err(io)?;
+                // Segment-wise so tiled decoder output streams without a
+                // row gather (one segment per crossed storage tile; a
+                // row-major plane yields the whole row at once).
+                for seg in plane.row_segments(y) {
+                    self.inner.write_all(seg).map_err(io)?;
+                }
             }
         }
         Ok(())

@@ -8,10 +8,14 @@
 //! edge-clamped fetches, and saturating reconstruction extremes.
 
 use tiledec_mpeg2::dct::idct_scalar;
-use tiledec_mpeg2::frame::Frame;
+use tiledec_mpeg2::frame::{Frame, Plane, RowMajorPlane, CHROMA_TILE_SHIFT, LUMA_TILE_SHIFT};
 use tiledec_mpeg2::kernels::{self, scalar, KernelSet};
 use tiledec_mpeg2::motion::{predict, FrameRefs, PlanePick, RefPick, ReferenceFetcher};
 use tiledec_mpeg2::types::MotionVector;
+
+/// Serialises the tests that flip the process-wide active kernel set so
+/// they cannot observe each other's `set_active` calls.
+static KERNEL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// Seeded xorshift generator: every case is deterministic and
 /// reproducible from its printed case number.
@@ -280,6 +284,7 @@ fn noise_frame(seed: u64, w: usize, h: usize) -> Frame {
 /// vectors must all agree with the scalar baseline.
 #[test]
 fn predict_is_bit_exact_across_sets_and_paths() {
+    let _guard = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let frame = noise_frame(7, 64, 48);
     let refs = FrameRefs {
         fwd: &frame,
@@ -376,5 +381,302 @@ fn predict_is_bit_exact_across_sets_and_paths() {
     // Leave the process-wide choice back at the auto-detected best.
     if let Some(best) = kernels::available().last() {
         kernels::set_active(best);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tiled-layout differential properties: the macroblock-tiled `Plane` must be
+// an invisible address transform — every read and write agrees byte for byte
+// with the naive `RowMajorPlane` oracle. Seeded like the kernel properties;
+// Miri runs a reduced case count (SIMD is compiled out there, so the scalar
+// path is what gets borrow-checked).
+// ---------------------------------------------------------------------------
+
+/// Case count for the tiled-vs-oracle sweeps. Layout bugs are positional,
+/// not statistical: a handful of seeds covers every tile phase under Miri's
+/// ~1000× interpretation slowdown.
+#[cfg(miri)]
+const TILED_CASES: u64 = 8;
+#[cfg(not(miri))]
+const TILED_CASES: u64 = CASES;
+
+/// Builds a tiled plane and the row-major oracle with identical noise.
+fn paired_planes(seed: u64, w: usize, h: usize, shift: u8) -> (Plane, RowMajorPlane) {
+    let mut tiled = Plane::new_tiled(w, h, shift);
+    let mut oracle = RowMajorPlane::new(w, h);
+    for (i, v) in xorshift_bytes(seed, w * h).iter().enumerate() {
+        tiled.set(i % w, i / w, *v);
+        oracle.set(i % w, i / w, *v);
+    }
+    (tiled, oracle)
+}
+
+#[test]
+fn tiled_fetch_clamped_matches_oracle_at_random_rects() {
+    // Random footprints up to the 17×17 half-pel worst case, at origins
+    // ranging from far outside the top-left corner to past the
+    // bottom-right — every case a tiled gather (possibly straddling up to
+    // four storage tiles) against the oracle's pixel loop. 40×24 luma
+    // tiles give ragged right/bottom edge tiles; the chroma shift and a
+    // row-major control plane run the same cases.
+    for case in 0..TILED_CASES {
+        let mut rng = Rng::new(case ^ 0x7117);
+        let (w, h) = (40usize, 24usize);
+        let (tiled_l, oracle) = paired_planes(case, w, h, LUMA_TILE_SHIFT);
+        let (tiled_c, _) = paired_planes(case, w, h, CHROMA_TILE_SHIFT);
+        let mut row_major = Plane::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                row_major.set(x, y, oracle.get(x, y));
+            }
+        }
+        for _ in 0..16 {
+            let fw = 1 + rng.below(17) as usize;
+            let fh = 1 + rng.below(17) as usize;
+            let x0 = rng.range(-24, (w + 8) as i32);
+            let y0 = rng.range(-24, (h + 8) as i32);
+            let mut expect = vec![0u8; fw * fh];
+            oracle.fetch_clamped(x0, y0, fw, fh, &mut expect);
+            for (label, plane) in [
+                ("luma-tiled", &tiled_l),
+                ("chroma-tiled", &tiled_c),
+                ("row-major", &row_major),
+            ] {
+                let mut got = vec![0u8; fw * fh];
+                plane.fetch_clamped(x0, y0, fw, fh, &mut got);
+                assert_eq!(
+                    expect, got,
+                    "case {case}: {label} fetch ({x0},{y0}) {fw}x{fh}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tiled_insert_and_extract_match_oracle() {
+    // Random packed-block writes — macroblock-aligned and arbitrary, whole
+    // tiles and straddlers — through `Plane::insert` against the oracle,
+    // then the full plane compared pixel by pixel and random rects read
+    // back through `extract_into`.
+    for case in 0..TILED_CASES {
+        let mut rng = Rng::new(case ^ 0x115E);
+        let (w, h) = (48usize, 32usize);
+        let (mut tiled, mut oracle) = paired_planes(case, w, h, LUMA_TILE_SHIFT);
+        for op in 0..12 {
+            let bw = 1 + rng.below(16) as usize;
+            let bh = 1 + rng.below(16) as usize;
+            let (x, y) = if op % 3 == 0 {
+                // Aligned 16×16-capable corner: the whole-tile memcpy path.
+                (
+                    16 * rng.below((w / 16) as u64) as usize,
+                    16 * rng.below((h / 16) as u64) as usize,
+                )
+            } else {
+                (
+                    rng.below((w - bw + 1) as u64) as usize,
+                    rng.below((h - bh + 1) as u64) as usize,
+                )
+            };
+            let block = xorshift_bytes(rng.next(), bw * bh);
+            tiled.insert(x, y, bw, bh, &block);
+            oracle.insert(x, y, bw, bh, &block);
+        }
+        for y in 0..h {
+            for x in 0..w {
+                assert_eq!(
+                    tiled.get(x, y),
+                    oracle.get(x, y),
+                    "case {case}: pixel ({x},{y}) after inserts"
+                );
+            }
+        }
+        for _ in 0..8 {
+            let rw = 1 + rng.below(17) as usize;
+            let rh = 1 + rng.below(17) as usize;
+            let x = rng.below((w - rw + 1) as u64) as usize;
+            let y = rng.below((h - rh + 1) as u64) as usize;
+            let mut got = vec![0u8; rw * rh];
+            tiled.extract_into(x, y, rw, rh, &mut got);
+            for row in 0..rh {
+                for col in 0..rw {
+                    assert_eq!(
+                        got[row * rw + col],
+                        oracle.get(x + col, y + row),
+                        "case {case}: extract ({x},{y}) {rw}x{rh} at ({col},{row})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Scalar reference prediction computed straight off the oracle: clamped
+/// gather then the scalar half-pel filter — no `Plane`, no dispatch.
+fn oracle_predict(
+    plane: &RowMajorPlane,
+    dst_x: usize,
+    dst_y: usize,
+    size: usize,
+    mv: MotionVector,
+    out: &mut [u8],
+) {
+    let half_x = (mv.x & 1) as usize;
+    let half_y = (mv.y & 1) as usize;
+    let src_x = dst_x as i32 + (mv.x >> 1) as i32;
+    let src_y = dst_y as i32 + (mv.y >> 1) as i32;
+    let fw = size + half_x;
+    let fh = size + half_y;
+    let mut tmp = [0u8; 17 * 17];
+    let tmp = &mut tmp[..fw * fh];
+    plane.fetch_clamped(src_x, src_y, fw, fh, tmp);
+    let apply = match (half_x, half_y) {
+        (0, 0) => scalar::mc_copy,
+        (1, 0) => scalar::mc_avg_h,
+        (0, 1) => scalar::mc_avg_v,
+        _ => scalar::mc_avg_hv,
+    };
+    apply(tmp, fw, out, size);
+}
+
+#[test]
+fn tiled_predict_matches_row_major_oracle() {
+    // The satellite property: prediction out of a macroblock-tiled frame —
+    // in-tile zero-copy borrows, cross-tile straddle gathers, and
+    // picture-edge clamps alike — is bit-exact with the `RowMajorPlane`
+    // oracle for every kernel set, every half-pel phase, and random
+    // motion vectors. (This decoder implements §7.6 frame motion only, so
+    // full-pel and the three half-pel phases are the complete mode set.)
+    let _guard = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (w, h) = (64usize, 48usize);
+    let mut frame = Frame::zeroed_tiled(w, h);
+    let mut oracle_y = RowMajorPlane::new(w, h);
+    let mut oracle_cb = RowMajorPlane::new(w / 2, h / 2);
+    let mut oracle_cr = RowMajorPlane::new(w / 2, h / 2);
+    for (i, v) in xorshift_bytes(0x517E, w * h).iter().enumerate() {
+        frame.y.set(i % w, i / w, *v);
+        oracle_y.set(i % w, i / w, *v);
+    }
+    for (i, v) in xorshift_bytes(0xC4B, (w / 2) * (h / 2)).iter().enumerate() {
+        frame.cb.set(i % (w / 2), i / (w / 2), *v);
+        oracle_cb.set(i % (w / 2), i / (w / 2), *v);
+        frame.cr.set(i % (w / 2), i / (w / 2), v.wrapping_add(29));
+        oracle_cr.set(i % (w / 2), i / (w / 2), v.wrapping_add(29));
+    }
+    let refs = FrameRefs {
+        fwd: &frame,
+        bwd: &frame,
+    };
+    for case in 0..TILED_CASES {
+        let mut rng = Rng::new(case ^ 0xDE1F);
+        // Macroblock-aligned and unaligned destinations; vectors span
+        // tile-interior, tile-straddling and far-out-of-picture sources,
+        // with every half-pel phase (mv parity is uniform).
+        let (dst_x, dst_y) = if case % 2 == 0 {
+            (
+                16 * rng.below((w / 16) as u64) as usize,
+                16 * rng.below((h / 16) as u64) as usize,
+            )
+        } else {
+            (
+                rng.below((w - 16) as u64) as usize,
+                rng.below((h - 16) as u64) as usize,
+            )
+        };
+        let mv = MotionVector::new(rng.range(-80, 81) as i16, rng.range(-80, 81) as i16);
+        let mut expect_y = [0u8; 256];
+        oracle_predict(&oracle_y, dst_x, dst_y, 16, mv, &mut expect_y);
+        let mut expect_cb = [0u8; 64];
+        oracle_predict(&oracle_cb, dst_x / 2, dst_y / 2, 8, mv, &mut expect_cb);
+        let mut expect_cr = [0u8; 64];
+        oracle_predict(&oracle_cr, dst_x / 2, dst_y / 2, 8, mv, &mut expect_cr);
+        for set in kernels::available() {
+            kernels::set_active(set);
+            let mut got = [0u8; 256];
+            predict(
+                &refs,
+                RefPick::Forward,
+                PlanePick::Y,
+                dst_x,
+                dst_y,
+                16,
+                mv,
+                &mut got,
+            );
+            assert_eq!(
+                expect_y, got,
+                "case {case}: luma set={} mb=({dst_x},{dst_y}) mv={mv:?}",
+                set.name
+            );
+            let mut got_c = [0u8; 64];
+            predict(
+                &refs,
+                RefPick::Backward,
+                PlanePick::Cb,
+                dst_x / 2,
+                dst_y / 2,
+                8,
+                mv,
+                &mut got_c,
+            );
+            assert_eq!(
+                expect_cb, got_c,
+                "case {case}: cb set={} mv={mv:?}",
+                set.name
+            );
+            predict(
+                &refs,
+                RefPick::Forward,
+                PlanePick::Cr,
+                dst_x / 2,
+                dst_y / 2,
+                8,
+                mv,
+                &mut got_c,
+            );
+            assert_eq!(
+                expect_cr, got_c,
+                "case {case}: cr set={} mv={mv:?}",
+                set.name
+            );
+        }
+    }
+    if let Some(best) = kernels::available().last() {
+        kernels::set_active(best);
+    }
+}
+
+#[test]
+fn tiled_recon_write_path_matches_oracle() {
+    // The reconstruction write path: saturating `add_residual` /
+    // `set_block` results land in a tiled plane through `insert` exactly
+    // as they land in the oracle — covering the whole-tile aligned
+    // macroblock store and ragged edge tiles.
+    for case in 0..TILED_CASES {
+        let mut rng = Rng::new(case ^ 0x2EC0);
+        let (w, h) = (40usize, 24usize);
+        let (mut tiled, mut oracle) = paired_planes(case, w, h, LUMA_TILE_SHIFT);
+        for _ in 0..8 {
+            let x = 8 * rng.below((w / 8) as u64) as usize;
+            let y = 8 * rng.below((h / 8) as u64) as usize;
+            let mut block = [0u8; 64];
+            tiled.extract_into(x, y, 8, 8, &mut block);
+            let mut residual = [0i32; 64];
+            for v in &mut residual {
+                *v = rng.range(-512, 513);
+            }
+            scalar::add_residual(&mut block, 8, &residual);
+            tiled.insert(x, y, 8, 8, &block);
+            oracle.insert(x, y, 8, 8, &block);
+        }
+        for y in 0..h {
+            for x in 0..w {
+                assert_eq!(
+                    tiled.get(x, y),
+                    oracle.get(x, y),
+                    "case {case}: recon pixel ({x},{y})"
+                );
+            }
+        }
     }
 }

@@ -37,6 +37,11 @@ pub fn panic_surface_files() -> Vec<&'static str> {
     let mut v = HOT_PATH_FILES.to_vec();
     v.push("crates/core/src/machines.rs");
     v.push("crates/cluster/src/gm.rs");
+    // The tiled-layout addressing math: every motion-compensation fetch
+    // funnels through these two modules, so an out-of-bounds index or an
+    // overflow in the tile index computation is a decode-path abort.
+    v.push("crates/mpeg2/src/frame.rs");
+    v.push("crates/mpeg2/src/motion.rs");
     v
 }
 
