@@ -286,6 +286,85 @@ fn run_mc_locality(best: &'static kernels::KernelSet) -> McLocality {
     }
 }
 
+/// The resilience group: clean-stream policy overhead (gated) and
+/// damaged-stream concealment throughput (published, ungated).
+struct Resilience {
+    /// Strict decode of the clean tiny-preset stream, pixels/sec.
+    strict_clean_pps: f64,
+    /// Resilient decode of the same clean stream (the policy adds one
+    /// branch and no allocation on the clean path), pixels/sec.
+    resilient_clean_pps: f64,
+    /// `(strict - resilient) / strict`, percent. Gated < 2% by `--check`
+    /// against this run's own strict number, not the baseline: both
+    /// passes decode identical bytes in the same process, so the ratio
+    /// cancels host speed.
+    overhead_pct: f64,
+    /// Seed of the standard damaged-stream preset.
+    conceal_seed: u64,
+    /// Resilient decode of the damaged stream (repair + re-decode +
+    /// patching), nominal pixels/sec. Ungated: concealment cost is
+    /// damage-dependent by nature.
+    conceal_pps: f64,
+    /// True when the damaged stream actually forced a repair (sanity:
+    /// the number above measured concealment, not a lucky clean decode).
+    conceal_repaired: bool,
+}
+
+/// Fixed seed of the standard damaged-stream preset; the fault plan is a
+/// pure function of it, so `conceal_pps` is comparable across runs.
+const CONCEAL_SEED: u64 = 0xC0DE;
+
+/// Measures the resilience group on the tiny preset (best-of-7 walls:
+/// the clean-overhead gate is a 2% bound, tighter than the 25% pps
+/// floors, so it gets the extra repetitions).
+fn run_resilience(frames: usize, best: &'static kernels::KernelSet) -> Resilience {
+    kernels::set_active(best);
+    let preset = StreamPreset::tiny_test();
+    let stream = preset
+        .generate_and_encode(frames)
+        .expect("encode")
+        .bitstream;
+    let pixels = preset.width as f64 * preset.height as f64 * frames as f64;
+
+    let time_best_of = |f: &mut dyn FnMut()| -> f64 {
+        let mut bestt = f64::INFINITY;
+        for _ in 0..7 {
+            let t0 = Instant::now();
+            f();
+            bestt = bestt.min(t0.elapsed().as_secs_f64());
+        }
+        bestt
+    };
+
+    let strict_s = time_best_of(&mut || {
+        let frames = tiledec_mpeg2::decode_all(&stream).expect("strict decode");
+        std::hint::black_box(frames);
+    });
+    let resilient_s = time_best_of(&mut || {
+        let out = tiledec_mpeg2::decode_all_resilient(&stream).expect("resilient decode");
+        assert!(out.1.clean, "clean stream must not be repaired");
+        std::hint::black_box(out);
+    });
+
+    let plan = tiledec_bitstream::fault::FaultPlan::sample(CONCEAL_SEED, stream.len(), 4, 2, false);
+    let damaged = plan.apply(&stream);
+    let mut repaired = false;
+    let conceal_s = time_best_of(&mut || {
+        let out = tiledec_mpeg2::decode_all_resilient(&damaged).expect("conceal decode");
+        repaired = !out.1.clean;
+        std::hint::black_box(out);
+    });
+
+    Resilience {
+        strict_clean_pps: pixels / strict_s,
+        resilient_clean_pps: pixels / resilient_s,
+        overhead_pct: (resilient_s - strict_s) / strict_s * 100.0,
+        conceal_seed: CONCEAL_SEED,
+        conceal_pps: pixels / conceal_s,
+        conceal_repaired: repaired,
+    }
+}
+
 /// One preset's measurements.
 struct PresetResult {
     name: String,
@@ -351,13 +430,17 @@ fn main() {
     eprintln!("[decode_bench] mc_locality sweeps (1920x1088, tiled vs row-major)");
     let mc = run_mc_locality(best);
 
-    let json = render_json(&results, &mc, frames, best.name);
+    eprintln!("[decode_bench] resilience group (clean-stream overhead + concealment)");
+    let resilience = run_resilience(frames, best);
+
+    let json = render_json(&results, &mc, &resilience, frames, best.name);
     match &out_path {
         Some(p) => std::fs::write(p, &json).expect("write --out"),
         None => println!("{json}"),
     }
 
     let mut failed = false;
+    let check_path_was_given = check_path.is_some();
     if let Some(path) = check_path {
         let baseline = std::fs::read_to_string(&path).expect("read --check baseline");
         // Pixels/sec is content-dependent: early frames of a preset can be
@@ -471,6 +554,32 @@ fn main() {
                 "[check] note: active kernel set is scalar; skipping the mc_locality gates \
                  (baseline recorded under the best kernel set)"
             );
+        }
+    }
+    if check_path_was_given {
+        // The clean-path overhead gate compares this run's own strict and
+        // resilient passes (identical bytes, same process), so it applies
+        // under every kernel/worker override.
+        if resilience.overhead_pct >= 2.0 {
+            eprintln!(
+                "[check] FAIL resilience: Resilient on a clean stream costs {:.2}% vs \
+                 Strict (must stay < 2%)",
+                resilience.overhead_pct
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "[check] ok resilience: Resilient on a clean stream costs {:.2}% vs Strict \
+                 (< 2%); concealment throughput {:.0} pixels/s (ungated, seed {:#x})",
+                resilience.overhead_pct, resilience.conceal_pps, resilience.conceal_seed
+            );
+        }
+        if !resilience.conceal_repaired {
+            eprintln!(
+                "[check] FAIL resilience: the standard damaged-stream preset decoded \
+                 cleanly — conceal_pps measured nothing; pick a new CONCEAL_SEED"
+            );
+            failed = true;
         }
     }
     if let Some(min) = min_ratio {
@@ -647,7 +756,13 @@ fn time_tiled(stream: &[u8]) -> (f64, u64) {
     (wall, steady_allocs)
 }
 
-fn render_json(results: &[PresetResult], mc: &McLocality, frames: usize, kernel: &str) -> String {
+fn render_json(
+    results: &[PresetResult],
+    mc: &McLocality,
+    resilience: &Resilience,
+    frames: usize,
+    kernel: &str,
+) -> String {
     let sets: Vec<String> = kernels::available()
         .iter()
         .map(|s| format!("\"{}\"", s.name))
@@ -718,7 +833,7 @@ fn render_json(results: &[PresetResult], mc: &McLocality, frames: usize, kernel:
          \"mc_block_tiled_pps\": {:.0}, \"mc_block_row_major_pps\": {:.0}, \
          \"mc_block_ratio\": {:.3},\n   \
          \"mc_predict_tiled_pps\": {:.0}, \"mc_predict_row_major_pps\": {:.0}, \
-         \"mc_predict_ratio\": {:.3}}}\n",
+         \"mc_predict_ratio\": {:.3}}},\n",
         mc.width,
         mc.height,
         mc.block_tiled_pps,
@@ -727,6 +842,18 @@ fn render_json(results: &[PresetResult], mc: &McLocality, frames: usize, kernel:
         mc.predict_tiled_pps,
         mc.predict_row_major_pps,
         mc.predict_ratio
+    ));
+    s.push_str(&format!(
+        "  \"resilience\": {{\"preset\": \"tiny\",\n   \
+         \"strict_clean_pps\": {:.0}, \"resilient_clean_pps\": {:.0}, \
+         \"resilient_overhead_pct\": {:.3},\n   \
+         \"conceal_seed\": {}, \"conceal_pps\": {:.0}, \"conceal_repaired\": {}}}\n",
+        resilience.strict_clean_pps,
+        resilience.resilient_clean_pps,
+        resilience.overhead_pct,
+        resilience.conceal_seed,
+        resilience.conceal_pps,
+        resilience.conceal_repaired
     ));
     s.push_str("}\n");
     s

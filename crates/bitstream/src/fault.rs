@@ -1,0 +1,212 @@
+//! Seeded, deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] describes a reproducible set of corruptions — single-bit
+//! flips, burst erasures (runs of bytes forced to zero, which can both
+//! destroy real start codes and manufacture fake ones), and truncation —
+//! that [`FaultPlan::apply`] stamps onto a copy of a byte stream. Plans are
+//! derived from a `u64` seed through a xorshift generator, so a failing
+//! chaos test reproduces from its logged seed alone; no randomness source
+//! outside the seed is consulted.
+//!
+//! The plan operates on raw bytes and knows nothing about MPEG-2 syntax:
+//! the same type corrupts elementary streams, program-stream packs and
+//! simulated network payloads.
+
+/// A deterministic pseudo-random generator (xorshift64*), the only
+/// randomness source of the fault layer.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Creates a generator from a seed (zero is remapped to a fixed
+    /// non-zero constant; xorshift has an all-zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        FaultRng {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// One corruption to apply to a byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Flip one bit: byte offset, bit index 0–7 (MSB first).
+    BitFlip {
+        /// Byte offset of the flip.
+        offset: usize,
+        /// Bit within the byte, 0 = most significant.
+        bit: u8,
+    },
+    /// Zero a run of bytes starting at `offset`.
+    Erase {
+        /// First byte zeroed.
+        offset: usize,
+        /// Run length in bytes.
+        len: usize,
+    },
+    /// Drop every byte from `offset` to the end of the stream.
+    Truncate {
+        /// First byte removed.
+        offset: usize,
+    },
+}
+
+/// A reproducible set of faults for one stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Faults in application order.
+    pub faults: Vec<Fault>,
+    /// The seed the plan was sampled from (kept for reporting).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Samples a plan for a stream of `len` bytes: `flips` bit flips,
+    /// `bursts` erasure runs of 1–64 bytes, and (if `truncate`) one
+    /// truncation in the final quarter of the stream. Offsets are skewed
+    /// past the first 16 bytes so the leading sequence header usually
+    /// survives — chaos tests that want to kill it can still construct a
+    /// plan by hand.
+    pub fn sample(seed: u64, len: usize, flips: usize, bursts: usize, truncate: bool) -> Self {
+        let mut rng = FaultRng::new(seed);
+        let mut faults = Vec::with_capacity(flips + bursts + truncate as usize);
+        let lo = 16.min(len);
+        let span = (len - lo).max(1) as u64;
+        for _ in 0..flips {
+            faults.push(Fault::BitFlip {
+                offset: lo + rng.below(span) as usize,
+                bit: rng.below(8) as u8,
+            });
+        }
+        for _ in 0..bursts {
+            faults.push(Fault::Erase {
+                offset: lo + rng.below(span) as usize,
+                len: 1 + rng.below(64) as usize,
+            });
+        }
+        if truncate && len > 4 {
+            let start = len - len / 4;
+            faults.push(Fault::Truncate {
+                offset: start + rng.below((len - start).max(1) as u64) as usize,
+            });
+        }
+        FaultPlan { faults, seed }
+    }
+
+    /// Applies the plan to a copy of `data` and returns the damaged bytes.
+    /// Out-of-range offsets (possible after an earlier truncation) are
+    /// ignored, so any plan applies to any stream.
+    pub fn apply(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        for f in &self.faults {
+            match *f {
+                Fault::BitFlip { offset, bit } => {
+                    if let Some(b) = out.get_mut(offset) {
+                        *b ^= 0x80 >> (bit & 7);
+                    }
+                }
+                Fault::Erase { offset, len } => {
+                    if offset < out.len() {
+                        let end = (offset + len).min(out.len());
+                        out[offset..end].fill(0);
+                    }
+                }
+                Fault::Truncate { offset } => {
+                    out.truncate(offset);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_nonzero_seeded() {
+        let a: Vec<u64> = {
+            let mut r = FaultRng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = FaultRng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut z = FaultRng::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+
+    #[test]
+    fn sample_is_reproducible() {
+        let a = FaultPlan::sample(42, 10_000, 5, 3, true);
+        let b = FaultPlan::sample(42, 10_000, 5, 3, true);
+        assert_eq!(a, b);
+        let c = FaultPlan::sample(43, 10_000, 5, 3, true);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn apply_flips_erases_truncates() {
+        let data = vec![0xFFu8; 100];
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::BitFlip { offset: 2, bit: 0 },
+                Fault::Erase { offset: 10, len: 5 },
+                Fault::Truncate { offset: 50 },
+            ],
+            seed: 0,
+        };
+        let out = plan.apply(&data);
+        assert_eq!(out.len(), 50);
+        assert_eq!(out[2], 0x7F);
+        assert_eq!(&out[10..15], &[0, 0, 0, 0, 0]);
+        assert_eq!(out[15], 0xFF);
+    }
+
+    #[test]
+    fn out_of_range_faults_are_ignored() {
+        let data = vec![1u8, 2, 3];
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::BitFlip { offset: 99, bit: 3 },
+                Fault::Erase { offset: 99, len: 4 },
+            ],
+            seed: 0,
+        };
+        assert_eq!(plan.apply(&data), data);
+    }
+
+    #[test]
+    fn bursts_stay_within_bounds() {
+        let data = vec![0xAAu8; 64];
+        for seed in 0..32 {
+            let plan = FaultPlan::sample(seed, data.len(), 4, 4, true);
+            let out = plan.apply(&data);
+            assert!(out.len() <= data.len());
+        }
+    }
+}

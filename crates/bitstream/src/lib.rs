@@ -22,11 +22,13 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 mod reader;
 mod scanner;
 pub mod slow;
 mod writer;
 
+pub use fault::{Fault, FaultPlan, FaultRng};
 pub use reader::{BitReader, BitstreamError};
 pub use scanner::{
     find_start_code, find_start_code_bytewise, StartCode, StartCodeIndex, StartCodeScanner,

@@ -36,5 +36,5 @@ pub mod sync;
 pub use bytes::Bytes;
 pub use cost::CostModel;
 pub use gm::{Endpoint, Message, NodeId, RecvError, SendError, ThreadCluster};
-pub use sim::{DecoderCost, PictureCost, PipelineSim, PipelineSpec, SimReport};
+pub use sim::{ChannelFaults, DecoderCost, PictureCost, PipelineSim, PipelineSpec, SimReport};
 pub use stats::TrafficMatrix;

@@ -96,6 +96,30 @@ pub trait Process {
     fn resume(&mut self, input: Option<Msg>) -> Result<Effect, String>;
 }
 
+/// Lossy-channel mode: at every delivery point the scheduler also
+/// branches on *dropping* the message instead. The receiver is then woken
+/// with a synthetic notification (`timeout_tag`, empty payload, `from` =
+/// the lossy link's sender) — the model of a per-channel receive timeout
+/// firing. Because losses only ever remove protocol messages, a protocol
+/// that terminates under loss must actively conceal: the machines under
+/// test decide per phase whether a timeout is recoverable.
+///
+/// Under lossy exploration two strict-mode invariants are deliberately
+/// relaxed, both modelling receiver-side teardown: sending to a
+/// terminated node silently discards the message, and a node reaching
+/// `Done` flushes its pending inbound queues (late messages to a closed
+/// endpoint are dropped, not violations). Deadlock and machine-reported
+/// errors remain violations — that is the property lossy runs prove.
+#[derive(Debug, Clone)]
+pub struct LossyConfig {
+    /// Tag of the synthetic timeout notification delivered in place of a
+    /// dropped message.
+    pub timeout_tag: u32,
+    /// Maximum messages dropped along one schedule (bounds the extra
+    /// branching; every loss pattern up to this count is explored).
+    pub max_losses: usize,
+}
+
 /// Checker configuration.
 #[derive(Debug, Clone)]
 pub struct CheckerConfig {
@@ -111,6 +135,9 @@ pub struct CheckerConfig {
     /// Abort exploration after this many completed schedules (the report is
     /// then marked [`Report::truncated`]).
     pub max_schedules: u64,
+    /// Lossy-channel exploration (see [`LossyConfig`]). `None` = reliable
+    /// links, the strict default.
+    pub lossy: Option<LossyConfig>,
 }
 
 impl Default for CheckerConfig {
@@ -120,6 +147,7 @@ impl Default for CheckerConfig {
             occupancy_limit: None,
             max_steps: 1_000_000,
             max_schedules: u64::MAX,
+            lossy: None,
         }
     }
 }
@@ -192,6 +220,8 @@ struct State<P> {
     status: Vec<Status>,
     /// `queues[from * n + to]` is the FIFO of (tag, payload) in flight.
     queues: Vec<VecDeque<(u32, Bytes)>>,
+    /// Drops still permitted along this schedule (0 when not lossy).
+    losses_left: usize,
 }
 
 impl<P: Hash> State<P> {
@@ -209,6 +239,7 @@ impl<P: Hash> State<P> {
         self.nodes.hash(h);
         self.status.hash(h);
         self.queues.hash(h);
+        self.losses_left.hash(h);
     }
 }
 
@@ -237,6 +268,19 @@ impl<P> State<P> {
 
     fn all_done(&self) -> bool {
         self.status.iter().all(|s| *s == Status::Done)
+    }
+
+    /// Delivery choices plus, under lossy exploration with drop budget
+    /// remaining, a drop variant of each — encoded as `(r, s + n)` so
+    /// traces and sleep sets keep their `(receiver, sender)` shape.
+    fn actions(&self, cfg: &CheckerConfig) -> Vec<(usize, usize)> {
+        let mut out = self.enabled();
+        if cfg.lossy.is_some() && self.losses_left > 0 {
+            let n = self.n();
+            let drops: Vec<(usize, usize)> = out.iter().map(|&(r, s)| (r, s + n)).collect();
+            out.extend(drops);
+        }
+        out
     }
 }
 
@@ -270,6 +314,7 @@ where
         nodes,
         status: vec![Status::Running; n],
         queues: vec![VecDeque::new(); n * n],
+        losses_left: cfg.lossy.as_ref().map_or(0, |l| l.max_losses),
     };
     let mut search = Search {
         cfg,
@@ -323,7 +368,7 @@ where
         self.visited.entry(fp).or_default().push(sleep.clone());
         self.report.states += 1;
 
-        let actions = state.enabled();
+        let actions = state.actions(self.cfg);
         if actions.is_empty() {
             return self.terminal(&state, trace);
         }
@@ -389,19 +434,21 @@ where
             });
             return false;
         }
-        let n = state.n();
-        for from in 0..n {
-            for to in 0..n {
-                let q = &state.queues[from * n + to];
-                if !q.is_empty() {
-                    self.report.violation = Some(Counterexample {
-                        trace: trace.to_vec(),
-                        reason: format!(
+        if self.cfg.lossy.is_none() {
+            let n = state.n();
+            for from in 0..n {
+                for to in 0..n {
+                    let q = &state.queues[from * n + to];
+                    if !q.is_empty() {
+                        self.report.violation = Some(Counterexample {
+                            trace: trace.to_vec(),
+                            reason: format!(
                             "{} undelivered message(s) from node {from} to node {to} after completion",
                             q.len()
                         ),
-                    });
-                    return false;
+                        });
+                        return false;
+                    }
                 }
             }
         }
@@ -418,7 +465,9 @@ where
 }
 
 /// Delivers `(receiver, sender)`'s link head, then runs the deterministic
-/// cascade back to quiescence.
+/// cascade back to quiescence. A sender index `>= n` encodes a lossy
+/// drop: the head is removed from link `s - n -> r` and the receiver is
+/// woken with the synthetic timeout tag instead.
 fn apply<P: Process>(
     state: &mut State<P>,
     (r, s): (usize, usize),
@@ -426,9 +475,22 @@ fn apply<P: Process>(
     steps: &mut u64,
 ) -> SegmentEnd {
     let n = state.n();
+    let (drop, s) = if s >= n { (true, s - n) } else { (false, s) };
     let (tag, payload) = match state.queues[s * n + r].pop_front() {
         Some(m) => m,
         None => return SegmentEnd::Violation(format!("scheduler bug: empty link {s}->{r}")),
+    };
+    let (tag, payload) = if drop {
+        let Some(lossy) = cfg.lossy.as_ref() else {
+            return SegmentEnd::Violation("scheduler bug: drop without lossy config".into());
+        };
+        if state.losses_left == 0 {
+            return SegmentEnd::Violation("scheduler bug: loss budget exhausted".into());
+        }
+        state.losses_left -= 1;
+        (lossy.timeout_tag, Bytes::new())
+    } else {
+        (tag, payload)
     };
     // The freed credit may resume the sender.
     if let Status::Credit { to, .. } = &state.status[s] {
@@ -505,6 +567,12 @@ fn handle_effect<P: Process>(
                 )));
             }
             if state.status[to] == Status::Done {
+                if cfg.lossy.is_some() {
+                    // Receiver tore down: the send completes as a no-op,
+                    // like a write to a closed endpoint.
+                    state.status[i] = Status::Running;
+                    return None;
+                }
                 return Some(SegmentEnd::Violation(format!(
                     "node {i} sent tag {tag} to terminated node {to}"
                 )));
@@ -518,7 +586,19 @@ fn handle_effect<P: Process>(
             state.status[i] = Status::Credit { to, tag, payload };
         }
         Effect::Recv => state.status[i] = Status::Recv,
-        Effect::Done => state.status[i] = Status::Done,
+        Effect::Done => {
+            state.status[i] = Status::Done;
+            if cfg.lossy.is_some() {
+                // Teardown: flush messages still addressed to the closed
+                // endpoint and release senders blocked on its credits.
+                for s in 0..n {
+                    state.queues[s * n + i].clear();
+                    if matches!(&state.status[s], Status::Credit { to, .. } if *to == i) {
+                        state.status[s] = Status::Running;
+                    }
+                }
+            }
+        }
     }
     None
 }
@@ -575,6 +655,7 @@ where
             nodes: nodes.clone(),
             status: vec![Status::Running; n],
             queues: vec![VecDeque::new(); n * n],
+            losses_left: cfg.lossy.as_ref().map_or(0, |l| l.max_losses),
         };
         let mut trace = Vec::new();
         let mut steps = 0u64;
@@ -583,7 +664,7 @@ where
             return report;
         }
         loop {
-            let actions = state.enabled();
+            let actions = state.actions(cfg);
             if actions.is_empty() {
                 // Reuse the DFS terminal logic via a throwaway search shell.
                 let mut shell = Search {
@@ -773,6 +854,93 @@ mod tests {
         });
         report.assert_clean();
         assert_eq!(report.terminals, 2, "both delivery orders must be explored");
+    }
+
+    #[test]
+    fn lossy_drop_delivers_timeout_tag() {
+        // One message over a lossy link: the checker must branch on both
+        // delivery and drop, and a drop must surface as the timeout tag
+        // with the lossy link's sender as `from`.
+        let lossy = CheckerConfig {
+            lossy: Some(LossyConfig {
+                timeout_tag: 99,
+                max_losses: 1,
+            }),
+            ..CheckerConfig::default()
+        };
+        let a = Scripted::new(vec![send(1, 1), Effect::Done]);
+        let b = Scripted::new(vec![Effect::Recv, Effect::Done]);
+        let report = explore(vec![a, b], &lossy, |nodes| match nodes[1].got.as_slice() {
+            [(0, 1)] | [(0, 99)] => Ok(()),
+            other => Err(format!("unexpected receipt {other:?}")),
+        });
+        report.assert_clean();
+        assert_eq!(report.terminals, 2, "delivered and dropped branches");
+    }
+
+    #[test]
+    fn lossy_loss_budget_bounds_drops() {
+        // Two messages, budget one: at most one timeout per schedule, and
+        // exactly three loss patterns (none, first, second) reach the end.
+        let lossy = CheckerConfig {
+            lossy: Some(LossyConfig {
+                timeout_tag: 99,
+                max_losses: 1,
+            }),
+            ..CheckerConfig::default()
+        };
+        let a = Scripted::new(vec![send(1, 1), send(1, 2), Effect::Done]);
+        let b = Scripted::new(vec![Effect::Recv, Effect::Recv, Effect::Done]);
+        let report = explore(vec![a, b], &lossy, |nodes| {
+            let timeouts = nodes[1].got.iter().filter(|&&(_, t)| t == 99).count();
+            if timeouts <= 1 {
+                Ok(())
+            } else {
+                Err(format!("{timeouts} drops exceed the budget of 1"))
+            }
+        });
+        report.assert_clean();
+        assert_eq!(report.terminals, 3);
+    }
+
+    #[test]
+    fn lossy_teardown_flushes_late_sends() {
+        // Strict mode flags a message sent to a terminated node (see
+        // `undelivered_message_is_a_violation`); under lossy channels the
+        // same schedule models a write to a closed endpoint and is clean.
+        let lossy = CheckerConfig {
+            lossy: Some(LossyConfig {
+                timeout_tag: 99,
+                max_losses: 1,
+            }),
+            ..CheckerConfig::default()
+        };
+        let a = Scripted::new(vec![send(1, 7), Effect::Done]);
+        let b = Scripted::new(vec![Effect::Done]);
+        let report = explore(vec![a, b], &lossy, |_| Ok(()));
+        report.assert_clean();
+    }
+
+    #[test]
+    fn lossy_deadlock_still_detected() {
+        // Loss tolerance must not dull the deadlock check: a receiver
+        // waiting for a message nobody will send is still a violation.
+        let lossy = CheckerConfig {
+            lossy: Some(LossyConfig {
+                timeout_tag: 99,
+                max_losses: 2,
+            }),
+            ..CheckerConfig::default()
+        };
+        let a = Scripted::new(vec![send(1, 1), Effect::Done]);
+        let b = Scripted::new(vec![Effect::Recv, Effect::Recv, Effect::Done]);
+        let report = explore(vec![a, b], &lossy, |_| Ok(()));
+        let cx = report.violation.expect("deadlock must be detected");
+        assert!(
+            cx.reason.contains("deadlock"),
+            "unexpected reason: {}",
+            cx.reason
+        );
     }
 
     #[test]

@@ -187,11 +187,98 @@ impl SimReport {
     }
 }
 
+/// Seeded channel-fault injection for the simulator.
+///
+/// The simulator is a timing model, so a fault is a *cost*, not a lost
+/// payload: the protocol underneath retransmits (GM is reliable once the
+/// resilient machines conceal, see `modelcheck::LossyConfig` for the
+/// termination proof), and what the wall experiences is the latency of
+/// recovery. Per transfer, one roll of a fixed LCG decides:
+///
+/// * **drop** — the first copy vanishes; the receiver waits `timeout_s`,
+///   the sender serialises a second copy (2× NIC time, 2× wire bytes);
+/// * **duplicate** — a spurious second copy occupies the sender NIC and
+///   the wire, but arrival is unaffected;
+/// * **delay** — the message arrives `delay_s` late (switch congestion).
+///
+/// Rates are per-mille per transfer and mutually exclusive per roll.
+#[derive(Debug, Clone)]
+pub struct ChannelFaults {
+    /// LCG seed; equal seeds reproduce the exact fault schedule.
+    pub seed: u64,
+    /// Probability (‰) a transfer is dropped and must be retransmitted.
+    pub drop_permille: u32,
+    /// Probability (‰) a transfer is duplicated on the wire.
+    pub dup_permille: u32,
+    /// Probability (‰) a transfer is delayed by `delay_s`.
+    pub delay_permille: u32,
+    /// Receiver timeout before a dropped transfer is retransmitted.
+    pub timeout_s: f64,
+    /// Extra latency of a delayed transfer.
+    pub delay_s: f64,
+}
+
+impl ChannelFaults {
+    /// A representative lossy-cluster preset: 2% drops, 1% duplicates,
+    /// 5% delayed messages, 5 ms receive timeout, 1 ms jitter.
+    pub fn lossy_preset(seed: u64) -> Self {
+        ChannelFaults {
+            seed,
+            drop_permille: 20,
+            dup_permille: 10,
+            delay_permille: 50,
+            timeout_s: 0.005,
+            delay_s: 0.001,
+        }
+    }
+}
+
+/// Running fault state: config plus the LCG cursor.
+struct FaultState {
+    cfg: ChannelFaults,
+    rng: u64,
+}
+
+/// What one fault roll decided for a transfer.
+enum FaultRoll {
+    Clean,
+    Drop,
+    Duplicate,
+    Delay,
+}
+
+impl FaultState {
+    fn new(cfg: ChannelFaults) -> Self {
+        // Same odd-seeded LCG family as `modelcheck::random_walks`.
+        let rng = cfg.seed.wrapping_mul(2).wrapping_add(1);
+        FaultState { cfg, rng }
+    }
+
+    fn roll(&mut self) -> FaultRoll {
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let r = ((self.rng >> 33) % 1000) as u32;
+        let c = &self.cfg;
+        if r < c.drop_permille {
+            FaultRoll::Drop
+        } else if r < c.drop_permille + c.dup_permille {
+            FaultRoll::Duplicate
+        } else if r < c.drop_permille + c.dup_permille + c.delay_permille {
+            FaultRoll::Delay
+        } else {
+            FaultRoll::Clean
+        }
+    }
+}
+
 /// The simulator.
 pub struct PipelineSim {
     spec: PipelineSpec,
     model: CostModel,
     trace_enabled: bool,
+    faults: Option<ChannelFaults>,
 }
 
 struct NodeState {
@@ -215,12 +302,19 @@ impl PipelineSim {
             spec,
             model,
             trace_enabled: false,
+            faults: None,
         }
     }
 
     /// Enables event tracing (costs memory proportional to events).
     pub fn with_trace(mut self) -> Self {
         self.trace_enabled = true;
+        self
+    }
+
+    /// Enables seeded channel-fault injection (see [`ChannelFaults`]).
+    pub fn with_faults(mut self, faults: ChannelFaults) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -239,6 +333,7 @@ impl PipelineSim {
             })
             .collect();
         let mut trace: Vec<TraceEvent> = Vec::new();
+        let mut faults = self.faults.clone().map(FaultState::new);
         let mut breakdown = vec![Breakdown::default(); spec.decoders];
 
         // Ack arrival times at the root, per picture.
@@ -295,8 +390,16 @@ impl PipelineSim {
                         copy_end.max(root_ack_arrival[p - 1])
                     };
                     nodes[0].cpu_free = ready;
-                    let arrive =
-                        transfer(m, &mut nodes, &traffic, 0, s_node, pic.unit_bytes, ready);
+                    let arrive = transfer(
+                        m,
+                        &mut nodes,
+                        &traffic,
+                        &mut faults,
+                        0,
+                        s_node,
+                        pic.unit_bytes,
+                        ready,
+                    );
                     self.push(&mut trace, 0, p, EventKind::SendPicture, ready, arrive);
                     // Splitter blocks in receive until the unit arrives.
                     recv_done = arrive.max(nodes[s_node].cpu_free);
@@ -311,8 +414,16 @@ impl PipelineSim {
 
             // --- Splitter: ack root, split, wait decoder acks, send ----
             if two_level {
-                let ack_at_root =
-                    transfer(m, &mut nodes, &traffic, s_node, 0, ACK_BYTES, recv_done);
+                let ack_at_root = transfer(
+                    m,
+                    &mut nodes,
+                    &traffic,
+                    &mut faults,
+                    s_node,
+                    0,
+                    ACK_BYTES,
+                    recv_done,
+                );
                 self.push(
                     &mut trace,
                     s_node,
@@ -348,6 +459,7 @@ impl PipelineSim {
                         m,
                         &mut nodes,
                         &traffic,
+                        &mut faults,
                         dec_node,
                         s_node,
                         ACK_BYTES,
@@ -373,6 +485,7 @@ impl PipelineSim {
                     m,
                     &mut nodes,
                     &traffic,
+                    &mut faults,
                     s_node,
                     dst,
                     dc.subpic_bytes,
@@ -410,7 +523,8 @@ impl PipelineSim {
                 let serve_cpu_start = ack_cpu_done;
                 for &(dst_dec, bytes) in &dc.mei_out {
                     let dst = spec.decoder_node(dst_dec);
-                    let arrive = transfer(m, &mut nodes, &traffic, node, dst, bytes, t);
+                    let arrive =
+                        transfer(m, &mut nodes, &traffic, &mut faults, node, dst, bytes, t);
                     self.push(&mut trace, node, p, EventKind::MeiSend, t, arrive);
                     t = t.max(nodes[node].tx_free);
                     mei_arrival[p][dst_dec] = mei_arrival[p][dst_dec].max(arrive);
@@ -475,19 +589,29 @@ impl PipelineSim {
 /// order, and a 16-byte ack recorded "later" in program order must not
 /// push back the receive clock for data that in real time arrived first.
 /// Their wire time is negligible anyway.
+#[allow(clippy::too_many_arguments)] // one schedule step; a struct would obscure the timeline math
 fn transfer(
     model: &CostModel,
     nodes: &mut [NodeState],
     traffic: &TrafficMatrix,
+    faults: &mut Option<FaultState>,
     from: usize,
     to: usize,
     bytes: u64,
     ready: f64,
 ) -> f64 {
+    // Fault roll: drops retransmit (2× serialisation + receiver timeout),
+    // duplicates serialise twice, delays add latency. See [`ChannelFaults`].
+    let (copies, extra_latency) = match faults.as_mut().map(|f| (f.roll(), f)) {
+        Some((FaultRoll::Drop, f)) => (2u64, f.cfg.timeout_s),
+        Some((FaultRoll::Duplicate, _)) => (2, 0.0),
+        Some((FaultRoll::Delay, f)) => (1, f.cfg.delay_s),
+        Some((FaultRoll::Clean, _)) | None => (1, 0.0),
+    };
     let start = ready.max(nodes[from].tx_free);
-    let ser = model.per_message_s + model.tx_time(bytes);
+    let ser = (model.per_message_s + model.tx_time(bytes)) * copies as f64;
     nodes[from].tx_free = start + ser;
-    let earliest = start + ser + model.latency_s;
+    let earliest = start + ser + model.latency_s + extra_latency;
     let arrival = if bytes <= ACK_BYTES {
         earliest
     } else {
@@ -495,7 +619,7 @@ fn transfer(
         nodes[to].rx_free = a;
         a
     };
-    traffic.record(from, to, bytes);
+    traffic.record(from, to, bytes * copies);
     arrival
 }
 
@@ -704,6 +828,66 @@ mod tests {
             rr.fps,
             ll.fps
         );
+    }
+
+    #[test]
+    fn channel_faults_are_deterministic_per_seed() {
+        let spec = uniform_spec(2, 4, 60, 0.010, 0.010);
+        let run = |seed: u64| {
+            PipelineSim::new(spec.clone(), CostModel::myrinet_2002())
+                .with_faults(ChannelFaults::lossy_preset(seed))
+                .run()
+        };
+        let (a, b, c) = (run(7), run(7), run(8));
+        assert_eq!(a.fps, b.fps, "same seed must reproduce the schedule");
+        assert_eq!(a.traffic.sent_by(0), b.traffic.sent_by(0));
+        assert_ne!(
+            a.fps, c.fps,
+            "different seeds should land different fault schedules"
+        );
+    }
+
+    #[test]
+    fn channel_faults_cost_throughput_but_never_progress() {
+        // On the slow network the transfers are on the critical path, so
+        // retransmit timeouts must show up as lost throughput (a fast
+        // CPU-bound cluster can absorb them in pipeline slack).
+        let spec = uniform_spec(2, 4, 60, 0.010, 0.010);
+        let clean = PipelineSim::new(spec.clone(), CostModel::fast_ethernet()).run();
+        let faulty = PipelineSim::new(spec, CostModel::fast_ethernet())
+            .with_faults(ChannelFaults {
+                seed: 42,
+                drop_permille: 100,
+                dup_permille: 50,
+                delay_permille: 100,
+                timeout_s: 0.010,
+                delay_s: 0.002,
+            })
+            .run();
+        // Retransmissions and duplicates add wire bytes; timeouts and
+        // jitter stretch the schedule — but every picture still displays.
+        assert!(faulty.fps < clean.fps, "{} !< {}", faulty.fps, clean.fps);
+        assert!(faulty.traffic.sent_by(0) > clean.traffic.sent_by(0));
+        assert!(faulty.total_s.is_finite());
+        assert!(faulty.fps > 0.0);
+    }
+
+    #[test]
+    fn zero_rate_faults_match_the_clean_baseline() {
+        let spec = uniform_spec(1, 2, 30, 0.010, 0.010);
+        let clean = PipelineSim::new(spec.clone(), CostModel::myrinet_2002()).run();
+        let zeroed = PipelineSim::new(spec, CostModel::myrinet_2002())
+            .with_faults(ChannelFaults {
+                seed: 1,
+                drop_permille: 0,
+                dup_permille: 0,
+                delay_permille: 0,
+                timeout_s: 0.005,
+                delay_s: 0.001,
+            })
+            .run();
+        assert_eq!(clean.fps, zeroed.fps);
+        assert_eq!(clean.traffic.sent_by(0), zeroed.traffic.sent_by(0));
     }
 
     #[test]

@@ -24,12 +24,13 @@
 
 use std::collections::HashMap;
 
-use tiledec_cluster::modelcheck::{explore, random_walks, CheckerConfig};
+use tiledec_cluster::modelcheck::{explore, random_walks, CheckerConfig, LossyConfig};
 use tiledec_core::machines::{build_machines, MachineSet, NodeMachine};
+use tiledec_core::protocol::TAG_TIMEOUT;
 use tiledec_core::SystemConfig;
-use tiledec_mpeg2::decode_all;
 use tiledec_mpeg2::encoder::{Encoder, EncoderConfig};
 use tiledec_mpeg2::frame::Frame;
+use tiledec_mpeg2::{decode_all, ErrorPolicy};
 use tiledec_wall::{Wall, WallGeometry};
 
 /// Deterministic moving-texture clip (same family as the threaded-back-end
@@ -226,6 +227,92 @@ fn splitter_skipping_ack_wait_is_caught() {
         cx.reason.contains("ANID") || cx.reason.contains("expected picture"),
         "unexpected violation: {cx}"
     );
+    assert!(!cx.trace.is_empty(), "counterexample must carry a schedule");
+}
+
+/// Lossy exploration setup: every delivery point also branches on the
+/// message being dropped and replaced by a receive timeout.
+fn lossy(max_losses: usize) -> CheckerConfig {
+    CheckerConfig {
+        lossy: Some(LossyConfig {
+            timeout_tag: TAG_TIMEOUT,
+            max_losses,
+        }),
+        ..CheckerConfig::default()
+    }
+}
+
+/// Resilient machines on *reliable* links behave exactly like strict
+/// machines: no timeout ever fires, so every interleaving is still
+/// bit-exact against the sequential reference. Concealment must be pure
+/// recovery code, never a behavioural change on the clean path.
+#[test]
+fn resilient_machines_on_reliable_links_stay_bit_exact() {
+    let stream = encode_clip(32, 32, 3, 3, 0);
+    let reference = decode_all(&stream).unwrap();
+    let cfg = SystemConfig::new(2, (2, 1)).with_policy(ErrorPolicy::Resilient);
+    let set = build_machines(&cfg, &stream).unwrap();
+    let (k, geom) = (set.k, set.geometry);
+    let report = explore(set.machines, &CheckerConfig::default(), |ms| {
+        frames_match_reference(ms, k, geom, &reference)
+    });
+    report.assert_clean();
+    assert!(report.terminals >= 1);
+}
+
+/// The conceal-vs-poison property, conceal side: resilient machines on a
+/// one-level `1-(2,1)` system survive every single-loss pattern — any
+/// message of the protocol (work unit, ack, block batch, END) can vanish
+/// at any point of any interleaving and every node still terminates.
+#[test]
+fn lossy_one_level_resilient_never_deadlocks() {
+    let stream = encode_clip(32, 32, 2, 2, 0);
+    let cfg = SystemConfig::new(0, (2, 1)).with_policy(ErrorPolicy::Resilient);
+    let set = build_machines(&cfg, &stream).unwrap();
+    assert_eq!(set.machines.len(), 3, "console + 2 decoders");
+    let report = explore(set.machines, &lossy(2), |_| Ok(()));
+    report.assert_clean();
+    assert!(report.terminals >= 1);
+    println!(
+        "lossy 1-(2,1): {} schedules, {} terminals, {} states",
+        report.schedules, report.terminals, report.states
+    );
+}
+
+/// Conceal side, two-level: a `1-1-(2,1)` system (root, one splitter, two
+/// decoders) with inter-decoder motion traffic survives every single-loss
+/// pattern — including a lost `TAG_UNIT` (the splitter ships concealed
+/// `TAG_TIMEOUT` work so decoders skip the picture in lockstep) and a lost
+/// block batch (the receiver decodes without the halo update).
+#[test]
+fn lossy_two_level_resilient_never_deadlocks() {
+    let stream = encode_clip(32, 32, 3, 3, 0);
+    let cfg = SystemConfig::new(1, (2, 1)).with_policy(ErrorPolicy::Resilient);
+    let set = build_machines(&cfg, &stream).unwrap();
+    assert_eq!(set.machines.len(), 4, "root + splitter + 2 decoders");
+    let report = explore(set.machines, &lossy(1), |_| Ok(()));
+    report.assert_clean();
+    assert!(report.terminals >= 1);
+    println!(
+        "lossy 1-1-(2,1): {} schedules, {} terminals, {} states",
+        report.schedules, report.terminals, report.states
+    );
+}
+
+/// The poison side: the *same* system built strict (the default policy)
+/// does not survive loss — some schedule ends in a machine-reported
+/// protocol error or a deadlock, which the checker must surface as a
+/// counterexample. Together with the tests above this pins the intended
+/// split: strict = fail loudly, resilient = conceal and terminate.
+#[test]
+fn lossy_strict_machines_are_poisoned() {
+    let stream = encode_clip(32, 32, 2, 2, 0);
+    let cfg = SystemConfig::new(1, (2, 1));
+    let set = build_machines(&cfg, &stream).unwrap();
+    let report = explore(set.machines, &lossy(1), |_| Ok(()));
+    let cx = report
+        .violation
+        .expect("strict machines must fail under message loss");
     assert!(!cx.trace.is_empty(), "counterexample must carry a schedule");
 }
 

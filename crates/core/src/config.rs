@@ -7,6 +7,7 @@
 //! `⌈t_s / t_d⌉`; when that is 1, the second level can be dropped
 //! entirely (`1-(m,n)`).
 
+use tiledec_mpeg2::ErrorPolicy;
 use tiledec_wall::WallGeometry;
 
 use crate::{CoreError, Result};
@@ -35,6 +36,12 @@ pub struct SystemConfig {
     /// Halo margin around each tile's reference storage, in pixels
     /// (bounds the longest motion vector the system can serve remotely).
     pub halo_margin: u32,
+    /// What to do when the input stream is damaged: [`ErrorPolicy::Strict`]
+    /// (default) fails on the first error exactly like the sequential
+    /// reference decoder; [`ErrorPolicy::Resilient`] repairs the stream
+    /// (slice resync + macroblock concealment) and plays the repaired
+    /// bytes, reporting the damage.
+    pub policy: ErrorPolicy,
 }
 
 impl SystemConfig {
@@ -45,6 +52,7 @@ impl SystemConfig {
             grid,
             overlap: 0,
             halo_margin: 64,
+            policy: ErrorPolicy::Strict,
         }
     }
 
@@ -57,6 +65,12 @@ impl SystemConfig {
     /// Sets the halo margin.
     pub fn with_halo_margin(mut self, margin: u32) -> Self {
         self.halo_margin = margin;
+        self
+    }
+
+    /// Sets the error policy.
+    pub fn with_policy(mut self, policy: ErrorPolicy) -> Self {
+        self.policy = policy;
         self
     }
 

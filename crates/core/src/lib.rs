@@ -45,6 +45,7 @@ use std::fmt;
 
 pub use config::SystemConfig;
 pub use simulated::SimulatedSystem;
+pub use slice_level::{run_slice_level, run_slice_level_resilient, SliceLevelResult};
 pub use splitter::{split_picture_units, MacroblockSplitter, SplitOutput};
 pub use threaded::{PlaybackResult, ThreadedSystem};
 pub use tile_decoder::TileDecoder;

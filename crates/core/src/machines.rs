@@ -36,7 +36,7 @@ use crate::config::SystemConfig;
 use crate::mei::{MeiBuffer, MeiInstruction};
 use crate::protocol::{
     decode_ack, decode_blocks, decode_unit, encode_ack, encode_blocks, encode_unit, WorkUnit,
-    TAG_ACK_ROOT, TAG_ACK_SPLIT, TAG_BLOCKS, TAG_END, TAG_UNIT, TAG_WORK,
+    TAG_ACK_ROOT, TAG_ACK_SPLIT, TAG_BLOCKS, TAG_END, TAG_TIMEOUT, TAG_UNIT, TAG_WORK,
 };
 use crate::splitter::{split_picture_units, MacroblockSplitter};
 use crate::subpicture::SubPicture;
@@ -55,6 +55,8 @@ pub struct RootMachine {
     units: Vec<Bytes>,
     outq: VecDeque<Outgoing>,
     phase: RootPhase,
+    /// Conceal on [`TAG_TIMEOUT`] instead of erroring (lossy channels).
+    resilient: bool,
 }
 
 #[derive(Clone, Hash, PartialEq, Eq)]
@@ -105,10 +107,26 @@ impl RootMachine {
             units,
             outq,
             phase,
+            resilient: false,
         }
     }
 
+    /// Enables timeout concealment (lossy-channel operation).
+    pub fn with_resilience(mut self, on: bool) -> Self {
+        self.resilient = on;
+        self
+    }
+
     fn handle(&mut self, m: Msg) -> std::result::Result<(), String> {
+        if self.resilient && m.tag == TAG_TIMEOUT {
+            // The awaited splitter ack was lost: the splitter did process
+            // (or conceal) its picture, so count the ack and move on.
+            // Timeouts after shutdown are late noise, ignored.
+            if self.phase == RootPhase::Finished {
+                return Ok(());
+            }
+            return self.on_ack();
+        }
         if m.tag != TAG_ACK_ROOT {
             return Err(format!(
                 "root: unexpected tag {} from node {}",
@@ -116,6 +134,13 @@ impl RootMachine {
             ));
         }
         decode_ack(&m.payload).map_err(|e| format!("root: bad ack: {e}"))?;
+        if self.phase == RootPhase::Finished {
+            return Err(format!("root: ack from node {} after shutdown", m.from));
+        }
+        self.on_ack()
+    }
+
+    fn on_ack(&mut self) -> std::result::Result<(), String> {
         match self.phase {
             RootPhase::AwaitAck { next } => {
                 // "Wait for ACK from any splitter, except for the first
@@ -136,7 +161,8 @@ impl RootMachine {
                 self.phase = RootPhase::Finished;
                 Ok(())
             }
-            RootPhase::Finished => Err(format!("root: ack from node {} after shutdown", m.from)),
+            // Both callers return before reaching here when Finished.
+            RootPhase::Finished => Ok(()),
         }
     }
 
@@ -164,6 +190,8 @@ pub struct OneLevelRootMachine {
     work: Vec<Vec<Bytes>>,
     outq: VecDeque<Outgoing>,
     phase: OneLevelPhase,
+    /// Conceal on [`TAG_TIMEOUT`] instead of erroring (lossy channels).
+    resilient: bool,
 }
 
 #[derive(Clone, Hash, PartialEq, Eq)]
@@ -226,16 +254,34 @@ impl OneLevelRootMachine {
             work,
             outq,
             phase,
+            resilient: false,
         })
+    }
+
+    /// Enables timeout concealment (lossy-channel operation).
+    pub fn with_resilience(mut self, on: bool) -> Self {
+        self.resilient = on;
+        self
     }
 
     fn handle(&mut self, m: Msg) -> std::result::Result<(), String> {
         let OneLevelPhase::AwaitAcks { p, remaining } = self.phase else {
+            if self.resilient && m.tag == TAG_TIMEOUT {
+                // Late timeout after shutdown: noise, ignore.
+                return Ok(());
+            }
             return Err(format!(
                 "console: message tag {} from node {} after shutdown",
                 m.tag, m.from
             ));
         };
+        if self.resilient && m.tag == TAG_TIMEOUT {
+            // The awaited decoder ack was lost; count it. The only acks
+            // in flight are for picture `p` (decoders ack on receipt and
+            // the console ships `p + 1` only after collecting all of
+            // them), so no picture check is possible or needed.
+            return self.ack_one(p, remaining);
+        }
         if m.tag != TAG_ACK_SPLIT {
             return Err(format!(
                 "console: unexpected tag {} from node {}",
@@ -246,6 +292,10 @@ impl OneLevelRootMachine {
         if got != p {
             return Err(format!("console: expected ack for picture {p}, got {got}"));
         }
+        self.ack_one(p, remaining)
+    }
+
+    fn ack_one(&mut self, p: u32, remaining: usize) -> std::result::Result<(), String> {
         if remaining > 1 {
             self.phase = OneLevelPhase::AwaitAcks {
                 p,
@@ -302,6 +352,8 @@ pub struct SplitterMachine {
     /// exists so the model-checker regression tests can prove the checker
     /// catches it.
     skip_prev_ack_wait: bool,
+    /// Conceal on [`TAG_TIMEOUT`] instead of erroring (lossy channels).
+    resilient: bool,
 }
 
 #[derive(Clone, Hash, PartialEq, Eq)]
@@ -311,10 +363,12 @@ enum SplitterPhase {
         p: usize,
     },
     /// Work for picture `p` is ready; waiting for the decoder acks of
-    /// `p - 1` before shipping it.
+    /// `p - 1` before shipping it. `tag` is [`TAG_WORK`] for real work
+    /// and [`TAG_TIMEOUT`] for a concealed (lost-unit) picture.
     AwaitPrevAcks {
         p: usize,
         remaining: usize,
+        tag: u32,
         work: Vec<Bytes>,
     },
     /// All assigned pictures processed; waiting for the root's `TAG_END`.
@@ -353,12 +407,19 @@ impl SplitterMachine {
             outq: VecDeque::new(),
             phase,
             skip_prev_ack_wait: false,
+            resilient: false,
         }
     }
 
     /// Injects the "forgot to wait for the previous picture's acks" bug.
     pub fn inject_skip_prev_ack_wait(mut self) -> Self {
         self.skip_prev_ack_wait = true;
+        self
+    }
+
+    /// Enables timeout concealment (lossy-channel operation).
+    pub fn with_resilience(mut self, on: bool) -> Self {
+        self.resilient = on;
         self
     }
 
@@ -396,23 +457,41 @@ impl SplitterMachine {
                 )
             })
             .collect();
+        self.queue_or_ship(p, TAG_WORK, work);
+        Ok(())
+    }
+
+    /// The `TAG_UNIT` for picture `p` was lost in transit. Conceal: ack
+    /// the root so the picture pipeline keeps moving, then ship empty
+    /// [`TAG_TIMEOUT`] work units (behind the usual previous-acks gate)
+    /// so every decoder knows to conceal this picture too.
+    fn on_unit_lost(&mut self, p: usize) {
+        self.outq
+            .push_back((0, TAG_ACK_ROOT, Bytes::from(encode_ack(p as u32))));
+        let work = vec![Bytes::new(); self.d_count];
+        self.queue_or_ship(p, TAG_TIMEOUT, work);
+    }
+
+    /// Parks picture `p`'s work behind the previous picture's acks, or
+    /// ships it immediately when no gate applies.
+    fn queue_or_ship(&mut self, p: usize, tag: u32, work: Vec<Bytes>) {
         if p >= 1 && !self.skip_prev_ack_wait {
             self.phase = SplitterPhase::AwaitPrevAcks {
                 p,
                 remaining: self.d_count,
+                tag,
                 work,
             };
         } else {
-            self.ship(p, work);
+            self.ship(p, tag, work);
         }
-        Ok(())
     }
 
     /// Ships picture `p`'s work units and advances to the next assigned
     /// picture (or the end-of-stream handshake).
-    fn ship(&mut self, p: usize, work: Vec<Bytes>) {
+    fn ship(&mut self, p: usize, tag: u32, work: Vec<Bytes>) {
         for (d, payload) in work.into_iter().enumerate() {
-            self.outq.push_back((1 + self.k + d, TAG_WORK, payload));
+            self.outq.push_back((1 + self.k + d, tag, payload));
         }
         let next = p + self.k;
         self.phase = if next < self.n {
@@ -425,18 +504,39 @@ impl SplitterMachine {
     /// Runs the selective receive against the buffer until no parked
     /// message matches the current phase.
     fn pump(&mut self) -> std::result::Result<(), String> {
+        // Timeouts are matched against the phase they can belong to on
+        // that *link*: root-link timeouts (`from == 0`) stand in for lost
+        // units / the lost END, decoder-link timeouts (`from >= 1 + k`)
+        // stand in for lost acks. Per-link FIFO makes the positional
+        // match exact.
+        let resilient = self.resilient;
+        let first_decoder = 1 + self.k;
         loop {
             match self.phase.clone() {
                 SplitterPhase::AwaitUnit { p } => {
-                    let Some(i) = self.buf.iter().position(|m| m.tag == TAG_UNIT) else {
+                    let Some(i) = self.buf.iter().position(|m| {
+                        m.tag == TAG_UNIT || (resilient && m.tag == TAG_TIMEOUT && m.from == 0)
+                    }) else {
                         break;
                     };
                     let Some(m) = self.buf.remove(i) else { break };
-                    self.on_unit(m, p)?;
+                    if m.tag == TAG_TIMEOUT {
+                        self.on_unit_lost(p);
+                    } else {
+                        self.on_unit(m, p)?;
+                    }
                 }
-                SplitterPhase::AwaitPrevAcks { p, remaining, work } => {
+                SplitterPhase::AwaitPrevAcks {
+                    p,
+                    remaining,
+                    tag,
+                    work,
+                } => {
                     let want = p as u32 - 1;
-                    let Some(i) = self.buf.iter().position(|m| is_ack(m, want)) else {
+                    let Some(i) = self.buf.iter().position(|m| {
+                        is_ack(m, want)
+                            || (resilient && m.tag == TAG_TIMEOUT && m.from >= first_decoder)
+                    }) else {
                         break;
                     };
                     self.buf.remove(i);
@@ -444,14 +544,17 @@ impl SplitterMachine {
                         self.phase = SplitterPhase::AwaitPrevAcks {
                             p,
                             remaining: remaining - 1,
+                            tag,
                             work,
                         };
                     } else {
-                        self.ship(p, work);
+                        self.ship(p, tag, work);
                     }
                 }
                 SplitterPhase::AwaitEnd => {
-                    let Some(i) = self.buf.iter().position(|m| m.tag == TAG_END) else {
+                    let Some(i) = self.buf.iter().position(|m| {
+                        m.tag == TAG_END || (resilient && m.tag == TAG_TIMEOUT && m.from == 0)
+                    }) else {
                         break;
                     };
                     self.buf.remove(i);
@@ -470,7 +573,10 @@ impl SplitterMachine {
                 }
                 SplitterPhase::DrainFinalAcks { remaining } => {
                     let want = self.n as u32 - 1;
-                    let Some(i) = self.buf.iter().position(|m| is_ack(m, want)) else {
+                    let Some(i) = self.buf.iter().position(|m| {
+                        is_ack(m, want)
+                            || (resilient && m.tag == TAG_TIMEOUT && m.from >= first_decoder)
+                    }) else {
                         break;
                     };
                     self.buf.remove(i);
@@ -497,6 +603,11 @@ impl SplitterMachine {
             return Ok(Effect::Send { to, tag, payload });
         }
         if self.phase == SplitterPhase::Finished {
+            if self.resilient {
+                // Under loss, late timeouts and over-concealed strays can
+                // outlive the protocol; discard rather than poison.
+                self.buf.clear();
+            }
             if let Some(m) = self.buf.front() {
                 return Err(format!(
                     "splitter {} finished with unconsumed message tag {} from node {}",
@@ -520,6 +631,8 @@ pub struct DecoderMachine {
     d: usize,
     k: usize,
     n: usize,
+    /// Decoders in the system (tile count) — the conceal broadcast fan-out.
+    d_total: usize,
     dec: TileDecoder,
     buf: VecDeque<Msg>,
     outq: VecDeque<Outgoing>,
@@ -527,6 +640,8 @@ pub struct DecoderMachine {
     /// Per-picture context while gathering MEI blocks.
     cur: Option<PictureCtx>,
     emitted: Vec<DisplayTile>,
+    /// Conceal on [`TAG_TIMEOUT`] instead of erroring (lossy channels).
+    resilient: bool,
 }
 
 #[derive(Clone, Hash, PartialEq, Eq)]
@@ -578,13 +693,21 @@ impl DecoderMachine {
             d,
             k,
             n,
+            d_total: geom.tiles() as usize,
             dec: TileDecoder::new(geom, tile, seq, halo),
             buf: VecDeque::new(),
             outq: VecDeque::new(),
             phase,
             cur: None,
             emitted: Vec::new(),
+            resilient: false,
         }
+    }
+
+    /// Enables timeout concealment (lossy-channel operation).
+    pub fn with_resilience(mut self, on: bool) -> Self {
+        self.resilient = on;
+        self
     }
 
     /// Display tiles produced so far (drained; ordered by decode time).
@@ -639,6 +762,42 @@ impl DecoderMachine {
         Ok(())
     }
 
+    /// The node that feeds this decoder picture `p`: the console in a
+    /// one-level system, splitter `p mod k` otherwise.
+    fn feeder_for(&self, p: u32) -> usize {
+        if self.k == 0 {
+            0
+        } else {
+            1 + (p as usize % self.k)
+        }
+    }
+
+    /// Picture `p`'s work unit was lost (or the feeder concealed the
+    /// whole picture and shipped `TAG_TIMEOUT` work). Conceal: ack the
+    /// node the lost ANID would have named — it is deterministic, the
+    /// feeder of `p + 1` — tell every peer decoder no reference blocks
+    /// are coming from this tile, and skip the picture without decoding.
+    fn on_work_lost(&mut self, p: u32) {
+        let anid = self.feeder_for(p + 1);
+        self.outq
+            .push_back((anid, TAG_ACK_SPLIT, Bytes::from(encode_ack(p))));
+        for peer in 0..self.d_total {
+            if peer != self.d {
+                self.outq
+                    .push_back((1 + self.k + peer, TAG_TIMEOUT, Bytes::new()));
+            }
+        }
+        self.emitted.extend(self.dec.conceal_picture());
+        let next = p + 1;
+        self.phase = if (next as usize) < self.n {
+            DecoderPhase::AwaitWork { p: next }
+        } else {
+            DecoderPhase::AwaitEnds {
+                remaining: self.k.max(1),
+            }
+        };
+    }
+
     /// Decodes picture `p` once every announced block has arrived, then
     /// advances.
     fn finish_picture(&mut self) -> std::result::Result<(), String> {
@@ -651,10 +810,15 @@ impl DecoderMachine {
         // Warm the halo tiles the pixel pass is about to read: the MEI
         // RECV list names exactly this picture's remote reference blocks.
         self.dec.prefetch_references(ctx.kind, &ctx.mei);
-        let tiles = self
-            .dec
-            .decode(&ctx.subpicture)
-            .map_err(|e| format!("decoder {}: {e}", self.d))?;
+        let tiles = match self.dec.decode(&ctx.subpicture) {
+            Ok(tiles) => tiles,
+            // A decode downstream of a concealed picture can fail on
+            // state the loss corrupted (a reference that never
+            // materialised); conceal this picture too rather than
+            // poison the node.
+            Err(_) if self.resilient => self.dec.conceal_picture(),
+            Err(e) => return Err(format!("decoder {}: {e}", self.d)),
+        };
         self.emitted.extend(tiles);
         let next = ctx.subpicture.picture_id + 1;
         self.phase = if (next as usize) < self.n {
@@ -668,14 +832,28 @@ impl DecoderMachine {
     }
 
     fn pump(&mut self) -> std::result::Result<(), String> {
+        // Timeout matching is link-precise: a feeder timeout in
+        // `AwaitWork { p }` is accepted only from the feeder of `p`
+        // (per-link FIFO makes the next message on that link picture
+        // `p`'s work unit); a lost END from an already-finished other
+        // splitter stays buffered for `AwaitEnds`. Peer timeouts are
+        // matched only against peers still owing blocks.
+        let resilient = self.resilient;
         loop {
             match self.phase.clone() {
                 DecoderPhase::AwaitWork { p } => {
-                    let Some(i) = self.buf.iter().position(|m| m.tag == TAG_WORK) else {
+                    let feeder = self.feeder_for(p);
+                    let Some(i) = self.buf.iter().position(|m| {
+                        m.tag == TAG_WORK || (resilient && m.tag == TAG_TIMEOUT && m.from == feeder)
+                    }) else {
                         break;
                     };
                     let Some(m) = self.buf.remove(i) else { break };
-                    self.on_work(m, p)?;
+                    if m.tag == TAG_TIMEOUT {
+                        self.on_work_lost(p);
+                    } else {
+                        self.on_work(m, p)?;
+                    }
                 }
                 DecoderPhase::AwaitBlocks { p } => {
                     let Some(ctx) = self.cur.as_mut() else {
@@ -689,14 +867,29 @@ impl DecoderMachine {
                         continue;
                     }
                     let expected = &ctx.expected;
+                    let first_peer = 1 + self.k;
                     let found = self.buf.iter().position(|m| {
-                        m.tag == TAG_BLOCKS
+                        (m.tag == TAG_BLOCKS
                             && decode_blocks(&m.payload)
                                 .map(|(pid, src, _)| pid == p && expected.contains(&src))
-                                .unwrap_or(false)
+                                .unwrap_or(false))
+                            || (resilient
+                                && m.tag == TAG_TIMEOUT
+                                && m.from >= first_peer
+                                && expected.contains(&((m.from - first_peer) as u16)))
                     });
                     let Some(i) = found else { break };
                     let Some(m) = self.buf.remove(i) else { break };
+                    if m.tag == TAG_TIMEOUT {
+                        // The announced blocks (or the peer's whole
+                        // picture) are gone; decode without them. The
+                        // halo keeps its previous-picture pixels.
+                        let src = (m.from - first_peer) as u16;
+                        if let Some(ctx) = self.cur.as_mut() {
+                            ctx.expected.remove(&src);
+                        }
+                        continue;
+                    }
                     let (_, src, blocks) = decode_blocks(&m.payload)
                         .map_err(|e| format!("decoder {}: {e}", self.d))?;
                     let Some(ctx) = self.cur.as_mut() else {
@@ -711,7 +904,13 @@ impl DecoderMachine {
                     ctx.expected.remove(&src);
                 }
                 DecoderPhase::AwaitEnds { remaining } => {
-                    let Some(i) = self.buf.iter().position(|m| m.tag == TAG_END) else {
+                    // All work units were consumed (decoded or concealed)
+                    // in `AwaitWork`, so the one message left per feeder
+                    // link is its END — a feeder timeout here is exactly
+                    // a lost END.
+                    let Some(i) = self.buf.iter().position(|m| {
+                        m.tag == TAG_END || (resilient && m.tag == TAG_TIMEOUT && m.from <= self.k)
+                    }) else {
                         break;
                     };
                     self.buf.remove(i);
@@ -741,6 +940,12 @@ impl DecoderMachine {
             return Ok(Effect::Send { to, tag, payload });
         }
         if self.phase == DecoderPhase::Finished {
+            if self.resilient {
+                // Blocks for concealed pictures, late timeouts, and peer
+                // conceal broadcasts that matched nothing can outlive the
+                // protocol under loss; discard rather than poison.
+                self.buf.clear();
+            }
             if let Some(m) = self.buf.front() {
                 return Err(format!(
                     "decoder {} finished with unconsumed message tag {} from node {}",
@@ -820,33 +1025,29 @@ pub fn build_machines(cfg: &SystemConfig, stream: &[u8]) -> Result<MachineSet> {
     let k = cfg.k;
     let d_count = cfg.decoders();
     let n = index.units.len();
+    let resilient = cfg.policy.is_resilient();
     let mut machines = Vec::with_capacity(1 + k + d_count);
     if k == 0 {
-        machines.push(NodeMachine::OneLevelRoot(OneLevelRootMachine::new(
-            stream, &index, d_count, &seq, geom,
-        )?));
+        machines.push(NodeMachine::OneLevelRoot(
+            OneLevelRootMachine::new(stream, &index, d_count, &seq, geom)?
+                .with_resilience(resilient),
+        ));
     } else {
-        machines.push(NodeMachine::Root(RootMachine::new(stream, &index, k)));
+        machines.push(NodeMachine::Root(
+            RootMachine::new(stream, &index, k).with_resilience(resilient),
+        ));
         for s in 0..k {
-            machines.push(NodeMachine::Splitter(SplitterMachine::new(
-                s,
-                k,
-                n,
-                d_count,
-                seq.clone(),
-                geom,
-            )));
+            machines.push(NodeMachine::Splitter(
+                SplitterMachine::new(s, k, n, d_count, seq.clone(), geom)
+                    .with_resilience(resilient),
+            ));
         }
     }
     for d in 0..d_count {
-        machines.push(NodeMachine::Decoder(DecoderMachine::new(
-            d,
-            k,
-            n,
-            seq.clone(),
-            geom,
-            cfg.halo_margin,
-        )));
+        machines.push(NodeMachine::Decoder(
+            DecoderMachine::new(d, k, n, seq.clone(), geom, cfg.halo_margin)
+                .with_resilience(resilient),
+        ));
     }
     Ok(MachineSet {
         machines,

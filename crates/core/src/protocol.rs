@@ -8,6 +8,7 @@
 //! | [`TAG_ACK_SPLIT`] | decoder → splitter (ANID) | picture id |
 //! | [`TAG_BLOCKS`] | decoder → decoder | picture id, source tile, reference blocks |
 //! | [`TAG_END`] | root → splitter → decoder | — |
+//! | [`TAG_TIMEOUT`] | any (lossy channels) | — |
 //!
 //! Node numbering matches the simulator: 0 = root (and the single
 //! macroblock splitter in a one-level system), then `k` splitters, then
@@ -31,6 +32,19 @@ pub const TAG_ACK_SPLIT: u32 = 4;
 pub const TAG_BLOCKS: u32 = 5;
 /// Stream end.
 pub const TAG_END: u32 = 6;
+/// A receive timeout fired on a lossy channel: the message that was in
+/// flight from `from` is gone. Carried by no real GM traffic — it is
+/// synthesised by the lossy model checker ([`LossyConfig`]) and, between
+/// decoders, sent explicitly by a node that concealed a picture to tell
+/// its peers no reference blocks are coming. Machines running under
+/// [`ErrorPolicy::Resilient`] conceal on it (count a lost ack, skip a
+/// lost picture, decode without the lost blocks); strict machines report
+/// it as a protocol error, which is exactly the conceal-vs-poison split
+/// the lossy model-check proves deadlock-free.
+///
+/// [`LossyConfig`]: tiledec_cluster::modelcheck::LossyConfig
+/// [`ErrorPolicy::Resilient`]: tiledec_mpeg2::ErrorPolicy::Resilient
+pub const TAG_TIMEOUT: u32 = 7;
 
 /// Encodes a picture-unit message (root → splitter).
 pub fn encode_unit(picture_id: u32, nsid: u16, unit: &[u8]) -> Vec<u8> {

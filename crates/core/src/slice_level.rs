@@ -103,6 +103,36 @@ impl ReferenceFetcher for BandRefs<'_> {
     }
 }
 
+/// Runs the slice-level baseline under
+/// [`ErrorPolicy::Resilient`](tiledec_mpeg2::ErrorPolicy::Resilient):
+/// strict first, and on any decode error a deterministic
+/// [`tiledec_mpeg2::repair_stream`] pass followed by a strict rerun over
+/// the repaired bytes. Configuration errors (`bands == 0`) are reported
+/// as such, never "repaired".
+pub fn run_slice_level_resilient(
+    stream: &[u8],
+    bands: usize,
+    display_columns: u32,
+) -> Result<(SliceLevelResult, tiledec_mpeg2::StreamDamage)> {
+    if bands == 0 {
+        return Err(CoreError::Config("need at least one band".into()));
+    }
+    match run_slice_level(stream, bands, display_columns) {
+        Ok(r) => Ok((r, tiledec_mpeg2::StreamDamage::clean())),
+        Err(_) => {
+            let repaired = tiledec_mpeg2::repair_stream(stream).map_err(CoreError::Codec)?;
+            let mut result =
+                run_slice_level(&repaired.bytes, bands, display_columns).map_err(|e| {
+                    CoreError::Codec(tiledec_mpeg2::Error::Syntax(format!(
+                        "repair invariant violated: {e}"
+                    )))
+                })?;
+            tiledec_mpeg2::apply_display_patches(&mut result.frames, &repaired.patches);
+            Ok((result, repaired.damage))
+        }
+    }
+}
+
 /// Runs the slice-level baseline with `bands` horizontal bands on an
 /// `m`-column display wall (the column count only affects the
 /// redistribution accounting).

@@ -240,7 +240,7 @@ pub fn encode_picture_info(w: &mut WireWriter, pi: &PictureInfo) {
         }
     }
     w.u8(pi.intra_dc_precision);
-    w.u8((pi.q_scale_type as u8) | (pi.alternate_scan as u8) << 1);
+    w.u8((pi.q_scale_type as u8) | (pi.alternate_scan as u8) << 1 | (pi.concealment_mv as u8) << 2);
     w.u16(pi.vbv_delay);
 }
 
@@ -260,6 +260,7 @@ pub fn decode_picture_info(r: &mut WireReader<'_>) -> Result<PictureInfo> {
     let flags = r.u8()?;
     pi.q_scale_type = flags & 1 != 0;
     pi.alternate_scan = flags & 2 != 0;
+    pi.concealment_mv = flags & 4 != 0;
     pi.vbv_delay = r.u16()?;
     Ok(pi)
 }

@@ -23,6 +23,7 @@ use std::sync::mpsc;
 use tiledec_cluster::gm::{Endpoint, NodeId, ThreadCluster};
 use tiledec_cluster::modelcheck::{Effect, Msg, Process};
 use tiledec_mpeg2::frame::Frame;
+use tiledec_mpeg2::{apply_display_patches, repair_stream, StreamDamage};
 use tiledec_wall::{Wall, WallGeometry};
 
 use crate::config::SystemConfig;
@@ -42,6 +43,10 @@ pub struct PlaybackResult {
     pub pictures: usize,
     /// The wall geometry used.
     pub geometry: WallGeometry,
+    /// What was repaired to produce this playback. Always clean under
+    /// [`ErrorPolicy::Strict`](tiledec_mpeg2::ErrorPolicy::Strict) and
+    /// when a resilient playback needed no repair.
+    pub damage: StreamDamage,
 }
 
 /// The `1-k-(m,n)` system running on real threads.
@@ -57,7 +62,39 @@ impl ThreadedSystem {
 
     /// Plays back a whole elementary stream, returning the assembled
     /// frames.
+    ///
+    /// Under [`ErrorPolicy::Resilient`](tiledec_mpeg2::ErrorPolicy::Resilient)
+    /// (see [`SystemConfig::with_policy`]) a failed strict playback is
+    /// retried once over the deterministically repaired stream
+    /// ([`tiledec_mpeg2::repair_stream`]): the cluster plays ordinary
+    /// valid slices — concealed rows included — so poisoning never fires
+    /// for recoverable damage, and the assembled wall stays bit-exact
+    /// with [`tiledec_mpeg2::decode_all_resilient`]. Only structurally
+    /// unrecoverable streams (no usable sequence header) still error.
     pub fn play(&self, stream: &[u8]) -> Result<PlaybackResult> {
+        if !self.cfg.policy.is_resilient() {
+            return self.play_strict(stream);
+        }
+        match self.play_strict(stream) {
+            Ok(result) => Ok(result),
+            Err(CoreError::Config(e)) => Err(CoreError::Config(e)),
+            Err(_) => {
+                let repaired = repair_stream(stream).map_err(CoreError::Codec)?;
+                let mut result = self.play_strict(&repaired.bytes).map_err(|e| match e {
+                    CoreError::Config(c) => CoreError::Config(c),
+                    other => CoreError::Codec(tiledec_mpeg2::Error::Syntax(format!(
+                        "repair invariant violated: {other}"
+                    ))),
+                })?;
+                apply_display_patches(&mut result.frames, &repaired.patches);
+                result.damage = repaired.damage;
+                Ok(result)
+            }
+        }
+    }
+
+    /// The strict (first-error-fails) playback path.
+    fn play_strict(&self, stream: &[u8]) -> Result<PlaybackResult> {
         let set = build_machines(&self.cfg, stream)?;
         let geom = set.geometry;
         let k = set.k;
@@ -141,6 +178,7 @@ impl ThreadedSystem {
             traffic: cluster.traffic().snapshot(),
             pictures: n,
             geometry: geom,
+            damage: StreamDamage::clean(),
         })
     }
 }

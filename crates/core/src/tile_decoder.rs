@@ -360,6 +360,36 @@ impl TileDecoder {
         }
     }
 
+    /// Conceals a picture whose sub-picture never arrived (lost work unit
+    /// on a lossy channel). The newest reference stands in for the lost
+    /// picture — classic temporal concealment — so the reference chain,
+    /// and with it every later decode, stays legal; a loss before the
+    /// first reference conceals to a black tile. Reference and display
+    /// bookkeeping advance exactly as for a decoded reference picture.
+    pub fn conceal_picture(&mut self) -> Option<DisplayTile> {
+        let (w, h) = (self.ext_rect.w as usize, self.ext_rect.h as usize);
+        let mut current = self.pool.acquire_zeroed_tiled(w, h);
+        if let Some(prev) = self.bwd.as_ref() {
+            current.y.blit_from(&prev.y, 0, 0, 0, 0, w, h);
+            current.cb.blit_from(&prev.cb, 0, 0, 0, 0, w / 2, h / 2);
+            current.cr.blit_from(&prev.cr, 0, 0, 0, 0, w / 2, h / 2);
+        }
+        let out = self.held.take().map(|prev| {
+            let tile = DisplayTile {
+                display_index: self.emitted,
+                frame: prev,
+            };
+            self.emitted += 1;
+            tile
+        });
+        self.held = Some(self.crop_own(&current));
+        let retired = std::mem::replace(&mut self.fwd, self.bwd.replace(current));
+        if let Some(old) = retired {
+            self.pool.release(old);
+        }
+        out
+    }
+
     /// Returns a consumed frame's allocation to the decoder's pool so the
     /// steady-state hot path stops allocating. Callers hand back the
     /// [`DisplayTile`] frames they have finished displaying (or encoding

@@ -61,7 +61,7 @@ use tiledec_mpeg2::recon::{FrameSink, Reconstructor};
 use tiledec_mpeg2::slice::{parse_slice, SliceContext};
 use tiledec_mpeg2::types::{PictureInfo, PictureKind, SequenceInfo};
 use tiledec_mpeg2::vld::{record_slice, replay_slice, SliceRecording};
-use tiledec_mpeg2::Frame;
+use tiledec_mpeg2::{apply_display_patches, repair_stream, Frame, StreamDamage};
 
 /// Environment variable selecting the worker count for binaries that call
 /// [`ParallelVldDecoder::from_env`] (0 or unset = sequential decode).
@@ -703,6 +703,34 @@ impl ParallelVldDecoder {
         let mut frames = Vec::new();
         self.decode_stream(data, |f, _| frames.push(f.clone()))?;
         Ok(frames)
+    }
+
+    /// Decodes a whole stream under [`ErrorPolicy::Resilient`]
+    /// (`tiledec_mpeg2::ErrorPolicy`): an optimistic strict pass first,
+    /// and on failure a deterministic [`repair_stream`] followed by a
+    /// strict decode of the repaired bytes. Because the repaired stream
+    /// is an ordinary valid elementary stream, the parallel result is
+    /// bit-exact with [`tiledec_mpeg2::decode_all_resilient`] by
+    /// construction — workers replay the same slices the sequential
+    /// decoder would.
+    ///
+    /// [`repair_stream`]: tiledec_mpeg2::repair_stream
+    /// [`ErrorPolicy::Resilient`]: tiledec_mpeg2::ErrorPolicy::Resilient
+    pub fn decode_all_resilient(
+        &mut self,
+        data: &[u8],
+    ) -> tiledec_mpeg2::Result<(Vec<Frame>, StreamDamage)> {
+        match self.decode_all(data) {
+            Ok(frames) => Ok((frames, StreamDamage::clean())),
+            Err(_) => {
+                let repaired = repair_stream(data)?;
+                let mut frames = self.decode_all(&repaired.bytes).map_err(|e| {
+                    tiledec_mpeg2::Error::Syntax(format!("repair invariant violated: {e}"))
+                })?;
+                apply_display_patches(&mut frames, &repaired.patches);
+                Ok((frames, repaired.damage))
+            }
+        }
     }
 }
 

@@ -150,4 +150,21 @@ fn steady_state_decode_is_allocation_free() {
             "picture {p} decoder {d}: {n} heap allocations in steady state"
         );
     }
+
+    // Concealment shares the budget: with the pool warm, synthesizing a
+    // temporal-copy picture for a lost work unit must also be free — it
+    // acquires recycled pool frames and blits, nothing else.
+    for (d, dec) in decoders.iter_mut().enumerate() {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let displayed = dec.conceal_picture();
+        let after = ALLOCS.load(Ordering::Relaxed);
+        if let Some(dt) = displayed {
+            dec.recycle(dt.frame);
+        }
+        assert_eq!(
+            after - before,
+            0,
+            "decoder {d}: concealment allocated in steady state"
+        );
+    }
 }

@@ -60,6 +60,10 @@ pub struct EncoderConfig {
     pub intra_dc_precision: u8,
     /// Non-linear quantiser scale mapping.
     pub q_scale_type: bool,
+    /// Emit `concealment_motion_vectors` in I and P pictures: every intra
+    /// macroblock carries a forward vector a decoder can use to conceal
+    /// the macroblock below it if that slice is lost (§7.6.3.9).
+    pub concealment_mvs: bool,
 }
 
 impl Default for EncoderConfig {
@@ -77,6 +81,7 @@ impl Default for EncoderConfig {
             alternate_scan: false,
             intra_dc_precision: 0,
             q_scale_type: false,
+            concealment_mvs: false,
         }
     }
 }
@@ -270,7 +275,11 @@ impl Encoder {
         next_recon: Option<&Frame>,
     ) -> Result<Frame> {
         let fc = mvtab::f_code_for(2 * self.cfg.search_range as i32 + 1);
+        // Concealment vectors are forward vectors, so an I picture carrying
+        // them needs a valid forward f_code.
+        let cmv = self.cfg.concealment_mvs && kind != PictureKind::B;
         let f_code = match kind {
+            PictureKind::I if cmv => [[fc, fc], [15, 15]],
             PictureKind::I => [[15, 15], [15, 15]],
             PictureKind::P => [[fc, fc], [15, 15]],
             PictureKind::B => [[fc, fc], [fc, fc]],
@@ -279,6 +288,7 @@ impl Encoder {
         pi.intra_dc_precision = self.cfg.intra_dc_precision;
         pi.q_scale_type = self.cfg.q_scale_type;
         pi.alternate_scan = self.cfg.alternate_scan;
+        pi.concealment_mv = cmv;
         headers::write_picture_header(w, &pi);
         headers::write_picture_coding_extension(w, &pi);
 
@@ -320,6 +330,7 @@ impl Encoder {
                 pending_skips: 0,
                 hint: [MotionVector::ZERO; 2],
                 kind,
+                cmv_ref: if cmv { next_recon } else { None },
             };
             write_slice_header(pe.w, row, base_q);
             for col in 0..mbw {
@@ -371,6 +382,10 @@ struct PictureEncoder<'a> {
     /// Motion hints per direction from the previous macroblock.
     hint: [MotionVector; 2],
     kind: PictureKind,
+    /// Search reference for concealment motion vectors (the previous
+    /// reference frame in coding order); `None` disables them or falls
+    /// back to zero vectors when no reference exists yet.
+    cmv_ref: Option<&'a Frame>,
 }
 
 /// A fully decided macroblock, ready to write.
@@ -421,7 +436,26 @@ impl PictureEncoder<'_> {
         }
         let effective_q = self.state.qscale_code;
         match plan.motion {
-            MbMotion::Intra => {}
+            MbMotion::Intra => {
+                if self.ctx.pic.concealment_mv {
+                    let mv = match self.cmv_ref {
+                        Some(rf) => {
+                            search(
+                                &self.src.y,
+                                rf,
+                                px,
+                                py,
+                                self.hint[0],
+                                self.cfg.search_range as i32,
+                            )
+                            .mv
+                        }
+                        None => MotionVector::ZERO,
+                    };
+                    self.write_motion_vector(0, mv);
+                    self.w.put_bit(1); // marker_bit after concealment vectors
+                }
+            }
             MbMotion::Forward(f) => {
                 if flags.motion_forward {
                     self.write_motion_vector(0, f);
@@ -458,7 +492,9 @@ impl PictureEncoder<'_> {
             }
         }
         if flags.intra {
-            self.state.reset_pmv();
+            if !self.ctx.pic.concealment_mv {
+                self.state.reset_pmv();
+            }
         } else {
             self.state.reset_dc(self.ctx.pic.intra_dc_precision);
         }
@@ -472,6 +508,7 @@ impl PictureEncoder<'_> {
             flags,
             qscale_code: effective_q,
             motion: plan.motion,
+            concealment_mv: None,
             cbp: plan.cbp,
             skipped_before: 0,
             entry: self.state.clone(),

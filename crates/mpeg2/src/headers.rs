@@ -248,10 +248,7 @@ pub fn parse_picture_coding_extension(r: &mut BitReader<'_>, pi: &mut PictureInf
     if frame_pred_frame_dct != 1 {
         return Err(Error::Unsupported("frame_pred_frame_dct = 0"));
     }
-    let concealment = r.read_bit()?;
-    if concealment != 0 {
-        return Err(Error::Unsupported("concealment motion vectors"));
-    }
+    pi.concealment_mv = r.read_bit()? == 1;
     pi.q_scale_type = r.read_bit()? == 1;
     let intra_vlc_format = r.read_bit()?;
     if intra_vlc_format != 0 {
@@ -281,7 +278,7 @@ pub fn write_picture_coding_extension(w: &mut BitWriter, pi: &PictureInfo) {
     w.put_bits(0b11, 2); // frame picture
     w.put_bit(0); // top_field_first
     w.put_bit(1); // frame_pred_frame_dct
-    w.put_bit(0); // concealment_motion_vectors
+    w.put_bit(pi.concealment_mv as u32);
     w.put_bit(pi.q_scale_type as u32);
     w.put_bit(0); // intra_vlc_format
     w.put_bit(pi.alternate_scan as u32);
@@ -362,11 +359,18 @@ mod tests {
 
     #[test]
     fn picture_headers_round_trip() {
-        for kind in [PictureKind::I, PictureKind::P, PictureKind::B] {
+        for (kind, cmv) in [
+            (PictureKind::I, false),
+            (PictureKind::P, false),
+            (PictureKind::B, false),
+            (PictureKind::I, true),
+            (PictureKind::P, true),
+        ] {
             let mut pi = PictureInfo::new(kind, 7, [[3, 2], [2, 3]]);
             pi.q_scale_type = true;
             pi.alternate_scan = true;
             pi.intra_dc_precision = 1;
+            pi.concealment_mv = cmv;
             let mut w = BitWriter::new();
             write_picture_header(&mut w, &pi);
             write_picture_coding_extension(&mut w, &pi);

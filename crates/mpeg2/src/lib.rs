@@ -49,6 +49,7 @@ pub mod motion;
 pub mod parser;
 pub mod quant;
 pub mod recon;
+pub mod resilient;
 pub mod slice;
 pub mod tables;
 pub mod timing;
@@ -60,4 +61,8 @@ pub use decoder::{decode_all, Decoder, InlineSlices, SliceExecutor};
 pub use encoder::{Encoder, EncoderConfig};
 pub use error::{Error, Result};
 pub use frame::{Frame, FramePool, Layout, Plane, RowMajorPlane};
+pub use resilient::{
+    apply_display_patches, decode_all_resilient, repair_stream, DamageReport, DisplayPatch,
+    ErrorPolicy, PatchRow, RepairedStream, StreamDamage,
+};
 pub use types::{MotionVector, PictureKind, SequenceInfo};

@@ -142,6 +142,11 @@ pub struct MbMeta {
     pub qscale_code: u8,
     /// Prediction performed.
     pub motion: MbMotion,
+    /// Concealment motion vector carried by an intra macroblock when the
+    /// picture has `concealment_motion_vectors` set (§7.6.3.9). Never used
+    /// for reconstruction; decoders may use it to conceal the macroblock
+    /// *below* this one when that macroblock's slice is lost.
+    pub concealment_mv: Option<MotionVector>,
     /// Coded block pattern (bit 5 = Y0 … bit 0 = Cr).
     pub cbp: u8,
     /// Number of skipped macroblocks immediately before this one.
@@ -329,7 +334,14 @@ pub fn parse_one_macroblock(
         st.pred.qscale_code = q;
     }
 
+    let mut concealment_mv = None;
     let motion = if flags.intra {
+        if ctx.pic.concealment_mv {
+            // §7.6.3.9: a forward vector (updating the predictors the usual
+            // way) followed by a marker bit, carried for concealment only.
+            concealment_mv = Some(decode_motion_vector(r, ctx, st, 0)?);
+            r.marker_bit()?;
+        }
         MbMotion::Intra
     } else {
         let fwd = if flags.motion_forward {
@@ -360,7 +372,11 @@ pub fn parse_one_macroblock(
     };
 
     if flags.intra {
-        st.pred.reset_pmv();
+        // §7.6.3.4: intra macroblocks keep the motion predictors alive when
+        // the picture carries concealment motion vectors.
+        if !ctx.pic.concealment_mv {
+            st.pred.reset_pmv();
+        }
     } else {
         st.pred.reset_dc(ctx.pic.intra_dc_precision);
     }
@@ -402,6 +418,7 @@ pub fn parse_one_macroblock(
         flags,
         qscale_code: st.pred.qscale_code,
         motion,
+        concealment_mv,
         cbp,
         skipped_before,
         entry,

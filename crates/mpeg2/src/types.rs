@@ -141,6 +141,9 @@ pub struct PictureInfo {
     pub q_scale_type: bool,
     /// `alternate_scan`: false = zigzag, true = alternate.
     pub alternate_scan: bool,
+    /// `concealment_motion_vectors`: intra macroblocks carry a forward
+    /// motion vector intended purely for error concealment (§7.6.3.9).
+    pub concealment_mv: bool,
     /// `full_pel_*_vector` flags are always 0 in MPEG-2; kept for syntax.
     pub vbv_delay: u16,
 }
@@ -155,6 +158,7 @@ impl PictureInfo {
             intra_dc_precision: 0,
             q_scale_type: false,
             alternate_scan: false,
+            concealment_mv: false,
             vbv_delay: 0xFFFF,
         }
     }

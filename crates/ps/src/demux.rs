@@ -16,37 +16,94 @@ pub struct DemuxOutput {
     pub pts: Vec<(usize, ClockStamp)>,
     /// SCR values from the pack headers, in order.
     pub scr: Vec<ClockStamp>,
+    /// Bytes discarded while resynchronising after damaged headers.
+    /// Always zero under [`demux_video`]; only
+    /// [`demux_video_resilient`] skips.
+    pub bytes_skipped: u64,
 }
 
-/// Extracts the single video elementary stream from a program stream.
+/// Extracts the single video elementary stream from a program stream,
+/// failing on the first malformed header.
 pub fn demux_video(ps: &[u8]) -> Result<DemuxOutput> {
+    demux_video_with(ps, false)
+}
+
+/// Extracts the video elementary stream from a *damaged* program stream:
+/// a corrupt pack, system or PES header abandons the current pack and
+/// resynchronises at the next pack start code (`00 00 01 BA`), counting
+/// the discarded bytes in [`DemuxOutput::bytes_skipped`]. Audio packets
+/// are skipped by their length instead of erroring. Structural failures —
+/// no pack header anywhere — still error, as do well-formed streams using
+/// unsupported features (MPEG-1, scrambling) before the first damage.
+pub fn demux_video_resilient(ps: &[u8]) -> Result<DemuxOutput> {
+    demux_video_with(ps, true)
+}
+
+/// Byte offset of the next pack start code strictly after `pos`, if any.
+fn next_pack(ps: &[u8], pos: usize) -> Option<usize> {
+    let mut i = pos + 1;
+    while i + 4 <= ps.len() {
+        if ps[i] == 0 && ps[i + 1] == 0 && ps[i + 2] == 1 && ps[i + 3] == PACK_CODE {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+fn demux_video_with(ps: &[u8], resilient: bool) -> Result<DemuxOutput> {
     let mut pos = 0usize;
     let mut out = DemuxOutput {
         video_es: Vec::new(),
         pts: Vec::new(),
         scr: Vec::new(),
+        bytes_skipped: 0,
     };
     let mut saw_pack = false;
+    // Resync discipline: on a recoverable error at `pos`, jump to the
+    // next pack start code and charge the gap to `bytes_skipped`; with no
+    // pack left the stream is exhausted.
+    macro_rules! step {
+        ($e:expr) => {
+            match $e {
+                Ok(v) => v,
+                Err(_) if resilient => match next_pack(ps, pos) {
+                    Some(p) => {
+                        out.bytes_skipped += (p - pos) as u64;
+                        pos = p;
+                        continue;
+                    }
+                    None => {
+                        out.bytes_skipped += (ps.len() - pos) as u64;
+                        break;
+                    }
+                },
+                Err(err) => return Err(err),
+            }
+        };
+    }
     while pos + 4 <= ps.len() {
         if ps[pos] != 0 || ps[pos + 1] != 0 || ps[pos + 2] != 1 {
-            return Err(PsError::Syntax(format!(
+            step!(Err::<(), PsError>(PsError::Syntax(format!(
                 "expected start code at byte {pos}, found {:02x}{:02x}{:02x}",
                 ps[pos],
                 ps[pos + 1],
                 ps[pos + 2]
-            )));
+            ))));
         }
         let code = ps[pos + 3];
         match code {
             PACK_CODE => {
-                let (scr, next) = parse_pack_header(ps, pos)?;
+                let (scr, next) = step!(parse_pack_header(ps, pos));
                 out.scr.push(scr);
                 saw_pack = true;
                 pos = next;
             }
             SYSTEM_CODE => {
                 if pos + 6 > ps.len() {
-                    return Err(PsError::Syntax("truncated system header".into()));
+                    step!(Err::<(), PsError>(PsError::Syntax(
+                        "truncated system header".into()
+                    )));
                 }
                 let len = u16::from_be_bytes([ps[pos + 4], ps[pos + 5]]) as usize;
                 pos += 6 + len;
@@ -55,7 +112,7 @@ pub fn demux_video(ps: &[u8]) -> Result<DemuxOutput> {
                 break;
             }
             0xE0..=0xEF => {
-                let (h, next) = parse_pes_header(ps, pos)?;
+                let (h, next) = step!(parse_pes_header(ps, pos));
                 let body = &ps[pos + 6..pos + 6 + h.body_len];
                 if let Some(p) = h.pts {
                     out.pts.push((out.video_es.len(), p));
@@ -63,19 +120,27 @@ pub fn demux_video(ps: &[u8]) -> Result<DemuxOutput> {
                 out.video_es.extend_from_slice(&body[h.payload_offset..]);
                 pos = next;
             }
-            0xC0..=0xDF => return Err(PsError::Unsupported("audio elementary streams")),
-            0xBC..=0xBF | 0xF0..=0xFF => {
-                // Other PES-framed system streams: skip by their length.
+            0xC0..=0xDF if !resilient => {
+                return Err(PsError::Unsupported("audio elementary streams"))
+            }
+            0xBC..=0xDF | 0xF0..=0xFF => {
+                // Other PES-framed system streams (and, under the
+                // resilient policy, audio): skip by their length.
                 if pos + 6 > ps.len() {
-                    return Err(PsError::Syntax("truncated system PES packet".into()));
+                    step!(Err::<(), PsError>(PsError::Syntax(
+                        "truncated system PES packet".into()
+                    )));
                 }
                 let len = u16::from_be_bytes([ps[pos + 4], ps[pos + 5]]) as usize;
+                if matches!(code, 0xC0..=0xDF) {
+                    out.bytes_skipped += (6 + len) as u64;
+                }
                 pos += 6 + len;
             }
             other => {
-                return Err(PsError::NotAProgramStream(format!(
+                step!(Err::<(), PsError>(PsError::NotAProgramStream(format!(
                     "unexpected start code {other:#04x} at top level (elementary video stream?)"
-                )));
+                ))));
             }
         }
     }
@@ -175,6 +240,78 @@ mod tests {
         crate::mux::write_pack_header(&mut ps, ClockStamp(0), 1000);
         ps.extend_from_slice(&[0, 0, 1, 0xC0, 0, 3, 0x80, 0, 0]);
         assert!(matches!(demux_video(&ps), Err(PsError::Unsupported(_))));
+    }
+
+    /// A two-access-unit program stream for damage tests.
+    fn two_unit_ps() -> (Vec<u8>, Vec<u8>) {
+        let mut es = Vec::new();
+        es.extend_from_slice(&[0, 0, 1, 0xB3, 1, 2, 3]);
+        let u0 = es.len();
+        es.extend_from_slice(&[0, 0, 1, 0x00, 10, 11, 12, 13]);
+        let u1 = es.len();
+        es.extend_from_slice(&[0, 0, 1, 0x00, 20, 21]);
+        let units = vec![(u0, u1, 0u64), (u1, es.len(), 1u64)];
+        let ps = mux_video(&es, &units, &MuxConfig::default());
+        (ps, es)
+    }
+
+    #[test]
+    fn resilient_matches_strict_on_clean_streams() {
+        let (ps, es) = two_unit_ps();
+        let strict = demux_video(&ps).unwrap();
+        let resilient = demux_video_resilient(&ps).unwrap();
+        assert_eq!(strict, resilient);
+        assert_eq!(resilient.video_es, es);
+        assert_eq!(resilient.bytes_skipped, 0);
+    }
+
+    #[test]
+    fn corrupt_pes_header_resyncs_at_next_pack() {
+        let (mut ps, _) = two_unit_ps();
+        // Kill the first video PES header's marker bits (the byte after
+        // `00 00 01 E0 len len` must start with '10').
+        let pes = (0..ps.len() - 4)
+            .find(|&i| ps[i..i + 4] == [0, 0, 1, 0xE0])
+            .unwrap();
+        ps[pes + 6] = 0x00;
+        assert!(demux_video(&ps).is_err(), "strict must fail");
+        let out = demux_video_resilient(&ps).unwrap();
+        assert!(out.bytes_skipped > 0, "skipped bytes must be counted");
+        // The second access unit survives: its payload starts with the
+        // second picture's start code.
+        assert!(out
+            .video_es
+            .windows(4)
+            .any(|w| w == [0, 0, 1, 0x00] && out.video_es.len() > 4));
+        assert_eq!(out.scr.len(), 2, "later packs still parse");
+    }
+
+    #[test]
+    fn corrupt_pack_header_resyncs() {
+        let (mut ps, _) = two_unit_ps();
+        // Find the second pack start code and corrupt its marker bits.
+        let second_pack = (1..ps.len() - 4)
+            .find(|&i| ps[i..i + 4] == [0, 0, 1, PACK_CODE])
+            .unwrap();
+        ps[second_pack + 4] = 0xFF;
+        assert!(demux_video(&ps).is_err());
+        let out = demux_video_resilient(&ps).unwrap();
+        assert!(out.bytes_skipped > 0);
+        // First unit demuxed before the damage.
+        assert!(out.video_es.starts_with(&[0, 0, 1, 0xB3]));
+    }
+
+    #[test]
+    fn resilient_garbage_tail_is_counted_not_fatal() {
+        let (mut ps, es) = two_unit_ps();
+        // Replace the program end code region with garbage lacking any
+        // pack start code.
+        let tail = ps.len() - 4;
+        ps.truncate(tail);
+        ps.extend_from_slice(&[0x17; 23]);
+        let out = demux_video_resilient(&ps).unwrap();
+        assert_eq!(out.video_es, es);
+        assert_eq!(out.bytes_skipped, 23);
     }
 
     #[test]

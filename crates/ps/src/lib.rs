@@ -19,7 +19,7 @@ mod demux;
 mod mux;
 mod pes;
 
-pub use demux::{demux_video, looks_like_program_stream, DemuxOutput};
+pub use demux::{demux_video, demux_video_resilient, looks_like_program_stream, DemuxOutput};
 pub use mux::{mux_video, MuxConfig};
 pub use pes::{ClockStamp, VIDEO_STREAM_ID};
 

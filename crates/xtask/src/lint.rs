@@ -76,7 +76,8 @@ pub fn check_panic_allowlist(
 
 /// Per-picture hot-path modules covered by the allocation budget: these
 /// run once per decoded picture (or per wire message) in steady state,
-/// and `crates/core/tests/alloc_steady.rs` proves them allocation-free.
+/// and `crates/core/tests/alloc_steady.rs` proves them allocation-free
+/// (including the concealment path, which reuses pooled frames).
 pub const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/tile_decoder.rs",
     "crates/core/src/wire.rs",
@@ -84,6 +85,18 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/protocol.rs",
     "crates/core/src/splitter.rs",
     "crates/core/src/vld_parallel.rs",
+    "crates/mpeg2/src/resilient.rs",
+];
+
+/// Resilience modules outside the core/cluster trees that still face
+/// adversarial bytes: damaged elementary streams, corrupt pack headers
+/// and sampled fault plans. They are held to the same panic, allocation
+/// and doc standards as the wire protocol code — a malformed stream must
+/// surface as an `Err`, never abort a node.
+pub const RESILIENCE_FILES: &[&str] = &[
+    "crates/bitstream/src/fault.rs",
+    "crates/mpeg2/src/resilient.rs",
+    "crates/ps/src/demux.rs",
 ];
 
 const ALLOC_PATTERNS: &[&str] = &["vec![0", "vec! [0"];
@@ -283,6 +296,11 @@ pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
     let mut files = Vec::new();
     for dir in ["crates/core/src", "crates/cluster/src"] {
         files.extend(collect_rs_files(root, dir).map_err(|e| format!("reading {dir}: {e}"))?);
+    }
+    for path in RESILIENCE_FILES {
+        let src =
+            std::fs::read_to_string(root.join(path)).map_err(|e| format!("reading {path}: {e}"))?;
+        files.push((path.to_string(), src));
     }
     let allowlist = load_allowlist(root, "crates/xtask/panic-allowlist.txt")?;
     let mut findings = check_panic_allowlist(&files, &allowlist);
