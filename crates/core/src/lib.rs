@@ -32,6 +32,7 @@ pub mod levels;
 pub mod machines;
 pub mod mei;
 pub mod protocol;
+pub mod recon_parallel;
 pub mod simulated;
 pub mod slice_level;
 pub mod splitter;
@@ -44,6 +45,7 @@ pub mod wire;
 use std::fmt;
 
 pub use config::SystemConfig;
+pub use recon_parallel::{PipelineDecoder, PipelineStats, RECON_WORKERS_ENV};
 pub use simulated::SimulatedSystem;
 pub use slice_level::{run_slice_level, run_slice_level_resilient, SliceLevelResult};
 pub use splitter::{split_picture_units, MacroblockSplitter, SplitOutput};

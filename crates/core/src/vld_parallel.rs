@@ -70,11 +70,23 @@ pub const VLD_WORKERS_ENV: &str = "TILEDEC_VLD_WORKERS";
 /// Upper bound on the worker count accepted from the environment.
 const MAX_WORKERS: usize = 64;
 
+/// Logical CPUs on this host (1 if the count cannot be determined).
+///
+/// Auto-tuned decoders clamp their worker count here: the bench curve
+/// showed 8 workers on a 1-core host losing to 1 worker (imbalance
+/// 3.5–6.3×) because oversubscribed workers just time-slice the same
+/// core while the partitioner splits work it can never run concurrently.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Auto-tuned decoders fall back to sequential decode when every picture
 /// is below this many macroblocks: on tiny pictures the record/replay
 /// round trip costs more than it hides (the 128×96 `tiny` bench preset
 /// measured a 0.805× one-worker "speedup" before this gate).
-const MIN_AUTO_PARALLEL_MBS: u32 = 128;
+pub(crate) const MIN_AUTO_PARALLEL_MBS: u32 = 128;
 
 /// Pictures dispatched ahead of the one being reconstructed.
 const LOOKAHEAD: usize = 2;
@@ -117,6 +129,23 @@ pub struct PlannedPicture {
 pub struct Plan {
     /// Pictures that own at least the headers needed to decode slices.
     pub pictures: Vec<PlannedPicture>,
+    /// PICTURE start codes encountered, including pictures that never
+    /// produced a slice (those are invisible in [`Plan::pictures`] but
+    /// make the sequential decoder fail with "picture contained no
+    /// slices" — consumers that pre-commit to the plan must compare this
+    /// against `pictures.len()`).
+    pub pictures_seen: usize,
+    /// True when the planning walk consumed the entire stream without
+    /// hitting anything it could not parse. When false, the sequential
+    /// decoder may fail (or diverge) somewhere planning did not model,
+    /// so consumers that need the whole stream's structure up front
+    /// (rather than the per-slice safety valve) must fall back.
+    pub complete: bool,
+    /// Sequence parameters after folding the *whole* stream — what the
+    /// sequential decoder reports in its [`StreamSummary`]. (Snapshots in
+    /// [`PlannedPicture`] are per-picture; a trailing sequence header
+    /// after the last picture updates this but no snapshot.)
+    pub final_seq: Option<SequenceInfo>,
     by_offset: HashMap<usize, (usize, usize)>,
 }
 
@@ -154,10 +183,21 @@ impl Plan {
                     }
                 }
                 StartCode::PICTURE => match headers::parse_picture_header(&mut r) {
-                    Ok(info) => cur = Some((info, false, None)),
+                    Ok(info) => {
+                        plan.pictures_seen += 1;
+                        cur = Some((info, false, None));
+                    }
                     Err(_) => return plan,
                 },
-                StartCode::GROUP | StartCode::USER_DATA | StartCode::SEQUENCE_END => {}
+                // The sequential decoder parses GOP headers (and fails on
+                // malformed ones); model that so `complete` only holds
+                // when the sequential walk cannot trip on a header.
+                StartCode::GROUP => {
+                    if headers::parse_gop_header(&mut r).is_err() {
+                        return plan;
+                    }
+                }
+                StartCode::USER_DATA | StartCode::SEQUENCE_END => {}
                 c if StartCode { offset: 0, code: c }.is_slice() => {
                     let Some(s) = seq.as_ref() else { return plan };
                     let Some((info, ext, pic_idx)) = cur.as_mut() else {
@@ -189,6 +229,8 @@ impl Plan {
                 _ => return plan,
             }
         }
+        plan.complete = true;
+        plan.final_seq = seq;
         plan
     }
 
@@ -208,26 +250,36 @@ impl Plan {
 /// range-sum cap with a greedy feasibility check. Zero weights are treated
 /// as 1 so every range stays non-empty and bounded.
 pub fn partition_by_weight(weights: &[u64], k: usize) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    partition_by_weight_into(weights, k, &mut out);
+    out
+}
+
+/// Allocation-free form of [`partition_by_weight`]: clears and refills
+/// `out`, so per-picture partitioning in the hot pipeline can reuse one
+/// scratch vector instead of allocating each call. Zero weights are
+/// treated as 1 inline (no copy of `weights` is made).
+pub(crate) fn partition_by_weight_into(weights: &[u64], k: usize, out: &mut Vec<Range<usize>>) {
+    out.clear();
     if weights.is_empty() || k == 0 {
-        return Vec::new();
+        return;
     }
-    let w: Vec<u64> = weights.iter().map(|&x| x.max(1)).collect();
-    let k = k.min(w.len());
-    let mut lo = w.iter().copied().max().unwrap_or(1);
-    let mut hi = w.iter().sum::<u64>();
+    let k = k.min(weights.len());
+    let mut lo = weights.iter().map(|&x| x.max(1)).max().unwrap_or(1);
+    let mut hi = weights.iter().map(|&x| x.max(1)).sum::<u64>();
     while lo < hi {
         let cap = lo + (hi - lo) / 2;
-        if ranges_needed(&w, cap) <= k {
+        if ranges_needed(weights, cap) <= k {
             hi = cap;
         } else {
             lo = cap + 1;
         }
     }
     let cap = lo;
-    let mut out = Vec::with_capacity(k);
     let mut start = 0usize;
     let mut sum = 0u64;
-    for (i, &x) in w.iter().enumerate() {
+    for (i, &x) in weights.iter().enumerate() {
+        let x = x.max(1);
         if sum + x > cap && i > start {
             out.push(start..i);
             start = i;
@@ -235,14 +287,14 @@ pub fn partition_by_weight(weights: &[u64], k: usize) -> Vec<Range<usize>> {
         }
         sum += x;
     }
-    out.push(start..w.len());
-    out
+    out.push(start..weights.len());
 }
 
 fn ranges_needed(weights: &[u64], cap: u64) -> usize {
     let mut n = 1usize;
     let mut sum = 0u64;
     for &x in weights {
+        let x = x.max(1);
         if sum + x > cap {
             n += 1;
             sum = 0;
@@ -252,10 +304,13 @@ fn ranges_needed(weights: &[u64], cap: u64) -> usize {
     n
 }
 
-/// EWMA of per-slice VLD cost, keyed by (picture kind, slice row): the
-/// "same frames ≈ same cost" feedback the dynamic partitioner runs on.
+/// EWMA of per-slice cost, keyed by (picture kind, slice row): the
+/// "same frames ≈ same cost" feedback the dynamic partitioners run on.
+/// The VLD coordinator feeds it per-row *entropy* cost; the parallel
+/// reconstruction layer keeps a second instance fed with per-row *pixel*
+/// cost, so recon bands balance independently of VLD ranges.
 #[derive(Debug, Default)]
-struct CostHistory {
+pub(crate) struct CostHistory {
     ewma: HashMap<(PictureKind, u32), u64>,
 }
 
@@ -263,15 +318,38 @@ impl CostHistory {
     /// Cost estimates for every row, or `None` unless *all* rows have
     /// history (the uniform-split fallback for the first picture of each
     /// kind).
-    fn estimates(&self, kind: PictureKind, rows: &[u32]) -> Option<Vec<u64>> {
+    pub(crate) fn estimates(&self, kind: PictureKind, rows: &[u32]) -> Option<Vec<u64>> {
         rows.iter()
             .map(|&row| self.ewma.get(&(kind, row)).copied())
             .collect()
     }
 
-    fn update(&mut self, kind: PictureKind, row: u32, cost_ns: u64) {
+    pub(crate) fn update(&mut self, kind: PictureKind, row: u32, cost_ns: u64) {
         let e = self.ewma.entry((kind, row)).or_insert(cost_ns);
         *e = (*e + cost_ns) / 2;
+    }
+
+    /// Allocation-free [`estimates`](Self::estimates): fills `out` and
+    /// returns true when every row has history, leaves `out` cleared and
+    /// returns false otherwise. The pipelined decoder calls this per
+    /// picture and must not allocate in steady state.
+    pub(crate) fn estimates_into(
+        &self,
+        kind: PictureKind,
+        rows: &[u32],
+        out: &mut Vec<u64>,
+    ) -> bool {
+        out.clear();
+        for &row in rows {
+            match self.ewma.get(&(kind, row)) {
+                Some(&v) => out.push(v),
+                None => {
+                    out.clear();
+                    return false;
+                }
+            }
+        }
+        true
     }
 }
 
@@ -295,6 +373,13 @@ struct RangeResult {
 pub struct VldStats {
     /// Worker threads used (0 = sequential path, no stats recorded).
     pub workers: usize,
+    /// Worker count the caller configured before auto-tune clamping
+    /// (equal to `workers` on the exact-count constructor).
+    pub requested_workers: usize,
+    /// [`host_cpus()`] at decode time — published with the clamp
+    /// decision so bench JSON records *why* `workers` differs from
+    /// `requested_workers`.
+    pub host_cpus: usize,
     /// Per-worker busy time (ns) spent inside recording jobs.
     pub busy_ns: Vec<u64>,
     /// Wall-clock time of the whole decode (ns).
@@ -578,9 +663,12 @@ impl ParallelVldDecoder {
 
     /// Like [`new`](Self::new), but `workers` is treated as an upper
     /// bound: per stream, the count is clamped to the widest picture's
-    /// slice-row count (extra workers would only idle), and pictures
-    /// below [`MIN_AUTO_PARALLEL_MBS`] macroblocks decode sequentially
-    /// (the record/replay round trip costs more than it hides).
+    /// slice-row count (extra workers would only idle) *and* to
+    /// [`host_cpus()`] (oversubscribed workers time-slice one core and
+    /// only add imbalance), and pictures below
+    /// [`MIN_AUTO_PARALLEL_MBS`] macroblocks decode sequentially (the
+    /// record/replay round trip costs more than it hides). The clamp
+    /// decision is published in [`VldStats`].
     pub fn auto_tuned(workers: usize) -> Self {
         ParallelVldDecoder {
             auto_tune: true,
@@ -601,7 +689,8 @@ impl ParallelVldDecoder {
 
     /// Auto-tuning decision for one planned stream: zero (sequential)
     /// when every picture is tiny, otherwise the configured count
-    /// clamped to the widest picture's slice-row count.
+    /// clamped to the widest picture's slice-row count and the host's
+    /// logical CPU count.
     fn auto_workers(&self, plan: &Plan) -> usize {
         let mut max_rows = 0usize;
         let mut max_mbs = 0u32;
@@ -620,7 +709,7 @@ impl ParallelVldDecoder {
         if max_mbs < MIN_AUTO_PARALLEL_MBS {
             0
         } else {
-            self.workers.min(max_rows)
+            self.workers.min(max_rows).min(host_cpus())
         }
     }
 
@@ -645,10 +734,12 @@ impl ParallelVldDecoder {
         mut on_frame: impl FnMut(&Frame, &PictureInfo),
     ) -> tiledec_mpeg2::Result<StreamSummary> {
         let start = Instant::now();
+        let cpus = host_cpus();
         if self.workers == 0 {
             let result = Decoder::new().decode_stream(data, on_frame);
             self.last_stats = VldStats {
                 wall_ns: start.elapsed().as_nanos() as u64,
+                host_cpus: cpus,
                 ..VldStats::default()
             };
             return result;
@@ -663,6 +754,8 @@ impl ParallelVldDecoder {
             let result = Decoder::new().decode_stream(data, on_frame);
             self.last_stats = VldStats {
                 wall_ns: start.elapsed().as_nanos() as u64,
+                requested_workers: self.workers,
+                host_cpus: cpus,
                 ..VldStats::default()
             };
             return result;
@@ -694,6 +787,8 @@ impl ParallelVldDecoder {
         });
         self.last_stats = stats;
         self.last_stats.wall_ns = start.elapsed().as_nanos() as u64;
+        self.last_stats.requested_workers = self.workers;
+        self.last_stats.host_cpus = cpus;
         result
     }
 
@@ -744,6 +839,7 @@ fn worker_loop(
     res_tx: &Sender<RangeResult>,
 ) -> u64 {
     let mut busy = 0u64;
+    let mut scratch = Box::new([[0i32; 64]; 6]);
     loop {
         let job = match lock_ignore_poison(job_rx).recv() {
             Ok(j) => j,
@@ -762,7 +858,7 @@ fn worker_loop(
             // Reuse a recycled recording buffer when one is available —
             // steady state allocates nothing, as on the wire paths.
             let mut rec = lock_ignore_poison(rec_rx).try_recv().unwrap_or_default();
-            record_slice(data, s.offset, s.row, &ctx, &mut rec);
+            record_slice(data, s.offset, s.row, &ctx, &mut rec, &mut scratch);
             recs.push(rec);
         }
         busy += t.elapsed().as_nanos() as u64;

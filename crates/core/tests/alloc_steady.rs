@@ -47,6 +47,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+use tiledec_core::recon_parallel::PipelineDecoder;
 use tiledec_core::splitter::{split_picture_units, MacroblockSplitter};
 use tiledec_core::tile_decoder::TileDecoder;
 use tiledec_core::SystemConfig;
@@ -165,6 +166,69 @@ fn steady_state_decode_is_allocation_free() {
             after - before,
             0,
             "decoder {d}: concealment allocated in steady state"
+        );
+    }
+
+    pipeline_steady_state_is_allocation_free();
+}
+
+/// The pipelined (VLD ‖ band-recon) decoder's recon pools share the
+/// zero-steady-state-allocation contract: `Coord::new` pre-warms every
+/// pool from the plan before the first `on_frame` callback, recordings /
+/// band buffers / frames circulate round-robin, so once the first few
+/// pictures have pushed capacity high-water marks, the window **between
+/// consecutive `on_frame` callbacks** must be allocation-free — on the
+/// coordinator *and* on every worker thread (the counter is global).
+///
+/// Called from the tile-decoder audit above rather than registered as a
+/// second `#[test]`: a concurrently running test would perturb the
+/// process-global counter.
+fn pipeline_steady_state_is_allocation_free() {
+    // All-I pictures: every picture is structurally identical, so slice
+    // recording sizes are uniform and every circulating recording reaches
+    // its capacity high-water mark during the warm-up prefix — making the
+    // steady-state window deterministic rather than scheduling-dependent.
+    let (w, h, frames) = (128u32, 96u32, 24usize);
+    let mut ecfg = EncoderConfig::for_size(w, h);
+    ecfg.gop_size = 1;
+    ecfg.b_frames = 0;
+    ecfg.qscale = 6;
+    let stream = Encoder::new(ecfg)
+        .unwrap()
+        .encode(&clip(w as usize, h as usize, frames))
+        .unwrap();
+
+    // One VLD worker: each picture is a single full-length range, so the
+    // recording-vector population is fixed after the initial dispatch
+    // burst regardless of how the cost EWMA partitions would jitter.
+    // Band partitions may still shift with measured pixel cost, but bands
+    // share recordings read-only and band buffers are pre-warmed to the
+    // worst-case split, so no allocation rides on the jitter.
+    let mut dec = PipelineDecoder::new(1, 2);
+    let mut between: Vec<u64> = Vec::with_capacity(frames + 1);
+    let mut last = ALLOCS.load(Ordering::Relaxed);
+    dec.decode_stream(&stream, |_f: &Frame, _| {
+        let now = ALLOCS.load(Ordering::Relaxed);
+        between.push(now - last);
+        last = now;
+    })
+    .expect("pipelined decode");
+    assert!(
+        !dec.stats().sequential_fallback,
+        "stream must take the pipelined fast path for the audit to mean anything"
+    );
+    assert_eq!(between.len(), frames, "one callback per picture");
+
+    // Warm-up may allocate (pool vecs growing to their high-water marks,
+    // EWMA map inserts). After two-thirds of the clip every inter-frame
+    // window must be allocation-free.
+    let warmup = frames * 2 / 3;
+    for (i, n) in between.iter().enumerate().skip(warmup) {
+        assert_eq!(
+            *n,
+            0,
+            "pipelined decode: {n} heap allocations between frames {} and {i}",
+            i - 1
         );
     }
 }

@@ -1,0 +1,360 @@
+//! Property tests for the pipelined (VLD ‖ band-recon) decoder:
+//! bit-exactness against the sequential reference decoder across random
+//! streams, worker-count grids, truncation and corruption — under both
+//! `ErrorPolicy::Strict` (identical frames, identical error values *and
+//! bit positions*) and `ErrorPolicy::Resilient` (identical repaired
+//! frames and identical `DamageReport` ledgers).
+//!
+//! Driven by the same seeded xorshift generator as `vld_parallel.rs`, so
+//! every case is deterministic and reproducible from its seed.
+
+use tiledec_core::recon_parallel::PipelineDecoder;
+use tiledec_mpeg2::decoder::Decoder;
+use tiledec_mpeg2::encoder::{Encoder, EncoderConfig};
+use tiledec_mpeg2::types::PictureInfo;
+use tiledec_mpeg2::{decode_all_resilient, Error, Frame};
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Recon worker counts every exactness property is checked at: 1 is the
+/// degenerate single-band case, 3 odd band seams, 8 more bands than some
+/// pictures have rows. VLD workers are pinned at 2 so every case also
+/// pipelines entropy decode against reconstruction.
+const RECON_WORKER_COUNTS: [usize; 5] = [1, 2, 3, 4, 8];
+
+/// Renders a deterministic noisy clip and encodes it with
+/// seed-dependent GOP structure and quantisation (same generator as the
+/// VLD suite, offset seeds so the two suites cover different streams).
+fn random_stream(seed: u64) -> Vec<u8> {
+    let mut rng = Rng::new(seed);
+    let (w, h) = match rng.below(3) {
+        0 => (64, 48),
+        1 => (128, 96),
+        _ => (96, 64),
+    };
+    let mut cfg = EncoderConfig::for_size(w, h);
+    cfg.gop_size = 3 + rng.below(6) as u32;
+    cfg.b_frames = rng.below(3) as u32;
+    cfg.qscale = 3 + rng.below(12) as u8;
+    cfg.adaptive_quant = rng.below(2) == 0;
+    cfg.alternate_scan = rng.below(2) == 0;
+    cfg.intra_dc_precision = rng.below(3) as u8;
+    cfg.q_scale_type = rng.below(2) == 0;
+    let n = 4 + rng.below(5) as usize;
+    let mut frames = Vec::with_capacity(n);
+    for t in 0..n {
+        let mut f = Frame::black(w as usize, h as usize);
+        for yy in 0..h as usize {
+            for xx in 0..w as usize {
+                let base = ((xx * 5) ^ (yy * 3)) as u64;
+                let band = if (xx + yy + t * 7) % 31 < 6 { 90 } else { 0 };
+                let v = (base % 120 + band + rng.below(24)) as u8;
+                f.y.set(xx, yy, v);
+            }
+        }
+        for yy in 0..(h / 2) as usize {
+            for xx in 0..(w / 2) as usize {
+                f.cb.set(xx, yy, 100 + ((xx + t) % 56) as u8);
+                f.cr.set(xx, yy, 120 + ((yy * 2 + t) % 40) as u8);
+            }
+        }
+        frames.push(f);
+    }
+    let enc = Encoder::new(cfg).expect("config");
+    enc.encode(&frames).expect("encode")
+}
+
+fn decode_sequential(data: &[u8]) -> (Vec<Frame>, Result<usize, Error>) {
+    let mut frames = Vec::new();
+    let result = Decoder::new()
+        .decode_stream(data, |f: &Frame, _: &PictureInfo| frames.push(f.clone()))
+        .map(|s| s.pictures);
+    (frames, result)
+}
+
+fn decode_pipelined(data: &[u8], recon_workers: usize) -> (Vec<Frame>, Result<usize, Error>) {
+    let mut frames = Vec::new();
+    let mut dec = PipelineDecoder::new(2, recon_workers);
+    let result = dec
+        .decode_stream(data, |f: &Frame, _: &PictureInfo| frames.push(f.clone()))
+        .map(|s| s.pictures);
+    (frames, result)
+}
+
+/// Asserts the pipelined decode at every recon worker count equals the
+/// sequential decode under **Strict** policy: same frames (bit-exact),
+/// same summary, same error value — including bit positions.
+fn assert_strict_matches_sequential(data: &[u8], label: &str) {
+    let (seq_frames, seq_result) = decode_sequential(data);
+    for &workers in &RECON_WORKER_COUNTS {
+        let (pipe_frames, pipe_result) = decode_pipelined(data, workers);
+        assert_eq!(
+            pipe_result, seq_result,
+            "{label}: strict result mismatch at {workers} recon workers"
+        );
+        assert_eq!(
+            pipe_frames.len(),
+            seq_frames.len(),
+            "{label}: frame count mismatch at {workers} recon workers"
+        );
+        for (i, (a, b)) in pipe_frames.iter().zip(&seq_frames).enumerate() {
+            assert!(
+                a == b,
+                "{label}: frame {i} differs from sequential at {workers} recon workers"
+            );
+        }
+    }
+}
+
+/// Asserts the pipelined **Resilient** decode at every recon worker
+/// count equals the sequential resilient decode: identical repaired
+/// frames and identical damage ledgers (`DamageReport` rows included).
+fn assert_resilient_matches_sequential(data: &[u8], label: &str) {
+    let seq = decode_all_resilient(data);
+    for &workers in &RECON_WORKER_COUNTS {
+        let mut dec = PipelineDecoder::new(2, workers);
+        let pipe = dec.decode_all_resilient(data);
+        match (&seq, &pipe) {
+            (Ok((sf, sd)), Ok((pf, pd))) => {
+                assert_eq!(
+                    sd, pd,
+                    "{label}: damage ledger mismatch at {workers} recon workers"
+                );
+                assert_eq!(
+                    sf.len(),
+                    pf.len(),
+                    "{label}: resilient frame count mismatch at {workers} recon workers"
+                );
+                for (i, (a, b)) in pf.iter().zip(sf).enumerate() {
+                    assert!(
+                        a == b,
+                        "{label}: resilient frame {i} differs at {workers} recon workers"
+                    );
+                }
+            }
+            (Err(se), Err(pe)) => assert_eq!(
+                se, pe,
+                "{label}: resilient error mismatch at {workers} recon workers"
+            ),
+            (s, p) => panic!(
+                "{label}: resilient outcome diverged at {workers} recon workers: \
+                 sequential {s:?} vs pipelined {p:?}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn pipelined_decode_bit_exact_across_streams_and_worker_counts() {
+    for seed in 0..6u64 {
+        let data = random_stream(seed + 200);
+        assert_strict_matches_sequential(&data, &format!("stream {seed}"));
+    }
+}
+
+#[test]
+fn pipelined_decode_bit_exact_on_truncated_streams() {
+    // Truncation lands mid-slice, mid-header and mid-start-code; the
+    // pipeline must reproduce the sequential error exactly — variant,
+    // message, bit position — and the frames emitted before it.
+    for seed in 0..4u64 {
+        let data = random_stream(seed + 200);
+        let mut rng = Rng::new(seed ^ 0xDEAD_BEEF);
+        for case in 0..8 {
+            let cut = 16 + rng.below(data.len() as u64 - 16) as usize;
+            let truncated = &data[..cut];
+            assert_strict_matches_sequential(
+                truncated,
+                &format!("stream {seed} cut {case} at {cut}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_decode_bit_exact_on_corrupted_streams() {
+    // Byte corruption can invalidate VLC codes, desynchronise slices,
+    // send macroblock addresses into other rows (the single-band demotion
+    // path), or silently change pixels; all must match bit for bit.
+    for seed in 0..4u64 {
+        let data = random_stream(seed + 300);
+        let mut rng = Rng::new(seed ^ 0xC0FF_EE00);
+        for case in 0..6 {
+            let mut corrupted = data.clone();
+            let pos = 12 + rng.below(data.len() as u64 - 12) as usize;
+            corrupted[pos] ^= (1 + rng.below(255)) as u8;
+            assert_strict_matches_sequential(
+                &corrupted,
+                &format!("stream {seed} corrupt {case} at {pos}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_resilient_matches_sequential_on_damaged_streams() {
+    // Resilient policy must agree end to end: repaired frames, display
+    // patches and the DamageReport ledger, across truncations and
+    // corruptions at every worker count.
+    for seed in 0..3u64 {
+        let data = random_stream(seed + 400);
+        let mut rng = Rng::new(seed ^ 0xBAD_CAFE);
+        assert_resilient_matches_sequential(&data, &format!("stream {seed} clean"));
+        for case in 0..3 {
+            let cut = 16 + rng.below(data.len() as u64 - 16) as usize;
+            assert_resilient_matches_sequential(
+                &data[..cut],
+                &format!("stream {seed} cut {case} at {cut}"),
+            );
+            let mut corrupted = data.clone();
+            let pos = 12 + rng.below(data.len() as u64 - 12) as usize;
+            corrupted[pos] ^= (1 + rng.below(255)) as u8;
+            assert_resilient_matches_sequential(
+                &corrupted,
+                &format!("stream {seed} corrupt {case} at {pos}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_stream_error_bit_position_is_exact() {
+    let data = random_stream(203);
+    let mut found_bit_pos_error = false;
+    for cut in [
+        data.len() - 1,
+        data.len() - 3,
+        data.len() * 3 / 4,
+        data.len() / 2,
+    ] {
+        let truncated = &data[..cut];
+        let (_, seq_result) = decode_sequential(truncated);
+        if let Err(Error::Bitstream(ref e)) = seq_result {
+            found_bit_pos_error = true;
+            for &workers in &RECON_WORKER_COUNTS {
+                let (_, pipe_result) = decode_pipelined(truncated, workers);
+                match pipe_result {
+                    Err(Error::Bitstream(ref pe)) => assert_eq!(
+                        pe, e,
+                        "cut {cut}, {workers} recon workers: bitstream error \
+                         (incl. bit position) differs"
+                    ),
+                    other => {
+                        panic!("cut {cut}, {workers} recon workers: expected {e:?}, got {other:?}")
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        found_bit_pos_error,
+        "no truncation produced a bitstream error with a position — widen the cuts"
+    );
+}
+
+#[test]
+fn consecutive_b_pictures_share_a_level() {
+    // b_frames = 2 produces IBBPBBP… runs: the two Bs of each run share
+    // both anchors and must land on the same dependency level, giving
+    // bands from different pictures to the recon pool concurrently. The
+    // decode must stay bit-exact and the stats must show real banding.
+    let mut cfg = EncoderConfig::for_size(128, 96);
+    cfg.gop_size = 9;
+    cfg.b_frames = 2;
+    cfg.qscale = 6;
+    let enc = Encoder::new(cfg).expect("config");
+    let mut frames = Vec::new();
+    for t in 0..12usize {
+        let mut f = Frame::black(128, 96);
+        for yy in 0..96 {
+            for xx in 0..128 {
+                f.y.set(xx, yy, ((xx * 7 + yy * 11 + t * 13) % 210) as u8);
+            }
+        }
+        frames.push(f);
+    }
+    let data = enc.encode(&frames).expect("encode");
+    assert_strict_matches_sequential(&data, "IBBP ladder");
+
+    let mut dec = PipelineDecoder::new(2, 2);
+    let mut n = 0usize;
+    dec.decode_stream(&data, |_, _| n += 1).expect("decode");
+    let stats = dec.stats();
+    assert!(n > 0);
+    assert!(
+        !stats.sequential_fallback,
+        "well-formed stream must pipeline"
+    );
+    assert_eq!(stats.recon_workers, 2);
+    assert_eq!(stats.recon_busy_ns.len(), 2);
+    assert!(stats.pictures > 0);
+    assert!(
+        stats.bands > stats.pictures,
+        "2 recon workers should split most pictures into multiple bands \
+         (bands {} vs pictures {})",
+        stats.bands,
+        stats.pictures
+    );
+    assert!(stats.vld_stage_ns > 0);
+    assert!(stats.recon_stage_ns > 0);
+    assert!(stats.model_critical_ns >= stats.vld_stage_ns.max(stats.recon_stage_ns));
+}
+
+#[test]
+fn zero_recon_workers_delegates_to_vld_only_path() {
+    let data = random_stream(202);
+    let (seq_frames, seq_result) = decode_sequential(&data);
+    let mut dec = PipelineDecoder::new(2, 0);
+    let mut frames = Vec::new();
+    let result = dec
+        .decode_stream(&data, |f: &Frame, _: &PictureInfo| frames.push(f.clone()))
+        .map(|s| s.pictures);
+    assert_eq!(result, seq_result);
+    assert_eq!(frames.len(), seq_frames.len());
+    for (a, b) in frames.iter().zip(&seq_frames) {
+        assert!(a == b);
+    }
+    assert!(dec.stats().sequential_fallback);
+    assert_eq!(dec.stats().recon_workers, 0);
+}
+
+#[test]
+fn auto_tuning_records_the_clamp_decision() {
+    // Tiny pictures (≤ 48 macroblocks) decline parallelism entirely; the
+    // stats must still record what was requested and the host CPU count,
+    // so benchmarks can publish the clamp decision.
+    let data = random_stream(201);
+    let (seq_frames, seq_result) = decode_sequential(&data);
+    let mut dec = PipelineDecoder::auto_tuned(8, 8);
+    let mut frames = Vec::new();
+    let result = dec
+        .decode_stream(&data, |f: &Frame, _: &PictureInfo| frames.push(f.clone()))
+        .map(|s| s.pictures);
+    assert_eq!(result, seq_result);
+    assert_eq!(frames.len(), seq_frames.len());
+    for (a, b) in frames.iter().zip(&seq_frames) {
+        assert!(a == b);
+    }
+    let stats = dec.stats();
+    assert!(stats.sequential_fallback, "tiny pictures must not pipeline");
+    assert_eq!(stats.requested_vld_workers, 8);
+    assert_eq!(stats.requested_recon_workers, 8);
+    assert!(stats.host_cpus >= 1);
+}

@@ -194,8 +194,7 @@ impl Decoder {
         // Flush the last held reference frame.
         if let Some(last) = self.next_ref.take() {
             // Its PictureInfo is gone; synthesise a minimal one for the sink.
-            let info = PictureInfo::new(PictureKind::P, 0, [[15, 15], [15, 15]]);
-            on_frame(&last, &info);
+            on_frame(&last, &flush_picture_info());
         }
         let seq = self
             .seq
@@ -296,6 +295,15 @@ impl Decoder {
         }
         Ok(())
     }
+}
+
+/// The synthesised [`PictureInfo`] handed to the frame sink when the last
+/// held reference frame is flushed at end of stream (its real header info
+/// was consumed when it finished decoding). Public so alternative stream
+/// drivers — `tiledec-core`'s pipelined decoder — can replicate the
+/// sequential emission contract bit for bit.
+pub fn flush_picture_info() -> PictureInfo {
+    PictureInfo::new(PictureKind::P, 0, [[15, 15], [15, 15]])
 }
 
 /// Decodes a whole stream into display-order frames. Convenience wrapper

@@ -415,6 +415,219 @@ impl Plane {
     }
 }
 
+/// A mutable borrow of a horizontal band of a [`Plane`]: the pixel rows
+/// `[y0, y1)`, backed by exactly that band's storage bytes.
+///
+/// This is the safety primitive under slice-parallel pixel
+/// reconstruction: bands cut at macroblock-row boundaries are contiguous
+/// storage segments in **both** layouts (row-major trivially; tiled
+/// because a band of whole tile-rows is a run of whole tiles in raster
+/// order), so a plane splits into disjoint `&mut` bands with
+/// `split_at_mut` — no `unsafe`, no locks, and the borrow checker proves
+/// writers can never alias. See DESIGN.md §12.
+pub struct PlaneBandMut<'a> {
+    y0: usize,
+    y1: usize,
+    width: usize,
+    stride: usize,
+    tiles_x: usize,
+    layout: Layout,
+    data: &'a mut [u8],
+}
+
+impl Plane {
+    /// Borrows the whole plane as one mutable row band (`[0, height)`),
+    /// the starting point for [`PlaneBandMut::split_at_row`].
+    pub fn as_band_mut(&mut self) -> PlaneBandMut<'_> {
+        PlaneBandMut {
+            y0: 0,
+            y1: self.height,
+            width: self.width,
+            stride: self.stride,
+            tiles_x: self.tiles_x,
+            layout: self.layout,
+            data: &mut self.data,
+        }
+    }
+
+    /// Splits the plane into `cuts.len() + 1` disjoint mutable row bands:
+    /// `[0, cuts[0])`, `[cuts[0], cuts[1])`, …, `[last, height)`. Cuts
+    /// must be strictly increasing, inside `(0, height)`, and — on tiled
+    /// planes — tile-row aligned (macroblock-row cuts always are).
+    ///
+    /// Convenience wrapper over [`PlaneBandMut::split_at_row`]; hot paths
+    /// that must not allocate split band-by-band instead.
+    pub fn disjoint_row_bands(&mut self, cuts: &[usize]) -> Vec<PlaneBandMut<'_>> {
+        let mut out = Vec::with_capacity(cuts.len() + 1);
+        let mut rest = self.as_band_mut();
+        for &cut in cuts {
+            let (head, tail) = rest.split_at_row(cut);
+            out.push(head);
+            rest = tail;
+        }
+        out.push(rest);
+        out
+    }
+}
+
+impl<'a> PlaneBandMut<'a> {
+    /// First pixel row covered by this band.
+    pub fn y0(&self) -> usize {
+        self.y0
+    }
+
+    /// One past the last pixel row covered by this band.
+    pub fn y1(&self) -> usize {
+        self.y1
+    }
+
+    /// Plane width in pixels (bands span the full width).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Splits the band into `[y0, y)` and `[y, y1)` — two disjoint `&mut`
+    /// borrows of the underlying storage. `y` must lie strictly inside
+    /// the band and, for tiled planes, on a tile-row boundary (both hold
+    /// for macroblock-row cuts on decoder planes).
+    pub fn split_at_row(self, y: usize) -> (PlaneBandMut<'a>, PlaneBandMut<'a>) {
+        assert!(self.y0 < y && y < self.y1, "split row outside band");
+        let split_byte = match self.layout {
+            Layout::RowMajor => (y - self.y0) * self.stride,
+            Layout::Tiled { shift } => {
+                let t = 1usize << shift;
+                assert!(
+                    y.is_multiple_of(t),
+                    "tiled band split must be tile-row aligned"
+                );
+                // `y0` is tile-aligned by construction (0, or an earlier
+                // aligned split), so the head is whole tile-rows.
+                ((y - self.y0) >> shift) * self.tiles_x * t * t
+            }
+        };
+        let (head, tail) = self.data.split_at_mut(split_byte);
+        (
+            PlaneBandMut {
+                y0: self.y0,
+                y1: y,
+                width: self.width,
+                stride: self.stride,
+                tiles_x: self.tiles_x,
+                layout: self.layout,
+                data: head,
+            },
+            PlaneBandMut {
+                y0: y,
+                y1: self.y1,
+                width: self.width,
+                stride: self.stride,
+                tiles_x: self.tiles_x,
+                layout: self.layout,
+                data: tail,
+            },
+        )
+    }
+
+    /// Byte offset of logical pixel (`x`, `y`) within the band's storage.
+    /// `y` is in plane coordinates and must be inside `[y0, y1)`.
+    #[inline(always)]
+    fn index_of(&self, x: usize, y: usize) -> usize {
+        match self.layout {
+            Layout::RowMajor => (y - self.y0) * self.stride + x,
+            Layout::Tiled { shift } => {
+                let s = shift as usize;
+                let m = (1usize << s) - 1;
+                // `(y - y0) & m == y & m`: y0 is tile-aligned.
+                ((((y - self.y0) >> s) * self.tiles_x + (x >> s)) << (2 * s))
+                    | ((y & m) << s)
+                    | (x & m)
+            }
+        }
+    }
+
+    /// Bytes stored contiguously to the right of logical `x` within one
+    /// row (same contract as `Plane::storage_run`).
+    #[inline(always)]
+    fn storage_run(&self, x: usize) -> usize {
+        match self.layout {
+            Layout::RowMajor => self.width - x,
+            Layout::Tiled { shift } => {
+                let t = 1usize << shift;
+                t - (x & (t - 1))
+            }
+        }
+    }
+
+    /// Pixel accessor in plane coordinates (test/debug convenience).
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(
+            x < self.width && y >= self.y0 && y < self.y1,
+            "pixel outside band"
+        );
+        self.data[self.index_of(x, y)]
+    }
+
+    /// Writes a tightly packed `w × h` buffer at plane coordinates
+    /// (`x`, `y`); the rectangle must fall inside the band. Same layout
+    /// handling as [`Plane::insert`], including the whole-aligned-tile
+    /// `memcpy` fast path.
+    pub fn insert(&mut self, x: usize, y: usize, w: usize, h: usize, pixels: &[u8]) {
+        assert!(
+            x + w <= self.width && y >= self.y0 && y + h <= self.y1,
+            "rect outside band"
+        );
+        assert_eq!(pixels.len(), w * h);
+        if let Layout::Tiled { shift } = self.layout {
+            let t = 1usize << shift;
+            if w == t && h == t && x & (t - 1) == 0 && y & (t - 1) == 0 {
+                let base = self.index_of(x, y);
+                self.data[base..base + t * t].copy_from_slice(pixels);
+                return;
+            }
+        }
+        for row in 0..h {
+            let mut done = 0;
+            while done < w {
+                let n = (w - done).min(self.storage_run(x + done));
+                let d0 = self.index_of(x + done, y + row);
+                self.data[d0..d0 + n].copy_from_slice(&pixels[row * w + done..row * w + done + n]);
+                done += n;
+            }
+        }
+    }
+
+    /// Overwrites the whole band from a tightly packed `width × (y1 - y0)`
+    /// pixel buffer. On a row-major plane the band is one contiguous
+    /// segment, so this is a single `memcpy` (dispatched through the
+    /// active kernel set's `copy_band` entry); tiled bands re-tile via the
+    /// segment walk. This is the band-assembly path of the parallel
+    /// pixel stage.
+    pub fn copy_from_packed(&mut self, pixels: &[u8]) {
+        let rows = self.y1 - self.y0;
+        assert_eq!(pixels.len(), self.width * rows);
+        if self.layout == Layout::RowMajor && self.stride == self.width {
+            (crate::kernels::active().copy_band)(self.data, pixels);
+            return;
+        }
+        let (y0, w) = (self.y0, self.width);
+        for row in 0..rows {
+            let mut done = 0;
+            while done < w {
+                let n = (w - done).min(self.storage_run(done));
+                let d0 = self.index_of(done, y0 + row);
+                self.data[d0..d0 + n].copy_from_slice(&pixels[row * w + done..row * w + done + n]);
+                done += n;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PlaneBandMut<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PlaneBandMut({}x[{}, {}))", self.width, self.y0, self.y1)
+    }
+}
+
 /// Iterator over the contiguous storage segments of one pixel row; see
 /// [`Plane::row_segments`].
 pub struct RowSegments<'a> {
@@ -670,6 +883,33 @@ impl Frame {
         plane_psnr(&self.y, &other.y)
     }
 
+    /// Borrows the whole frame as one mutable macroblock-row band, the
+    /// starting point for [`FrameBandMut::split_at_mb_row`].
+    pub fn as_band_mut(&mut self) -> FrameBandMut<'_> {
+        FrameBandMut {
+            y: self.y.as_band_mut(),
+            cb: self.cb.as_band_mut(),
+            cr: self.cr.as_band_mut(),
+        }
+    }
+
+    /// Splits the frame into `cuts.len() + 1` disjoint mutable bands at
+    /// the given macroblock-row boundaries (strictly increasing, inside
+    /// `(0, mb_height)`). Each band covers luma rows `[16·r0, 16·r1)` and
+    /// chroma rows `[8·r0, 8·r1)` of all three planes — see
+    /// [`Plane::disjoint_row_bands`] for the allocation-free variant.
+    pub fn disjoint_mb_row_bands(&mut self, cuts: &[usize]) -> Vec<FrameBandMut<'_>> {
+        let mut out = Vec::with_capacity(cuts.len() + 1);
+        let mut rest = self.as_band_mut();
+        for &cut in cuts {
+            let (head, tail) = rest.split_at_mb_row(cut);
+            out.push(head);
+            rest = tail;
+        }
+        out.push(rest);
+        out
+    }
+
     /// PSNR of all three planes combined (weighted by sample count), in dB.
     pub fn psnr(&self, other: &Frame) -> f64 {
         assert_eq!(self.width(), other.width());
@@ -719,6 +959,57 @@ fn plane_psnr(a: &Plane, b: &Plane) -> f64 {
 impl std::fmt::Debug for Frame {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Frame({}x{})", self.width(), self.height())
+    }
+}
+
+/// A mutable borrow of a horizontal macroblock-row band of a [`Frame`]:
+/// one [`PlaneBandMut`] per plane, all covering the same macroblock rows
+/// (luma rows `[16·r0, 16·r1)`, chroma rows `[8·r0, 8·r1)`).
+///
+/// Implements `MbSink` (in `recon.rs`), so a band is a drop-in
+/// reconstruction target: slice replay writes its macroblocks into the
+/// band while sibling bands of the same frame are written concurrently by
+/// other threads — disjointness is proven by the borrow checker, not by a
+/// lock.
+#[derive(Debug)]
+pub struct FrameBandMut<'a> {
+    /// Luma band.
+    pub y: PlaneBandMut<'a>,
+    /// Blue-difference chroma band (half resolution).
+    pub cb: PlaneBandMut<'a>,
+    /// Red-difference chroma band (half resolution).
+    pub cr: PlaneBandMut<'a>,
+}
+
+impl<'a> FrameBandMut<'a> {
+    /// First macroblock row covered by this band.
+    pub fn mb_y0(&self) -> usize {
+        self.y.y0() / 16
+    }
+
+    /// One past the last macroblock row covered by this band.
+    pub fn mb_y1(&self) -> usize {
+        self.y.y1().div_ceil(16)
+    }
+
+    /// Splits the band at macroblock row `mb_row` into two disjoint
+    /// mutable bands (see [`PlaneBandMut::split_at_row`]).
+    pub fn split_at_mb_row(self, mb_row: usize) -> (FrameBandMut<'a>, FrameBandMut<'a>) {
+        let (y_head, y_tail) = self.y.split_at_row(mb_row * 16);
+        let (cb_head, cb_tail) = self.cb.split_at_row(mb_row * 8);
+        let (cr_head, cr_tail) = self.cr.split_at_row(mb_row * 8);
+        (
+            FrameBandMut {
+                y: y_head,
+                cb: cb_head,
+                cr: cr_head,
+            },
+            FrameBandMut {
+                y: y_tail,
+                cb: cb_tail,
+                cr: cr_tail,
+            },
+        )
     }
 }
 
@@ -1138,6 +1429,107 @@ mod tests {
             h.finish()
         };
         assert_eq!(hash(&a), hash(&b));
+    }
+
+    /// Band writes must land on exactly the same bytes as whole-plane
+    /// writes, on both layouts, including the packed-band assembly path.
+    #[test]
+    fn row_bands_match_whole_plane_writes() {
+        for tiled in [false, true] {
+            let (w, h) = (48usize, 64usize);
+            let mk = || {
+                if tiled {
+                    Plane::new_tiled(w, h, LUMA_TILE_SHIFT)
+                } else {
+                    Plane::new(w, h)
+                }
+            };
+            let mut whole = mk();
+            let mut banded = mk();
+            let patch: Vec<u8> = (0..256).map(|i| (i % 251) as u8).collect();
+            {
+                let mut bands = banded.disjoint_row_bands(&[16, 48]);
+                assert_eq!(bands.len(), 3);
+                assert_eq!(
+                    bands.iter().map(|b| (b.y0(), b.y1())).collect::<Vec<_>>(),
+                    vec![(0, 16), (16, 48), (48, 64)]
+                );
+                // One 16x16 insert per band, at varying alignment.
+                bands[0].insert(0, 0, 16, 16, &patch);
+                bands[1].insert(16, 32, 16, 16, &patch);
+                bands[2].insert(7, 48, 16, 16, &patch);
+                for (i, (x, y)) in [(0, 0), (16, 32), (7, 48)].into_iter().enumerate() {
+                    assert_eq!(bands[i].get(x, y), patch[0]);
+                }
+            }
+            whole.insert(0, 0, 16, 16, &patch);
+            whole.insert(16, 32, 16, 16, &patch);
+            whole.insert(7, 48, 16, 16, &patch);
+            assert_eq!(whole, banded, "tiled={tiled}");
+        }
+    }
+
+    #[test]
+    fn copy_from_packed_assembles_bands() {
+        for tiled in [false, true] {
+            let (w, h) = (40usize, 48usize);
+            let mut plane = if tiled {
+                Plane::new_tiled(w, h, LUMA_TILE_SHIFT)
+            } else {
+                Plane::new(w, h)
+            };
+            let packed: Vec<u8> = (0..w * h).map(|i| (i % 253) as u8).collect();
+            {
+                let (mut head, mut tail) = plane.as_band_mut().split_at_row(16);
+                head.copy_from_packed(&packed[..w * 16]);
+                tail.copy_from_packed(&packed[w * 16..]);
+            }
+            for y in 0..h {
+                for x in 0..w {
+                    assert_eq!(
+                        plane.get(x, y),
+                        packed[y * w + x],
+                        "({x},{y}) tiled={tiled}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside band")]
+    fn band_insert_rejects_rows_outside_the_band() {
+        let mut p = Plane::new(32, 32);
+        let (mut head, _tail) = p.as_band_mut().split_at_row(16);
+        head.insert(0, 8, 16, 16, &[0u8; 256]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile-row aligned")]
+    fn tiled_band_split_requires_alignment() {
+        let mut p = Plane::new_tiled(32, 32, LUMA_TILE_SHIFT);
+        let _ = p.as_band_mut().split_at_row(8);
+    }
+
+    #[test]
+    fn frame_bands_split_luma_and_chroma_consistently() {
+        let mut f = Frame::zeroed(32, 64);
+        let mut bands = f.disjoint_mb_row_bands(&[1, 3]);
+        assert_eq!(bands.len(), 3);
+        assert_eq!(
+            bands
+                .iter()
+                .map(|b| (b.mb_y0(), b.mb_y1()))
+                .collect::<Vec<_>>(),
+            vec![(0, 1), (1, 3), (3, 4)]
+        );
+        assert_eq!((bands[1].cb.y0(), bands[1].cb.y1()), (8, 24));
+        bands[1].y.insert(0, 16, 16, 16, &[9u8; 256]);
+        bands[1].cb.insert(0, 8, 8, 8, &[7u8; 64]);
+        drop(bands);
+        assert_eq!(f.y.get(0, 16), 9);
+        assert_eq!(f.cb.get(0, 8), 7);
+        assert_eq!(f.y.get(0, 15), 0);
     }
 
     #[test]

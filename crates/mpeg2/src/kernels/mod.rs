@@ -51,6 +51,12 @@ pub struct KernelSet {
     pub add_residual: fn(dst: &mut [u8], stride: usize, residual: &[i32; 64]),
     /// Stores an 8×8 intra block, clamping samples to `[0, 255]`.
     pub set_block: fn(dst: &mut [u8], stride: usize, samples: &[i32; 64]),
+    /// Bulk byte copy between equal-length slices. Used by the band
+    /// assembly path in `recon_parallel` to splice a worker's packed
+    /// row-band into the target frame: for row-major planes (and any
+    /// tile-row-aligned band of a tiled plane) a band is one contiguous
+    /// storage run, so assembly is a single call per plane band.
+    pub copy_band: fn(dst: &mut [u8], src: &[u8]),
     /// Software-prefetch hint covering `bytes` (one request per cache
     /// line). Purely advisory — a no-op on the scalar set — and never
     /// observable in output, so it is exempt from the bit-exactness
@@ -70,6 +76,7 @@ pub static SCALAR: KernelSet = KernelSet {
     average_into: scalar::average_into,
     add_residual: scalar::add_residual,
     set_block: scalar::set_block,
+    copy_band: scalar::copy_band,
     prefetch: scalar::prefetch,
 };
 

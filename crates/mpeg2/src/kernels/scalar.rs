@@ -75,6 +75,13 @@ pub fn add_residual(dst: &mut [u8], stride: usize, residual: &[i32; 64]) {
     }
 }
 
+/// Bulk band copy: `memcpy` of equal-length slices. The compiler lowers
+/// `copy_from_slice` to the platform memcpy, which already uses the
+/// widest available vector moves, so the SIMD sets reuse this entry.
+pub fn copy_band(dst: &mut [u8], src: &[u8]) {
+    dst.copy_from_slice(src);
+}
+
 /// Prefetch hint: the portable set has no cache-control primitive, so
 /// this is a deliberate no-op (prefetching is advisory by contract).
 pub fn prefetch(_bytes: &[u8]) {}

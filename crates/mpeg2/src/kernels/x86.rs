@@ -44,6 +44,7 @@ pub static SSE2: KernelSet = KernelSet {
     average_into: average_into_sse2,
     add_residual: add_residual_sse2,
     set_block: set_block_sse2,
+    copy_band: scalar::copy_band,
     prefetch: prefetch_t0,
 };
 
@@ -61,6 +62,7 @@ pub static AVX2: KernelSet = KernelSet {
     average_into: average_into_sse2,
     add_residual: add_residual_sse2,
     set_block: set_block_sse2,
+    copy_band: scalar::copy_band,
     prefetch: prefetch_t0,
 };
 

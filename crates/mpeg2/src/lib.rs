@@ -57,10 +57,10 @@ pub mod types;
 pub mod vld;
 pub mod y4m;
 
-pub use decoder::{decode_all, Decoder, InlineSlices, SliceExecutor};
+pub use decoder::{decode_all, flush_picture_info, Decoder, InlineSlices, SliceExecutor};
 pub use encoder::{Encoder, EncoderConfig};
 pub use error::{Error, Result};
-pub use frame::{Frame, FramePool, Layout, Plane, RowMajorPlane};
+pub use frame::{Frame, FrameBandMut, FramePool, Layout, Plane, PlaneBandMut, RowMajorPlane};
 pub use resilient::{
     apply_display_patches, decode_all_resilient, repair_stream, DamageReport, DisplayPatch,
     ErrorPolicy, PatchRow, RepairedStream, StreamDamage,

@@ -35,6 +35,22 @@ impl MbSink for FrameSink<'_> {
     }
 }
 
+/// [`MbSink`] writing into a mutable row band of a frame.
+///
+/// Used by `tiledec-core`'s parallel reconstruction: each worker holds a
+/// disjoint band of the target frame (borrow-checker-enforced via
+/// [`Frame::disjoint_mb_row_bands`]), so bands accept writes concurrently
+/// with no locking. Macroblocks outside the band panic — the band
+/// partitioner must route every slice to the band owning its rows.
+impl MbSink for crate::frame::FrameBandMut<'_> {
+    fn write_mb(&mut self, mb_x: u32, mb_y: u32, y: &[u8; 256], cb: &[u8; 64], cr: &[u8; 64]) {
+        let (px, py) = (mb_x as usize * 16, mb_y as usize * 16);
+        self.y.insert(px, py, 16, 16, y);
+        self.cb.insert(px / 2, py / 2, 8, 8, cb);
+        self.cr.insert(px / 2, py / 2, 8, 8, cr);
+    }
+}
+
 /// Slice visitor that reconstructs pixels.
 pub struct Reconstructor<'a, R: ReferenceFetcher, S: MbSink> {
     /// Reference pixel source.

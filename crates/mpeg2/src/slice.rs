@@ -189,11 +189,29 @@ pub trait SliceVisitor {
 
 /// Parses a whole slice. The reader must be positioned right after the
 /// slice start code; `row` is `start_code_value - 1`.
+///
+/// Allocates a fresh coefficient buffer per call; hot paths that walk
+/// many slices should hold one buffer and use [`parse_slice_into`].
 pub fn parse_slice(
     r: &mut BitReader<'_>,
     ctx: &SliceContext<'_>,
     row: u32,
     visitor: &mut impl SliceVisitor,
+) -> Result<()> {
+    let mut blocks = Box::new([[0i32; 64]; 6]);
+    parse_slice_into(r, ctx, row, visitor, &mut blocks)
+}
+
+/// [`parse_slice`] with a caller-provided coefficient buffer, so a loop
+/// over many slices performs no per-slice heap allocation. `blocks` is
+/// pure scratch: only CBP-coded entries are written before each
+/// [`SliceVisitor::macroblock`] call, the rest hold stale data.
+pub fn parse_slice_into(
+    r: &mut BitReader<'_>,
+    ctx: &SliceContext<'_>,
+    row: u32,
+    visitor: &mut impl SliceVisitor,
+    blocks: &mut [[i32; 64]; 6],
 ) -> Result<()> {
     if row >= ctx.seq.mb_height() {
         return Err(Error::Syntax(format!(
@@ -210,7 +228,6 @@ pub fn parse_slice(
         return Err(Error::Unsupported("slice extensions (intra_slice_flag)"));
     }
     let mut st = WalkState::slice_start(ctx, row, qscale_code);
-    let mut blocks = Box::new([[0i32; 64]; 6]);
     let mut first = true;
     loop {
         let mode = if first {
@@ -218,7 +235,7 @@ pub fn parse_slice(
         } else {
             AddrMode::Continuation
         };
-        let meta = parse_one_macroblock(r, ctx, &mut st, mode, &mut blocks)?;
+        let meta = parse_one_macroblock(r, ctx, &mut st, mode, blocks)?;
         if meta.skipped_before > 0 {
             let skip_motion = skip_motion(ctx.pic.kind, &meta.entry_prev_motion)?;
             visitor.skipped(
@@ -228,7 +245,7 @@ pub fn parse_slice(
                 &skip_motion,
             )?;
         }
-        visitor.macroblock(ctx, &meta, &blocks)?;
+        visitor.macroblock(ctx, &meta, blocks)?;
         first = false;
         if slice_done(r) {
             return Ok(());

@@ -29,7 +29,7 @@ use std::time::Instant;
 
 use tiledec_bitstream::BitReader;
 
-use crate::slice::{parse_slice, MbMeta, MbMotion, SliceContext, SliceVisitor};
+use crate::slice::{parse_slice_into, MbMeta, MbMotion, SliceContext, SliceVisitor};
 use crate::{Error, Result};
 
 /// One visitor call captured during a recorded slice walk.
@@ -53,7 +53,7 @@ enum RecordedEvent {
 /// filled on a worker thread, sent over a channel, replayed by the
 /// coordinator, and recycled (cleared and refilled) without reallocating —
 /// the same buffer-reuse discipline as `BufferPool` in `tiledec-core`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SliceRecording {
     events: Vec<RecordedEvent>,
     /// Flat arena of coefficient blocks; only CBP-coded blocks are stored.
@@ -61,6 +61,28 @@ pub struct SliceRecording {
     row: u32,
     cost_ns: u64,
     outcome: Option<Error>,
+    /// Lowest/highest macroblock row any recorded event writes
+    /// (`u32::MAX`/0 while empty). A conforming slice stays on its own
+    /// `row`, but corrupt streams can code addresses or skip runs that
+    /// spill into other rows; consumers partitioning a frame into
+    /// disjoint row bands must check this span before assuming the
+    /// recording is confined to `row`.
+    row_min: u32,
+    row_max: u32,
+}
+
+impl Default for SliceRecording {
+    fn default() -> Self {
+        SliceRecording {
+            events: Vec::new(),
+            coeffs: Vec::new(),
+            row: 0,
+            cost_ns: 0,
+            outcome: None,
+            row_min: u32::MAX,
+            row_max: 0,
+        }
+    }
 }
 
 impl SliceRecording {
@@ -88,6 +110,14 @@ impl SliceRecording {
         self.events.len()
     }
 
+    /// Inclusive range of macroblock rows the recorded events write, or
+    /// `None` if the recording produced no macroblocks. Equal to
+    /// `(row(), row())` for every conforming slice; a wider span means
+    /// the (corrupt) slice spills outside its own row.
+    pub fn mb_row_span(&self) -> Option<(u32, u32)> {
+        (self.row_min <= self.row_max).then_some((self.row_min, self.row_max))
+    }
+
     /// Empties the recording for reuse, keeping allocations.
     pub fn clear(&mut self) {
         self.events.clear();
@@ -95,6 +125,13 @@ impl SliceRecording {
         self.row = 0;
         self.cost_ns = 0;
         self.outcome = None;
+        self.row_min = u32::MAX;
+        self.row_max = 0;
+    }
+
+    fn touch_rows(&mut self, lo: u32, hi: u32) {
+        self.row_min = self.row_min.min(lo);
+        self.row_max = self.row_max.max(hi);
     }
 }
 
@@ -106,11 +143,16 @@ struct Recorder<'a> {
 impl SliceVisitor for Recorder<'_> {
     fn skipped(
         &mut self,
-        _ctx: &SliceContext<'_>,
+        ctx: &SliceContext<'_>,
         start_addr: u32,
         count: u32,
         motion: &MbMotion,
     ) -> Result<()> {
+        let mbw = ctx.mb_width().max(1);
+        self.rec.touch_rows(
+            start_addr / mbw,
+            (start_addr + count).saturating_sub(1) / mbw,
+        );
         self.rec.events.push(RecordedEvent::Skipped {
             start_addr,
             count,
@@ -125,6 +167,7 @@ impl SliceVisitor for Recorder<'_> {
         meta: &MbMeta,
         blocks: &[[i32; 64]; 6],
     ) -> Result<()> {
+        self.rec.touch_rows(meta.y, meta.y);
         let first_coeff = self.rec.coeffs.len() as u32;
         for (i, block) in blocks.iter().enumerate() {
             if meta.cbp & (1 << (5 - i)) != 0 {
@@ -148,12 +191,16 @@ impl SliceVisitor for Recorder<'_> {
 /// `data` must be the **full stream buffer** (not a slice-local copy) so
 /// recorded bit positions — including error positions — match the
 /// sequential decoder's exactly.
+///
+/// `scratch` is the walker's coefficient buffer, caller-held so worker
+/// loops recording thousands of slices stay allocation-free.
 pub fn record_slice(
     data: &[u8],
     start_offset: usize,
     row: u32,
     ctx: &SliceContext<'_>,
     rec: &mut SliceRecording,
+    scratch: &mut [[i32; 64]; 6],
 ) {
     rec.clear();
     rec.row = row;
@@ -161,7 +208,7 @@ pub fn record_slice(
     let mut r = BitReader::at(data, (start_offset + 4) * 8);
     let result = {
         let mut recorder = Recorder { rec };
-        parse_slice(&mut r, ctx, row, &mut recorder)
+        parse_slice_into(&mut r, ctx, row, &mut recorder, scratch)
     };
     rec.outcome = result.err();
     rec.cost_ns = start.elapsed().as_nanos() as u64;
@@ -213,6 +260,7 @@ pub fn replay_slice(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::slice::parse_slice;
 
     /// Visitor that serialises calls into comparable records.
     #[derive(Default, PartialEq, Debug)]
@@ -322,10 +370,10 @@ mod tests {
             let direct_res = parse_slice(&mut r, &ctx, row, &mut direct);
 
             let mut rec = SliceRecording::default();
-            record_slice(&data, code.offset, row, &ctx, &mut rec);
+            let mut scratch = [[0i32; 64]; 6];
+            record_slice(&data, code.offset, row, &ctx, &mut rec, &mut scratch);
             assert_eq!(rec.row(), row);
             let mut replayed = Trace::default();
-            let mut scratch = [[0i32; 64]; 6];
             let replay_res = replay_slice(&rec, &ctx, &mut replayed, &mut scratch);
 
             assert_eq!(direct_res, replay_res);
@@ -349,9 +397,9 @@ mod tests {
         let mut r = BitReader::at(cut, (slice.offset + 4) * 8);
         let direct_res = parse_slice(&mut r, &ctx, row, &mut direct);
         let mut rec = SliceRecording::default();
-        record_slice(cut, slice.offset, row, &ctx, &mut rec);
-        let mut replayed = Trace::default();
         let mut scratch = [[0i32; 64]; 6];
+        record_slice(cut, slice.offset, row, &ctx, &mut rec, &mut scratch);
+        let mut replayed = Trace::default();
         let replay_res = replay_slice(&rec, &ctx, &mut replayed, &mut scratch);
         assert_eq!(direct_res, replay_res);
         assert_eq!(direct.calls, replayed.calls);
@@ -372,11 +420,14 @@ mod tests {
             row: 5,
             cost_ns: 99,
             outcome: Some(Error::Syntax("x".into())),
+            row_min: 5,
+            row_max: 5,
         };
         rec.clear();
         assert_eq!(rec.event_count(), 0);
         assert_eq!(rec.row(), 0);
         assert_eq!(rec.cost_ns(), 0);
         assert!(rec.outcome().is_none());
+        assert_eq!(rec.mb_row_span(), None);
     }
 }

@@ -6,13 +6,16 @@
 //! ```
 //!
 //! Set `TILEDEC_VLD_WORKERS=N` to run entropy decode on N worker threads
-//! (slice-parallel VLD; output stays bit-exact with the sequential path).
+//! (slice-parallel VLD), and `TILEDEC_RECON_WORKERS=M` on top to fan
+//! pixel reconstruction out over M band workers with cross-picture
+//! pipelining; output stays bit-exact with the sequential path either
+//! way.
 
 use std::fs::File;
 use std::io::BufWriter;
 use std::process::ExitCode;
 
-use tiledec::core::vld_parallel::ParallelVldDecoder;
+use tiledec::core::recon_parallel::PipelineDecoder;
 use tiledec::mpeg2::y4m::{Y4mHeader, Y4mWriter};
 use tiledec::ps::looks_like_program_stream;
 
@@ -61,9 +64,12 @@ fn run() -> Result<String, String> {
     );
     let mut frames = 0usize;
     let mut write_error: Option<String> = None;
-    let mut decoder = ParallelVldDecoder::from_env();
-    if decoder.workers() > 0 {
-        eprintln!("slice-parallel VLD: {} workers", decoder.workers());
+    let mut decoder = PipelineDecoder::from_env();
+    let (vld, recon) = decoder.workers();
+    if recon > 0 {
+        eprintln!("pipelined decode: {vld} VLD workers, {recon} recon workers");
+    } else if vld > 0 {
+        eprintln!("slice-parallel VLD: {vld} workers");
     }
     let summary = decoder
         .decode_stream(&es, |frame, _| {
